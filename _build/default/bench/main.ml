@@ -1,0 +1,440 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. VI), plus the mechanism experiments of Secs. IV-V, and
+   runs Bechamel micro-benchmarks of the simulator itself.
+
+   Usage:
+     dune exec bench/main.exe             -- everything
+     dune exec bench/main.exe -- fig1 table1 table2 fig7 queue_states
+                                            deadlock depth_sweep scalability
+                                            micro *)
+
+open Pv_core
+
+let line = String.make 118 '-'
+
+let header title =
+  Printf.printf "\n%s\n== %s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: LSQ share of resources in plain Dynamatic circuits          *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header
+    "Fig. 1 — LSQ resource usage in Dynamatic: share of LUT+FF+mux spent in \
+     the LSQ (paper: >80% across tasks)";
+  Printf.printf "%-14s %10s %10s %10s %12s\n" "benchmark" "LSQ LUT" "LSQ FF"
+    "datapath" "LSQ share";
+  List.iter
+    (fun kernel ->
+      let p = Experiment.run kernel Pipeline.plain_lsq in
+      let r = p.Experiment.report in
+      Printf.printf "%-14s %10d %10d %10d %11.1f%%\n" p.Experiment.kernel
+        r.Pv_resource.Report.queue_luts r.Pv_resource.Report.queue_ffs
+        (r.Pv_resource.Report.datapath_luts + r.Pv_resource.Report.datapath_ffs)
+        (100.0 *. Pv_resource.Report.queue_share r))
+    (Pv_kernels.Defs.paper_benchmarks ())
+
+(* ------------------------------------------------------------------ *)
+(* Table I: resource usage                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ~grid () =
+  header
+    "Table I — Resource usage (LUT / FF) for Dynamatic [15], fast-LSQ [8], \
+     PreVV16 and PreVV64";
+  Printf.printf "%-12s | %31s | %31s | %9s %9s | %9s %9s\n" "" "LUT" "FF"
+    "v16/[8]" "v64/[8]" "v16/[8]" "v64/[8]";
+  Printf.printf "%-12s | %7s %7s %7s %7s | %7s %7s %7s %7s | %9s %9s | %9s %9s\n"
+    "benchmark" "[15]" "[8]" "v16" "v64" "[15]" "[8]" "v16" "v64" "LUT" "LUT"
+    "FF" "FF";
+  let l16 = ref [] and l64 = ref [] and f16 = ref [] and f64 = ref [] in
+  List.iter
+    (fun row ->
+      match row with
+      | [ p15; p8; v16; v64 ] ->
+          let lut (p : Experiment.point) = p.Experiment.report.Pv_resource.Report.luts in
+          let ff (p : Experiment.point) = p.Experiment.report.Pv_resource.Report.ffs in
+          l16 := (float_of_int (lut v16) /. float_of_int (lut p8)) :: !l16;
+          l64 := (float_of_int (lut v64) /. float_of_int (lut p8)) :: !l64;
+          f16 := (float_of_int (ff v16) /. float_of_int (ff p8)) :: !f16;
+          f64 := (float_of_int (ff v64) /. float_of_int (ff p8)) :: !f64;
+          Printf.printf
+            "%-12s | %7d %7d %7d %7d | %7d %7d %7d %7d | %8.2f%% %8.2f%% | \
+             %8.2f%% %8.2f%%\n"
+            p15.Experiment.kernel (lut p15) (lut p8) (lut v16) (lut v64)
+            (ff p15) (ff p8) (ff v16) (ff v64)
+            (Experiment.pct (lut v16) (lut p8))
+            (Experiment.pct (lut v64) (lut p8))
+            (Experiment.pct (ff v16) (ff p8))
+            (Experiment.pct (ff v64) (ff p8))
+      | _ -> assert false)
+    (Lazy.force grid);
+  Printf.printf
+    "%-12s | %31s | %31s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n" "geomean" "" ""
+    (100.0 *. (Experiment.geomean !l16 -. 1.0))
+    (100.0 *. (Experiment.geomean !l64 -. 1.0))
+    (100.0 *. (Experiment.geomean !f16 -. 1.0))
+    (100.0 *. (Experiment.geomean !f64 -. 1.0));
+  Printf.printf
+    "(paper geomeans: LUT v16 -43.75%%, v64 -26.45%%; FF v16 -44.70%%, v64 \
+     -33.54%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table II: timing performance                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ~grid () =
+  header
+    "Table II — Timing: cycle count, clock period (ns) and execution time \
+     (us)";
+  Printf.printf "%-12s | %27s | %23s | %27s | %9s %9s\n" "" "cycles"
+    "CP (ns)" "exec time (us)" "v16/[8]" "v64/[8]";
+  Printf.printf "%-12s | %6s %6s %6s %6s | %5s %5s %5s %5s | %6s %6s %6s %6s |\n"
+    "benchmark" "[15]" "[8]" "v16" "v64" "[15]" "[8]" "v16" "v64" "[15]" "[8]"
+    "v16" "v64";
+  let e16 = ref [] and e64 = ref [] in
+  List.iter
+    (fun row ->
+      match row with
+      | [ p15; p8; v16; v64 ] ->
+          let cyc (p : Experiment.point) = p.Experiment.cycles in
+          let cp (p : Experiment.point) = p.Experiment.report.Pv_resource.Report.cp_ns in
+          let ex (p : Experiment.point) = p.Experiment.exec_us in
+          e16 := (ex v16 /. ex p8) :: !e16;
+          e64 := (ex v64 /. ex p8) :: !e64;
+          Printf.printf
+            "%-12s | %6d %6d %6d %6d | %5.2f %5.2f %5.2f %5.2f | %6.2f %6.2f \
+             %6.2f %6.2f | %8.2f%% %8.2f%%\n"
+            p15.Experiment.kernel (cyc p15) (cyc p8) (cyc v16) (cyc v64)
+            (cp p15) (cp p8) (cp v16) (cp v64) (ex p15) (ex p8) (ex v16)
+            (ex v64)
+            (Experiment.pctf (ex v16) (ex p8))
+            (Experiment.pctf (ex v64) (ex p8))
+      | _ -> assert false)
+    (Lazy.force grid);
+  Printf.printf "%-12s | %27s | %23s | %27s | %8.2f%% %8.2f%%\n" "geomean" ""
+    "" ""
+    (100.0 *. (Experiment.geomean !e16 -. 1.0))
+    (100.0 *. (Experiment.geomean !e64 -. 1.0));
+  Printf.printf
+    "(paper: PreVV16 +10.79%% cycles; PreVV64 -2.64%% execution time vs [8])\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: resource usage normalised to Dynamatic [15]                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 ~grid () =
+  header
+    "Fig. 7 — LUT (solid) and FF (dashed) normalised to Dynamatic [15]";
+  Printf.printf "%-12s | %8s %8s %8s | %8s %8s %8s\n" "" "LUT[8]" "LUTv16"
+    "LUTv64" "FF[8]" "FFv16" "FFv64";
+  List.iter
+    (fun row ->
+      match row with
+      | [ p15; p8; v16; v64 ] ->
+          let lut (p : Experiment.point) =
+            float_of_int p.Experiment.report.Pv_resource.Report.luts
+          in
+          let ff (p : Experiment.point) =
+            float_of_int p.Experiment.report.Pv_resource.Report.ffs
+          in
+          Printf.printf "%-12s | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f\n"
+            p15.Experiment.kernel
+            (lut p8 /. lut p15) (lut v16 /. lut p15) (lut v64 /. lut p15)
+            (ff p8 /. ff p15) (ff v16 /. ff p15) (ff v64 /. ff p15)
+      | _ -> assert false)
+    (Lazy.force grid)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: premature queue states                                      *)
+(* ------------------------------------------------------------------ *)
+
+let queue_states () =
+  header "Fig. 4 — premature queue states (normal / wrap-around / full)";
+  let q = Pv_prevv.Premature_queue.create 8 in
+  let push seq =
+    ignore
+      (Pv_prevv.Premature_queue.push q ~seq ~pos:0 ~port:0
+         ~kind:Pv_memory.Portmap.OStore ~index:seq ~value:seq)
+  in
+  let show what =
+    Printf.printf "  %-30s head=%d tail=%d occ=%d state=%s\n" what
+      q.Pv_prevv.Premature_queue.head q.Pv_prevv.Premature_queue.tail
+      (Pv_prevv.Premature_queue.occupancy q)
+      (match Pv_prevv.Premature_queue.state q with
+      | `Empty -> "empty"
+      | `Normal -> "normal"
+      | `Wrapped -> "wrap-around"
+      | `Full -> "full")
+  in
+  show "fresh queue";
+  for s = 0 to 4 do push s done;
+  show "after 5 pushes";
+  Pv_prevv.Premature_queue.retire_seq q ~seq:0;
+  Pv_prevv.Premature_queue.retire_seq q ~seq:1;
+  Pv_prevv.Premature_queue.retire_seq q ~seq:2;
+  show "after retiring 3 (head moved)";
+  for s = 5 to 9 do push s done;
+  show "tail wrapped past the end";
+  push 10;
+  show "filled to capacity";
+  try push 11 with Pv_prevv.Premature_queue.Full ->
+    Printf.printf "  %-30s push refused (backpressure)\n" "one more push:"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6 / Sec. V-C: deadlock without fake tokens                     *)
+(* ------------------------------------------------------------------ *)
+
+let deadlock () =
+  header
+    "Fig. 6 / Sec. V-C — conditional ambiguous pair: fake tokens prevent \
+     deadlock";
+  let kernel = Pv_kernels.Defs.cond_update () in
+  List.iter
+    (fun (what, fake_tokens) ->
+      let compiled =
+        Pipeline.compile
+          ~options:
+            { Pv_frontend.Build.default_options with
+              Pv_frontend.Build.fake_tokens }
+          kernel
+      in
+      let sim_cfg =
+        { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.stall_limit = 512 }
+      in
+      let r =
+        Pipeline.simulate ~sim_cfg compiled (Pipeline.prevv ~fake_tokens 8)
+      in
+      Printf.printf "  %-24s -> %s (fake tokens seen: %d)\n" what
+        (Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome r.Pipeline.outcome)
+        r.Pipeline.mem_stats.Pv_dataflow.Memif.fake_tokens)
+    [ ("with fake tokens", true); ("without fake tokens", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Eqs. 6-10: premature queue depth sweep and the sizing model          *)
+(* ------------------------------------------------------------------ *)
+
+let depth_sweep () =
+  header
+    "Sec. V-A — queue-depth sweep: cycles and LUTs vs Depth_q (Defs. 2-3)";
+  let kernel = Pv_kernels.Defs.gaussian () in
+  Printf.printf "%-8s %10s %10s %12s %10s\n" "depth" "cycles" "LUT" "stalls"
+    "squashes";
+  List.iter
+    (fun d ->
+      match Experiment.run kernel (Pipeline.prevv d) with
+      | p ->
+          Printf.printf "%-8d %10d %10d %12d %10d%s\n" d p.Experiment.cycles
+            p.Experiment.report.Pv_resource.Report.luts
+            p.Experiment.mem_stats.Pv_dataflow.Memif.stall_full
+            p.Experiment.mem_stats.Pv_dataflow.Memif.squashes
+            (if p.Experiment.verified then "" else "  (NOT VERIFIED)")
+      | exception Invalid_argument msg ->
+          Printf.printf "%-8d infeasible: %s\n" d msg)
+    [ 4; 8; 16; 24; 32; 48; 64; 96; 128 ];
+  let t_org = 10.0 and p_s = 0.02 and t_token = 60.0 in
+  Printf.printf
+    "sizing model: matched depth (Eq. 6/7, t_org=%.0f cyc, P_s=%.2f, \
+     t_token=%.0f cyc) = %d\n"
+    t_org p_s t_token
+    (Pv_prevv.Sizing.matched_depth ~t_org ~p_s ~t_token)
+
+(* ------------------------------------------------------------------ *)
+(* Eqs. 11-12: overlap scalability                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scalability () =
+  header
+    "Sec. V-B — overlapping pairs: naive replication (Eq. 11) vs dimension \
+     reduction";
+  Printf.printf "%-10s %16s %16s %12s %12s\n" "overlap n" "naive compl."
+    "reduced compl." "naive pairs" "red. pairs";
+  List.iter
+    (fun n ->
+      let ops =
+        List.init (2 * n) (fun k ->
+            ( (if k mod 2 = 0 then Pv_memory.Portmap.OLoad
+               else Pv_memory.Portmap.OStore),
+              k ))
+      in
+      Printf.printf "%-10d %16.0f %16.0f %12d %12d\n" n
+        (Pv_prevv.Overlap.naive_complexity ~n ~com1:1.0)
+        (Pv_prevv.Overlap.reduced_complexity ~n ~com1:1.0)
+        (Pv_prevv.Overlap.naive_pairs ops)
+        (Pv_prevv.Overlap.reduced_pairs ops))
+    [ 1; 2; 4; 6; 8; 12; 16 ];
+  Printf.printf
+    "(Eq. 11: naive cost 2^n; reduction keeps one instance per array, linear \
+     in members)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices DESIGN.md calls out                 *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "Ablations — value validation (Eq. 5), queue collapse, forwarding,           slack buffers";
+  (* Eq. 5 on/off: when stores often rewrite unchanged values, comparing
+     values instead of only addresses eliminates squashes *)
+  Printf.printf "value validation (PreVV16):\n";
+  Printf.printf "  %-16s %14s %14s %14s %14s\n" "kernel" "cycles(on)"
+    "squash(on)" "cycles(off)" "squash(off)";
+  List.iter
+    (fun k ->
+      let run value_validation =
+        let compiled = Pipeline.compile k in
+        Pipeline.simulate compiled
+          (Pipeline.Prevv
+             { (Pv_prevv.Backend.named ~depth:16) with
+               Pv_prevv.Backend.value_validation })
+      in
+      let on = run true and off = run false in
+      Printf.printf "  %-16s %14d %14d %14d %14d\n" k.Pv_kernels.Ast.name
+        on.Pipeline.cycles on.Pipeline.mem_stats.Pv_dataflow.Memif.squashes
+        off.Pipeline.cycles off.Pipeline.mem_stats.Pv_dataflow.Memif.squashes)
+    [
+      Pv_kernels.Defs.running_max ();
+      Pv_kernels.Defs.stencil1d ();
+      Pv_kernels.Defs.triangular_tight ();
+      Pv_kernels.Defs.fn_dependent ();
+    ];
+  (* collapsing queue on/off: without interior reclamation the queue
+     fragments and the pipeline wedges *)
+  Printf.printf "\ncollapsing premature queue (gaussian, PreVV16):\n";
+  List.iter
+    (fun (what, collapse_queue) ->
+      let compiled = Pipeline.compile (Pv_kernels.Defs.gaussian ()) in
+      let sim_cfg =
+        { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.stall_limit = 2000 }
+      in
+      let r =
+        Pipeline.simulate ~sim_cfg compiled
+          (Pipeline.Prevv
+             { (Pv_prevv.Backend.named ~depth:16) with
+               Pv_prevv.Backend.collapse_queue })
+      in
+      Printf.printf "  %-22s -> %s\n" what
+        (Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome r.Pipeline.outcome))
+    [ ("with collapse", true); ("without collapse", false) ];
+  (* store-to-load forwarding in the LSQ *)
+  Printf.printf "\nLSQ store-to-load forwarding (matvec, fast LSQ):\n";
+  List.iter
+    (fun (what, forwarding) ->
+      let compiled = Pipeline.compile (Pv_kernels.Defs.matvec ()) in
+      let r =
+        Pipeline.simulate compiled
+          (Pipeline.Fast_lsq { Pv_lsq.Lsq.fast with Pv_lsq.Lsq.forwarding })
+      in
+      Printf.printf "  %-22s -> %d cycles (%d forwarded)\n" what
+        r.Pipeline.cycles r.Pipeline.mem_stats.Pv_dataflow.Memif.forwarded)
+    [ ("with forwarding", true); ("without forwarding", false) ];
+  (* load CSE: repeated loads share one port, shrinking the premature
+     record count per iteration *)
+  Printf.printf "\nload CSE (histogram, PreVV16):\n";
+  List.iter
+    (fun (what, cse) ->
+      let options =
+        { Pv_frontend.Build.default_options with Pv_frontend.Build.cse }
+      in
+      let compiled = Pipeline.compile ~options (Pv_kernels.Defs.histogram ()) in
+      let ports =
+        Array.length
+          compiled.Pipeline.info.Pv_frontend.Depend.portmap.Pv_memory.Portmap.ports
+      in
+      let p =
+        Pv_resource.Report.of_circuit compiled.Pipeline.graph
+          compiled.Pipeline.info.Pv_frontend.Depend.portmap
+          (Pv_netlist.Elaborate.D_prevv 16)
+      in
+      let r = Pipeline.simulate compiled (Pipeline.prevv 16) in
+      Printf.printf "  %-22s -> %d ports, %d LUTs, %d cycles\n" what ports
+        p.Pv_resource.Report.luts r.Pipeline.cycles)
+    [ ("without CSE", false); ("with CSE", true) ];
+  (* slack-buffer balancing *)
+  Printf.printf "\nthroughput balancing (polyn_mult, PreVV16):\n";
+  List.iter
+    (fun (what, balance) ->
+      let compiled =
+        Pipeline.compile
+          ~options:{ Pv_frontend.Build.default_options with Pv_frontend.Build.balance }
+          (Pv_kernels.Defs.polyn_mult ())
+      in
+      let r = Pipeline.simulate compiled (Pipeline.prevv 16) in
+      Printf.printf "  %-22s -> %d cycles\n" what r.Pipeline.cycles)
+    [ ("with slack buffers", true); ("without", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the simulator itself                   *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (simulator and analysis throughput)";
+  let open Bechamel in
+  let kernel = Pv_kernels.Defs.histogram () in
+  let compiled = Pipeline.compile kernel in
+  let tests =
+    Test.make_grouped ~name:"prevv"
+      [
+        Test.make ~name:"compile_histogram"
+          (Staged.stage (fun () -> ignore (Pipeline.compile kernel)));
+        Test.make ~name:"simulate_histogram_prevv16"
+          (Staged.stage (fun () ->
+               ignore (Pipeline.simulate compiled (Pipeline.prevv 16))));
+        Test.make ~name:"simulate_histogram_lsq"
+          (Staged.stage (fun () ->
+               ignore (Pipeline.simulate compiled Pipeline.fast_lsq)));
+        Test.make ~name:"elaborate_netlist"
+          (Staged.stage (fun () ->
+               ignore
+                 (Pv_netlist.Elaborate.circuit compiled.Pipeline.graph
+                    compiled.Pipeline.info.Pv_frontend.Depend.portmap
+                    (Pv_netlist.Elaborate.D_prevv 16))));
+        Test.make ~name:"analyse_gaussian"
+          (Staged.stage (fun () ->
+               ignore (Pv_frontend.Depend.analyse (Pv_kernels.Defs.gaussian ()))));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> Printf.printf "  %-40s %14.1f ns/run\n" name t
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ ->
+        [
+          "fig1"; "table1"; "table2"; "fig7"; "queue_states"; "deadlock";
+          "depth_sweep"; "scalability"; "ablation"; "micro";
+        ]
+  in
+  (* one shared grid for the three grid-based sections *)
+  let grid = lazy (Experiment.paper_grid ()) in
+  List.iter
+    (fun name ->
+      match name with
+      | "fig1" -> fig1 ()
+      | "table1" -> table1 ~grid ()
+      | "table2" -> table2 ~grid ()
+      | "fig7" -> fig7 ~grid ()
+      | "queue_states" -> queue_states ()
+      | "deadlock" -> deadlock ()
+      | "depth_sweep" -> depth_sweep ()
+      | "scalability" -> scalability ()
+      | "ablation" -> ablation ()
+      | "micro" -> micro ()
+      | s -> Printf.eprintf "unknown section %S\n" s)
+    requested

@@ -1,0 +1,560 @@
+(* Diagnostic driver: per-node fire rates (II analysis) and stuck-token
+   dumps for deadlocks. Not part of the public API. *)
+
+let pp_kind = Pv_dataflow.Types.kind_name
+
+let analyse_ii kernel dis =
+  let compiled = Pv_core.Pipeline.compile kernel in
+  let r = Pv_core.Pipeline.simulate compiled dis in
+  Printf.printf "== %s / %s: %s, cycles=%d instances=%d\n"
+    kernel.Pv_kernels.Ast.name
+    (Pv_core.Pipeline.name_of dis)
+    (Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome r.Pv_core.Pipeline.outcome)
+    r.Pv_core.Pipeline.cycles r.Pv_core.Pipeline.run_stats.Pv_dataflow.Sim.gen_instances;
+  let g = compiled.Pv_core.Pipeline.graph in
+  let fires = r.Pv_core.Pipeline.run_stats.Pv_dataflow.Sim.node_fires in
+  (* print the 15 least-firing non-sink nodes (bottlenecks show as low) *)
+  let nodes = ref [] in
+  Pv_dataflow.Graph.iter_nodes
+    (fun n ->
+      match n.Pv_dataflow.Graph.kind with
+      | Pv_dataflow.Types.Sink -> ()
+      | k -> nodes := (fires.(n.Pv_dataflow.Graph.nid), n.Pv_dataflow.Graph.nid, pp_kind k, n.Pv_dataflow.Graph.label) :: !nodes)
+    g;
+  let sorted = List.sort compare !nodes in
+  List.iteri
+    (fun i (f, nid, k, l) ->
+      if i < 12 then Printf.printf "  fires=%6d node %3d %-8s %s\n" f nid k l)
+    sorted;
+  Printf.printf "  (max fires=%d)\n"
+    (List.fold_left (fun m (f, _, _, _) -> max m f) 0 sorted)
+
+let snapshot_lsq kernel cfg ncycles =
+  let compiled = Pv_core.Pipeline.compile kernel in
+  let init = Pv_kernels.Workload.default_init kernel in
+  let mem =
+    Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout kernel ~init
+  in
+  let lsq, backend =
+    Pv_lsq.Lsq.create_full cfg compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap mem
+  in
+  let t = Pv_dataflow.Sim.create compiled.Pv_core.Pipeline.graph backend in
+  for _ = 1 to ncycles do
+    if not (Pv_dataflow.Sim.finished t) then Pv_dataflow.Sim.step t
+  done;
+  Printf.printf "== LSQ snapshot at cycle %d:\n" t.Pv_dataflow.Sim.cycle;
+  Format.printf "%a@." Pv_lsq.Lsq.dump lsq
+
+let deadlock_dump_lsq kernel cfg =
+  let compiled = Pv_core.Pipeline.compile kernel in
+  let init = Pv_kernels.Workload.default_init kernel in
+  let mem =
+    Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout kernel ~init
+  in
+  let lsq, backend =
+    Pv_lsq.Lsq.create_full cfg compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap mem
+  in
+  let t = Pv_dataflow.Sim.create compiled.Pv_core.Pipeline.graph backend in
+  let steps = ref 0 in
+  while
+    (not (Pv_dataflow.Sim.finished t))
+    && t.Pv_dataflow.Sim.cycle - t.Pv_dataflow.Sim.last_progress < 3000
+    && !steps < 200000
+  do
+    Pv_dataflow.Sim.step t;
+    incr steps
+  done;
+  if Pv_dataflow.Sim.finished t then Printf.printf "finished, no deadlock\n"
+  else begin
+    Printf.printf "== LSQ state at deadlock (cycle %d):\n" t.Pv_dataflow.Sim.cycle;
+    Format.printf "%a@." Pv_lsq.Lsq.dump lsq;
+    Format.printf "portmap:@\n%a@." Pv_memory.Portmap.pp
+      compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap
+  end
+
+let deadlock_dump kernel dis =
+  let compiled = Pv_core.Pipeline.compile kernel in
+  let init = Pv_kernels.Workload.default_init kernel in
+  let mem =
+    Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout kernel ~init
+  in
+  let backend = Pv_core.Pipeline.backend_of compiled mem dis in
+  let t = Pv_dataflow.Sim.create compiled.Pv_core.Pipeline.graph backend in
+  let steps = ref 0 in
+  while
+    (not (Pv_dataflow.Sim.finished t))
+    && t.Pv_dataflow.Sim.cycle - t.Pv_dataflow.Sim.last_progress < 3000
+    && !steps < 200000
+  do
+    Pv_dataflow.Sim.step t;
+    incr steps
+  done;
+  if Pv_dataflow.Sim.finished t then Printf.printf "finished, no deadlock\n"
+  else begin
+    Printf.printf "== DEADLOCK %s/%s at cycle %d\n" kernel.Pv_kernels.Ast.name
+      (Pv_core.Pipeline.name_of dis) t.Pv_dataflow.Sim.cycle;
+    (* stuck tokens *)
+    let g = compiled.Pv_core.Pipeline.graph in
+    Array.iteri
+      (fun cid tok ->
+        match tok with
+        | Some tk ->
+            let c = Pv_dataflow.Graph.chan g cid in
+            let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
+            let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+            Printf.printf "  chan %d: %s#%d -> %s#%d  token %s\n" cid
+              src.Pv_dataflow.Graph.label src.Pv_dataflow.Graph.nid
+              dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
+              (Format.asprintf "%a" Pv_dataflow.Types.pp_token tk)
+        | None -> ())
+      t.Pv_dataflow.Sim.cur
+  end
+
+let snapshot_prevv kernel cfg ncycles =
+  let compiled = Pv_core.Pipeline.compile kernel in
+  let init = Pv_kernels.Workload.default_init kernel in
+  let mem =
+    Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout kernel ~init
+  in
+  let pv, backend =
+    Pv_prevv.Backend.create_full cfg
+      compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap mem
+  in
+  let t = Pv_dataflow.Sim.create compiled.Pv_core.Pipeline.graph backend in
+  for _ = 1 to ncycles do
+    if not (Pv_dataflow.Sim.finished t) then Pv_dataflow.Sim.step t
+  done;
+  Printf.printf "== PreVV snapshot at cycle %d:\n" t.Pv_dataflow.Sim.cycle;
+  Format.printf "%a@." Pv_prevv.Backend.dump pv
+
+let deadlock_dump_prevv kernel cfg =
+  let compiled = Pv_core.Pipeline.compile kernel in
+  let init = Pv_kernels.Workload.default_init kernel in
+  let mem =
+    Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout kernel ~init
+  in
+  let pv, backend =
+    Pv_prevv.Backend.create_full cfg
+      compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap mem
+  in
+  let t = Pv_dataflow.Sim.create compiled.Pv_core.Pipeline.graph backend in
+  let steps = ref 0 in
+  while
+    (not (Pv_dataflow.Sim.finished t))
+    && t.Pv_dataflow.Sim.cycle - t.Pv_dataflow.Sim.last_progress < 3000
+    && !steps < 400000
+  do
+    Pv_dataflow.Sim.step t;
+    incr steps
+  done;
+  if Pv_dataflow.Sim.finished t then Printf.printf "finished, no deadlock\n"
+  else begin
+    Printf.printf "== PreVV state at deadlock (cycle %d):\n" t.Pv_dataflow.Sim.cycle;
+    Format.printf "%a@." Pv_prevv.Backend.dump pv;
+    (* stuck tokens near ports *)
+    let g = compiled.Pv_core.Pipeline.graph in
+    Array.iteri
+      (fun cid tok ->
+        match tok with
+        | Some tk ->
+            let c = Pv_dataflow.Graph.chan g cid in
+            let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+            (match dst.Pv_dataflow.Graph.kind with
+            | Pv_dataflow.Types.Load _ | Pv_dataflow.Types.Store _ ->
+                Printf.printf "  waiting at %s#%d: token %s\n"
+                  dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
+                  (Format.asprintf "%a" Pv_dataflow.Types.pp_token tk)
+            | _ -> ())
+        | None -> ())
+      t.Pv_dataflow.Sim.cur;
+    Format.printf "portmap:@\n%a@." Pv_memory.Portmap.pp
+      compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap
+  end
+
+let probe () =
+  (* Gen -> fork -> {long path: 3 adds} {short path} -> binop -> sink *)
+  let open Pv_dataflow in
+  let b = Graph.create () in
+  let n = 500 in
+  let gen =
+    Graph.add b
+      (Types.Gen
+         {
+           Types.gen_arity = 1;
+           gen_next = (fun s -> if s < n then Some [| s |] else None);
+           gen_group = (fun _ -> 0);
+         })
+  in
+  let fork = Graph.add b (Types.Fork 2) in
+  Graph.connect b (gen, 0) (fork, 0);
+  let rec chain src k =
+    if k = 0 then src
+    else begin
+      let u = Graph.add b (Types.Unop Types.Neg) in
+      Graph.connect b src (u, 0);
+      chain (u, 0) (k - 1)
+    end
+  in
+  let long = chain (fork, 0) 3 in
+  let short = (fork, 1) in
+  let bin = Graph.add b (Types.Binop Types.Add) in
+  Graph.connect b long (bin, 0);
+  Graph.connect b short (bin, 1);
+  let sink = Graph.add b Types.Sink in
+  Graph.connect b (bin, 0) (sink, 0);
+  let g0 = Graph.finalize b in
+  let mem = Array.make 4 0 in
+  List.iter
+    (fun (name, g) ->
+      let outcome, _ = Sim.run g (Memif.direct ~latency:1 mem) in
+      Printf.printf "%s: %s (n=%d)\n" name
+        (Format.asprintf "%a" Sim.pp_outcome outcome)
+        n)
+    [ ("unbalanced", g0); ("balanced", Pv_frontend.Balance.apply g0) ]
+
+let probe2 () =
+  let open Pv_kernels.Ast in
+  let k =
+    {
+      name = "copy";
+      arrays = [ ("a", 200); ("b", 200) ];
+      params = [];
+      body =
+        [ for_ "i" (i 0) (i 200) [ store "b" (v "i") (idx "a" (v "i") + i 1) ] ];
+    }
+  in
+  (match Pv_core.Pipeline.check k (Pv_core.Pipeline.prevv 16) with
+  | Ok r ->
+      Printf.printf "copy prevv16: %d cycles / 200 instances\n" r.Pv_core.Pipeline.cycles
+  | Error e -> print_endline e);
+  let k2 =
+    {
+      name = "acc";
+      arrays = [ ("a", 200); ("b", 200) ];
+      params = [];
+      body =
+        [
+          for_ "i" (i 0) (i 200)
+            [ store "b" (v "i" % i 8) (idx "b" (v "i" % i 8) + idx "a" (v "i")) ];
+        ];
+    }
+  in
+  match Pv_core.Pipeline.check k2 (Pv_core.Pipeline.prevv 16) with
+  | Ok r ->
+      Printf.printf "acc prevv16: %d cycles / 200 instances  %s\n" r.Pv_core.Pipeline.cycles
+        (Format.asprintf "%a" Pv_dataflow.Memif.pp_stats r.Pv_core.Pipeline.mem_stats)
+  | Error e -> print_endline e
+
+let probe3 () =
+  let k = Pv_kernels.Defs.by_name (try Sys.argv.(2) with _ -> "polyn_mult") in
+  let dis =
+    match (try Sys.argv.(3) with _ -> "v16") with
+    | "lsq" -> Pv_core.Pipeline.fast_lsq
+    | "v64" -> Pv_core.Pipeline.prevv 64
+    | _ -> Pv_core.Pipeline.prevv 16
+  in
+  let compiled = Pv_core.Pipeline.compile k in
+  let g = compiled.Pv_core.Pipeline.graph in
+  let init = Pv_kernels.Workload.default_init k in
+  let mem = Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout k ~init in
+  let backend = Pv_core.Pipeline.backend_of compiled mem dis in
+  let t = Pv_dataflow.Sim.create g backend in
+  let blocked = Array.make (Pv_dataflow.Graph.n_chans g) 0 in
+  while not (Pv_dataflow.Sim.finished t) && t.Pv_dataflow.Sim.cycle < 5000 do
+    Pv_dataflow.Sim.step t;
+    Array.iteri
+      (fun cid tok -> if tok <> None then blocked.(cid) <- blocked.(cid) + 1)
+      t.Pv_dataflow.Sim.cur
+  done;
+  Printf.printf "cycles=%d\n" t.Pv_dataflow.Sim.cycle;
+  let items = ref [] in
+  Array.iteri (fun cid n -> items := (n, cid) :: !items) blocked;
+  List.iter
+    (fun (n, cid) ->
+      if n * 10 > 8 * t.Pv_dataflow.Sim.cycle then begin
+        let c = Pv_dataflow.Graph.chan g cid in
+        let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
+        let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+        Printf.printf "chan %d held %d cycles: %s#%d -> %s#%d (slot %d)\n" cid n
+          src.Pv_dataflow.Graph.label src.Pv_dataflow.Graph.nid
+          dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
+          c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.slot
+      end)
+    (List.sort (fun a b -> compare b a) !items)
+
+let probe4 () =
+  let k =
+    Pv_kernels.Ast.(
+      {
+        name = "copy";
+        arrays = [ ("a", 200); ("b", 200) ];
+        params = [];
+        body =
+          [ for_ "i" (i 0) (i 200) [ store "b" (v "i") (idx "a" (v "i") + i 1) ] ];
+      })
+  in
+  let compiled = Pv_core.Pipeline.compile k in
+  let g = compiled.Pv_core.Pipeline.graph in
+  let init = Pv_kernels.Workload.default_init k in
+  let mem = Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout k ~init in
+  let backend = Pv_core.Pipeline.backend_of compiled mem (Pv_core.Pipeline.prevv 16) in
+  let t = Pv_dataflow.Sim.create g backend in
+  for _ = 1 to 100 do Pv_dataflow.Sim.step t done;
+  (* trace interesting channels for 12 cycles *)
+  let interesting = ref [] in
+  Pv_dataflow.Graph.iter_chans
+    (fun c ->
+      let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+      let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
+      let is_mem n =
+        match n.Pv_dataflow.Graph.kind with
+        | Pv_dataflow.Types.Load _ | Pv_dataflow.Types.Store _ -> true
+        | _ -> false
+      in
+      if is_mem dst || is_mem src then interesting := c.Pv_dataflow.Graph.cid :: !interesting)
+    g;
+  let show () =
+    Printf.printf "c%-4d " t.Pv_dataflow.Sim.cycle;
+    List.iter
+      (fun cid ->
+        let c = Pv_dataflow.Graph.chan g cid in
+        let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
+        let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+        match t.Pv_dataflow.Sim.cur.(cid) with
+        | Some tk ->
+            Printf.printf "[%s>%s s%d] " src.Pv_dataflow.Graph.label
+              dst.Pv_dataflow.Graph.label tk.Pv_dataflow.Types.seq
+        | None ->
+            Printf.printf "[%s>%s --] " src.Pv_dataflow.Graph.label
+              dst.Pv_dataflow.Graph.label)
+      (List.rev !interesting);
+    print_newline ()
+  in
+  for _ = 1 to 12 do
+    show ();
+    Pv_dataflow.Sim.step t
+  done
+
+let probe5 () =
+  let k =
+    Pv_kernels.Ast.(
+      {
+        name = "copy";
+        arrays = [ ("a", 200); ("b", 200) ];
+        params = [];
+        body =
+          [ for_ "i" (i 0) (i 200) [ store "b" (v "i") (idx "a" (v "i") + i 1) ] ];
+      })
+  in
+  let compiled = Pv_core.Pipeline.compile k in
+  let g = compiled.Pv_core.Pipeline.graph in
+  let init = Pv_kernels.Workload.default_init k in
+  let mem = Pv_memory.Layout.initial_memory compiled.Pv_core.Pipeline.layout k ~init in
+  let backend = Pv_core.Pipeline.backend_of compiled mem (Pv_core.Pipeline.prevv 16) in
+  let t = Pv_dataflow.Sim.create g backend in
+  for _ = 1 to 99 do Pv_dataflow.Sim.step t done;
+  for _ = 1 to 4 do
+    Printf.printf "=== cycle %d\n" t.Pv_dataflow.Sim.cycle;
+    Pv_dataflow.Graph.iter_chans
+      (fun c ->
+        let cid = c.Pv_dataflow.Graph.cid in
+        let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
+        let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+        Printf.printf "  c%-3d %12s#%-2d -> %12s#%-2d.%d : %s\n" cid
+          src.Pv_dataflow.Graph.label src.Pv_dataflow.Graph.nid
+          dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
+          c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.slot
+          (match t.Pv_dataflow.Sim.cur.(cid) with
+          | Some tk -> Printf.sprintf "s%d v=%d" tk.Pv_dataflow.Types.seq tk.Pv_dataflow.Types.value
+          | None -> "--");
+        ())
+      g;
+    (* buffer states *)
+    Array.iteri
+      (fun nid st ->
+        match st with
+        | Pv_dataflow.Sim.S_buf (q, cap) ->
+            Printf.printf "  buf #%-2d (%s) %d/%d\n" nid
+              (Pv_dataflow.Graph.node g nid).Pv_dataflow.Graph.label
+              (Queue.length q) cap
+        | _ -> ())
+      t.Pv_dataflow.Sim.states;
+    Pv_dataflow.Sim.step t
+  done
+
+let probe6 () =
+  let k = Pv_kernels.Defs.polyn_mult () in
+  let variants =
+    [
+      ("default", Pv_frontend.Build.default_options, Pv_dataflow.Sim.default_config);
+      ( "mul0",
+        Pv_frontend.Build.default_options,
+        {
+          Pv_dataflow.Sim.default_config with
+          Pv_dataflow.Sim.op_latency = (fun _ -> 0);
+        } );
+      ( "fifo8",
+        { Pv_frontend.Build.default_options with Pv_frontend.Build.fifo_slots = 8 },
+        Pv_dataflow.Sim.default_config );
+      ( "nobalance",
+        { Pv_frontend.Build.default_options with Pv_frontend.Build.balance = false },
+        Pv_dataflow.Sim.default_config );
+    ]
+  in
+  List.iter
+    (fun (name, opts, cfg) ->
+      let compiled = Pv_core.Pipeline.compile ~options:opts k in
+      let r =
+        Pv_core.Pipeline.simulate ~sim_cfg:cfg compiled (Pv_core.Pipeline.prevv 64)
+      in
+      Printf.printf "%-10s %s cycles=%d\n" name
+        (Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome r.Pv_core.Pipeline.outcome)
+        r.Pv_core.Pipeline.cycles)
+    variants
+
+let calib () =
+  let kernels = Pv_kernels.Defs.paper_benchmarks () in
+  let lat mul div : Pv_dataflow.Types.binop -> int = function
+    | Pv_dataflow.Types.Mul -> mul
+    | Pv_dataflow.Types.Div | Pv_dataflow.Types.Rem -> div
+    | _ -> 0
+  in
+  List.iter
+    (fun (mul, div) ->
+      List.iter
+        (fun delay ->
+          Printf.printf "== mul=%d div=%d plain_alloc_delay=%d\n" mul div delay;
+          List.iter
+            (fun k ->
+              let cfgs =
+                [
+                  ("p15", Pv_core.Pipeline.Plain_lsq { Pv_lsq.Lsq.plain with Pv_lsq.Lsq.alloc_delay = delay });
+                  ("p8", Pv_core.Pipeline.fast_lsq);
+                  ("v16", Pv_core.Pipeline.prevv 16);
+                  ("v64", Pv_core.Pipeline.prevv 64);
+                ]
+              in
+              Printf.printf "  %-12s" k.Pv_kernels.Ast.name;
+              List.iter
+                (fun (n, dis) ->
+                  let sim_cfg =
+                    { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.op_latency = lat mul div }
+                  in
+                  match Pv_core.Pipeline.check ~sim_cfg k dis with
+                  | Ok r -> Printf.printf " %s=%-6d" n r.Pv_core.Pipeline.cycles
+                  | Error _ -> Printf.printf " %s=FAIL  " n)
+                cfgs;
+              print_newline ())
+            kernels)
+        [ 8; 12 ])
+    [ (3, 8); (2, 4) ]
+
+let alloc_probe () =
+  List.iter
+    (fun d ->
+      let cfg =
+        { Pv_lsq.Lsq.plain with Pv_lsq.Lsq.alloc_delay = d; lq_depth = 64; sq_depth = 64 }
+      in
+      match
+        Pv_core.Pipeline.check (Pv_kernels.Defs.two_mm ())
+          (Pv_core.Pipeline.Plain_lsq cfg)
+      with
+      | Ok r ->
+          Printf.printf "alloc_delay=%-3d cycles=%d %s\n" d r.Pv_core.Pipeline.cycles
+            (Format.asprintf "%a" Pv_dataflow.Memif.pp_stats r.Pv_core.Pipeline.mem_stats)
+      | Error e -> Printf.printf "alloc_delay=%d FAIL %s\n" d e)
+    [ 0 ]
+
+let lsq_sweep () =
+  List.iter
+    (fun k ->
+      Printf.printf "%s:\n" k.Pv_kernels.Ast.name;
+      List.iter
+        (fun (name, depth, delay) ->
+          let cfg =
+            {
+              Pv_lsq.Lsq.plain with
+              Pv_lsq.Lsq.lq_depth = depth;
+              sq_depth = depth;
+              alloc_delay = delay;
+            }
+          in
+          match Pv_core.Pipeline.check k (Pv_core.Pipeline.Plain_lsq cfg) with
+          | Ok r -> Printf.printf "  %-14s cycles=%d\n" name r.Pv_core.Pipeline.cycles
+          | Error e -> Printf.printf "  %-14s FAIL %s\n" name e)
+        [
+          ("delay0", 32, 0);
+          ("delay20", 32, 20);
+          ("delay24", 32, 24);
+          ("delay28", 32, 28);
+          ("delay32", 32, 32);
+          ("delay40", 32, 40);
+        ])
+    [
+      Pv_kernels.Defs.polyn_mult ();
+      Pv_kernels.Defs.two_mm ();
+      Pv_kernels.Defs.three_mm ();
+      Pv_kernels.Defs.gaussian ();
+      Pv_kernels.Defs.triangular ();
+    ]
+
+let area () =
+  List.iter
+    (fun k ->
+      let compiled = Pv_core.Pipeline.compile k in
+      let g = compiled.Pv_core.Pipeline.graph in
+      let pm = compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap in
+      Printf.printf "%-12s" k.Pv_kernels.Ast.name;
+      List.iter
+        (fun (name, dis) ->
+          let nl = Pv_netlist.Elaborate.circuit g pm dis in
+          let t = Pv_netlist.Primitive.totals nl in
+          Printf.printf "  %s: L=%-6d F=%-5d" name t.Pv_netlist.Primitive.luts
+            t.Pv_netlist.Primitive.ffs)
+        [
+          ("p15", Pv_netlist.Elaborate.D_plain_lsq 32);
+          ("p8", Pv_netlist.Elaborate.D_fast_lsq 32);
+          ("v16", Pv_netlist.Elaborate.D_prevv 16);
+          ("v64", Pv_netlist.Elaborate.D_prevv 64);
+        ];
+      let dp, q =
+        Pv_netlist.Elaborate.breakdown
+          (Pv_netlist.Elaborate.circuit g pm (Pv_netlist.Elaborate.D_plain_lsq 32))
+      in
+      Printf.printf "  lsq_share=%.1f%%\n"
+        (100.0
+        *. float_of_int q.Pv_netlist.Primitive.luts
+        /. float_of_int (q.Pv_netlist.Primitive.luts + dp.Pv_netlist.Primitive.luts)))
+    (Pv_kernels.Defs.paper_benchmarks ())
+
+let () =
+  match Sys.argv.(1) with
+  | "area" -> area ()
+  | "lsqsweep" -> lsq_sweep ()
+  | "lsqsnap" ->
+      snapshot_lsq (Pv_kernels.Defs.two_mm ()) Pv_lsq.Lsq.fast
+        (int_of_string Sys.argv.(2))
+  | "alloc" -> alloc_probe ()
+  | "calib" -> calib ()
+  | "snap" ->
+      snapshot_prevv (Pv_kernels.Defs.gaussian ())
+        (Pv_prevv.Backend.default ~depth_q:16)
+        (int_of_string Sys.argv.(2))
+  | "probe6" -> probe6 ()
+  | "probe5" -> probe5 ()
+  | "probe4" -> probe4 ()
+  | "probe3" -> probe3 ()
+  | "probe2" -> probe2 ()
+  | "probe" -> probe ()
+  | "ii" ->
+      analyse_ii (Pv_kernels.Defs.polyn_mult ()) (Pv_core.Pipeline.prevv 16);
+      analyse_ii (Pv_kernels.Defs.two_mm ()) (Pv_core.Pipeline.prevv 16)
+  | "dl" -> deadlock_dump (Pv_kernels.Defs.gaussian ()) Pv_core.Pipeline.plain_lsq
+  | "dlq" -> deadlock_dump_lsq (Pv_kernels.Defs.gaussian ()) Pv_lsq.Lsq.plain
+  | "dlp" ->
+      deadlock_dump_prevv (Pv_kernels.Defs.histogram ())
+        (Pv_prevv.Backend.default ~depth_q:16)
+  | "dlg" ->
+      deadlock_dump_prevv (Pv_kernels.Defs.gaussian ())
+        (Pv_prevv.Backend.default ~depth_q:64)
+  | _ -> prerr_endline "usage: debug {ii|dl}"

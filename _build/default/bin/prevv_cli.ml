@@ -1,0 +1,310 @@
+(* prevv — command-line front end to the PreVV reproduction.
+
+   Subcommands:
+     list                      kernels available
+     show KERNEL               print a kernel and its dependence analysis
+     run KERNEL [-s SCHEME]    simulate and verify
+     report KERNEL             area/timing across all schemes
+     emit KERNEL [-s SCHEME]   write the structural netlist
+     dot KERNEL                write the dataflow graph (Graphviz) *)
+
+open Cmdliner
+open Pv_core
+
+let kernel_conv =
+  (* a bundled kernel name, or a path to a kernel source file *)
+  let parse s =
+    match Pv_kernels.Defs.by_name s with
+    | k -> Ok k
+    | exception Invalid_argument _ ->
+        if Sys.file_exists s then
+          match Pv_kernels.Parse.from_file s with
+          | Ok k -> Ok k
+          | Error e -> Error (`Msg (Format.asprintf "%a" Pv_kernels.Parse.pp_error e))
+        else
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "%S is neither a bundled kernel (see `prevv list') nor a file"
+                  s))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf k.Pv_kernels.Ast.name)
+
+let kernel_arg =
+  let doc = "Kernel name (see `prevv list')." in
+  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL" ~doc)
+
+let scheme_arg =
+  let doc =
+    "Disambiguation scheme: dynamatic (plain LSQ [15]), fast-lsq ([8]), or \
+     prevv (this paper)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("dynamatic", `Plain); ("fast-lsq", `Fast); ("prevv", `Prevv) ]) `Prevv
+    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let depth_arg =
+  let doc = "Premature-queue depth for the prevv scheme (paper units)." in
+  Arg.(value & opt int 16 & info [ "d"; "depth" ] ~docv:"DEPTH" ~doc)
+
+let cse_arg =
+  Arg.(value & flag & info [ "cse" ] ~doc:"Deduplicate repeated loads per leaf.")
+
+let fold_arg =
+  Arg.(value & flag & info [ "fold" ] ~doc:"Constant-fold the kernel first.")
+
+let dis_of scheme depth =
+  match scheme with
+  | `Plain -> Pipeline.plain_lsq
+  | `Fast -> Pipeline.fast_lsq
+  | `Prevv -> Pipeline.prevv depth
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun k ->
+        let info = Pv_frontend.Depend.analyse k in
+        Printf.printf "%-18s %d leaf stmt(s), %d port(s), %d ambiguous array(s)\n"
+          k.Pv_kernels.Ast.name
+          (List.length info.Pv_frontend.Depend.leaves)
+          (Array.length info.Pv_frontend.Depend.portmap.Pv_memory.Portmap.ports)
+          info.Pv_frontend.Depend.portmap.Pv_memory.Portmap.n_instances)
+      (Pv_kernels.Defs.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled kernels.")
+    Term.(const run $ const ())
+
+(* --- show ----------------------------------------------------------------- *)
+
+let show_cmd =
+  let run kernel =
+    Format.printf "%a@.@." Pv_kernels.Ast.pp_kernel kernel;
+    let info = Pv_frontend.Depend.analyse kernel in
+    Format.printf "%a@." Pv_memory.Portmap.pp info.Pv_frontend.Depend.portmap;
+    Format.printf "ambiguous pairs before dimension reduction (Def. 1): %d@."
+      (Pv_frontend.Depend.naive_pair_count info)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a kernel and its dependence analysis.")
+    Term.(const run $ kernel_arg)
+
+(* --- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run kernel scheme depth cse fold =
+    let kernel =
+      if fold then Pv_frontend.Optimize.constant_fold kernel else kernel
+    in
+    let dis = dis_of scheme depth in
+    let options = { Pv_frontend.Build.default_options with Pv_frontend.Build.cse } in
+    match
+      (let compiled = Pipeline.compile ~options kernel in
+       let result = Pipeline.simulate compiled dis in
+       match result.Pipeline.outcome with
+       | Pv_dataflow.Sim.Finished _ -> (
+           match Pipeline.verify compiled result with
+           | [] -> Ok result
+           | l ->
+               Error
+                 (Printf.sprintf "%d memory mismatches vs the interpreter"
+                    (List.length l)))
+       | o -> Error (Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome o))
+    with
+    | Ok r ->
+        Format.printf "%s / %s: %a@." kernel.Pv_kernels.Ast.name
+          (Pipeline.name_of dis) Pv_dataflow.Sim.pp_outcome r.Pipeline.outcome;
+        Format.printf "memory system: %a@." Pv_dataflow.Memif.pp_stats
+          r.Pipeline.mem_stats;
+        Format.printf "VERIFIED against the reference interpreter@.";
+        `Ok ()
+    | Error e -> `Error (false, e)
+    | exception Invalid_argument m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a kernel and verify the result.")
+    Term.(ret (const run $ kernel_arg $ scheme_arg $ depth_arg $ cse_arg $ fold_arg))
+
+(* --- report --------------------------------------------------------------- *)
+
+let report_cmd =
+  let run kernel =
+    Printf.printf "%-12s %8s %8s %8s %8s %10s\n" "scheme" "LUT" "FF" "CP(ns)"
+      "cycles" "exec(us)";
+    List.iter
+      (fun dis ->
+        let p = Experiment.run kernel dis in
+        Printf.printf "%-12s %8d %8d %8.2f %8d %10.2f%s\n" p.Experiment.config
+          p.Experiment.report.Pv_resource.Report.luts
+          p.Experiment.report.Pv_resource.Report.ffs
+          p.Experiment.report.Pv_resource.Report.cp_ns p.Experiment.cycles
+          p.Experiment.exec_us
+          (if p.Experiment.verified then "" else "  NOT VERIFIED"))
+      (Experiment.paper_configs ())
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Area, clock period and runtime for every scheme (one Table I/II row).")
+    Term.(const run $ kernel_arg)
+
+(* --- emit ------------------------------------------------------------------ *)
+
+let emit_cmd =
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run kernel scheme depth output =
+    let compiled = Pipeline.compile kernel in
+    let dis = Experiment.elaboration_of (dis_of scheme depth) in
+    let nl =
+      Pv_netlist.Elaborate.circuit compiled.Pipeline.graph
+        compiled.Pipeline.info.Pv_frontend.Depend.portmap dis
+    in
+    let entity =
+      Printf.sprintf "%s_%s" kernel.Pv_kernels.Ast.name
+        (Pipeline.name_of (dis_of scheme depth))
+    in
+    let path = match output with Some p -> p | None -> entity ^ ".vhd" in
+    Pv_netlist.Emit.to_file path ~entity nl;
+    let t = Pv_netlist.Primitive.totals nl in
+    Format.printf "wrote %s (%a)@." path Pv_netlist.Primitive.pp_totals t
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Write the structural netlist (VHDL-flavoured).")
+    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ output_arg)
+
+(* --- dot ------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run kernel output =
+    let compiled = Pipeline.compile kernel in
+    let path =
+      match output with Some p -> p | None -> kernel.Pv_kernels.Ast.name ^ ".dot"
+    in
+    Pv_dataflow.Dot.to_file path compiled.Pipeline.graph;
+    Format.printf "wrote %s (%d nodes)@." path
+      (Pv_dataflow.Graph.n_nodes compiled.Pipeline.graph)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Write the dataflow circuit as a Graphviz file.")
+    Term.(const run $ kernel_arg $ output_arg)
+
+(* --- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run kernel scheme depth =
+    let compiled = Pipeline.compile kernel in
+    let init = Pv_kernels.Workload.default_init kernel in
+    let mem =
+      Pv_memory.Layout.initial_memory compiled.Pipeline.layout kernel ~init
+    in
+    let backend = Pipeline.backend_of compiled mem (dis_of scheme depth) in
+    let p = Pv_dataflow.Profile.run compiled.Pipeline.graph backend in
+    Format.printf "%a" (Pv_dataflow.Profile.pp ~top:10) p;
+    Format.printf "II = %.2f cycles/iteration@."
+      (Pv_dataflow.Profile.initiation_interval p
+         ~instances:(Pv_frontend.Trace.length compiled.Pipeline.trace))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Simulate and report per-component utilisation and backpressure.")
+    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg)
+
+(* --- vcd --------------------------------------------------------------------- *)
+
+let vcd_cmd =
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let max_cycles_arg =
+    Arg.(value & opt int 5000 & info [ "max-cycles" ] ~docv:"N")
+  in
+  let run kernel scheme depth output max_cycles =
+    let compiled = Pipeline.compile kernel in
+    let init = Pv_kernels.Workload.default_init kernel in
+    let mem =
+      Pv_memory.Layout.initial_memory compiled.Pipeline.layout kernel ~init
+    in
+    let backend = Pipeline.backend_of compiled mem (dis_of scheme depth) in
+    let path =
+      match output with Some p -> p | None -> kernel.Pv_kernels.Ast.name ^ ".vcd"
+    in
+    let outcome =
+      Pv_dataflow.Vcd.record ~max_cycles ~path compiled.Pipeline.graph backend
+    in
+    Format.printf "wrote %s (%a)@." path Pv_dataflow.Sim.pp_outcome outcome
+  in
+  Cmd.v
+    (Cmd.info "vcd"
+       ~doc:"Simulate while writing a VCD waveform (view with GTKWave).")
+    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ output_arg $ max_cycles_arg)
+
+(* --- area breakdown ----------------------------------------------------------- *)
+
+let area_cmd =
+  let depth_lvl_arg =
+    Arg.(value & opt int 2 & info [ "levels" ] ~docv:"N"
+           ~doc:"Hierarchy depth of the breakdown.")
+  in
+  let run kernel scheme depth levels =
+    let compiled = Pipeline.compile kernel in
+    let nl =
+      Pv_netlist.Elaborate.circuit compiled.Pipeline.graph
+        compiled.Pipeline.info.Pv_frontend.Depend.portmap
+        (Experiment.elaboration_of (dis_of scheme depth))
+    in
+    Printf.printf "%-32s %10s %10s
+" "hierarchy" "LUT" "FF";
+    List.iter
+      (fun (k, t) ->
+        if t.Pv_netlist.Primitive.luts > 0 || t.Pv_netlist.Primitive.ffs > 0 then
+          Printf.printf "%-32s %10d %10d
+" k t.Pv_netlist.Primitive.luts
+            t.Pv_netlist.Primitive.ffs)
+      (Pv_netlist.Primitive.group_totals ~depth:levels nl);
+    let t = Pv_netlist.Primitive.totals nl in
+    Printf.printf "%-32s %10d %10d
+" "total" t.Pv_netlist.Primitive.luts
+      t.Pv_netlist.Primitive.ffs
+  in
+  Cmd.v
+    (Cmd.info "area" ~doc:"Hierarchical area breakdown of the netlist.")
+    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ depth_lvl_arg)
+
+(* --- utilisation -------------------------------------------------------------- *)
+
+let util_cmd =
+  let run kernel =
+    List.iter
+      (fun dis ->
+        let p = Experiment.run kernel dis in
+        Format.printf "%-12s" p.Experiment.config;
+        List.iter
+          (fun dev ->
+            let u = Pv_resource.Device.utilisation dev p.Experiment.report in
+            Format.printf "  [%a, %d copies]" Pv_resource.Device.pp_utilisation u
+              (Pv_resource.Device.copies_that_fit dev p.Experiment.report))
+          Pv_resource.Device.devices;
+        Format.printf "@.")
+      (Experiment.paper_configs ())
+  in
+  Cmd.v
+    (Cmd.info "util"
+       ~doc:
+         "Device utilisation per scheme (the edge-device argument of the           paper's introduction).")
+    Term.(const run $ kernel_arg)
+
+let () =
+  let doc = "PreVV: LSQ-free memory disambiguation for dataflow circuits." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "prevv" ~version:"1.0.0" ~doc)
+          [
+            list_cmd; show_cmd; run_cmd; report_cmd; emit_cmd; dot_cmd;
+            profile_cmd; vcd_cmd; util_cmd; area_cmd;
+          ]))

@@ -1,0 +1,20 @@
+let () =
+  let open Pv_core in
+  let kernels = Pv_kernels.Defs.all () in
+  let configs =
+    [ Pipeline.plain_lsq; Pipeline.fast_lsq; Pipeline.prevv 16; Pipeline.prevv 64 ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun dis ->
+          let t0 = Unix.gettimeofday () in
+          (match Pipeline.check k dis with
+          | Ok r ->
+              Printf.printf "%-12s %-10s OK  cycles=%6d  %s  (%.2fs)\n%!"
+                k.Pv_kernels.Ast.name (Pipeline.name_of dis) r.Pipeline.cycles
+                (Format.asprintf "%a" Pv_dataflow.Memif.pp_stats r.Pipeline.mem_stats)
+                (Unix.gettimeofday () -. t0)
+          | Error e -> Printf.printf "FAIL %s (%.2fs)\n%!" e (Unix.gettimeofday () -. t0)))
+        configs)
+    kernels

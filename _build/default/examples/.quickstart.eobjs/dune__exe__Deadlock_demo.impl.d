@@ -1,0 +1,1 @@
+examples/deadlock_demo.ml: Format Pipeline Pv_core Pv_dataflow Pv_frontend Pv_kernels

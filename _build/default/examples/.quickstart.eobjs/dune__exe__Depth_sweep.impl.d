@@ -1,0 +1,1 @@
+examples/depth_sweep.ml: Experiment Format List Pipeline Pv_core Pv_dataflow Pv_kernels Pv_prevv Pv_resource

@@ -1,0 +1,1 @@
+examples/depth_sweep.mli:

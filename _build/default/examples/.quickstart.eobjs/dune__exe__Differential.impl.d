@@ -1,0 +1,1 @@
+examples/differential.ml: Array Format List Pipeline Pv_core Pv_dataflow Pv_frontend Pv_kernels Pv_memory Sys

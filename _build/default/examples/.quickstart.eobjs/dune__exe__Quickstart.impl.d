@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Format List Pipeline Printf Pv_core Pv_dataflow Pv_frontend Pv_kernels Pv_netlist Pv_resource String

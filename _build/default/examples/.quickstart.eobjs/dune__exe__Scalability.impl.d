@@ -1,0 +1,1 @@
+examples/scalability.ml: Experiment Format List Pipeline Printf Pv_core Pv_frontend Pv_kernels Pv_memory Pv_prevv Pv_resource

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: List Pipeline Pv_dataflow Pv_frontend Pv_kernels Pv_lsq Pv_netlist Pv_prevv Pv_resource

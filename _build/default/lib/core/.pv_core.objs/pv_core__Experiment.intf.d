@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Pipeline Pv_dataflow Pv_kernels Pv_netlist Pv_resource

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Format List Printf Pv_dataflow Pv_frontend Pv_kernels Pv_lsq Pv_memory Pv_prevv Stdlib

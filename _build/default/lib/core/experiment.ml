@@ -1,0 +1,68 @@
+(** One evaluation point: a kernel under a disambiguation scheme, with
+    cycle count (simulated), area and clock period (modelled), and
+    execution time — one cell group of Tables I and II. *)
+
+type point = {
+  kernel : string;
+  config : string;
+  cycles : int;
+  report : Pv_resource.Report.t;
+  exec_us : float;
+  mem_stats : Pv_dataflow.Memif.stats;
+  verified : bool;  (** final memory matched the reference interpreter *)
+}
+
+let elaboration_of (dis : Pipeline.disambiguation) :
+    Pv_netlist.Elaborate.disambiguation =
+  match dis with
+  | Pipeline.Plain_lsq cfg ->
+      Pv_netlist.Elaborate.D_plain_lsq cfg.Pv_lsq.Lsq.lq_depth
+  | Pipeline.Fast_lsq cfg ->
+      Pv_netlist.Elaborate.D_fast_lsq cfg.Pv_lsq.Lsq.lq_depth
+  | Pipeline.Prevv cfg ->
+      (* area model is calibrated in paper-named depth units *)
+      Pv_netlist.Elaborate.D_prevv
+        (cfg.Pv_prevv.Backend.depth_q / Pv_prevv.Backend.depth_scale)
+
+(** Run one (kernel, scheme) point: compile, simulate, verify, elaborate. *)
+let run ?sim_cfg ?init (kernel : Pv_kernels.Ast.kernel)
+    (dis : Pipeline.disambiguation) : point =
+  let compiled = Pipeline.compile kernel in
+  let result = Pipeline.simulate ?sim_cfg ?init compiled dis in
+  let verified =
+    match result.Pipeline.outcome with
+    | Pv_dataflow.Sim.Finished _ -> Pipeline.verify ?init compiled result = []
+    | _ -> false
+  in
+  let report =
+    Pv_resource.Report.of_circuit compiled.Pipeline.graph
+      compiled.Pipeline.info.Pv_frontend.Depend.portmap (elaboration_of dis)
+  in
+  {
+    kernel = kernel.Pv_kernels.Ast.name;
+    config = Pipeline.name_of dis;
+    cycles = result.Pipeline.cycles;
+    report;
+    exec_us =
+      Pv_resource.Timing.exec_time_us ~cycles:result.Pipeline.cycles
+        ~cp_ns:report.Pv_resource.Report.cp_ns;
+    mem_stats = result.Pipeline.mem_stats;
+    verified;
+  }
+
+(** The paper's four evaluated configurations, in table-column order. *)
+let paper_configs () =
+  [ Pipeline.plain_lsq; Pipeline.fast_lsq; Pipeline.prevv 16; Pipeline.prevv 64 ]
+
+(** Run the full grid for the paper's five kernels (Tables I & II). *)
+let paper_grid ?sim_cfg () : point list list =
+  List.map
+    (fun kernel -> List.map (run ?sim_cfg kernel) (paper_configs ()))
+    (Pv_kernels.Defs.paper_benchmarks ())
+
+let pct a b = 100.0 *. (float_of_int a /. float_of_int b -. 1.0)
+let pctf a b = 100.0 *. ((a /. b) -. 1.0)
+
+let geomean ratios =
+  exp (List.fold_left (fun acc r -> acc +. log r) 0.0 ratios
+       /. float_of_int (List.length ratios))

@@ -1,0 +1,44 @@
+(** One evaluation point: a kernel under a disambiguation scheme, with
+    cycle count (simulated), area and clock period (modelled), and
+    execution time — one cell group of Tables I and II. *)
+
+type point = {
+  kernel : string;
+  config : string;
+  cycles : int;
+  report : Pv_resource.Report.t;
+  exec_us : float;
+  mem_stats : Pv_dataflow.Memif.stats;
+  verified : bool;  (** final memory matched the reference interpreter *)
+}
+
+(** Map a simulation scheme to the area model's configuration (paper-unit
+    depths). *)
+val elaboration_of :
+  Pipeline.disambiguation -> Pv_netlist.Elaborate.disambiguation
+
+(** Run one (kernel, scheme) point: compile, simulate, verify, elaborate.
+    @raise Invalid_argument for infeasible configurations (e.g. a queue
+    depth below one iteration's operation count). *)
+val run :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?init:(string * int array) list ->
+  Pv_kernels.Ast.kernel ->
+  Pipeline.disambiguation ->
+  point
+
+(** The paper's four evaluated configurations, in table-column order:
+    [15], [8], PreVV16, PreVV64. *)
+val paper_configs : unit -> Pipeline.disambiguation list
+
+(** The full grid for the paper's five kernels (Tables I & II): one row
+    per kernel, one point per configuration. *)
+val paper_grid : ?sim_cfg:Pv_dataflow.Sim.config -> unit -> point list list
+
+(** Percentage delta [100 * (a/b - 1)], integer and float versions. *)
+val pct : int -> int -> float
+
+val pctf : float -> float -> float
+
+(** Geometric mean of a non-empty list of ratios. *)
+val geomean : float list -> float

@@ -1,0 +1,118 @@
+(** Top-level flow: kernel → analysis → circuit → simulation → check.
+
+    This is the API the examples, CLI and benchmarks use.  It mirrors the
+    paper's toolchain: Dynamatic elaboration (here {!Pv_frontend.Build}),
+    backend selection (plain LSQ [15], fast-allocation LSQ [8], or PreVV
+    with a chosen premature-queue depth), ModelSim-vs-C++ checking (here
+    simulation vs the reference interpreter). *)
+
+type disambiguation =
+  | Plain_lsq of Pv_lsq.Lsq.config  (** Dynamatic baseline [15] *)
+  | Fast_lsq of Pv_lsq.Lsq.config  (** fast LSQ allocation [8] *)
+  | Prevv of Pv_prevv.Backend.config  (** this paper *)
+
+let plain_lsq = Plain_lsq Pv_lsq.Lsq.plain
+let fast_lsq = Fast_lsq Pv_lsq.Lsq.fast
+
+(* PreVV at a paper-named depth: the simulated queue holds
+   [Pv_prevv.Backend.depth_scale] entries per named unit (see there). *)
+let prevv ?(fake_tokens = true) depth =
+  Prevv { (Pv_prevv.Backend.named ~depth) with fake_tokens }
+
+let name_of = function
+  | Plain_lsq _ -> "dynamatic"
+  | Fast_lsq _ -> "fast-lsq"
+  | Prevv c ->
+      Printf.sprintf "prevv%d"
+        (c.Pv_prevv.Backend.depth_q / Pv_prevv.Backend.depth_scale)
+
+type compiled = {
+  kernel : Pv_kernels.Ast.kernel;
+  info : Pv_frontend.Depend.info;
+  layout : Pv_memory.Layout.t;
+  trace : Pv_frontend.Trace.t;
+  graph : Pv_dataflow.Graph.t;
+}
+
+let compile ?(options = Pv_frontend.Build.default_options)
+    (kernel : Pv_kernels.Ast.kernel) : compiled =
+  let info =
+    Pv_frontend.Depend.analyse ~cse:options.Pv_frontend.Build.cse kernel
+  in
+  let layout = Pv_memory.Layout.of_kernel kernel in
+  let trace = Pv_frontend.Trace.of_kernel kernel info in
+  let graph = Pv_frontend.Build.circuit ~options kernel info layout trace in
+  { kernel; info; layout; trace; graph }
+
+type result = {
+  outcome : Pv_dataflow.Sim.outcome;
+  cycles : int;
+  mem : int array;  (** final flat memory *)
+  mem_stats : Pv_dataflow.Memif.stats;
+  run_stats : Pv_dataflow.Sim.run_stats;
+}
+
+let backend_of compiled mem = function
+  | Plain_lsq cfg | Fast_lsq cfg ->
+      Pv_lsq.Lsq.create cfg compiled.info.Pv_frontend.Depend.portmap mem
+  | Prevv cfg ->
+      Pv_prevv.Backend.create cfg compiled.info.Pv_frontend.Depend.portmap mem
+
+let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
+    ?(init : (string * int array) list option) (compiled : compiled)
+    (dis : disambiguation) : result =
+  let init =
+    match init with
+    | Some i -> i
+    | None -> Pv_kernels.Workload.default_init compiled.kernel
+  in
+  let mem = Pv_memory.Layout.initial_memory compiled.layout compiled.kernel ~init in
+  let backend = backend_of compiled mem dis in
+  let outcome, run_stats =
+    Pv_dataflow.Sim.run ~cfg:sim_cfg compiled.graph backend
+  in
+  let cycles =
+    match outcome with
+    | Pv_dataflow.Sim.Finished { cycles } -> cycles
+    | Pv_dataflow.Sim.Deadlock { at_cycle } | Pv_dataflow.Sim.Timeout { at_cycle }
+      ->
+        at_cycle
+  in
+  {
+    outcome;
+    cycles;
+    mem;
+    mem_stats = backend.Pv_dataflow.Memif.stats ();
+    run_stats;
+  }
+
+(** Check a simulation result against the reference interpreter on the
+    same inputs; returns mismatches as (array, index, expected, got). *)
+let verify ?(init : (string * int array) list option) (compiled : compiled)
+    (result : result) : (string * int * int * int) list =
+  let init =
+    match init with
+    | Some i -> i
+    | None -> Pv_kernels.Workload.default_init compiled.kernel
+  in
+  let golden = Pv_kernels.Interp.run compiled.kernel ~init in
+  Pv_memory.Layout.diff_against compiled.layout compiled.kernel result.mem golden
+
+(** One-call convenience used everywhere in tests: simulate and verify;
+    returns an error message on any failure. *)
+let check ?sim_cfg ?init kernel dis : (result, string) Stdlib.result =
+  let compiled = compile kernel in
+  let result = simulate ?sim_cfg ?init compiled dis in
+  match result.outcome with
+  | Pv_dataflow.Sim.Finished _ -> (
+      match verify ?init compiled result with
+      | [] -> Ok result
+      | (a, ix, want, got) :: _ as l ->
+          Error
+            (Printf.sprintf "%s/%s: %d mismatches, first %s[%d]: want %d got %d"
+               kernel.Pv_kernels.Ast.name (name_of dis) (List.length l) a ix want
+               got))
+  | o ->
+      Error
+        (Format.asprintf "%s/%s: %a" kernel.Pv_kernels.Ast.name (name_of dis)
+           Pv_dataflow.Sim.pp_outcome o)

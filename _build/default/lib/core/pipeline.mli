@@ -1,0 +1,70 @@
+(** Top-level flow: kernel → analysis → circuit → simulation → check.
+
+    This is the API the examples, CLI and benchmarks use.  It mirrors the
+    paper's toolchain: Dynamatic elaboration ({!Pv_frontend.Build}),
+    backend selection (plain LSQ [15], fast-allocation LSQ [8], or PreVV),
+    and the ModelSim-vs-C++ check (simulation vs the reference
+    interpreter). *)
+
+type disambiguation =
+  | Plain_lsq of Pv_lsq.Lsq.config  (** Dynamatic baseline [15] *)
+  | Fast_lsq of Pv_lsq.Lsq.config  (** fast LSQ allocation [8] *)
+  | Prevv of Pv_prevv.Backend.config  (** this paper *)
+
+val plain_lsq : disambiguation
+val fast_lsq : disambiguation
+
+(** PreVV at a paper-named depth ([prevv 16] = "PreVV16"); the simulated
+    queue holds {!Pv_prevv.Backend.depth_scale} entries per named unit. *)
+val prevv : ?fake_tokens:bool -> int -> disambiguation
+
+(** Display name: "dynamatic", "fast-lsq", "prevv<depth>". *)
+val name_of : disambiguation -> string
+
+(** A compiled kernel: analysis results and the elaborated circuit. *)
+type compiled = {
+  kernel : Pv_kernels.Ast.kernel;
+  info : Pv_frontend.Depend.info;
+  layout : Pv_memory.Layout.t;
+  trace : Pv_frontend.Trace.t;
+  graph : Pv_dataflow.Graph.t;
+}
+
+val compile : ?options:Pv_frontend.Build.options -> Pv_kernels.Ast.kernel -> compiled
+
+type result = {
+  outcome : Pv_dataflow.Sim.outcome;
+  cycles : int;
+  mem : int array;  (** final flat memory *)
+  mem_stats : Pv_dataflow.Memif.stats;
+  run_stats : Pv_dataflow.Sim.run_stats;
+}
+
+(** Instantiate the chosen backend over a flat memory. *)
+val backend_of : compiled -> int array -> disambiguation -> Pv_dataflow.Memif.t
+
+(** Simulate under the chosen scheme; [init] defaults to the kernel's
+    {!Pv_kernels.Workload.default_init}. *)
+val simulate :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?init:(string * int array) list ->
+  compiled ->
+  disambiguation ->
+  result
+
+(** Check a result against the reference interpreter on the same inputs;
+    mismatches as (array, index, expected, got). *)
+val verify :
+  ?init:(string * int array) list ->
+  compiled ->
+  result ->
+  (string * int * int * int) list
+
+(** Compile + simulate + verify; [Error] carries a rendered message for
+    non-completion or any memory mismatch. *)
+val check :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?init:(string * int array) list ->
+  Pv_kernels.Ast.kernel ->
+  disambiguation ->
+  (result, string) Stdlib.result

@@ -1,0 +1,1 @@
+lib/dataflow/check.ml: Array Format Graph List Types

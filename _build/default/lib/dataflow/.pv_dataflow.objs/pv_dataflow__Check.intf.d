@@ -1,0 +1,1 @@
+lib/dataflow/check.mli: Format Graph Types

@@ -1,0 +1,1 @@
+lib/dataflow/dot.ml: Buffer Fun Graph Printf Types

@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array Hashtbl List Printf Types

@@ -1,0 +1,1 @@
+lib/dataflow/memif.ml: Array Format Hashtbl

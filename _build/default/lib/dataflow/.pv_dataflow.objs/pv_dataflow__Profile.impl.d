@@ -1,0 +1,1 @@
+lib/dataflow/profile.ml: Array Format Graph List Memif Printf Sim Types

@@ -1,0 +1,1 @@
+lib/dataflow/profile.mli: Format Graph Memif Sim Types

@@ -1,0 +1,1 @@
+lib/dataflow/sim.ml: Array Check Format Graph List Memif Printf Queue Types

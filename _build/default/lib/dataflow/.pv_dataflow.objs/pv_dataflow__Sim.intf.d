@@ -1,0 +1,1 @@
+lib/dataflow/sim.mli: Format Graph Memif Queue Types

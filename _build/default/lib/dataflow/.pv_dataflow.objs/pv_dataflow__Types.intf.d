@@ -1,0 +1,1 @@
+lib/dataflow/types.mli: Format

@@ -1,0 +1,1 @@
+lib/dataflow/vcd.ml: Array Bytes Char Fun Graph Memif Option Printf Sim String Types

@@ -1,0 +1,1 @@
+lib/dataflow/vcd.mli: Graph Memif Sim

@@ -1,0 +1,22 @@
+(** Structural validation of a finalized graph.
+
+    Two properties are enforced before simulation:
+    - every declared input/output slot of every node is wired;
+    - every directed cycle of the graph passes through an opaque buffer
+      (otherwise the combinational handshake of a cycle would not
+      converge — a combinational loop). *)
+
+type error =
+  | Unwired of { node : Types.node_id; label : string; dir : string; slot : int }
+  | Combinational_cycle of Types.node_id list
+      (** one representative path around the offending cycle *)
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Invalid of error
+
+(** All structural errors of the graph, in stable order. *)
+val errors : Graph.t -> error list
+
+(** @raise Invalid with the first error, if any. *)
+val validate_exn : Graph.t -> unit

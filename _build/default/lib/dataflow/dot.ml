@@ -1,0 +1,47 @@
+(** Graphviz export of a dataflow graph, mainly for debugging and docs. *)
+
+let shape_of kind =
+  match kind with
+  | Types.Gen _ -> "house"
+  | Types.Load _ | Types.Store _ -> "box3d"
+  | Types.Buffer _ -> "box"
+  | Types.Branch | Types.Mux _ | Types.Merge _ -> "trapezium"
+  | Types.Fork _ | Types.Join _ -> "triangle"
+  | _ -> "ellipse"
+
+let to_channel oc (g : Graph.t) =
+  output_string oc "digraph dataflow {\n  rankdir=TB;\n";
+  Graph.iter_nodes
+    (fun n ->
+      Printf.fprintf oc "  n%d [label=\"%s#%d\" shape=%s];\n" n.Graph.nid
+        n.Graph.label n.Graph.nid (shape_of n.Graph.kind))
+    g;
+  Graph.iter_chans
+    (fun c ->
+      Printf.fprintf oc "  n%d -> n%d [label=\"w%d\"];\n" c.Graph.src.Graph.node
+        c.Graph.dst.Graph.node c.Graph.width)
+    g;
+  output_string oc "}\n"
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  let oc = Buffer.add_string buf in
+  oc "digraph dataflow {\n  rankdir=TB;\n";
+  Graph.iter_nodes
+    (fun n ->
+      oc
+        (Printf.sprintf "  n%d [label=\"%s#%d\" shape=%s];\n" n.Graph.nid
+           n.Graph.label n.Graph.nid (shape_of n.Graph.kind)))
+    g;
+  Graph.iter_chans
+    (fun c ->
+      oc
+        (Printf.sprintf "  n%d -> n%d [label=\"w%d\"];\n" c.Graph.src.Graph.node
+           c.Graph.dst.Graph.node c.Graph.width))
+    g;
+  oc "}\n";
+  Buffer.contents buf
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc g)

@@ -1,0 +1,113 @@
+(** Contract between the circuit simulator and a memory-disambiguation
+    backend (plain memory, LSQ variants, or PreVV).
+
+    Every static load/store site of a kernel is a numbered {e port}.  The
+    simulator calls the backend once per firing attempt; a [false]/[None]
+    answer means "not accepted this cycle" and exerts backpressure on the
+    datapath, which is how allocation stalls and full-queue stalls surface
+    as extra cycles.  [clock] advances backend-internal pipelines once per
+    simulated cycle. *)
+
+type stats = {
+  mutable loads : int;  (** load requests accepted *)
+  mutable stores : int;  (** store requests accepted *)
+  mutable squashes : int;  (** pipeline squashes triggered *)
+  mutable replayed_ops : int;  (** memory ops re-executed after squashes *)
+  mutable stall_full : int;  (** port-cycles refused for a full queue *)
+  mutable stall_alloc : int;  (** generator-cycles refused at allocation *)
+  mutable stall_order : int;  (** port-cycles a load waited for ordering *)
+  mutable stall_bw : int;  (** port-cycles refused for memory bandwidth *)
+  mutable forwarded : int;  (** loads served by store-to-load forwarding *)
+  mutable fake_tokens : int;  (** Skip notifications accepted *)
+  mutable max_occupancy : int;  (** high-water mark of the central queue *)
+}
+
+let fresh_stats () =
+  {
+    loads = 0;
+    stores = 0;
+    squashes = 0;
+    replayed_ops = 0;
+    stall_full = 0;
+    stall_alloc = 0;
+    stall_order = 0;
+    stall_bw = 0;
+    forwarded = 0;
+    fake_tokens = 0;
+    max_occupancy = 0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "loads=%d stores=%d squashes=%d replayed=%d stall_full=%d stall_alloc=%d \
+     stall_order=%d stall_bw=%d forwarded=%d fake=%d max_occ=%d"
+    s.loads s.stores s.squashes s.replayed_ops s.stall_full s.stall_alloc
+    s.stall_order s.stall_bw s.forwarded s.fake_tokens s.max_occupancy
+
+type t = {
+  begin_instance : seq:int -> group:int -> bool;
+      (** called by the generator before emitting body instance [seq];
+          refusing stalls the whole front of the pipeline (allocation
+          backpressure) *)
+  alloc_group : seq:int -> group:int -> bool;
+      (** late allocation for a conditional group, from a {!Types.Galloc}
+          node once the branch outcome is known *)
+  load_req : port:int -> seq:int -> addr:int -> bool;
+      (** a load port presents its address; accepted requests complete
+          later and are retrieved with [load_poll] *)
+  load_poll : port:int -> (int * int) option;
+      (** completed load for this port, as [(seq, value)]; consuming *)
+  store_req : port:int -> seq:int -> addr:int -> value:int -> bool;
+  store_addr : port:int -> seq:int -> addr:int -> unit;
+      (** early address announcement: the store port has computed its
+          address but not yet its data (lets an LSQ resolve ordering) *)
+  op_skip : port:int -> seq:int -> bool;
+      (** the op of [port] does not occur for instance [seq] (fake token) *)
+  poll_squash : unit -> int option;
+      (** pending pipeline squash: [Some seq_err] purges all in-flight
+          tokens with [seq >= seq_err] and rewinds the generator *)
+  clock : unit -> unit;
+  quiesced : unit -> bool;  (** all accepted operations fully committed *)
+  stats : unit -> stats;
+}
+
+(** A trivially correct backend over a plain memory: loads and stores are
+    served in arrival order with a fixed latency and no disambiguation.
+    Only legal for kernels without ambiguous pairs; used in tests and as
+    the building block for real backends' committed storage. *)
+let direct ~latency (mem : int array) : t =
+  let stats = fresh_stats () in
+  (* per-port in-flight load: countdown to completion, seq, value read at
+     request time (correct here because stores commit immediately) *)
+  let inflight : (int, int ref * int * int) Hashtbl.t = Hashtbl.create 16 in
+  {
+    begin_instance = (fun ~seq:_ ~group:_ -> true);
+    alloc_group = (fun ~seq:_ ~group:_ -> true);
+    load_req =
+      (fun ~port ~seq ~addr ->
+        if Hashtbl.mem inflight port then false
+        else begin
+          stats.loads <- stats.loads + 1;
+          Hashtbl.replace inflight port (ref latency, seq, mem.(addr));
+          true
+        end);
+    load_poll =
+      (fun ~port ->
+        match Hashtbl.find_opt inflight port with
+        | Some (cd, seq, v) when !cd <= 0 ->
+            Hashtbl.remove inflight port;
+            Some (seq, v)
+        | _ -> None);
+    store_req =
+      (fun ~port:_ ~seq:_ ~addr ~value ->
+        stats.stores <- stats.stores + 1;
+        mem.(addr) <- value;
+        true);
+    store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
+    op_skip = (fun ~port:_ ~seq:_ -> true);
+    poll_squash = (fun () -> None);
+    clock =
+      (fun () -> Hashtbl.iter (fun _ (cd, _, _) -> if !cd > 0 then decr cd) inflight);
+    quiesced = (fun () -> Hashtbl.length inflight = 0);
+    stats = (fun () -> stats);
+  }

@@ -1,0 +1,64 @@
+(** Contract between the circuit simulator and a memory-disambiguation
+    backend (plain memory, LSQ variants, or PreVV).
+
+    Every static load/store site of a kernel is a numbered {e port}.  The
+    simulator calls the backend once per firing attempt; a [false]/[None]
+    answer means "not accepted this cycle" and exerts backpressure on the
+    datapath — that is how allocation stalls and full-queue stalls surface
+    as extra cycles.  [clock] advances backend-internal pipelines once per
+    simulated cycle. *)
+
+(** Counters a backend accumulates during a run; all monotone. *)
+type stats = {
+  mutable loads : int;  (** load requests accepted *)
+  mutable stores : int;  (** store requests accepted *)
+  mutable squashes : int;  (** pipeline squashes triggered *)
+  mutable replayed_ops : int;  (** memory ops re-executed after squashes *)
+  mutable stall_full : int;  (** port-cycles refused for a full queue *)
+  mutable stall_alloc : int;  (** generator-cycles refused at allocation *)
+  mutable stall_order : int;  (** port-cycles a load waited for ordering *)
+  mutable stall_bw : int;  (** port-cycles refused for memory bandwidth *)
+  mutable forwarded : int;  (** loads served by store-to-load forwarding *)
+  mutable fake_tokens : int;  (** Skip notifications accepted *)
+  mutable max_occupancy : int;  (** high-water mark of the central queue *)
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** The backend interface, as a record of closures over its private
+    state. *)
+type t = {
+  begin_instance : seq:int -> group:int -> bool;
+      (** called by the generator before emitting body instance [seq];
+          refusing stalls the whole front of the pipeline (allocation
+          backpressure) *)
+  alloc_group : seq:int -> group:int -> bool;
+      (** late allocation for a conditional group, from a {!Types.Galloc}
+          node once the branch outcome is known *)
+  load_req : port:int -> seq:int -> addr:int -> bool;
+      (** a load port presents its address; accepted requests complete
+          later and are retrieved with [load_poll] *)
+  load_poll : port:int -> (int * int) option;
+      (** completed load for this port, as [(seq, value)]; consuming.
+          Responses come back in request order per port — an elastic access
+          port is a tagless stream. *)
+  store_req : port:int -> seq:int -> addr:int -> value:int -> bool;
+  store_addr : port:int -> seq:int -> addr:int -> unit;
+      (** early address announcement: the store port has computed its
+          address but not yet its data (lets an LSQ resolve ordering) *)
+  op_skip : port:int -> seq:int -> bool;
+      (** the op of [port] does not occur for instance [seq] (fake token) *)
+  poll_squash : unit -> int option;
+      (** pending pipeline squash: [Some seq_err] purges all in-flight
+          tokens with [seq >= seq_err] and rewinds the generator *)
+  clock : unit -> unit;
+  quiesced : unit -> bool;  (** all accepted operations fully committed *)
+  stats : unit -> stats;
+}
+
+(** A trivially correct backend over a plain memory: loads and stores are
+    served in arrival order with a fixed latency and no disambiguation.
+    Only legal for kernels without ambiguous pairs; used in tests and as
+    the building block for real backends' committed storage. *)
+val direct : latency:int -> int array -> t

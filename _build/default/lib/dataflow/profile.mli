@@ -1,0 +1,36 @@
+(** Post-run performance profiling: per-node utilisation and per-channel
+    occupancy — the data needed to find a circuit's throughput bottleneck
+    (which component fires least often, which channels sit full waiting). *)
+
+type node_profile = {
+  np_id : Types.node_id;
+  np_label : string;
+  np_fires : int;
+  np_utilisation : float;  (** fires / cycles *)
+}
+
+type chan_profile = {
+  cp_id : Types.chan_id;
+  cp_src : string;
+  cp_dst : string;
+  cp_held : int;  (** cycles the channel register held an unconsumed token *)
+  cp_pressure : float;  (** held / cycles: 1.0 = permanently backpressured *)
+}
+
+type t = {
+  cycles : int;
+  outcome : Sim.outcome;
+  nodes : node_profile list;  (** sorted by utilisation, lowest first *)
+  chans : chan_profile list;  (** sorted by pressure, highest first *)
+}
+
+(** Run [g] against [mem] collecting the profile. *)
+val run : ?cfg:Sim.config -> Graph.t -> Memif.t -> t
+
+(** The initiation interval implied by the total cycle count:
+    [cycles / instances]. *)
+val initiation_interval : t -> instances:int -> float
+
+(** Print the [top] most backpressured channels and least utilised
+    components. *)
+val pp : ?top:int -> Format.formatter -> t -> unit

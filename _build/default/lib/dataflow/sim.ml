@@ -1,0 +1,575 @@
+(** Cycle-accurate simulation of an elastic dataflow graph against a
+    memory-disambiguation backend.
+
+    Timing model: every channel behaves as a one-deep elastic register (the
+    canonical latency-insensitive wire), so every component contributes one
+    pipeline stage; functional units may add [op_latency] further internal
+    stages (fully pipelined, initiation interval 1).  Nodes are evaluated
+    once per cycle in reverse topological order, so a register chain
+    sustains one token per cycle — exactly the throughput behaviour of the
+    circuits the paper measures, with stalls arising only from structural
+    hazards and memory backpressure.
+
+    Squash/replay: when the backend reports a mis-speculation at [seq_err],
+    the simulator bumps the global epoch, purges every in-flight token with
+    [seq >= seq_err] (channels, buffers, functional-unit pipelines) and
+    rewinds the loop-nest generator, which then re-emits the squashed body
+    instances. *)
+
+open Types
+
+type config = {
+  op_latency : binop -> int;
+      (** extra internal stages of a functional unit beyond its channel
+          register; 0 = purely combinational unit *)
+  max_cycles : int;
+  stall_limit : int;
+      (** cycles without any token movement before declaring deadlock *)
+}
+
+(* Few, fat stages: the paper's circuits close at 7.2-9.2 ns, implying
+   multi-level logic per stage; a 2-stage DSP multiplier and 3-stage
+   divider are the corresponding pipelinings. *)
+let default_latency = function
+  | Mul -> 2
+  | Mulc -> 0  (* shift-add network *)
+  | Div | Rem -> 3
+  | _ -> 0
+
+let default_config =
+  { op_latency = default_latency; max_cycles = 2_000_000; stall_limit = 4096 }
+
+type outcome =
+  | Finished of { cycles : int }
+  | Deadlock of { at_cycle : int }
+  | Timeout of { at_cycle : int }
+
+let pp_outcome ppf = function
+  | Finished { cycles } -> Format.fprintf ppf "finished in %d cycles" cycles
+  | Deadlock { at_cycle } -> Format.fprintf ppf "DEADLOCK at cycle %d" at_cycle
+  | Timeout { at_cycle } -> Format.fprintf ppf "timeout at cycle %d" at_cycle
+
+type run_stats = {
+  cycles : int;
+  node_fires : int array;  (** per node id *)
+  gen_instances : int;  (** body instances emitted, including replays *)
+}
+
+(* --- internal node state ------------------------------------------------ *)
+
+type pipe_entry = { mutable left : int; tok : token }
+
+type nstate =
+  | S_plain
+  | S_pipe of pipe_entry Queue.t * int (* queue, capacity *)
+  | S_buf of (token * int) Queue.t * int (* (token, arrival cycle), capacity *)
+  | S_gen of gen_state
+  | S_store of store_state
+
+and store_state = {
+  mutable announced : int;  (* last seq sent to store_addr *)
+  pending : (int * int) Queue.t;  (* announced (seq, addr) awaiting data *)
+}
+
+and gen_state = {
+  mutable g_seq : int;
+  mutable g_done : bool;
+  mutable g_emitted : int;
+}
+
+type t = {
+  g : Graph.t;
+  cfg : config;
+  mem : Memif.t;
+  (* channel slots: the elastic register of each channel *)
+  cur : token option array;
+  staged : token option array;
+  consumed : bool array;
+  states : nstate array;
+  order : int array;  (* node evaluation order: consumers before producers *)
+  fires : int array;
+  mutable epoch : int;
+  mutable cycle : int;
+  mutable progress : bool;  (* any movement this cycle *)
+  mutable last_progress : int;
+}
+
+(* Evaluation order: consumers strictly before producers, so a full register
+   chain streams one token per cycle (a consumer frees its input register in
+   the same cycle the producer refills it).  For a DAG this is the reversed
+   topological order; if the graph has (buffered) cycles we fall back to a
+   DFS order that breaks at opaque buffers, costing a cycle of latency at
+   each break but never correctness. *)
+let eval_order (g : Graph.t) : int array =
+  let n = Graph.n_nodes g in
+  let succs nid =
+    let node = Graph.node g nid in
+    Array.to_list node.Graph.outputs
+    |> List.filter_map (fun cid ->
+           if cid = -1 then None
+           else Some (Graph.chan g cid).Graph.dst.Graph.node)
+  in
+  (* Kahn's algorithm *)
+  let indeg = Array.make n 0 in
+  Graph.iter_chans
+    (fun c -> indeg.(c.Graph.dst.Graph.node) <- indeg.(c.Graph.dst.Graph.node) + 1)
+    g;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let topo = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    topo := u :: !topo;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      (succs u)
+  done;
+  if List.length !topo = n then Array.of_list !topo (* reversed topo *)
+  else begin
+    (* cyclic graph: DFS with order breaks at opaque buffers *)
+    let visited = Array.make n false in
+    let order = ref [] in
+    let is_break nid =
+      match (Graph.node g nid).Graph.kind with
+      | Buffer { transparent = false; _ } -> true
+      | _ -> false
+    in
+    let rec dfs nid =
+      if not visited.(nid) then begin
+        visited.(nid) <- true;
+        if not (is_break nid) then List.iter dfs (succs nid);
+        order := nid :: !order
+      end
+    in
+    for i = 0 to n - 1 do
+      dfs i
+    done;
+    Array.of_list (List.rev !order)
+  end
+
+let init_state cfg (node : Graph.node) : nstate =
+  match node.Graph.kind with
+  | Binop op when cfg.op_latency op > 0 ->
+      (* an entry occupies the pipe for latency+1 cycles (entering at the
+         eval of its acceptance, draining the eval its countdown expires),
+         so II=1 needs latency+1 slots *)
+      let l = cfg.op_latency op in
+      S_pipe (Queue.create (), l + 1)
+  | Buffer { slots; _ } -> S_buf (Queue.create (), slots)
+  | Gen _ -> S_gen { g_seq = 0; g_done = false; g_emitted = 0 }
+  | Store _ -> S_store { announced = -1; pending = Queue.create () }
+  | _ -> S_plain
+
+let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
+  Check.validate_exn g;
+  let nc = Graph.n_chans g in
+  {
+    g;
+    cfg;
+    mem;
+    cur = Array.make nc None;
+    staged = Array.make nc None;
+    consumed = Array.make nc false;
+    states = Array.init (Graph.n_nodes g) (fun i -> init_state cfg (Graph.node g i));
+    order = eval_order g;
+    fires = Array.make (Graph.n_nodes g) 0;
+    epoch = 0;
+    cycle = 0;
+    progress = false;
+    last_progress = 0;
+  }
+
+(* --- channel helpers ---------------------------------------------------- *)
+
+let in_tok t (node : Graph.node) slot =
+  let cid = node.Graph.inputs.(slot) in
+  if t.consumed.(cid) then None else t.cur.(cid)
+
+let take t (node : Graph.node) slot =
+  let cid = node.Graph.inputs.(slot) in
+  match t.cur.(cid) with
+  | Some tok when not t.consumed.(cid) ->
+      t.consumed.(cid) <- true;
+      t.progress <- true;
+      tok
+  | _ -> invalid_arg "take: empty channel"
+
+(* An output register can accept a new token this cycle if it is empty (or
+   its current token is being consumed this cycle) and nothing was staged
+   on it yet. *)
+let out_free t (node : Graph.node) slot =
+  let cid = node.Graph.outputs.(slot) in
+  t.staged.(cid) = None && (t.cur.(cid) = None || t.consumed.(cid))
+
+let put t (node : Graph.node) slot tok =
+  let cid = node.Graph.outputs.(slot) in
+  assert (t.staged.(cid) = None);
+  t.staged.(cid) <- Some tok;
+  t.progress <- true
+
+(* --- node evaluation ---------------------------------------------------- *)
+
+let eval_node t nid =
+  let node = Graph.node t.g nid in
+  let fired = ref false in
+  (match node.Graph.kind with
+  | Gen spec -> (
+      match t.states.(nid) with
+      | S_gen gs when not gs.g_done ->
+          let n_out = Array.length node.Graph.outputs in
+          let free = ref true in
+          for i = 0 to n_out - 1 do
+            if not (out_free t node i) then free := false
+          done;
+          if !free then begin
+            match spec.gen_next gs.g_seq with
+            | None -> gs.g_done <- true
+            | Some vals ->
+                if
+                  t.mem.Memif.begin_instance ~seq:gs.g_seq
+                    ~group:(spec.gen_group gs.g_seq)
+                then begin
+                  for i = 0 to n_out - 1 do
+                    put t node i (token ~epoch:t.epoch ~seq:gs.g_seq vals.(i))
+                  done;
+                  gs.g_seq <- gs.g_seq + 1;
+                  gs.g_emitted <- gs.g_emitted + 1;
+                  fired := true
+                end
+                else begin
+                  let s = t.mem.Memif.stats () in
+                  s.Memif.stall_alloc <- s.Memif.stall_alloc + 1
+                end
+          end
+      | _ -> ())
+  | Const c -> (
+      match in_tok t node 0 with
+      | Some tok when out_free t node 0 ->
+          ignore (take t node 0);
+          put t node 0 { tok with value = c };
+          fired := true
+      | _ -> ())
+  | Unop op -> (
+      match in_tok t node 0 with
+      | Some tok when out_free t node 0 ->
+          ignore (take t node 0);
+          put t node 0 { tok with value = eval_unop op tok.value };
+          fired := true
+      | _ -> ())
+  | Binop op -> (
+      match (in_tok t node 0, in_tok t node 1) with
+      | Some a, Some b -> (
+          let result =
+            {
+              seq = max a.seq b.seq;
+              epoch = max a.epoch b.epoch;
+              value = eval_binop op a.value b.value;
+            }
+          in
+          match t.states.(nid) with
+          | S_pipe (q, cap) ->
+              if Queue.length q < cap then begin
+                ignore (take t node 0);
+                ignore (take t node 1);
+                Queue.add { left = t.cfg.op_latency op; tok = result } q;
+                fired := true
+              end
+          | _ ->
+              if out_free t node 0 then begin
+                ignore (take t node 0);
+                ignore (take t node 1);
+                put t node 0 result;
+                fired := true
+              end)
+      | _ -> ());
+      (* drain a completed pipelined result *)
+      (match t.states.(nid) with
+      | S_pipe (q, _) when not (Queue.is_empty q) ->
+          let head = Queue.peek q in
+          if head.left <= 0 && out_free t node 0 then begin
+            ignore (Queue.pop q);
+            put t node 0 head.tok;
+            fired := true
+          end
+      | _ -> ())
+  | Fork n -> (
+      match in_tok t node 0 with
+      | Some tok ->
+          let free = ref true in
+          for i = 0 to n - 1 do
+            if not (out_free t node i) then free := false
+          done;
+          if !free then begin
+            ignore (take t node 0);
+            for i = 0 to n - 1 do
+              put t node i tok
+            done;
+            fired := true
+          end
+      | None -> ())
+  | Join n ->
+      let all = ref true in
+      for i = 0 to n - 1 do
+        if in_tok t node i = None then all := false
+      done;
+      if !all && out_free t node 0 then begin
+        let toks = Array.init n (fun i -> take t node i) in
+        let seq = Array.fold_left (fun acc (tk : token) -> max acc tk.seq) 0 toks in
+        let epoch =
+          Array.fold_left (fun acc (tk : token) -> max acc tk.epoch) 0 toks
+        in
+        put t node 0 { toks.(0) with seq; epoch };
+        fired := true
+      end
+  | Merge n ->
+      if out_free t node 0 then begin
+        let chosen = ref (-1) in
+        for i = n - 1 downto 0 do
+          if in_tok t node i <> None then chosen := i
+        done;
+        if !chosen >= 0 then begin
+          let tok = take t node !chosen in
+          put t node 0 tok;
+          fired := true
+        end
+      end
+  | Mux n -> (
+      match in_tok t node 0 with
+      | Some sel ->
+          let k = sel.value in
+          if k >= 0 && k < n then begin
+            match in_tok t node (1 + k) with
+            | Some data when out_free t node 0 ->
+                ignore (take t node 0);
+                ignore (take t node (1 + k));
+                put t node 0 data;
+                fired := true
+            | _ -> ()
+          end
+      | None -> ())
+  | Branch -> (
+      match (in_tok t node 0, in_tok t node 1) with
+      | Some _, Some cond ->
+          let out = if cond.value <> 0 then 0 else 1 in
+          if out_free t node out then begin
+            let data = take t node 0 in
+            ignore (take t node 1);
+            put t node out data;
+            fired := true
+          end
+      | _ -> ())
+  | Buffer { transparent; _ } -> (
+      match t.states.(nid) with
+      | S_buf (q, cap) ->
+          (* at most one emission per cycle; a transparent buffer may pass a
+             token accepted this very cycle (so it costs one stage like any
+             other node and only adds capacity), an opaque one holds it for
+             a cycle (a timing-breaking register) *)
+          let try_emit () =
+            if Queue.is_empty q then false
+            else begin
+              let tok, arrived = Queue.peek q in
+              if (transparent || arrived < t.cycle) && out_free t node 0 then begin
+                ignore (Queue.pop q);
+                put t node 0 tok;
+                true
+              end
+              else false
+            end
+          in
+          let emitted = try_emit () in
+          (match in_tok t node 0 with
+          | Some _ when Queue.length q < cap ->
+              let tok = take t node 0 in
+              Queue.add (tok, t.cycle) q;
+              if (not emitted) && transparent then ignore (try_emit ());
+              fired := true
+          | _ -> ());
+          if emitted then fired := true
+      | _ -> assert false)
+  | Sink -> (
+      match in_tok t node 0 with
+      | Some _ ->
+          ignore (take t node 0);
+          fired := true
+      | None -> ())
+  | Load { port } ->
+      (* deliver a completed response *)
+      (if out_free t node 0 then
+         match t.mem.Memif.load_poll ~port with
+         | Some (seq, v) ->
+             put t node 0 (token ~epoch:t.epoch ~seq v);
+             fired := true
+         | None -> ());
+      (* present a new request *)
+      (match in_tok t node 0 with
+      | Some addr ->
+          if t.mem.Memif.load_req ~port ~seq:addr.seq ~addr:addr.value then begin
+            ignore (take t node 0);
+            fired := true
+          end
+      | None -> ())
+  | Store { port } -> (
+      match t.states.(nid) with
+      | S_store st ->
+          (* the address side is decoupled from the data side, as in a real
+             store port: addresses are consumed and announced to the backend
+             as soon as they are computed, letting the LSQ resolve ordering
+             without waiting for the data *)
+          (match in_tok t node 0 with
+          | Some addr when Queue.length st.pending < 16 ->
+              ignore (take t node 0);
+              t.mem.Memif.store_addr ~port ~seq:addr.seq ~addr:addr.value;
+              Queue.add (addr.seq, addr.value) st.pending;
+              fired := true
+          | _ -> ());
+          (match (in_tok t node 1, Queue.is_empty st.pending) with
+          | Some data, false ->
+              let seq, addr = Queue.peek st.pending in
+              if seq <> data.seq then
+                failwith
+                  (Printf.sprintf
+                     "store port %d: pending addr seq=%d but data seq=%d (cycle %d)"
+                     port seq data.seq t.cycle);
+              if t.mem.Memif.store_req ~port ~seq ~addr ~value:data.value then begin
+                ignore (Queue.pop st.pending);
+                ignore (take t node 1);
+                fired := true
+              end
+          | _ -> ())
+      | _ -> assert false)
+  | Skip { port } -> (
+      match in_tok t node 0 with
+      | Some tok ->
+          if t.mem.Memif.op_skip ~port ~seq:tok.seq then begin
+            ignore (take t node 0);
+            fired := true
+          end
+      | None -> ())
+  | Galloc { group } -> (
+      match in_tok t node 0 with
+      | Some tok ->
+          if t.mem.Memif.alloc_group ~seq:tok.seq ~group then begin
+            ignore (take t node 0);
+            fired := true
+          end
+      | None -> ()));
+  if !fired then begin
+    t.fires.(nid) <- t.fires.(nid) + 1;
+    t.progress <- true
+  end
+
+(* --- squash ------------------------------------------------------------- *)
+
+let purge t ~seq_err =
+  t.epoch <- t.epoch + 1;
+  Array.iteri
+    (fun i tok ->
+      match tok with Some tk when tk.seq >= seq_err -> t.cur.(i) <- None | _ -> ())
+    t.cur;
+  Array.iteri
+    (fun i tok ->
+      match tok with
+      | Some tk when tk.seq >= seq_err -> t.staged.(i) <- None
+      | _ -> ())
+    t.staged;
+  Array.iteri
+    (fun _ st ->
+      match st with
+      | S_pipe (q, _) ->
+          let keep = Queue.create () in
+          Queue.iter (fun e -> if e.tok.seq < seq_err then Queue.add e keep) q;
+          Queue.clear q;
+          Queue.transfer keep q
+      | S_buf (q, _) ->
+          let keep = Queue.create () in
+          Queue.iter
+            (fun ((tok, _) as e) -> if tok.seq < seq_err then Queue.add e keep)
+            q;
+          Queue.clear q;
+          Queue.transfer keep q
+      | S_gen gs ->
+          if gs.g_seq > seq_err then gs.g_seq <- seq_err;
+          gs.g_done <- false
+      | S_store st ->
+          if st.announced >= seq_err then st.announced <- -1;
+          let keep = Queue.create () in
+          Queue.iter
+            (fun ((s, _) as e) -> if s < seq_err then Queue.add e keep)
+            st.pending;
+          Queue.clear st.pending;
+          Queue.transfer keep st.pending
+      | S_plain -> ())
+    t.states
+
+(* --- main loop ---------------------------------------------------------- *)
+
+let all_empty t =
+  Array.for_all (fun c -> c = None) t.cur
+  && Array.for_all
+       (fun st ->
+         match st with
+         | S_pipe (q, _) -> Queue.is_empty q
+         | S_buf (q, _) -> Queue.is_empty q
+         | S_store st -> Queue.is_empty st.pending
+         | _ -> true)
+       t.states
+
+let gens_done t =
+  Array.for_all
+    (fun st -> match st with S_gen gs -> gs.g_done | _ -> true)
+    t.states
+
+let step t =
+  t.progress <- false;
+  (match t.mem.Memif.poll_squash () with
+  | Some seq_err ->
+      purge t ~seq_err;
+      t.progress <- true
+  | None -> ());
+  Array.fill t.consumed 0 (Array.length t.consumed) false;
+  Array.iter (fun nid -> eval_node t nid) t.order;
+  (* clock edge *)
+  Array.iteri
+    (fun i staged ->
+      (match (staged, t.consumed.(i)) with
+      | Some tok, _ ->
+          t.cur.(i) <- Some tok;
+          t.staged.(i) <- None
+      | None, true -> t.cur.(i) <- None
+      | None, false -> ()))
+    t.staged;
+  Array.iter
+    (fun st ->
+      match st with
+      | S_pipe (q, _) -> Queue.iter (fun e -> if e.left > 0 then e.left <- e.left - 1) q
+      | _ -> ())
+    t.states;
+  t.mem.Memif.clock ();
+  if t.progress then t.last_progress <- t.cycle;
+  t.cycle <- t.cycle + 1
+
+let finished t = gens_done t && all_empty t && t.mem.Memif.quiesced ()
+
+let run ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) :
+    outcome * run_stats =
+  let t = create ~cfg g mem in
+  let rec loop () =
+    if finished t then Finished { cycles = t.cycle }
+    else if t.cycle >= cfg.max_cycles then Timeout { at_cycle = t.cycle }
+    else if t.cycle - t.last_progress > cfg.stall_limit then
+      Deadlock { at_cycle = t.cycle }
+    else begin
+      step t;
+      loop ()
+    end
+  in
+  let outcome = loop () in
+  let gen_instances =
+    Array.fold_left
+      (fun acc st -> match st with S_gen gs -> acc + gs.g_emitted | _ -> acc)
+      0 t.states
+  in
+  (outcome, { cycles = t.cycle; node_fires = Array.copy t.fires; gen_instances })

@@ -1,0 +1,102 @@
+(** Cycle-accurate simulation of an elastic dataflow graph against a
+    memory-disambiguation backend.
+
+    Timing model: every channel behaves as a one-deep elastic register (the
+    canonical latency-insensitive wire), so every component contributes one
+    pipeline stage; functional units may add [op_latency] further internal
+    stages (fully pipelined, initiation interval 1).  Nodes are evaluated
+    once per cycle in reversed topological order, so a full register chain
+    streams one token per cycle; stalls arise only from structural hazards
+    and memory backpressure.
+
+    Squash/replay: when the backend reports a mis-speculation at [seq_err],
+    the simulator bumps the global epoch, purges every in-flight token with
+    [seq >= seq_err] (channels, buffers, functional-unit pipelines) and
+    rewinds the loop-nest generator, which then re-emits the squashed body
+    instances. *)
+
+type config = {
+  op_latency : Types.binop -> int;
+      (** extra internal stages of a functional unit beyond its channel
+          register; 0 = purely combinational unit *)
+  max_cycles : int;
+  stall_limit : int;
+      (** cycles without any token movement before declaring deadlock *)
+}
+
+(** mul 2, div/rem 3, constant-multiply 0, everything else combinational —
+    the few-fat-stage pipelining implied by the paper's 7–9 ns clock
+    periods. *)
+val default_latency : Types.binop -> int
+
+val default_config : config
+
+type outcome =
+  | Finished of { cycles : int }
+  | Deadlock of { at_cycle : int }
+  | Timeout of { at_cycle : int }
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type run_stats = {
+  cycles : int;
+  node_fires : int array;  (** per node id *)
+  gen_instances : int;  (** body instances emitted, including replays *)
+}
+
+(** {1 Stepping interface}
+
+    The internal state is exposed for tools (profilers, waveform dumpers,
+    debuggers) that drive the simulation cycle by cycle. *)
+
+type pipe_entry = { mutable left : int; tok : Types.token }
+
+type nstate =
+  | S_plain
+  | S_pipe of pipe_entry Queue.t * int  (** FU pipeline: queue, capacity *)
+  | S_buf of (Types.token * int) Queue.t * int
+      (** buffer: (token, arrival cycle), capacity *)
+  | S_gen of gen_state
+  | S_store of store_state
+
+and store_state = {
+  mutable announced : int;  (** last seq sent to [store_addr] *)
+  pending : (int * int) Queue.t;  (** announced (seq, addr) awaiting data *)
+}
+
+and gen_state = {
+  mutable g_seq : int;
+  mutable g_done : bool;
+  mutable g_emitted : int;
+}
+
+type t = {
+  g : Graph.t;
+  cfg : config;
+  mem : Memif.t;
+  cur : Types.token option array;  (** channel registers, by channel id *)
+  staged : Types.token option array;
+  consumed : bool array;
+  states : nstate array;
+  order : int array;  (** node evaluation order: consumers before producers *)
+  fires : int array;  (** per-node fire counts *)
+  mutable epoch : int;
+  mutable cycle : int;
+  mutable progress : bool;
+  mutable last_progress : int;
+}
+
+(** Validate the graph and build the initial state.
+    @raise Check.Invalid on a structurally invalid graph. *)
+val create : ?cfg:config -> Graph.t -> Memif.t -> t
+
+(** Advance one cycle: poll squashes, evaluate every node once, commit the
+    staged channel writes, clock the backend. *)
+val step : t -> unit
+
+(** True once the generator is exhausted, every channel/buffer/pipe is
+    empty, and the backend has quiesced. *)
+val finished : t -> bool
+
+(** Run to completion (or deadlock/timeout per [cfg]). *)
+val run : ?cfg:config -> Graph.t -> Memif.t -> outcome * run_stats

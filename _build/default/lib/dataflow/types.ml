@@ -1,0 +1,161 @@
+(** Core identifiers, operator vocabulary and token representation for
+    elastic (latency-insensitive) dataflow circuits.
+
+    The vocabulary follows the Dynamatic component set: functional units,
+    forks/joins, merges/muxes, branches and elastic buffers, plus memory
+    ports that talk to a pluggable disambiguation backend ({!Memif}). *)
+
+type node_id = int
+type chan_id = int
+
+(** Binary functional units. Comparison operators produce 0/1. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Mulc  (** multiply by a compile-time constant: strength-reduced *)
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Min
+  | Max
+
+type unop = Neg | Not | Lnot
+
+let string_of_binop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Mulc -> "mulc"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Min -> "min"
+  | Max -> "max"
+
+let string_of_unop = function Neg -> "neg" | Not -> "not" | Lnot -> "lnot"
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul | Mulc -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 62)
+  | Shr -> a asr (b land 62)
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Min -> min a b
+  | Max -> max a b
+
+let eval_unop op a =
+  match op with Neg -> -a | Not -> (if a = 0 then 1 else 0) | Lnot -> lnot a
+
+(** A token flowing on an elastic channel.
+
+    [seq] is the basic-block-instance sequence number assigned by the
+    loop-nest generator; all tokens derived from the same body instance share
+    it. [epoch] is bumped on every pipeline squash; stale-epoch tokens whose
+    [seq] is at or beyond the squash point are purged by the simulator. *)
+type token = { seq : int; epoch : int; value : int }
+
+let token ?(epoch = 0) ~seq value = { seq; epoch; value }
+
+let pp_token ppf t = Format.fprintf ppf "{seq=%d;ep=%d;v=%d}" t.seq t.epoch t.value
+
+(** Specification of a loop-nest generator node.  The generator walks the
+    kernel's control-flow in program order, emitting one token per output
+    (one per induction variable) for each body instance.  It is the single
+    rewindable point of the circuit: on a squash at [seq_err] the simulator
+    resets it to re-emit instances from [seq_err]. *)
+type gen_spec = {
+  gen_arity : int;  (** number of induction-variable outputs *)
+  gen_next : int -> int array option;
+      (** [gen_next seq] = values of the induction variables for body
+          instance [seq], or [None] once the nest is exhausted *)
+  gen_group : int -> int;  (** memory-port group of body instance [seq] *)
+}
+
+(** Node kinds. Arities are fixed per kind and validated by {!Check}. *)
+type kind =
+  | Gen of gen_spec  (** 0 in, [gen_arity] out *)
+  | Const of int  (** 1 ctrl in, 1 out: emits constant per ctrl token *)
+  | Unop of unop  (** 1 in, 1 out *)
+  | Binop of binop  (** 2 in, 1 out *)
+  | Fork of int  (** 1 in, n out: replicates (fires when all outs free) *)
+  | Join of int  (** n in, 1 out: synchronises, forwards input 0 *)
+  | Merge of int  (** n in, 1 out: first-come (lowest index priority) *)
+  | Mux of int  (** 1 sel + n data in, 1 out *)
+  | Branch  (** data + cond in; out0 = taken (cond<>0), out1 = not taken *)
+  | Buffer of { transparent : bool; slots : int }  (** 1 in, 1 out *)
+  | Sink  (** 1 in, 0 out: absorbs *)
+  | Load of { port : int }  (** addr in, data out; goes through the backend *)
+  | Store of { port : int }  (** addr + data in, 0 out *)
+  | Skip of { port : int }
+      (** 1 ctrl in, 0 out: tells the backend the memory op of [port] does
+          not occur for this body instance (PreVV "fake token", Sec. V-C) *)
+  | Galloc of { group : int }
+      (** 1 ctrl in, 0 out: allocates LSQ entries for a conditional group
+          at the moment the branch outcome is known *)
+
+let kind_arity = function
+  | Gen g -> (0, g.gen_arity)
+  | Const _ -> (1, 1)
+  | Unop _ -> (1, 1)
+  | Binop _ -> (2, 1)
+  | Fork n -> (1, n)
+  | Join n -> (n, 1)
+  | Merge n -> (n, 1)
+  | Mux n -> (1 + n, 1)
+  | Branch -> (2, 2)
+  | Buffer _ -> (1, 1)
+  | Sink -> (1, 0)
+  | Load _ -> (1, 1)
+  | Store _ -> (2, 0)
+  | Skip _ -> (1, 0)
+  | Galloc _ -> (1, 0)
+
+let kind_name = function
+  | Gen _ -> "gen"
+  | Const _ -> "const"
+  | Unop u -> string_of_unop u
+  | Binop b -> string_of_binop b
+  | Fork _ -> "fork"
+  | Join _ -> "join"
+  | Merge _ -> "merge"
+  | Mux _ -> "mux"
+  | Branch -> "branch"
+  | Buffer { transparent; _ } -> if transparent then "tbuf" else "obuf"
+  | Sink -> "sink"
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Skip _ -> "skip"
+  | Galloc _ -> "galloc"

@@ -1,0 +1,26 @@
+(** Value-change-dump (VCD) recording of a simulation, viewable in GTKWave
+    or any waveform viewer — the ModelSim-style debugging aid for circuits
+    built with this library.
+
+    Every channel contributes two signals (its 32-bit data value and a
+    [*_v] valid bit) and every node a fire strobe. *)
+
+(** Streaming recorder over an existing simulation. *)
+type t
+
+(** Write the VCD header for [sim]'s graph and return a recorder. *)
+val create : out_channel -> Sim.t -> t
+
+(** Dump the signal changes for the current cycle; call once per cycle
+    {e before} {!Sim.step}. *)
+val sample : t -> unit
+
+(** Run a simulation to completion while writing a VCD to [path]; returns
+    the outcome.  [max_cycles] bounds the dump size. *)
+val record :
+  ?cfg:Sim.config ->
+  ?max_cycles:int ->
+  path:string ->
+  Graph.t ->
+  Memif.t ->
+  Sim.outcome

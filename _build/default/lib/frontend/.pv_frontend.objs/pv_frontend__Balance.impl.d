@@ -1,0 +1,1 @@
+lib/frontend/balance.ml: Array Graph List Pv_dataflow Queue Sim Types

@@ -1,0 +1,1 @@
+lib/frontend/balance.mli: Pv_dataflow

@@ -1,0 +1,1 @@
+lib/frontend/build.ml: Array Ast Balance Depend Graph Hashtbl List Option Printf Pv_dataflow Pv_kernels Pv_memory Trace Types

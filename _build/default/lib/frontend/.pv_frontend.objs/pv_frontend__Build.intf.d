@@ -1,0 +1,1 @@
+lib/frontend/build.mli: Depend Pv_dataflow Pv_kernels Pv_memory Trace

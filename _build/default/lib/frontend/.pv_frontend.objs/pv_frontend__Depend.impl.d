@@ -1,0 +1,1 @@
+lib/frontend/depend.ml: Array Ast Hashtbl List Option Pv_dataflow Pv_kernels Pv_memory String

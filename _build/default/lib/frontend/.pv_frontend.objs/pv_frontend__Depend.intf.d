@@ -1,0 +1,1 @@
+lib/frontend/depend.mli: Hashtbl Pv_kernels Pv_memory

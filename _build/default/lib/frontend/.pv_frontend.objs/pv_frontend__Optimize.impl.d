@@ -1,0 +1,1 @@
+lib/frontend/optimize.ml: Ast List Pv_dataflow Pv_kernels

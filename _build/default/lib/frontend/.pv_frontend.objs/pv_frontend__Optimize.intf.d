@@ -1,0 +1,1 @@
+lib/frontend/optimize.mli: Pv_kernels

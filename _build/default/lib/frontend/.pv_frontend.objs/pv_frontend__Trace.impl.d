@@ -1,0 +1,1 @@
+lib/frontend/trace.ml: Array Ast Depend Interp List Pv_dataflow Pv_kernels

@@ -1,0 +1,1 @@
+lib/frontend/trace.mli: Depend Pv_dataflow Pv_kernels

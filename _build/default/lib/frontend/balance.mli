@@ -1,0 +1,30 @@
+(** Throughput balancing: slack-buffer insertion on reconvergent paths.
+
+    An elastic circuit only sustains II = 1 if, at every join, the shorter
+    of two reconvergent paths has enough token capacity to absorb the skew
+    of the longer one; otherwise the upstream fork stalls.  Dynamatic runs
+    a buffer-placement optimisation for exactly this reason; this is the
+    standard longest-path variant: compute each node's depth from the
+    generator and give every lagging input of a multi-input node a FIFO
+    sized to the skew. *)
+
+(** Topological order of a DAG.
+    @raise Invalid_argument when the graph has a cycle. *)
+val topo_order : Pv_dataflow.Graph.t -> int list
+
+(** Buffer sizes per channel needed for II = 1; [0] = no buffer.  The
+    latency model matches {!Pv_dataflow.Sim}'s unless [op_latency]
+    overrides it. *)
+val plan :
+  ?op_latency:(Pv_dataflow.Types.binop -> int) -> Pv_dataflow.Graph.t -> int array
+
+(** Rebuild the graph with a slack FIFO spliced into every channel the plan
+    sizes above zero; original node ids are preserved. *)
+val insert_buffers : Pv_dataflow.Graph.t -> int array -> Pv_dataflow.Graph.t
+
+(** [plan] + [insert_buffers]; returns the graph unchanged when no slack is
+    needed. *)
+val apply :
+  ?op_latency:(Pv_dataflow.Types.binop -> int) ->
+  Pv_dataflow.Graph.t ->
+  Pv_dataflow.Graph.t

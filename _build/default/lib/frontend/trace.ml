@@ -1,0 +1,72 @@
+(** Loop-nest trace: the schedule the generator component walks.
+
+    A dataflow circuit's chain of control merges and branches computes the
+    program-order succession of basic-block instances at run time; since
+    our kernels' loop bounds are compile-time expressions over parameters
+    and outer induction variables (no data-dependent trip counts), that
+    succession is a pure function of the instance number and can be
+    tabulated.  This table parameterises the rewindable {!Pv_dataflow.Types.Gen}
+    node — the single point the PreVV squash rewinds. *)
+
+open Pv_kernels
+
+exception Data_dependent_bound of Ast.expr
+
+(* Evaluate a bound expression over scalars only. *)
+let rec eval_bound env (e : Ast.expr) : int =
+  match e with
+  | Ast.Int n -> n
+  | Ast.Var v -> (
+      match List.assoc_opt v env with
+      | Some n -> n
+      | None -> raise (Interp.Unbound_variable v))
+  | Ast.Un (u, x) -> Pv_dataflow.Types.eval_unop u (eval_bound env x)
+  | Ast.Bin (b, x, y) ->
+      Pv_dataflow.Types.eval_binop b (eval_bound env x) (eval_bound env y)
+  | Ast.Idx _ -> raise (Data_dependent_bound e)
+
+type t = {
+  rows : int array array;
+      (** [rows.(seq)] = [| leaf_id; iv_0; ...; iv_{arity-2} |] where the
+          induction variables are those of the leaf's loop nest, outermost
+          first, padded with zeros *)
+  arity : int;  (** generator output count: 1 (leaf id) + max loop depth *)
+}
+
+let of_kernel (k : Ast.kernel) (info : Depend.info) : t =
+  let arity = 1 + info.Depend.max_loop_depth in
+  let rows = ref [] in
+  let n = ref 0 in
+  let rec walk env node =
+    match node with
+    | Depend.Leaf (id, _) ->
+        let leaf = List.nth info.Depend.leaves id in
+        let row = Array.make arity 0 in
+        row.(0) <- id;
+        List.iteri
+          (fun i var -> row.(i + 1) <- List.assoc var env)
+          leaf.Depend.loop_vars;
+        rows := row :: !rows;
+        incr n
+    | Depend.Loop { var; lo; hi; body } ->
+        let lo = eval_bound env lo and hi = eval_bound env hi in
+        for iv = lo to hi - 1 do
+          List.iter (walk ((var, iv) :: env)) body
+        done
+  in
+  List.iter (walk k.Ast.params) info.Depend.nodes;
+  { rows = Array.of_list (List.rev !rows); arity }
+
+let length t = Array.length t.rows
+
+(** The generator specification driving the circuit. *)
+let gen_spec (t : t) : Pv_dataflow.Types.gen_spec =
+  {
+    Pv_dataflow.Types.gen_arity = t.arity;
+    gen_next =
+      (fun seq -> if seq < Array.length t.rows then Some t.rows.(seq) else None);
+    gen_group =
+      (fun seq ->
+        if seq < Array.length t.rows then t.rows.(seq).(0)
+        else invalid_arg "gen_group: seq out of range");
+  }

@@ -1,0 +1,28 @@
+(** Loop-nest trace: the schedule the generator component walks.
+
+    A dataflow circuit's chain of control merges and branches computes the
+    program-order succession of basic-block instances at run time; since
+    the kernels' loop bounds are compile-time expressions over parameters
+    and outer induction variables, that succession is a pure function of
+    the instance number and can be tabulated.  The table parameterises the
+    rewindable {!Pv_dataflow.Types.Gen} node — the single point a PreVV
+    squash rewinds. *)
+
+exception Data_dependent_bound of Pv_kernels.Ast.expr
+
+type t = {
+  rows : int array array;
+      (** [rows.(seq)] = [| leaf_id; iv_0; ... |]: the leaf id followed by
+          its induction variables (outermost first), zero-padded to
+          [arity - 1] *)
+  arity : int;  (** generator output count: 1 (leaf id) + max loop depth *)
+}
+
+(** Tabulate the trace.
+    @raise Data_dependent_bound when a loop bound reads an array. *)
+val of_kernel : Pv_kernels.Ast.kernel -> Depend.info -> t
+
+val length : t -> int
+
+(** The generator specification driving the circuit. *)
+val gen_spec : t -> Pv_dataflow.Types.gen_spec

@@ -1,0 +1,1 @@
+lib/kernels/ast.ml: Format List Pv_dataflow Stdlib String

@@ -1,0 +1,1 @@
+lib/kernels/defs.ml: Ast List Printf Pv_dataflow Stdlib String

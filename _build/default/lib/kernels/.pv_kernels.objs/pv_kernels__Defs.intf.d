@@ -1,0 +1,1 @@
+lib/kernels/defs.mli: Ast

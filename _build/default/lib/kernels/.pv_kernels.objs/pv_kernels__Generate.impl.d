@@ -1,0 +1,1 @@
+lib/kernels/generate.ml: Ast List Printf Pv_dataflow Workload

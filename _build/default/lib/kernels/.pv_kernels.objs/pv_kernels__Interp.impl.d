@@ -1,0 +1,1 @@
+lib/kernels/interp.ml: Array Ast Hashtbl List Printf Pv_dataflow

@@ -1,0 +1,1 @@
+lib/kernels/parse.ml: Ast Filename Format List Printf Pv_dataflow Result String

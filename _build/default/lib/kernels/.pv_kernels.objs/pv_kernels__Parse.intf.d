@@ -1,0 +1,1 @@
+lib/kernels/parse.mli: Ast Format

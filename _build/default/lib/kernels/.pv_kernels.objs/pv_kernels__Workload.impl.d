@@ -1,0 +1,1 @@
+lib/kernels/workload.ml: Array Ast Hashtbl List

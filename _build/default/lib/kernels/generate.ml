@@ -1,0 +1,162 @@
+(** Random kernel generation for differential testing.
+
+    Produces well-formed loop nests whose memory accesses stay in bounds by
+    construction (indices are reduced modulo the target array's length), so
+    any divergence between the interpreter and a simulated circuit is a
+    genuine bug, never an artefact of the workload.  The shapes cover the
+    hazard patterns the paper cares about: affine accumulators at random
+    reuse distances, indirect (data-dependent) scatter, multi-statement
+    bodies and conditional stores. *)
+
+type spec = {
+  max_depth : int;  (** loop nesting depth, 1..3 *)
+  max_stmts : int;  (** leaf statements per nest level *)
+  max_arrays : int;
+  array_len : int;
+  trip : int;  (** trip count per loop level *)
+  allow_if : bool;
+  allow_indirect : bool;
+  allow_div : bool;
+}
+
+let default_spec =
+  {
+    max_depth = 2;
+    max_stmts = 2;
+    max_arrays = 3;
+    array_len = 24;
+    trip = 8;
+    allow_if = true;
+    allow_indirect = true;
+    allow_div = false;
+  }
+
+let array_name i = Printf.sprintf "g%d" i
+let var_name d = Printf.sprintf "v%d" d
+
+(* expression shorthands that do not shadow the integer operators *)
+let e_int n = Ast.Int n
+let e_var s = Ast.Var s
+let e_add a b = Ast.Bin (Pv_dataflow.Types.Add, a, b)
+let e_rem a b = Ast.Bin (Pv_dataflow.Types.Rem, a, b)
+let e_gt a b = Ast.Bin (Pv_dataflow.Types.Gt, a, b)
+
+(* non-negative modulus: Rem follows the dividend's sign, so reduce twice —
+   ((x rem L) + L) rem L lands in [0, L) for any x *)
+let e_mod a l = e_rem (e_add (e_rem a (e_int l)) (e_int l)) (e_int l)
+
+(* index expression over the loop variables in scope, reduced into bounds *)
+let gen_index r spec ~depth =
+  let base =
+    match Workload.int r 4 with
+    | 0 -> e_var (var_name (Workload.int r depth))
+    | 1 ->
+        e_add
+          (e_var (var_name (Workload.int r depth)))
+          (e_int (Workload.int r spec.array_len))
+    | 2 ->
+        e_add
+          (e_var (var_name (Workload.int r depth)))
+          (e_var (var_name (Workload.int r depth)))
+    | _ -> e_int (Workload.int r spec.array_len)
+  in
+  e_mod base spec.array_len
+
+let gen_indirect_index r spec ~depth ~via =
+  e_mod (Ast.Idx (via, gen_index r spec ~depth)) spec.array_len
+
+(* value expression: mixes loads of random arrays with arithmetic *)
+let rec gen_value r spec ~depth ~arrays ~fuel =
+  if fuel = 0 then e_int (1 + Workload.int r 9)
+  else
+    match Workload.int r 6 with
+    | 0 -> e_int (1 + Workload.int r 9)
+    | 1 -> e_var (var_name (Workload.int r depth))
+    | 2 | 3 ->
+        let a = List.nth arrays (Workload.int r (List.length arrays)) in
+        Ast.Idx (a, gen_index r spec ~depth)
+    | 4 ->
+        e_add
+          (gen_value r spec ~depth ~arrays ~fuel:(fuel - 1))
+          (gen_value r spec ~depth ~arrays ~fuel:(fuel - 1))
+    | _ ->
+        let op =
+          match Workload.int r (if spec.allow_div then 4 else 3) with
+          | 0 -> Pv_dataflow.Types.Sub
+          | 1 -> Pv_dataflow.Types.Mul
+          | 2 -> Pv_dataflow.Types.And
+          | _ -> Pv_dataflow.Types.Div
+        in
+        Ast.Bin
+          ( op,
+            gen_value r spec ~depth ~arrays ~fuel:(fuel - 1),
+            gen_value r spec ~depth ~arrays ~fuel:(fuel - 1) )
+
+let gen_store r spec ~depth ~arrays =
+  let target = List.nth arrays (Workload.int r (List.length arrays)) in
+  let ix =
+    if spec.allow_indirect && Workload.int r 3 = 0 then
+      let via = List.nth arrays (Workload.int r (List.length arrays)) in
+      gen_indirect_index r spec ~depth ~via
+    else gen_index r spec ~depth
+  in
+  (* accumulate more often than overwrite: accumulators create the RAW
+     hazards this library exists to disambiguate *)
+  let value =
+    if Workload.int r 3 > 0 then
+      e_add (Ast.Idx (target, ix)) (gen_value r spec ~depth ~arrays ~fuel:2)
+    else gen_value r spec ~depth ~arrays ~fuel:2
+  in
+  Ast.Store (target, ix, value)
+
+let gen_leaf r spec ~depth ~arrays =
+  if spec.allow_if && Workload.int r 4 = 0 then begin
+    let cond =
+      e_gt (gen_value r spec ~depth ~arrays ~fuel:1) (e_int (Workload.int r 10))
+    in
+    let t = [ gen_store r spec ~depth ~arrays ] in
+    let e =
+      if Workload.int r 2 = 0 then [ gen_store r spec ~depth ~arrays ] else []
+    in
+    Ast.If (cond, t, e)
+  end
+  else gen_store r spec ~depth ~arrays
+
+(** Generate a kernel from [seed]; equal seeds and specs give equal
+    kernels. *)
+let kernel ?(spec = default_spec) seed : Ast.kernel =
+  let r = Workload.rng seed in
+  let n_arrays = 1 + Workload.int r spec.max_arrays in
+  let arrays = List.init n_arrays (fun i -> (array_name i, spec.array_len)) in
+  let names = List.map fst arrays in
+  let depth = 1 + Workload.int r spec.max_depth in
+  let rec nest d =
+    if d = depth then
+      List.init
+        (1 + Workload.int r spec.max_stmts)
+        (fun _ -> gen_leaf r spec ~depth ~arrays:names)
+    else
+      [
+        Ast.For
+          {
+            var = var_name d;
+            lo = Ast.Int 0;
+            hi = Ast.Int spec.trip;
+            body = nest (d + 1);
+          };
+      ]
+  in
+  {
+    Ast.name = Printf.sprintf "gen%d" seed;
+    arrays;
+    params = [];
+    body = nest 0;
+  }
+
+(** Deterministic input data for a generated kernel. *)
+let init_for ?(spec = default_spec) (k : Ast.kernel) seed :
+    (string * int array) list =
+  let r = Workload.rng (seed lxor 0x5a5a5a) in
+  List.map
+    (fun (name, len) -> (name, Workload.array r ~len ~lo:0 ~hi:spec.array_len))
+    k.Ast.arrays

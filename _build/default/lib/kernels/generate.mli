@@ -1,0 +1,27 @@
+(** Random kernel generation for differential testing.
+
+    Produces well-formed loop nests whose memory accesses stay in bounds by
+    construction (indices reduced modulo the array length), so divergence
+    between the interpreter and a simulated circuit is always a genuine
+    bug.  Shapes cover affine accumulators at random reuse distances,
+    indirect scatter, multi-statement bodies and conditional stores. *)
+
+type spec = {
+  max_depth : int;  (** loop nesting depth, 1..3 *)
+  max_stmts : int;  (** leaf statements per nest level *)
+  max_arrays : int;
+  array_len : int;
+  trip : int;  (** trip count per loop level *)
+  allow_if : bool;
+  allow_indirect : bool;
+  allow_div : bool;
+}
+
+val default_spec : spec
+
+(** Generate a kernel from [seed]; equal seeds and specs give equal
+    kernels. *)
+val kernel : ?spec:spec -> int -> Ast.kernel
+
+(** Deterministic input data for a generated kernel. *)
+val init_for : ?spec:spec -> Ast.kernel -> int -> (string * int array) list

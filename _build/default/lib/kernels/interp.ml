@@ -1,0 +1,103 @@
+(** Reference interpreter — the golden model.
+
+    Plays the role of the paper's C++ execution against which the ModelSim
+    RTL output is checked: every simulated circuit's final memory must
+    equal the interpreter's. *)
+
+type state = (string, int array) Hashtbl.t
+
+exception Unbound_variable of string
+exception Unbound_array of string
+exception Out_of_bounds of { array : string; index : int; length : int }
+
+let array_of st a =
+  match Hashtbl.find_opt st a with
+  | Some arr -> arr
+  | None -> raise (Unbound_array a)
+
+let rec eval st env (e : Ast.expr) : int =
+  match e with
+  | Int n -> n
+  | Var s -> (
+      match List.assoc_opt s env with
+      | Some v -> v
+      | None -> raise (Unbound_variable s))
+  | Idx (a, ix) ->
+      let arr = array_of st a in
+      let i = eval st env ix in
+      if i < 0 || i >= Array.length arr then
+        raise (Out_of_bounds { array = a; index = i; length = Array.length arr });
+      arr.(i)
+  | Un (u, x) -> Pv_dataflow.Types.eval_unop u (eval st env x)
+  | Bin (b, x, y) ->
+      Pv_dataflow.Types.eval_binop b (eval st env x) (eval st env y)
+
+let rec exec st env (s : Ast.stmt) =
+  match s with
+  | Store (a, ix, value) ->
+      let arr = array_of st a in
+      let i = eval st env ix in
+      if i < 0 || i >= Array.length arr then
+        raise (Out_of_bounds { array = a; index = i; length = Array.length arr });
+      arr.(i) <- eval st env value
+  | For { var; lo; hi; body } ->
+      let lo = eval st env lo and hi = eval st env hi in
+      for iv = lo to hi - 1 do
+        List.iter (exec st ((var, iv) :: env)) body
+      done
+  | If (c, t, e) ->
+      if eval st env c <> 0 then List.iter (exec st env) t
+      else List.iter (exec st env) e
+
+(** Execute [k] on fresh arrays initialised from [init] (missing arrays are
+    zero-filled); returns the array store. *)
+let run (k : Ast.kernel) ~(init : (string * int array) list) : state =
+  let st = Hashtbl.create 8 in
+  List.iter
+    (fun (name, len) ->
+      let arr =
+        match List.assoc_opt name init with
+        | Some src ->
+            if Array.length src <> len then
+              invalid_arg
+                (Printf.sprintf "run: init for %s has length %d, expected %d"
+                   name (Array.length src) len);
+            Array.copy src
+        | None -> Array.make len 0
+      in
+      Hashtbl.replace st name arr)
+    k.arrays;
+  let env = k.params in
+  List.iter (exec st env) k.body;
+  st
+
+(** Count of dynamic leaf-statement instances (useful as a lower bound on
+    circuit cycles and in tests). *)
+let count_instances (k : Ast.kernel) ~(init : (string * int array) list) : int =
+  let st = Hashtbl.create 8 in
+  List.iter
+    (fun (name, len) ->
+      let arr =
+        match List.assoc_opt name init with
+        | Some src -> Array.copy src
+        | None -> Array.make len 0
+      in
+      Hashtbl.replace st name arr)
+    k.arrays;
+  let count = ref 0 in
+  let rec go env s =
+    match s with
+    | Ast.Store _ ->
+        incr count;
+        exec st env s
+    | Ast.If _ ->
+        incr count;
+        exec st env s
+    | Ast.For { var; lo; hi; body } ->
+        let lo = eval st env lo and hi = eval st env hi in
+        for iv = lo to hi - 1 do
+          List.iter (go ((var, iv) :: env)) body
+        done
+  in
+  List.iter (go k.params) k.body;
+  !count

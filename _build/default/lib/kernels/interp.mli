@@ -1,0 +1,28 @@
+(** Reference interpreter — the golden model.
+
+    Plays the role of the paper's C++ execution against which the ModelSim
+    RTL output is checked: every simulated circuit's final memory must
+    equal the interpreter's on the same inputs. *)
+
+(** The array store: array name to contents. *)
+type state = (string, int array) Hashtbl.t
+
+exception Unbound_variable of string
+exception Unbound_array of string
+exception Out_of_bounds of { array : string; index : int; length : int }
+
+(** Evaluate an expression under a scalar environment and array store.
+    @raise Unbound_variable, Unbound_array, Out_of_bounds accordingly. *)
+val eval : state -> (string * int) list -> Ast.expr -> int
+
+(** Execute one statement (mutates the store). *)
+val exec : state -> (string * int) list -> Ast.stmt -> unit
+
+(** Execute [k] on fresh arrays initialised from [init] (missing arrays are
+    zero-filled); returns the array store.
+    @raise Invalid_argument when an init array has the wrong length. *)
+val run : Ast.kernel -> init:(string * int array) list -> state
+
+(** Count of dynamic leaf-statement instances — the number of body
+    instances the circuit's generator will emit (a lower bound on cycles). *)
+val count_instances : Ast.kernel -> init:(string * int array) list -> int

@@ -1,0 +1,102 @@
+(** Deterministic workload generation.
+
+    A small LCG gives reproducible pseudo-random inputs without depending
+    on [Random]'s global state, so benchmark runs and tests always see the
+    same data (the paper's kernels likewise run on fixed test vectors for
+    the ModelSim-vs-C++ check). *)
+
+type rng = { mutable s : int }
+
+let rng seed = { s = (seed lxor 0x9e3779b9) land 0x3fffffff }
+
+let next r =
+  (* Numerical Recipes LCG constants, folded to 30 bits *)
+  r.s <- ((r.s * 1664525) + 1013904223) land 0x3fffffff;
+  r.s
+
+let int r bound = if bound <= 0 then 0 else next r mod bound
+
+(** Array of [len] values in [lo, hi). *)
+let array r ~len ~lo ~hi = Array.init len (fun _ -> lo + int r (hi - lo))
+
+(** Permutation-ish index array: values in [0, range) with good spread. *)
+let index_array r ~len ~range = Array.init len (fun _ -> int r range)
+
+(** Default input data for each kernel, keyed by array name.  Arrays not
+    listed are zero-initialised by {!Interp.run}. *)
+let default_init (k : Ast.kernel) : (string * int array) list =
+  let r = rng (Hashtbl.hash k.Ast.name) in
+  let len name = List.assoc name k.Ast.arrays in
+  match k.Ast.name with
+  | "polyn_mult" ->
+      [
+        ("a", array r ~len:(len "a") ~lo:1 ~hi:9);
+        ("b", array r ~len:(len "b") ~lo:1 ~hi:9);
+      ]
+  | "2mm" ->
+      [
+        ("A", array r ~len:(len "A") ~lo:1 ~hi:7);
+        ("B", array r ~len:(len "B") ~lo:1 ~hi:7);
+        ("C", array r ~len:(len "C") ~lo:1 ~hi:7);
+      ]
+  | "3mm" ->
+      [
+        ("A", array r ~len:(len "A") ~lo:1 ~hi:5);
+        ("B", array r ~len:(len "B") ~lo:1 ~hi:5);
+        ("C", array r ~len:(len "C") ~lo:1 ~hi:5);
+        ("D", array r ~len:(len "D") ~lo:1 ~hi:5);
+      ]
+  | "gaussian" ->
+      (* small pivots and large off-diagonals so the integer-division
+         factors are non-zero and the elimination really rewrites data *)
+      let n = int_of_float (sqrt (float_of_int (len "a"))) in
+      let a =
+        Array.init (len "a") (fun ix ->
+            let row = ix / n and col = ix mod n in
+            if row = col then 2 + int r 5 else 10 + int r 90)
+      in
+      [ ("a", a) ]
+  | "triangular" | "triangular_tight" ->
+      let n = int_of_float (sqrt (float_of_int (len "a"))) in
+      let lower src =
+        Array.init (len src) (fun ix ->
+            let row = ix / n and col = ix mod n in
+            if col <= row then 1 + int r 9 else 0)
+      in
+      [ ("a", lower "a"); ("b", lower "b") ]
+  | "histogram" -> [ ("b", index_array r ~len:(len "b") ~range:(len "a")) ]
+  | "fn_dependent" -> [ ("b", index_array r ~len:(len "b") ~range:(len "b" - 8)) ]
+  | "cond_update" ->
+      [
+        ("x", array r ~len:(len "x") ~lo:0 ~hi:100);
+        ("y", index_array r ~len:(len "y") ~range:(len "s"));
+      ]
+  | "spmv_like" ->
+      [
+        ("r", index_array r ~len:(len "r") ~range:(len "y"));
+        ("c", index_array r ~len:(len "c") ~range:(len "x"));
+        ("vv", array r ~len:(len "vv") ~lo:1 ~hi:9);
+        ("x", array r ~len:(len "x") ~lo:1 ~hi:9);
+      ]
+  | "fir_smooth" -> [ ("x", array r ~len:(len "x") ~lo:0 ~hi:200) ]
+  | "matvec" ->
+      [
+        ("A", array r ~len:(len "A") ~lo:1 ~hi:9);
+        ("x", array r ~len:(len "x") ~lo:1 ~hi:9);
+      ]
+  | "stencil1d" -> [ ("u", array r ~len:(len "u") ~lo:0 ~hi:100) ]
+  | "running_max" ->
+      (* front-loaded maxima so later stores rewrite unchanged values *)
+      let n = len "x" in
+      [
+        ( "x",
+          Array.init n (fun i ->
+              if i < n / 4 then 150 + int r 100 else int r 120) );
+      ]
+  | "bicg" ->
+      [
+        ("A", array r ~len:(len "A") ~lo:1 ~hi:7);
+        ("r", array r ~len:(len "r") ~lo:1 ~hi:7);
+        ("p", array r ~len:(len "p") ~lo:1 ~hi:7);
+      ]
+  | _ -> []

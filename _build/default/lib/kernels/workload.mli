@@ -1,0 +1,25 @@
+(** Deterministic workload generation.
+
+    A small LCG gives reproducible pseudo-random inputs without touching
+    [Random]'s global state, so benchmark runs and tests always see the
+    same data (the paper's kernels likewise run on fixed test vectors for
+    the ModelSim-vs-C++ check). *)
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int
+
+(** [int r bound] is uniform-ish in [\[0, bound)]; 0 when [bound <= 0]. *)
+val int : rng -> int -> int
+
+(** Array of [len] values in [\[lo, hi)]. *)
+val array : rng -> len:int -> lo:int -> hi:int -> int array
+
+(** Index array: values in [\[0, range)]. *)
+val index_array : rng -> len:int -> range:int -> int array
+
+(** Default input data for each bundled kernel, keyed by array name;
+    arrays not listed are zero-initialised by {!Interp.run}.  Seeded from
+    the kernel name, so repeated calls agree. *)
+val default_init : Ast.kernel -> (string * int array) list

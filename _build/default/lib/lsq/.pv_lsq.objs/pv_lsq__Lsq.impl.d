@@ -1,0 +1,1 @@
+lib/lsq/lsq.ml: Array Format Hashtbl List Portmap Pv_dataflow Pv_memory Queue

@@ -1,0 +1,1 @@
+lib/lsq/lsq.mli: Format Pv_dataflow Pv_memory

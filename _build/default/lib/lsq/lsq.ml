@@ -1,0 +1,468 @@
+(** Behavioural load-store queue — the Dynamatic baselines.
+
+    One pooled LSQ serves every ambiguous port (the configuration the
+    paper's Fig. 1 measures).  The group allocator reserves load/store
+    entries in original program order when a basic-block instance begins
+    (ROM + group allocator of Josipović et al. [4]); loads issue out of
+    order once every older store's address is known, with store-to-load
+    forwarding; stores commit in program order.
+
+    The two published variants differ only in allocation behaviour:
+    - {!plain} ([15], classic Dynamatic): the group token travels through
+      the circuit's control network before entries become usable
+      ([alloc_delay] cycles) and only one group can be allocated per cycle.
+    - {!fast} ([8], fast token delivery): allocation is immediate and off
+      the critical path. *)
+
+open Pv_memory
+
+type config = {
+  lq_depth : int;
+  sq_depth : int;
+  alloc_delay : int;  (** cycles before allocated entries become usable *)
+  alloc_per_cycle : int;
+  mem_latency : int;
+  issues_per_cycle : int;
+      (** global load-issue cap; per-array BRAM read ports are the physical
+          limit, so this is normally generous and exists for ablations *)
+  commits_per_cycle : int;  (** store commits per cycle (global cap) *)
+  forwarding : bool;
+      (** store-to-load forwarding on/off (ablation: off = a load waits for
+          the matching older store to commit) *)
+}
+
+(* Queue depths are scaled to this simulator's pipeline granularity (one
+   stage per component): a Dynamatic circuit reaches the LSQ in ~3 fat
+   combinational stages where ours takes ~10 thin ones, so the 16-entry
+   paper default corresponds to 32 entries here.  [alloc_delay] models the
+   control-network trip of the group token before entries become usable —
+   long for classic Dynamatic, zero for fast token delivery. *)
+let plain =
+  {
+    lq_depth = 32;
+    sq_depth = 32;
+    alloc_delay = 26;
+    alloc_per_cycle = 1;
+    mem_latency = 2;
+    issues_per_cycle = 8;
+    commits_per_cycle = 4;
+    forwarding = true;
+  }
+
+let fast = { plain with alloc_delay = 0; alloc_per_cycle = 2 }
+
+type lentry = {
+  l_seq : int;
+  l_port : int;
+  l_pos : int;  (** ROM position inside the group: program-order tie-break *)
+  l_usable_at : int;
+  mutable l_addr : int option;
+}
+
+type sentry = {
+  s_seq : int;
+  s_port : int;
+  s_pos : int;
+  s_usable_at : int;
+  mutable s_addr : int option;
+  mutable s_value : int option;
+  mutable s_skipped : bool;
+}
+
+type t = {
+  cfg : config;
+  pm : Portmap.t;
+  mem : int array;
+  stats : Pv_dataflow.Memif.stats;
+  mutable now : int;
+  mutable lq : lentry list;  (** program order *)
+  mutable sq : sentry list;  (** program order *)
+  mutable allocs_this_cycle : int;
+  resp : (int, (int * (int * int) option ref) Queue.t) Hashtbl.t;
+      (** port -> FIFO of (seq, completion); responses are delivered in
+          request order per port — an elastic access port is a tagless
+          stream, so a younger load must never overtake an older one of
+          the same port even though the LSQ issues them out of order *)
+  (* per-array (per-BRAM) port budgets: one read and one write per cycle,
+     dual-port block RAM; store-to-load forwarding bypasses the RAM *)
+  reads : (string, int ref) Hashtbl.t;
+  writes : (string, int ref) Hashtbl.t;
+}
+
+let budget tbl array =
+  match Hashtbl.find_opt tbl array with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace tbl array r;
+      r
+
+let take_budget tbl array =
+  let r = budget tbl array in
+  if !r > 0 then begin
+    decr r;
+    true
+  end
+  else false
+
+let array_of t port = (Portmap.port t.pm port).Portmap.array
+
+let order_lt (s1, p1) (s2, p2) = s1 < s2 || (s1 = s2 && p1 < p2)
+
+let port_queue t port =
+  match Hashtbl.find_opt t.resp port with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.resp port q;
+      q
+
+(* Register a request slot in port order; completion fills it later. *)
+let open_slot t ~port ~seq =
+  let slot = ref None in
+  Queue.add (seq, slot) (port_queue t port);
+  slot
+
+let fill_slot t ~port ~seq ~ready_at ~value =
+  let q = port_queue t port in
+  let found = ref false in
+  Queue.iter
+    (fun (s, slot) ->
+      if (not !found) && s = seq && !slot = None then begin
+        slot := Some (ready_at, value);
+        found := true
+      end)
+    q;
+  assert !found
+
+let occupancy t = List.length t.lq + List.length t.sq
+
+let note_occupancy t =
+  let o = occupancy t in
+  if o > t.stats.Pv_dataflow.Memif.max_occupancy then
+    t.stats.Pv_dataflow.Memif.max_occupancy <- o
+
+(* A load may issue when all older stores have known addresses; it forwards
+   from the youngest older store with a matching address, if any. *)
+let try_issue_load t (le : lentry) : bool =
+  match le.l_addr with
+  | None -> false
+  | Some addr ->
+      if le.l_usable_at > t.now then false
+      else begin
+        let older =
+          List.filter
+            (fun se ->
+              (not se.s_skipped) && order_lt (se.s_seq, se.s_pos) (le.l_seq, le.l_pos))
+            t.sq
+        in
+        if List.exists (fun se -> se.s_addr = None) older then begin
+          t.stats.Pv_dataflow.Memif.stall_order <-
+            t.stats.Pv_dataflow.Memif.stall_order + 1;
+          false
+        end
+        else
+          (* youngest older store to the same address *)
+          let matching =
+            List.filter (fun se -> se.s_addr = Some addr) older
+            |> List.sort (fun a b ->
+                   compare (b.s_seq, b.s_pos) (a.s_seq, a.s_pos))
+          in
+          match matching with
+          | se :: _ -> (
+              match se.s_value with
+              | Some v when t.cfg.forwarding ->
+                  fill_slot t ~port:le.l_port ~seq:le.l_seq ~ready_at:(t.now + 1)
+                    ~value:v;
+                  t.stats.Pv_dataflow.Memif.forwarded <-
+                    t.stats.Pv_dataflow.Memif.forwarded + 1;
+                  true
+              | Some _ ->
+                  (* forwarding disabled: wait for the commit *)
+                  t.stats.Pv_dataflow.Memif.stall_order <-
+                    t.stats.Pv_dataflow.Memif.stall_order + 1;
+                  false
+              | None ->
+                  t.stats.Pv_dataflow.Memif.stall_order <-
+                    t.stats.Pv_dataflow.Memif.stall_order + 1;
+                  false)
+          | [] ->
+              if take_budget t.reads (array_of t le.l_port) then begin
+                fill_slot t ~port:le.l_port ~seq:le.l_seq
+                  ~ready_at:(t.now + t.cfg.mem_latency) ~value:t.mem.(addr);
+                true
+              end
+              else begin
+                t.stats.Pv_dataflow.Memif.stall_bw <-
+                  t.stats.Pv_dataflow.Memif.stall_bw + 1;
+                false
+              end
+      end
+
+(* The store at the head of program order commits when its address and data
+   are known and every older load that could alias has issued (WAR guard:
+   a commit must not overtake an older load of the same address). *)
+let can_commit t (se : sentry) =
+  se.s_usable_at <= t.now
+  && se.s_addr <> None
+  && se.s_value <> None
+  && not
+       (List.exists
+          (fun le ->
+            order_lt (le.l_seq, le.l_pos) (se.s_seq, se.s_pos)
+            && (le.l_addr = None || le.l_addr = se.s_addr))
+          t.lq)
+
+let clock t =
+  (* issue loads, oldest first *)
+  let issued = ref 0 in
+  let remaining = ref [] in
+  List.iter
+    (fun le ->
+      if !issued < t.cfg.issues_per_cycle && try_issue_load t le then
+        incr issued
+      else remaining := le :: !remaining)
+    t.lq;
+  t.lq <- List.rev !remaining;
+  (* drop skipped stores at the head, then commit in order *)
+  let committed = ref 0 in
+  let rec commit_head () =
+    match t.sq with
+    | se :: rest when se.s_skipped ->
+        t.sq <- rest;
+        commit_head ()
+    | se :: rest
+      when !committed < t.cfg.commits_per_cycle
+           && can_commit t se
+           && take_budget t.writes (array_of t se.s_port) ->
+        (match (se.s_addr, se.s_value) with
+        | Some a, Some v -> t.mem.(a) <- v
+        | _ -> assert false);
+        t.sq <- rest;
+        incr committed;
+        commit_head ()
+    | _ -> ()
+  in
+  commit_head ();
+  t.allocs_this_cycle <- 0;
+  Hashtbl.iter (fun _ r -> r := 2) t.reads;
+  Hashtbl.iter (fun _ r -> r := 1) t.writes;
+  t.now <- t.now + 1
+
+let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
+    t * Pv_dataflow.Memif.t =
+  let t =
+    {
+      cfg;
+      pm;
+      mem;
+      stats = Pv_dataflow.Memif.fresh_stats ();
+      now = 0;
+      lq = [];
+      sq = [];
+      allocs_this_cycle = 0;
+      resp = Hashtbl.create 16;
+      reads = Hashtbl.create 8;
+      writes = Hashtbl.create 8;
+    }
+  in
+  Array.iter
+    (fun p ->
+      Hashtbl.replace t.reads p.Portmap.array (ref 2);
+      Hashtbl.replace t.writes p.Portmap.array (ref 1))
+    pm.Portmap.ports;
+  let gports =
+    Array.init pm.Portmap.n_groups (fun g -> Portmap.group_ports pm g)
+  in
+  let begin_instance ~seq ~group =
+    let ports = gports.(group) in
+    if ports = [] then true
+    else begin
+      let n_loads, n_stores =
+        List.fold_left
+          (fun (l, s) pid ->
+            match (Portmap.port pm pid).Portmap.kind with
+            | Portmap.OLoad -> (l + 1, s)
+            | Portmap.OStore -> (l, s + 1))
+          (0, 0) ports
+      in
+      if
+        t.allocs_this_cycle >= cfg.alloc_per_cycle
+        || List.length t.lq + n_loads > cfg.lq_depth
+        || List.length t.sq + n_stores > cfg.sq_depth
+      then begin
+        t.stats.Pv_dataflow.Memif.stall_full <-
+          t.stats.Pv_dataflow.Memif.stall_full + 1;
+        false
+      end
+      else begin
+        t.allocs_this_cycle <- t.allocs_this_cycle + 1;
+        let usable = t.now + cfg.alloc_delay in
+        List.iteri
+          (fun pos pid ->
+            match (Portmap.port pm pid).Portmap.kind with
+            | Portmap.OLoad ->
+                t.lq <-
+                  t.lq
+                  @ [
+                      {
+                        l_seq = seq;
+                        l_port = pid;
+                        l_pos = pos;
+                        l_usable_at = usable;
+                        l_addr = None;
+                      };
+                    ]
+            | Portmap.OStore ->
+                t.sq <-
+                  t.sq
+                  @ [
+                      {
+                        s_seq = seq;
+                        s_port = pid;
+                        s_pos = pos;
+                        s_usable_at = usable;
+                        s_addr = None;
+                        s_value = None;
+                        s_skipped = false;
+                      };
+                    ])
+          ports;
+        note_occupancy t;
+        true
+      end
+    end
+  in
+  let load_req ~port ~seq ~addr =
+    if Portmap.is_ambiguous pm port then begin
+      match
+        List.find_opt
+          (fun le -> le.l_seq = seq && le.l_port = port && le.l_addr = None)
+          t.lq
+      with
+      | Some le ->
+          le.l_addr <- Some addr;
+          ignore (open_slot t ~port ~seq);
+          t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
+          true
+      | None -> false
+    end
+    else if take_budget t.reads (array_of t port) then begin
+      t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
+      let slot = open_slot t ~port ~seq in
+      slot := Some (t.now + cfg.mem_latency, t.mem.(addr));
+      true
+    end
+    else begin
+      t.stats.Pv_dataflow.Memif.stall_bw <- t.stats.Pv_dataflow.Memif.stall_bw + 1;
+      false
+    end
+  in
+  let store_req ~port ~seq ~addr ~value =
+    if Portmap.is_ambiguous pm port then begin
+      match
+        List.find_opt
+          (fun se -> se.s_seq = seq && se.s_port = port && se.s_value = None)
+          t.sq
+      with
+      | Some se ->
+          se.s_addr <- Some addr;
+          se.s_value <- Some value;
+          t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
+          true
+      | None -> false
+    end
+    else if take_budget t.writes (array_of t port) then begin
+      t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
+      t.mem.(addr) <- value;
+      true
+    end
+    else begin
+      t.stats.Pv_dataflow.Memif.stall_bw <- t.stats.Pv_dataflow.Memif.stall_bw + 1;
+      false
+    end
+  in
+  let op_skip ~port ~seq =
+    if not (Portmap.is_ambiguous pm port) then true
+    else begin
+      t.stats.Pv_dataflow.Memif.fake_tokens <-
+        t.stats.Pv_dataflow.Memif.fake_tokens + 1;
+      (match (Portmap.port pm port).Portmap.kind with
+      | Portmap.OStore -> (
+          match
+            List.find_opt
+              (fun se -> se.s_seq = seq && se.s_port = port && se.s_addr = None)
+              t.sq
+          with
+          | Some se -> se.s_skipped <- true
+          | None -> ())
+      | Portmap.OLoad ->
+          t.lq <-
+            List.filter
+              (fun le -> not (le.l_seq = seq && le.l_port = port && le.l_addr = None))
+              t.lq);
+      true
+    end
+  in
+  let store_addr ~port ~seq ~addr =
+    if Portmap.is_ambiguous pm port then
+      match
+        List.find_opt
+          (fun se -> se.s_seq = seq && se.s_port = port && se.s_addr = None)
+          t.sq
+      with
+      | Some se -> se.s_addr <- Some addr
+      | None -> ()
+  in
+  let load_poll ~port =
+    match Hashtbl.find_opt t.resp port with
+    | Some q when not (Queue.is_empty q) -> (
+        let seq, slot = Queue.peek q in
+        match !slot with
+        | Some (ready_at, value) when ready_at <= t.now ->
+            ignore (Queue.pop q);
+            Some (seq, value)
+        | _ -> None)
+    | _ -> None
+  in
+  let quiesced () =
+    t.lq = [] && t.sq = []
+    && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) t.resp true
+  in
+  ( t,
+    {
+      Pv_dataflow.Memif.begin_instance;
+      alloc_group = (fun ~seq:_ ~group:_ -> true);
+      load_req;
+      load_poll;
+      store_req;
+      store_addr;
+      op_skip;
+      poll_squash = (fun () -> None);
+      clock = (fun () -> clock t);
+      quiesced;
+      stats = (fun () -> t.stats);
+    } )
+
+let create cfg pm mem = snd (create_full cfg pm mem)
+
+(** Debug dump of queue contents. *)
+let dump ppf t =
+  Format.fprintf ppf "LQ (%d):@\n" (List.length t.lq);
+  List.iter
+    (fun le ->
+      Format.fprintf ppf "  seq=%d pos=%d port=%d addr=%s usable=%d@\n" le.l_seq
+        le.l_pos le.l_port
+        (match le.l_addr with Some a -> string_of_int a | None -> "?")
+        le.l_usable_at)
+    t.lq;
+  Format.fprintf ppf "SQ (%d):@\n" (List.length t.sq);
+  List.iter
+    (fun se ->
+      Format.fprintf ppf "  seq=%d pos=%d port=%d addr=%s val=%s%s usable=%d@\n"
+        se.s_seq se.s_pos se.s_port
+        (match se.s_addr with Some a -> string_of_int a | None -> "?")
+        (match se.s_value with Some v -> string_of_int v | None -> "?")
+        (if se.s_skipped then " SKIP" else "")
+        se.s_usable_at)
+    t.sq

@@ -1,0 +1,51 @@
+(** Behavioural load-store queue — the Dynamatic baselines.
+
+    One pooled LSQ serves every ambiguous port (the configuration the
+    paper's Fig. 1 measures).  The group allocator reserves load/store
+    entries in original program order when a basic-block instance begins
+    (ROM + group allocator of Josipović et al.); loads issue out of order
+    once every older store's address is known, with store-to-load
+    forwarding; stores commit in program order behind a WAR guard.
+
+    The two published variants differ in allocation behaviour:
+    - {!plain} ([15], classic Dynamatic): the group token travels through
+      the circuit's control network before entries become usable
+      ([alloc_delay] cycles), one group allocation per cycle;
+    - {!fast} ([8], fast token delivery): allocation is immediate and off
+      the critical path. *)
+
+type config = {
+  lq_depth : int;
+  sq_depth : int;
+  alloc_delay : int;  (** cycles before allocated entries become usable *)
+  alloc_per_cycle : int;
+  mem_latency : int;
+  issues_per_cycle : int;
+      (** global load-issue cap; per-array BRAM read ports are the physical
+          limit, so this is normally generous and exists for ablations *)
+  commits_per_cycle : int;  (** store commits per cycle (global cap) *)
+  forwarding : bool;
+      (** store-to-load forwarding on/off (ablation: off = a load waits for
+          the matching older store to commit) *)
+}
+
+(** The [15] baseline.  Depths are in simulated entries (the paper's
+    16-entry default maps to 32 at this simulator's pipeline granularity;
+    see DESIGN.md §9). *)
+val plain : config
+
+(** The [8] baseline: {!plain} with zero allocation delay and the
+    fast-token network. *)
+val fast : config
+
+(** Internal state, exposed for debugging dumps. *)
+type t
+
+(** Build a backend over [mem]; returns the state alongside (for dumps). *)
+val create_full :
+  config -> Pv_memory.Portmap.t -> int array -> t * Pv_dataflow.Memif.t
+
+val create : config -> Pv_memory.Portmap.t -> int array -> Pv_dataflow.Memif.t
+
+(** Dump queue contents (entries with addresses/values/flags). *)
+val dump : Format.formatter -> t -> unit

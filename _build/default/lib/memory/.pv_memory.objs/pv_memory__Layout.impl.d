@@ -1,0 +1,1 @@
+lib/memory/layout.ml: Array Hashtbl List Printf Pv_kernels

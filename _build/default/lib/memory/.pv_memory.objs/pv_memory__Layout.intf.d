@@ -1,0 +1,1 @@
+lib/memory/layout.mli: Pv_kernels

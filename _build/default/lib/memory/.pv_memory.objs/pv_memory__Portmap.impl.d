@@ -1,0 +1,1 @@
+lib/memory/portmap.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/memory/portmap.mli: Format

@@ -1,0 +1,61 @@
+(** Flat memory layout for a kernel.
+
+    The circuits address one word-addressed RAM; each kernel array gets a
+    base offset (in declaration order), mirroring how Dynamatic maps
+    arrays onto a single dual-port BRAM interface. *)
+
+type t = {
+  bases : (string * int) list;  (** array name -> base word address *)
+  total : int;  (** total words *)
+}
+
+let of_kernel (k : Pv_kernels.Ast.kernel) : t =
+  let bases, total =
+    List.fold_left
+      (fun (acc, off) (name, len) -> ((name, off) :: acc, off + len))
+      ([], 0) k.Pv_kernels.Ast.arrays
+  in
+  { bases = List.rev bases; total }
+
+let base t name =
+  match List.assoc_opt name t.bases with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "layout: unknown array %S" name)
+
+(** Build the initial flat memory for [k] under [init] (as accepted by
+    {!Pv_kernels.Interp.run}); unlisted arrays are zeroed. *)
+let initial_memory t (k : Pv_kernels.Ast.kernel)
+    ~(init : (string * int array) list) : int array =
+  let mem = Array.make t.total 0 in
+  List.iter
+    (fun (name, len) ->
+      match List.assoc_opt name init with
+      | Some src ->
+          if Array.length src <> len then
+            invalid_arg
+              (Printf.sprintf "initial_memory: %s length %d, expected %d" name
+                 (Array.length src) len)
+          else Array.blit src 0 mem (base t name) len
+      | None -> ())
+    k.Pv_kernels.Ast.arrays;
+  mem
+
+(** Extract a named array from flat memory. *)
+let extract t (k : Pv_kernels.Ast.kernel) mem name =
+  let len = List.assoc name k.Pv_kernels.Ast.arrays in
+  Array.sub mem (base t name) len
+
+(** Compare flat memory against an interpreter result; returns the list of
+    mismatching locations as (array, index, expected, got). *)
+let diff_against t (k : Pv_kernels.Ast.kernel) mem
+    (golden : Pv_kernels.Interp.state) : (string * int * int * int) list =
+  List.concat_map
+    (fun (name, len) ->
+      let g = Hashtbl.find golden name in
+      let b = base t name in
+      let out = ref [] in
+      for ix = len - 1 downto 0 do
+        if g.(ix) <> mem.(b + ix) then out := (name, ix, g.(ix), mem.(b + ix)) :: !out
+      done;
+      !out)
+    k.Pv_kernels.Ast.arrays

@@ -1,0 +1,34 @@
+(** Flat memory layout for a kernel.
+
+    The circuits address one word-addressed RAM; each kernel array gets a
+    base offset (in declaration order), mirroring how Dynamatic maps arrays
+    onto memory interfaces. *)
+
+type t = {
+  bases : (string * int) list;  (** array name -> base word address *)
+  total : int;  (** total words *)
+}
+
+val of_kernel : Pv_kernels.Ast.kernel -> t
+
+(** Base address of an array.
+    @raise Invalid_argument on an unknown array. *)
+val base : t -> string -> int
+
+(** Build the initial flat memory for [k] under [init] (as accepted by
+    {!Pv_kernels.Interp.run}); unlisted arrays are zeroed.
+    @raise Invalid_argument on a length mismatch. *)
+val initial_memory :
+  t -> Pv_kernels.Ast.kernel -> init:(string * int array) list -> int array
+
+(** Extract a named array from flat memory. *)
+val extract : t -> Pv_kernels.Ast.kernel -> int array -> string -> int array
+
+(** Compare flat memory against an interpreter result; mismatches as
+    (array, index, expected, got), in declaration-then-index order. *)
+val diff_against :
+  t ->
+  Pv_kernels.Ast.kernel ->
+  int array ->
+  Pv_kernels.Interp.state ->
+  (string * int * int * int) list

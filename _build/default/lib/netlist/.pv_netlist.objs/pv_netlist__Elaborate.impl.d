@@ -1,0 +1,1 @@
+lib/netlist/elaborate.ml: Array Gen Graph List Primitive Printf Pv_dataflow Pv_memory String Types

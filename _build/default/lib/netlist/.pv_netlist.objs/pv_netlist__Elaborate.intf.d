@@ -1,0 +1,1 @@
+lib/netlist/elaborate.mli: Gen Primitive Pv_dataflow Pv_memory

@@ -1,0 +1,1 @@
+lib/netlist/emit.ml: Buffer Format Fun List Primitive Printf String

@@ -1,0 +1,1 @@
+lib/netlist/emit.mli: Primitive

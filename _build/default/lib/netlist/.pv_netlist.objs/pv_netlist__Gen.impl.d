@@ -1,0 +1,1 @@
+lib/netlist/gen.ml: List Primitive Printf Pv_dataflow Types

@@ -1,0 +1,1 @@
+lib/netlist/gen.mli: Primitive Pv_dataflow

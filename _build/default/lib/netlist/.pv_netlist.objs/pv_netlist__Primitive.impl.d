@@ -1,0 +1,1 @@
+lib/netlist/primitive.ml: Format Hashtbl List Option Printf String

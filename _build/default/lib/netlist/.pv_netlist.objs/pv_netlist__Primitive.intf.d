@@ -1,0 +1,1 @@
+lib/netlist/primitive.mli: Format

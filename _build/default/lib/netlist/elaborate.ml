@@ -1,0 +1,118 @@
+(** Elaboration of a full circuit (datapath + memory subsystem) into a
+    primitive netlist. *)
+
+open Pv_dataflow
+module P = Primitive
+
+type disambiguation =
+  | D_plain_lsq of int  (** pooled LSQ, classic allocation; depth *)
+  | D_fast_lsq of int  (** pooled LSQ with fast token delivery; depth *)
+  | D_prevv of int  (** PreVV instance per ambiguous array; queue depth *)
+
+let node_path (n : Graph.node) =
+  Printf.sprintf "dp/%s_%d" n.Graph.label n.Graph.nid
+
+let node_netlist ws (n : Graph.node) : P.t =
+  let path = node_path n in
+  match n.Graph.kind with
+  | Types.Gen g -> Gen.gen_node path ~arity:g.Types.gen_arity ws
+  | Types.Const _ -> Gen.const_node path ws.Gen.data
+  | Types.Unop op -> Gen.unop path op ws.Gen.data
+  | Types.Binop op -> Gen.binop path op ws.Gen.data
+  | Types.Fork k -> Gen.fork_ path k
+  | Types.Join k -> Gen.join path k
+  | Types.Merge k -> Gen.merge path k ws.Gen.data
+  | Types.Mux k -> Gen.mux path k ws.Gen.data
+  | Types.Branch -> Gen.branch path
+  | Types.Buffer { slots; _ } -> Gen.buffer path ~slots ws.Gen.data
+  | Types.Sink -> []
+  | Types.Load _ -> Gen.load_port path ws
+  | Types.Store _ -> Gen.store_port path ws
+  | Types.Skip _ -> [ { P.path; prim = P.Lut 3; count = 2 } ]
+  | Types.Galloc _ -> [ { P.path; prim = P.Lut 3; count = 3 } ]
+
+(** Datapath-only netlist. *)
+let datapath ?(ws = Gen.default_widths) (g : Graph.t) : P.t =
+  let acc = ref [] in
+  Graph.iter_nodes (fun n -> acc := node_netlist ws n :: !acc) g;
+  List.concat (List.rev !acc)
+
+let count_ports (pm : Pv_memory.Portmap.t) ~inst =
+  Array.fold_left
+    (fun (l, s) p ->
+      if p.Pv_memory.Portmap.instance = inst then
+        match p.Pv_memory.Portmap.kind with
+        | Pv_memory.Portmap.OLoad -> (l + 1, s)
+        | Pv_memory.Portmap.OStore -> (l, s + 1)
+      else (l, s))
+    (0, 0) pm.Pv_memory.Portmap.ports
+
+(** Full circuit netlist under a disambiguation scheme.  Memory-subsystem
+    instances live under the ["mem/"] hierarchy so reports can separate
+    them from the datapath (Fig. 1's breakdown). *)
+let circuit ?(ws = Gen.default_widths) (g : Graph.t)
+    (pm : Pv_memory.Portmap.t) (dis : disambiguation) : P.t =
+  let dp = datapath ~ws g in
+  let dp_luts = (P.totals dp).P.luts in
+  let n_direct =
+    Array.fold_left
+      (fun acc p -> if p.Pv_memory.Portmap.instance = None then acc + 1 else acc)
+      0 pm.Pv_memory.Portmap.ports
+  in
+  let mc =
+    if n_direct > 0 then Gen.mem_controller "mem/mc" ~nports:n_direct ws else []
+  in
+  let total_ports = Array.length pm.Pv_memory.Portmap.ports in
+  let ngroups = pm.Pv_memory.Portmap.n_groups in
+  let subsystem =
+    match dis with
+    | D_plain_lsq depth | D_fast_lsq depth ->
+        let fast_alloc = match dis with D_fast_lsq _ -> true | _ -> false in
+        (* one pooled LSQ per ambiguous array interface, as synthesised by
+           Dynamatic for multi-array kernels *)
+        List.concat
+          (List.init pm.Pv_memory.Portmap.n_instances (fun i ->
+               let nload_ports, nstore_ports = count_ports pm ~inst:(Some i) in
+               Gen.lsq
+                 (Printf.sprintf "mem/lsq%d" i)
+                 ~depth ~nload_ports ~nstore_ports ~ngroups ~fast_alloc ws))
+    | D_prevv depth ->
+        let squash_overhead =
+          [
+            {
+              P.path = "mem/squash_net";
+              prim = P.Lut 3;
+              count = Gen.Calib.prevv_squash_luts_per_component * Graph.n_nodes g;
+            };
+          ]
+        in
+        squash_overhead
+        @ List.concat
+            (List.init pm.Pv_memory.Portmap.n_instances (fun i ->
+                 let nload_ports, nstore_ports = count_ports pm ~inst:(Some i) in
+                 let member_frac =
+                   float_of_int (nload_ports + nstore_ports)
+                   /. float_of_int (max 1 total_ports)
+                 in
+                 let member_datapath_luts =
+                   int_of_float (member_frac *. float_of_int dp_luts)
+                 in
+                 Gen.prevv
+                   (Printf.sprintf "mem/prevv%d" i)
+                   ~depth ~nload_ports ~nstore_ports ~ngroups
+                   ~member_datapath_luts ws))
+  in
+  dp @ mc @ subsystem
+
+(** Split totals into (datapath+controller, disambiguation subsystem) — the
+    Fig. 1 breakdown. *)
+let breakdown (nl : P.t) =
+  let is_queue path =
+    String.length path >= 7
+    && (String.sub path 0 7 = "mem/lsq" || String.sub path 0 7 = "mem/pre")
+    || String.length path >= 10
+       && String.sub path 0 10 = "mem/squash"
+  in
+  let queue = P.totals_filtered ~keep:is_queue nl in
+  let rest = P.totals_filtered ~keep:(fun p -> not (is_queue p)) nl in
+  (rest, queue)

@@ -1,0 +1,24 @@
+(** Elaboration of a full circuit (datapath + memory subsystem) into a
+    primitive netlist. *)
+
+(** Which disambiguation hardware to instantiate; depths are in the
+    paper's units (the area model is calibrated in those units). *)
+type disambiguation =
+  | D_plain_lsq of int  (** pooled LSQ, classic allocation [15] *)
+  | D_fast_lsq of int  (** pooled LSQ with fast token delivery [8] *)
+  | D_prevv of int  (** PreVV instance per ambiguous array *)
+
+(** Datapath-only netlist (one entry per component, under ["dp/"]). *)
+val datapath : ?ws:Gen.widths -> Pv_dataflow.Graph.t -> Primitive.t
+
+(** Full netlist; memory-subsystem instances live under ["mem/"] so
+    reports can separate them from the datapath (Fig. 1's breakdown). *)
+val circuit :
+  ?ws:Gen.widths ->
+  Pv_dataflow.Graph.t ->
+  Pv_memory.Portmap.t ->
+  disambiguation ->
+  Primitive.t
+
+(** Split totals into (datapath + controller, disambiguation logic). *)
+val breakdown : Primitive.t -> Primitive.totals * Primitive.totals

@@ -1,0 +1,5 @@
+(** Textual structural netlist emission (VHDL-flavoured) — the analogue of
+    the VHDL netlists the paper's flow hands to Vivado. *)
+
+val to_string : entity:string -> Primitive.t -> string
+val to_file : string -> entity:string -> Primitive.t -> unit

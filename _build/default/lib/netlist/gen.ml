@@ -1,0 +1,243 @@
+(** Structural elaboration: dataflow components and memory-subsystem macros
+    to FPGA primitives.
+
+    Datapath components follow standard elastic-component implementations
+    (combinational function + handshake; storage only in buffers, FU
+    pipelines and port registers).  The LSQ macro follows the published
+    Dynamatic LSQ structure (per-entry storage, an order matrix, per-port
+    CAM search and forwarding muxes, group allocator with ROM); the PreVV
+    macro instantiates the paper's components (collapsing premature queue
+    in distributed RAM, LMerge/SMerge, parallel validation comparators,
+    squash/replay control) plus a replicated copy of each member pair's
+    datapath for re-execution — Eq. 6 charges every pair its computation
+    twice, and the re-execution path is physical.
+
+    Per-macro fudge factors (documented in {!Calib}) absorb what synthesis
+    would add in replication and control duplication; they are fitted once
+    against the published Table I and then fixed for every experiment. *)
+
+open Pv_dataflow
+module P = Primitive
+
+(** Fabric widths. *)
+type widths = { data : int; addr : int; seq : int }
+
+let default_widths = { data = 32; addr = 12; seq = 12 }
+
+(** Calibration constants; see DESIGN.md §resource-model. *)
+module Calib = struct
+  (* LSQ: order-matrix cell replication factor and per-port search scale,
+     fitted so a 32-deep pooled LSQ lands near the published ~16-18k LUTs *)
+  let lsq_matrix_luts_per_cell = 12
+  let lsq_port_scale = 4
+  let lsq_alloc_luts = 1600
+  let lsq_entry_ff_overhead = 6
+
+  (* PreVV: arbiter/squash-control base and the share of a member leaf's
+     datapath that is replicated for replay *)
+  let prevv_base_luts = 7160
+  let prevv_entry_luts = 61
+  let prevv_base_ffs = 1690
+  let prevv_entry_ffs = 10
+  let prevv_replay_copies = 1
+  let prevv_squash_luts_per_component = 3
+end
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let inst path prim count = { P.path; prim; count }
+
+(* --- elastic datapath components ----------------------------------------- *)
+
+let handshake path = [ inst (path ^ "/hs") (P.Lut 3) 2 ]
+
+let adder path w =
+  inst (path ^ "/sum") (P.Lut 2) w :: inst (path ^ "/carry") P.Carry4 ((w + 3) / 4)
+  :: handshake path
+
+let comparator path w =
+  inst (path ^ "/cmp") (P.Lut 3) ((w + 1) / 2)
+  :: inst (path ^ "/carry") P.Carry4 ((w + 3) / 4)
+  :: handshake path
+
+let logic_op path w = inst (path ^ "/op") (P.Lut 2) w :: handshake path
+
+let barrel_shift path w =
+  inst (path ^ "/sh") (P.Lut 6) (w * clog2 w / 2) :: handshake path
+
+let multiplier path w =
+  (* DSP-mapped, 3 pipeline stages (II=1) *)
+  inst (path ^ "/dsp") P.Dsp 3
+  :: inst (path ^ "/pipe") P.Ff (3 * w)
+  :: handshake path
+
+let divider path w =
+  (* radix-2 restoring array divider, pipelined *)
+  inst (path ^ "/array") (P.Lut 4) (w * w / 6)
+  :: inst (path ^ "/carry") P.Carry4 (w * w / 24)
+  :: inst (path ^ "/pipe") P.Ff (4 * w)
+  :: handshake path
+
+let binop path (op : Types.binop) w =
+  match op with
+  | Types.Add | Types.Sub -> adder path w
+  | Types.Mul -> multiplier path w
+  | Types.Mulc ->
+      (* constant multiply: shift-add network, no DSP *)
+      inst (path ^ "/sh_add") (P.Lut 3) (2 * w)
+      :: inst (path ^ "/carry") P.Carry4 (2 * ((w + 3) / 4))
+      :: handshake path
+  | Types.Div | Types.Rem -> divider path w
+  | Types.Lt | Types.Le | Types.Gt | Types.Ge | Types.Eq | Types.Ne ->
+      comparator path w
+  | Types.And | Types.Or | Types.Xor -> logic_op path w
+  | Types.Shl | Types.Shr -> barrel_shift path w
+  | Types.Min | Types.Max ->
+      comparator path w @ [ inst (path ^ "/sel") (P.Lut 3) ((w + 1) / 2) ]
+
+let unop path (op : Types.unop) w =
+  match op with
+  | Types.Neg -> adder path w
+  | Types.Not -> inst (path ^ "/not") (P.Lut 1) 1 :: handshake path
+  | Types.Lnot -> inst (path ^ "/inv") (P.Lut 1) w :: handshake path
+
+let buffer path ~slots w =
+  if slots <= 2 then
+    inst (path ^ "/regs") P.Ff (slots * (w + 1))
+    :: inst (path ^ "/ctl") (P.Lut 4) 3
+    :: handshake path
+  else
+    (* SRL-based FIFO: storage in LUT fabric, pointers in FFs *)
+    inst (path ^ "/srl") (P.Lutram (w + 1)) 1
+    :: inst (path ^ "/ptr") P.Ff (2 * clog2 (max 2 slots))
+    :: inst (path ^ "/ctl") (P.Lut 4) 4
+    :: handshake path
+
+let fork_ path n = inst (path ^ "/ctl") (P.Lut 4) (2 * n) :: handshake path
+let join path n = inst (path ^ "/ctl") (P.Lut 4) n :: handshake path
+
+let merge path n w =
+  inst (path ^ "/mux") (P.Lut 6) ((n - 1) * ((w + 1) / 2))
+  :: inst (path ^ "/arb") (P.Lut 4) n
+  :: handshake path
+
+let mux path n w =
+  inst (path ^ "/mux") (P.Lut 6) (n * ((w + 1) / 2))
+  :: inst (path ^ "/muxf") P.Muxf (if n > 2 then (n - 2) * (w / 4) else 0)
+  :: handshake path
+
+let branch path = inst (path ^ "/route") (P.Lut 4) 4 :: handshake path
+
+let const_node path w = inst (path ^ "/bits") (P.Lut 1) (w / 8) :: handshake path
+
+let gen_node path ~arity ws =
+  (* fused loop controller: one counter + bound comparator per level *)
+  List.concat
+    (List.init arity (fun k ->
+         let p = Printf.sprintf "%s/lvl%d" path k in
+         adder p ws.data @ comparator p ws.data
+         @ [ inst (p ^ "/state") P.Ff (ws.data + ws.seq) ]))
+  @ [ inst (path ^ "/fsm") (P.Lut 5) 24 ]
+
+let load_port path ws =
+  inst (path ^ "/addr_reg") P.Ff ws.addr
+  :: inst (path ^ "/ctl") (P.Lut 4) 5
+  :: handshake path
+
+let store_port path ws =
+  inst (path ^ "/regs") P.Ff (ws.addr + ws.data)
+  :: inst (path ^ "/ctl") (P.Lut 4) 6
+  :: handshake path
+
+(* --- memory subsystem macros --------------------------------------------- *)
+
+(** Memory controller for direct (provably independent) ports. *)
+let mem_controller path ~nports ws =
+  [
+    inst (path ^ "/arb") (P.Lut 4) (nports * 6);
+    inst (path ^ "/mux") (P.Lut 6) (nports * ((ws.addr + ws.data) / 2));
+    inst (path ^ "/regs") P.Ff (nports * 4);
+  ]
+
+(** The pooled Dynamatic LSQ: entries, order matrix, per-port CAM search
+    and store-to-load forwarding, group allocator.  [fast_alloc] adds the
+    fast-token-delivery network of [8] (extra area, better timing). *)
+let lsq path ~depth ~nload_ports ~nstore_ports ~ngroups ~fast_alloc ws =
+  let d = depth in
+  let ports = nload_ports + nstore_ports in
+  [
+    (* per-entry payload: address, data (SQ), flags *)
+    inst (path ^ "/lq_entries") P.Ff
+      (d * (ws.addr + ws.seq + Calib.lsq_entry_ff_overhead));
+    inst (path ^ "/sq_entries") P.Ff
+      (d * (ws.addr + ws.data + ws.seq + Calib.lsq_entry_ff_overhead));
+    (* age/order matrix: d^2 cells of set/reset + priority logic *)
+    inst (path ^ "/order_matrix") P.Ff (d * d);
+    inst (path ^ "/order_logic") (P.Lut 4) (d * d * Calib.lsq_matrix_luts_per_cell);
+    (* per-port CAM search (address equality against every entry) and
+       forwarding mux (any entry's data to the load result) *)
+    inst (path ^ "/cam") (P.Lut 4)
+      (Calib.lsq_port_scale * ports * d * ((ws.addr + 3) / 4));
+    inst (path ^ "/fwd_mux") (P.Lut 6)
+      (Calib.lsq_port_scale * nload_ports * d * ((ws.data + 3) / 4));
+    inst (path ^ "/fwd_muxf") P.Muxf (nload_ports * d);
+    (* priority encoders for issue and commit selection *)
+    inst (path ^ "/prio") (P.Lut 5) (2 * d * clog2 (max 2 d) * 2);
+    (* group allocator + program-order ROM *)
+    inst (path ^ "/alloc") (P.Lut 4) (Calib.lsq_alloc_luts + (ngroups * 24));
+    inst (path ^ "/rom") (P.Lutram 8) (max 1 (ngroups * ports / 8));
+  ]
+  @
+  if fast_alloc then
+    [
+      (* straight-to-the-queue token network [8] *)
+      inst (path ^ "/fast_tokens") (P.Lut 4) (ngroups * 48 + (ports * 16));
+      inst (path ^ "/fast_regs") P.Ff (ngroups * 12);
+    ]
+  else []
+
+(** One PreVV disambiguation instance: collapsing premature queue in
+    distributed RAM, LMerge/SMerge, parallel validation comparators, ROM,
+    squash/replay controller.  [member_datapath_luts] is the LUT size of
+    the ambiguous pair's computation, replicated for re-execution. *)
+let prevv path ~depth ~nload_ports ~nstore_ports ~ngroups
+    ~member_datapath_luts ws =
+  let d = depth in
+  let ports = nload_ports + nstore_ports in
+  let entry_bits = ws.seq + ws.addr + ws.data + 2 in
+  let per_entry_breakdown =
+    (* collapse/shift network, parallel validation comparators (Eqs. 2-5),
+       erring-iteration priority, and queue bypass muxing *)
+    let collapse = (entry_bits + 2) / 3 in
+    let validate = 2 * (((ws.seq + 3) / 4) + ((ws.addr + 3) / 4) + ((ws.data + 3) / 4)) in
+    let prio = clog2 (max 2 d) in
+    let bypass = Calib.prevv_entry_luts - collapse - validate - prio in
+    [ ("collapse", collapse); ("validate", validate); ("err_prio", prio);
+      ("bypass", max 0 bypass) ]
+  in
+  [
+    (* queue payload in LUT RAM banks of 32 entries *)
+    inst (path ^ "/queue") (P.Lutram entry_bits) (max 1 ((d + 31) / 32));
+    inst (path ^ "/queue_valid") P.Ff d;
+    inst (path ^ "/queue_meta") P.Ff (d * Calib.prevv_entry_ffs);
+    inst (path ^ "/ptrs") P.Ff (2 * clog2 (max 2 d) + 4);
+    (* LMerge / SMerge packing trees *)
+    inst (path ^ "/lmerge") (P.Lut 6) (nload_ports * ((entry_bits + 1) / 2));
+    inst (path ^ "/smerge") (P.Lut 6) (nstore_ports * ((entry_bits + 1) / 2));
+    (* same-iteration order ROM *)
+    inst (path ^ "/rom") (P.Lutram 8) (max 1 (ngroups * ports / 8));
+    (* arbiter core, squash mux / iter_err broadcast, replay sequencing *)
+    inst (path ^ "/arbiter") (P.Lut 4) (Calib.prevv_base_luts * 2 / 5);
+    inst (path ^ "/squash") (P.Lut 4) (Calib.prevv_base_luts * 3 / 10);
+    inst (path ^ "/replay_ctl") (P.Lut 4) (Calib.prevv_base_luts * 3 / 10);
+    inst (path ^ "/replay_regs") P.Ff (Calib.prevv_base_ffs * 7 / 10);
+    inst (path ^ "/epoch_regs") P.Ff (Calib.prevv_base_ffs * 3 / 10);
+    (* replicated member datapath for re-execution (Eq. 6's second pass) *)
+    inst (path ^ "/replay_dp") (P.Lut 4)
+      (Calib.prevv_replay_copies * member_datapath_luts);
+  ]
+  @ List.map
+      (fun (name, luts) -> inst (path ^ "/" ^ name) (P.Lut 4) (d * luts))
+      per_entry_breakdown

@@ -1,0 +1,92 @@
+(** Structural elaboration: dataflow components and memory-subsystem macros
+    to FPGA primitives.
+
+    Datapath components follow standard elastic-component implementations
+    (combinational function + handshake; storage only in buffers, FU
+    pipelines and port registers).  The LSQ macro follows the published
+    Dynamatic LSQ structure (per-entry storage, an order matrix, per-port
+    CAM search and forwarding muxes, group allocator with ROM); the PreVV
+    macro instantiates the paper's components (collapsing premature queue
+    in distributed RAM, LMerge/SMerge, parallel validation comparators,
+    squash/replay control) plus a replicated copy of each member pair's
+    datapath for re-execution — Eq. 6 charges every pair its computation
+    twice, and the re-execution path is physical.
+
+    The constants in {!Calib} absorb what synthesis would add in
+    replication and control duplication; they were fitted once against the
+    published Table I and then frozen (DESIGN.md §9). *)
+
+(** Fabric widths (bits). *)
+type widths = { data : int; addr : int; seq : int }
+
+val default_widths : widths
+
+(** Calibration constants; see DESIGN.md §9 for the fitting disclosure. *)
+module Calib : sig
+  val lsq_matrix_luts_per_cell : int
+  val lsq_port_scale : int
+  val lsq_alloc_luts : int
+  val lsq_entry_ff_overhead : int
+  val prevv_base_luts : int
+  val prevv_entry_luts : int
+  val prevv_base_ffs : int
+  val prevv_entry_ffs : int
+  val prevv_replay_copies : int
+  val prevv_squash_luts_per_component : int
+end
+
+val clog2 : int -> int
+
+(** {1 Elastic datapath components}
+
+    Each returns the primitive list of one component instance rooted at
+    [path]. *)
+
+val handshake : string -> Primitive.t
+val adder : string -> int -> Primitive.t
+val comparator : string -> int -> Primitive.t
+val logic_op : string -> int -> Primitive.t
+val barrel_shift : string -> int -> Primitive.t
+val multiplier : string -> int -> Primitive.t
+val divider : string -> int -> Primitive.t
+val binop : string -> Pv_dataflow.Types.binop -> int -> Primitive.t
+val unop : string -> Pv_dataflow.Types.unop -> int -> Primitive.t
+val buffer : string -> slots:int -> int -> Primitive.t
+val fork_ : string -> int -> Primitive.t
+val join : string -> int -> Primitive.t
+val merge : string -> int -> int -> Primitive.t
+val mux : string -> int -> int -> Primitive.t
+val branch : string -> Primitive.t
+val const_node : string -> int -> Primitive.t
+val gen_node : string -> arity:int -> widths -> Primitive.t
+val load_port : string -> widths -> Primitive.t
+val store_port : string -> widths -> Primitive.t
+
+(** {1 Memory-subsystem macros} *)
+
+(** Memory controller for direct (provably independent) ports. *)
+val mem_controller : string -> nports:int -> widths -> Primitive.t
+
+(** The pooled Dynamatic LSQ; [fast_alloc] adds the fast-token-delivery
+    network of [8]. *)
+val lsq :
+  string ->
+  depth:int ->
+  nload_ports:int ->
+  nstore_ports:int ->
+  ngroups:int ->
+  fast_alloc:bool ->
+  widths ->
+  Primitive.t
+
+(** One PreVV disambiguation instance; [member_datapath_luts] is the LUT
+    size of the member pair's computation, replicated for re-execution. *)
+val prevv :
+  string ->
+  depth:int ->
+  nload_ports:int ->
+  nstore_ports:int ->
+  ngroups:int ->
+  member_datapath_luts:int ->
+  widths ->
+  Primitive.t

@@ -1,0 +1,95 @@
+(** FPGA primitive vocabulary for structural elaboration (7-series flavour,
+    matching the paper's xc7k160t target).
+
+    DSP slices are instantiated for multipliers but, like the paper, never
+    reported: "the use of DSP is not evaluated, as neither LSQ nor PreVV
+    utilizes DSP". *)
+
+type prim =
+  | Lut of int  (** k-input look-up table, 1 <= k <= 6 *)
+  | Lutram of int
+      (** distributed RAM/SRL bank, 32 entries x [bits] wide; each bit
+          occupies one LUT of fabric (RAM32X1S) *)
+  | Ff  (** flip-flop *)
+  | Carry4  (** carry chain slice (4 bits) *)
+  | Muxf  (** dedicated MUXF7/F8 *)
+  | Dsp  (** DSP48 slice *)
+  | Bram  (** block RAM (the kernels' arrays; not in Table I) *)
+
+type instance = {
+  path : string;  (** hierarchical name, e.g. "lsq0/cam/row7" *)
+  prim : prim;
+  count : int;
+}
+
+type t = instance list
+
+(** Aggregate counts in Table-I categories.  A [Lutram] occupies LUT fabric
+    and is reported as LUTs, as Vivado does. *)
+type totals = {
+  luts : int;
+  ffs : int;
+  muxes : int;  (** dedicated MUXF resources *)
+  carries : int;
+  dsps : int;
+  brams : int;
+}
+
+let zero = { luts = 0; ffs = 0; muxes = 0; carries = 0; dsps = 0; brams = 0 }
+
+let add_instance acc { prim; count; _ } =
+  match prim with
+  | Lut _ -> { acc with luts = acc.luts + count }
+  | Lutram bits -> { acc with luts = acc.luts + (count * bits) }
+  | Ff -> { acc with ffs = acc.ffs + count }
+  | Muxf -> { acc with muxes = acc.muxes + count }
+  | Carry4 -> { acc with carries = acc.carries + count }
+  | Dsp -> { acc with dsps = acc.dsps + count }
+  | Bram -> { acc with brams = acc.brams + count }
+
+let totals (nl : t) = List.fold_left add_instance zero nl
+
+(** Totals restricted to instances whose path passes [keep]. *)
+let totals_filtered ~keep (nl : t) =
+  List.fold_left
+    (fun acc i -> if keep i.path then add_instance acc i else acc)
+    zero nl
+
+let pp_totals ppf t =
+  Format.fprintf ppf "LUT=%d FF=%d MUXF=%d CARRY4=%d DSP=%d BRAM=%d" t.luts
+    t.ffs t.muxes t.carries t.dsps t.brams
+
+(** Aggregate per hierarchy prefix: paths are cut after [depth] '/'-
+    separated segments and totals accumulated per prefix, in descending
+    LUT order — the data for area breakdowns finer than Fig. 1's
+    two-way split. *)
+let group_totals ?(depth = 1) (nl : t) : (string * totals) list =
+  let prefix path =
+    let rec cut i seen =
+      if seen = depth || i >= String.length path then
+        String.sub path 0 i
+      else cut (i + 1) (if path.[i] = '/' then seen + 1 else seen)
+    in
+    let p = cut 0 0 in
+    if String.length p > 0 && p.[String.length p - 1] = '/' then
+      String.sub p 0 (String.length p - 1)
+    else p
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let key = prefix i.path in
+      let cur = Option.value ~default:zero (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (add_instance cur i))
+    nl;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b.luts a.luts)
+
+let prim_name = function
+  | Lut k -> Printf.sprintf "LUT%d" k
+  | Lutram bits -> Printf.sprintf "RAM32X%d" bits
+  | Ff -> "FDRE"
+  | Carry4 -> "CARRY4"
+  | Muxf -> "MUXF7"
+  | Dsp -> "DSP48E1"
+  | Bram -> "RAMB36E1"

@@ -1,0 +1,52 @@
+(** FPGA primitive vocabulary for structural elaboration (7-series flavour,
+    matching the paper's xc7k160t target).
+
+    DSP slices are instantiated for multipliers but, like the paper, never
+    reported in the tables: "the use of DSP is not evaluated, as neither
+    LSQ nor PreVV utilizes DSP". *)
+
+type prim =
+  | Lut of int  (** k-input look-up table, 1 <= k <= 6 *)
+  | Lutram of int
+      (** distributed RAM/SRL bank, 32 entries x [bits] wide; each bit
+          occupies one LUT of fabric (RAM32X1S) *)
+  | Ff  (** flip-flop *)
+  | Carry4  (** carry chain slice (4 bits) *)
+  | Muxf  (** dedicated MUXF7/F8 *)
+  | Dsp  (** DSP48 slice *)
+  | Bram  (** block RAM (the kernels' arrays; not in Table I) *)
+
+type instance = {
+  path : string;  (** hierarchical name, e.g. "mem/lsq0/cam" *)
+  prim : prim;
+  count : int;
+}
+
+type t = instance list
+
+(** Aggregates in Table-I categories; LUT-RAM bits count as LUT fabric, as
+    Vivado reports them. *)
+type totals = {
+  luts : int;
+  ffs : int;
+  muxes : int;  (** dedicated MUXF resources *)
+  carries : int;
+  dsps : int;
+  brams : int;
+}
+
+val zero : totals
+val totals : t -> totals
+
+(** Totals restricted to instances whose path satisfies [keep]. *)
+val totals_filtered : keep:(string -> bool) -> t -> totals
+
+val pp_totals : Format.formatter -> totals -> unit
+
+(** Aggregate per hierarchy prefix (paths cut after [depth] segments),
+    sorted by descending LUT count — finer-grained breakdowns than
+    Fig. 1's two-way split. *)
+val group_totals : ?depth:int -> t -> (string * totals) list
+
+(** Vivado-style primitive name (LUT4, FDRE, CARRY4, ...). *)
+val prim_name : prim -> string

@@ -1,0 +1,1 @@
+lib/prevv/arbiter.ml: Premature_queue Pv_memory

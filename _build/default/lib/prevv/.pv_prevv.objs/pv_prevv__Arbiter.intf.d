@@ -1,0 +1,1 @@
+lib/prevv/arbiter.mli: Premature_queue

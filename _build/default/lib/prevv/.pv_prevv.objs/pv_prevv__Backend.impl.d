@@ -1,0 +1,1 @@
+lib/prevv/backend.ml: Arbiter Array Float Format Hashtbl List Option Portmap Premature_queue Printf Pv_dataflow Pv_memory Queue String

@@ -1,0 +1,1 @@
+lib/prevv/backend.mli: Format Pv_dataflow Pv_memory

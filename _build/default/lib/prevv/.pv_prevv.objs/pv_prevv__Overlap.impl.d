@@ -1,0 +1,1 @@
+lib/prevv/overlap.ml: Array List Pv_memory

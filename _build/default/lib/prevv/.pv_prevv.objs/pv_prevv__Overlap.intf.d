@@ -1,0 +1,1 @@
+lib/prevv/overlap.mli: Pv_memory

@@ -1,0 +1,1 @@
+lib/prevv/premature_queue.ml: Array List Pv_memory

@@ -1,0 +1,1 @@
+lib/prevv/premature_queue.mli: Pv_memory

@@ -1,0 +1,1 @@
+lib/prevv/sizing.ml: Array List Pv_dataflow

@@ -1,0 +1,1 @@
+lib/prevv/sizing.mli: Pv_dataflow

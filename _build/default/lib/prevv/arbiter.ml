@@ -1,0 +1,71 @@
+(** The arbiter's validation logic (Sec. III, Eqs. 2–5, and Sec. IV-C).
+
+    A newly arrived premature operation is compared against every valid
+    entry of the premature queue.  The paper states the conditions for the
+    case where the new arrival is the {e older} operation (Eq. 2:
+    [iter_m < iter_n]) — a store arriving to find that a younger load
+    already consumed a different value.  We implement exactly that check,
+    plus the same-iteration tie-break through the ROM order (end of
+    Sec. III), and complement it with a {e gating} rule for arriving loads
+    (an older same-address store still sitting in the queue makes the load
+    wait, or forwards within the same iteration), which closes the
+    symmetric race without any additional search hardware — the gate reuses
+    the arbiter's comparators. *)
+
+open Pv_memory.Portmap
+
+(** Program-order comparison: (seq, ROM position). *)
+let older (s1, p1) (s2, p2) = s1 < s2 || (s1 = s2 && p1 < p2)
+
+(** Eqs. 2–5: a store [P_m] arriving at the arbiter detects an erroneous
+    premature load [C_n] if some valid queue entry is younger (Eq. 2, with
+    the ROM tie-break for equal iterations), of opposite type (Eq. 3), on
+    the same index (Eq. 4) and with a different value (Eq. 5).  Returns the
+    earliest erring iteration, i.e. the [iter_Err] the arbiter copies back
+    to the squash mux.
+
+    [value_validation:false] disables Eq. 5 (ablation): any ordering
+    conflict squashes even when the store rewrites the value the load
+    already observed — address-only disambiguation, the behaviour PreVV's
+    value check improves on. *)
+let store_violation ?(value_validation = true) q ~seq ~pos ~index ~value :
+    int option =
+  Premature_queue.fold
+    (fun worst (e : Premature_queue.entry) ->
+      if
+        e.e_kind = OLoad
+        && older (seq, pos) (e.e_seq, e.e_pos)
+        && e.e_index = index
+        && ((not value_validation) || e.e_value <> value)
+      then
+        match worst with
+        | Some w -> Some (min w e.e_seq)
+        | None -> Some e.e_seq
+      else worst)
+    None q
+
+type load_gate =
+  | Clear  (** no older store to this address is pending: read memory *)
+  | Forward of int  (** same-iteration earlier store: take its value *)
+  | Wait  (** an older uncommitted store targets this address: stall *)
+
+(** Gating of an arriving premature load against the queue.  [Wait] is the
+    no-speculation path taken after replays (the older store is already
+    queued, so speculating again would deterministically squash again);
+    [Forward] resolves an intra-iteration store→load dependence dictated
+    by the ROM order. *)
+let load_gate q ~seq ~pos ~index : load_gate =
+  let best =
+    Premature_queue.fold
+      (fun acc (e : Premature_queue.entry) ->
+        if e.e_kind = OStore && e.e_index = index && older (e.e_seq, e.e_pos) (seq, pos)
+        then
+          match acc with
+          | Some (bs, bp, _) when older (e.e_seq, e.e_pos) (bs, bp) -> acc
+          | _ -> Some (e.e_seq, e.e_pos, e.e_value)
+        else acc)
+      None q
+  in
+  match best with
+  | None -> Clear
+  | Some (bs, _, v) -> if bs = seq then Forward v else Wait

@@ -1,0 +1,37 @@
+(** The arbiter's validation logic (Sec. III, Eqs. 2–5, and Sec. IV-C) as
+    pure functions over the premature queue. *)
+
+(** Program-order comparison on (iteration, ROM position). *)
+val older : int * int -> int * int -> bool
+
+(** Eqs. 2–5: a store [P_m] arriving at the arbiter detects an erroneous
+    premature load [C_n] if some valid queue entry is younger (Eq. 2, with
+    the ROM tie-break for equal iterations), of opposite type (Eq. 3), on
+    the same index (Eq. 4) and with a different value (Eq. 5).  Returns the
+    earliest erring iteration — the [iter_Err] the arbiter copies back to
+    the squash mux — or [None].
+
+    [value_validation:false] disables Eq. 5 (ablation): any ordering
+    conflict squashes even when the store rewrites the value the load
+    already observed — address-only disambiguation, the behaviour PreVV's
+    value check improves on. *)
+val store_violation :
+  ?value_validation:bool ->
+  Premature_queue.t ->
+  seq:int ->
+  pos:int ->
+  index:int ->
+  value:int ->
+  int option
+
+(** Admission verdict for an arriving premature load. *)
+type load_gate =
+  | Clear  (** no older store to this address is pending: read memory *)
+  | Forward of int  (** same-iteration earlier store: take its value *)
+  | Wait  (** an older uncommitted store targets this address: stall *)
+
+(** Gate an arriving load against the queue.  [Wait] is the
+    no-speculation path (the older store is already queued, so speculating
+    would deterministically squash again on replay); [Forward] resolves an
+    intra-iteration store-to-load dependence dictated by the ROM order. *)
+val load_gate : Premature_queue.t -> seq:int -> pos:int -> index:int -> load_gate

@@ -1,0 +1,662 @@
+(** The PreVV memory backend: one premature queue + arbiter per ambiguous
+    array (one disambiguation instance), no load or store queue.
+
+    Premature execution: loads read committed memory the moment their
+    address arrives; stores buffer in the premature queue and reach memory
+    only when their whole body instance has been validated, in original
+    program order (the commit frontier).  The arbiter checks each arriving
+    record against the queue (Eqs. 2–5); a violation squashes the pipeline
+    from the erring iteration, and the circuit replays it — the simulator
+    purges in-flight tokens and rewinds the loop generator.  Conditional
+    pair members send fake tokens (Sec. V-C); disabling them (config flag)
+    reproduces the deadlock of Fig. 6. *)
+
+open Pv_memory
+
+type config = {
+  depth_q : int;  (** premature queue depth ([Depth_q] of Sec. IV-B) *)
+  mem_latency : int;
+  commits_per_cycle : int;  (** validated instances retired per cycle *)
+  fake_tokens : bool;  (** Sec. V-C deadlock elimination on/off *)
+  value_validation : bool;
+      (** Eq. 5 on/off (ablation: off = address-only disambiguation) *)
+  collapse_queue : bool;
+      (** interior slot reclamation on/off (ablation: off = naive circular
+          pointers, prone to fragmentation wedging) *)
+}
+
+(* Simulated queue entries per named (paper) depth unit: this simulator
+   pipelines the datapath into roughly twice as many (thinner) stages as
+   the published circuits, so occupancies — and hence the capacity a named
+   depth must provide — scale by the same factor.  The LSQ baselines use
+   the identical mapping (16-entry paper default -> 32 simulated). *)
+let depth_scale = 2
+
+let default ~depth_q =
+  {
+    depth_q;
+    mem_latency = 2;
+    commits_per_cycle = 1;
+    fake_tokens = true;
+    value_validation = true;
+    collapse_queue = true;
+  }
+
+(** Configuration for a paper-named depth (PreVV16, PreVV64, ...). *)
+let named ~depth =
+  { (default ~depth_q:(depth_scale * depth)) with fake_tokens = true }
+
+type inst = {
+  id : int;
+  q : Premature_queue.t;
+  quota : int;
+      (** per-port fair share of queue slots.  A port may not hold more
+          outstanding records than its quota, so no port can race ahead
+          and starve the others out of the queue. *)
+  reserve_unused : int;  (** kept for reporting: max ops per iteration *)
+  outstanding : (int, int ref) Hashtbl.t;  (** port -> live records *)
+  mutable saf : int;
+      (** store-arrival frontier: all member {e stores} of iterations
+          below [saf] have reached the arbiter (or sent fake tokens).
+          A load record retires once [saf] passes its iteration — every
+          store that could have accused it has been validated against it
+          (Eqs. 2-5), so it leaves the queue long before the commit
+          frontier reaches it.  Stores retire at commit. *)
+  arrivals : (int, int list ref) Hashtbl.t;  (** seq -> arrived ports *)
+}
+
+type t = {
+  cfg : config;
+  pm : Portmap.t;
+  mem : int array;
+  stats : Pv_dataflow.Memif.stats;
+  insts : inst array;
+  group_of : (int, int) Hashtbl.t;  (** seq -> group, set by the allocator *)
+  resp : (int, (int * int * int) Queue.t) Hashtbl.t;
+      (** port -> (ready_at, seq, value) *)
+  mutable now : int;
+  mutable pending_squash : int option;
+  mutable frontier : int;
+      (** oldest not-yet-committed body instance.  The frontier is global
+          (program order across all disambiguation instances): committing a
+          store only after {e every} instance has seen all older operations
+          prevents a store whose address was derived from another array's
+          mis-speculated load from corrupting memory before the squash. *)
+  mutable strict_seq : int;
+      (** after a squash at [s], loads of instance [s] re-issue
+          non-speculatively until the frontier passes [s] *)
+  mutable max_arrived : int;
+  mutable replay_until : int;  (** ops at or below this seq are replays *)
+  (* per-array (per-BRAM) budgets: one read and one write per cycle *)
+  reads : (string, int ref) Hashtbl.t;
+  writes : (string, int ref) Hashtbl.t;
+}
+
+let take_budget tbl array =
+  match Hashtbl.find_opt tbl array with
+  | Some r when !r > 0 ->
+      decr r;
+      true
+  | _ -> false
+
+let peek_budget tbl array =
+  match Hashtbl.find_opt tbl array with Some r -> !r | None -> 0
+
+let outstanding inst port =
+  match Hashtbl.find_opt inst.outstanding port with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace inst.outstanding port r;
+      r
+
+let mark_arrival inst ~seq ~port =
+  match Hashtbl.find_opt inst.arrivals seq with
+  | Some l -> if not (List.mem port !l) then l := port :: !l
+  | None -> Hashtbl.replace inst.arrivals seq (ref [ port ])
+
+let arrived inst ~seq ~port =
+  match Hashtbl.find_opt inst.arrivals seq with
+  | Some l -> List.mem port !l
+  | None -> false
+
+(* A speculative read with an address derived from a mis-speculated load
+   can point anywhere; real hardware would return whatever the RAM drives
+   (undefined data) and the squash repairs the pipeline.  Reads outside
+   the RAM return 0 rather than trapping. *)
+let read_mem t addr =
+  if addr >= 0 && addr < Array.length t.mem then t.mem.(addr) else 0
+
+let respond t ~port ~ready_at ~seq ~value =
+  let q =
+    match Hashtbl.find_opt t.resp port with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.resp port q;
+        q
+  in
+  Queue.add (ready_at, seq, value) q
+
+let note_occupancy t =
+  let o =
+    Array.fold_left (fun acc i -> acc + Premature_queue.occupancy i.q) 0 t.insts
+  in
+  if o > t.stats.Pv_dataflow.Memif.max_occupancy then
+    t.stats.Pv_dataflow.Memif.max_occupancy <- o
+
+let raise_squash t seq_err =
+  t.pending_squash <-
+    (match t.pending_squash with
+    | Some s -> Some (min s seq_err)
+    | None -> Some seq_err)
+
+(* Expected member ports of [inst] for body instance [seq]; [None] until
+   the instance has been announced by the generator. *)
+let expected t inst ~seq =
+  match Hashtbl.find_opt t.group_of seq with
+  | None -> None
+  | Some g -> Some t.pm.Portmap.rom.(inst.id).(g)
+
+(* Slots that must stay available for the oldest iteration to complete:
+   exactly its not-yet-arrived member operations.  Their ports always have
+   zero outstanding records (anything older retired at the store-arrival
+   or commit frontier), so reserving this many slots for frontier-age
+   records makes admission deadlock-free. *)
+let frontier_reserve t inst =
+  match expected t inst ~seq:t.frontier with
+  | None -> 0
+  | Some ports ->
+      Array.fold_left
+        (fun acc pid ->
+          if arrived inst ~seq:t.frontier ~port:pid then acc else acc + 1)
+        0 ports
+
+(* Queue admission: frontier-instance operations may use the reserved
+   slots; younger records must respect both the per-port quota and the
+   unreserved capacity. *)
+let has_room t inst ~port ~seq =
+  if seq <= t.frontier then not (Premature_queue.is_full inst.q)
+  else
+    !(outstanding inst port) < inst.quota
+    && Premature_queue.occupancy inst.q
+       < t.cfg.depth_q - frontier_reserve t inst
+
+(* Is some store of the same body instance, placed before [pos] by the
+   ROM, still missing from the arbiter? *)
+let same_seq_store_pending t inst ~seq ~pos =
+  match expected t inst ~seq with
+  | None -> false
+  | Some ports ->
+      Array.exists
+        (fun pid ->
+          (Portmap.port t.pm pid).Portmap.kind = Portmap.OStore
+          && (match Portmap.rom_pos t.pm ~inst:inst.id
+                      ~group:(Hashtbl.find t.group_of seq) ~port:pid
+              with
+             | Some p -> p < pos
+             | None -> false)
+          && not (arrived inst ~seq ~port:pid))
+        ports
+
+(* Strict re-issue after a squash: a load of the squashed instance may only
+   read once every same-instance store that the ROM places before it has
+   arrived (it will then forward), and otherwise behaves normally. *)
+let strict_blocked t inst ~seq ~pos =
+  seq = t.strict_seq && same_seq_store_pending t inst ~seq ~pos
+
+let release t inst (retired : Premature_queue.entry list) =
+  ignore t;
+  List.iter
+    (fun (e : Premature_queue.entry) ->
+      match Hashtbl.find_opt inst.outstanding e.Premature_queue.e_port with
+      | Some r -> decr r
+      | None -> ())
+    retired
+
+(* Advance the store-arrival frontier and retire validated load records:
+   once every store of all older iterations (and the same iteration's
+   earlier-ROM stores) has arrived and been compared, no future arrival can
+   accuse the load, so its record leaves the queue.  Stores stay until the
+   commit frontier writes them back. *)
+let validate_loads t inst =
+  let continue = ref true in
+  while !continue do
+    match expected t inst ~seq:inst.saf with
+    | None -> continue := false
+    | Some ports ->
+        let stores_arrived =
+          Array.for_all
+            (fun pid ->
+              (Portmap.port t.pm pid).Portmap.kind <> Portmap.OStore
+              || arrived inst ~seq:inst.saf ~port:pid)
+            ports
+        in
+        if stores_arrived then inst.saf <- inst.saf + 1 else continue := false
+  done;
+  let retired =
+    Premature_queue.retire_if inst.q (fun (e : Premature_queue.entry) ->
+        e.Premature_queue.e_kind = Portmap.OLoad
+        && e.Premature_queue.e_seq < inst.saf
+        && not
+             (same_seq_store_pending t inst ~seq:e.Premature_queue.e_seq
+                ~pos:e.Premature_queue.e_pos))
+  in
+  release t inst retired
+
+(* Advance the global commit frontier: a body instance retires when every
+   disambiguation instance has seen all of its member operations (arrivals
+   or fake tokens); its stores then reach memory in ROM order.  Instances
+   without member ops anywhere are skipped for free; at most
+   [commits_per_cycle] store-carrying instances retire per cycle. *)
+let advance_frontier t =
+  let budget = ref t.cfg.commits_per_cycle in
+  let continue = ref true in
+  while !continue do
+    let s = t.frontier in
+    (* never retire an instance that a same-cycle violation will squash *)
+    (match t.pending_squash with
+    | Some err when s >= err -> continue := false
+    | _ -> ());
+    if !continue then
+      match Hashtbl.find_opt t.group_of s with
+      | None -> continue := false
+      | Some _ ->
+          let complete =
+            Array.for_all
+              (fun inst ->
+                match expected t inst ~seq:s with
+                | None -> false
+                | Some ports ->
+                    Array.for_all (fun pid -> arrived inst ~seq:s ~port:pid) ports)
+              t.insts
+          in
+          if not complete then continue := false
+          else begin
+            (* collect all store records of this body instance, ROM order
+               within each disambiguation instance *)
+            let stores = ref [] in
+            Array.iter
+              (fun inst ->
+                Premature_queue.iter
+                  (fun (e : Premature_queue.entry) ->
+                    if e.e_seq = s && e.e_kind = Portmap.OStore then
+                      stores := e :: !stores)
+                  inst.q)
+              t.insts;
+            let stores =
+              List.sort
+                (fun (a : Premature_queue.entry) b -> compare a.e_pos b.e_pos)
+                (List.rev !stores)
+            in
+            let bw_ok =
+              (* every store of the instance needs a write port this cycle *)
+              let needed = Hashtbl.create 4 in
+              List.iter
+                (fun (e : Premature_queue.entry) ->
+                  let a = (Portmap.port t.pm e.e_port).Portmap.array in
+                  Hashtbl.replace needed a
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt needed a)))
+                stores;
+              Hashtbl.fold
+                (fun a n ok -> ok && peek_budget t.writes a >= n)
+                needed true
+            in
+            if stores <> [] && (!budget = 0 || not bw_ok) then continue := false
+            else begin
+              List.iter
+                (fun (e : Premature_queue.entry) ->
+                  ignore
+                    (take_budget t.writes (Portmap.port t.pm e.e_port).Portmap.array);
+                  t.mem.(e.e_index) <- e.e_value)
+                stores;
+              if stores <> [] then decr budget;
+              Array.iter
+                (fun inst ->
+                  let retired =
+                    Premature_queue.retire_if inst.q
+                      (fun (e : Premature_queue.entry) ->
+                        e.Premature_queue.e_seq = s)
+                  in
+                  release t inst retired;
+                  Hashtbl.remove inst.arrivals s)
+                t.insts;
+              t.frontier <- s + 1;
+              if t.strict_seq < t.frontier then t.strict_seq <- -1
+            end
+          end
+  done
+
+let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
+    t * Pv_dataflow.Memif.t =
+  let t =
+    {
+      cfg;
+      pm;
+      mem;
+      stats = Pv_dataflow.Memif.fresh_stats ();
+      insts =
+        Array.init pm.Portmap.n_instances (fun id ->
+            let max_ops =
+              Array.fold_left
+                (fun m ops -> max m (Array.length ops))
+                0 pm.Portmap.rom.(id)
+            in
+            begin
+              let member_ports =
+                Array.fold_left
+                  (fun acc p ->
+                    if p.Portmap.instance = Some id then acc + 1 else acc)
+                  0 pm.Portmap.ports
+              in
+              ignore max_ops;
+              if cfg.depth_q < member_ports then
+                invalid_arg
+                  (Printf.sprintf
+                     "PreVV: depth_q %d is smaller than instance %d's %d \
+                      member ports; one body instance could never fit and \
+                      the commit frontier would never advance"
+                     cfg.depth_q id member_ports);
+              let n_stores =
+                Array.fold_left
+                  (fun acc p ->
+                    if
+                      p.Portmap.instance = Some id
+                      && p.Portmap.kind = Portmap.OStore
+                    then acc + 1
+                    else acc)
+                  0 pm.Portmap.ports
+              in
+              let n_loads = max 1 (member_ports - n_stores) in
+              {
+                id;
+                q = Premature_queue.create ~collapse:cfg.collapse_queue cfg.depth_q;
+                quota =
+                  max 1
+                    (int_of_float
+                       (Float.round
+                          (float_of_int (cfg.depth_q - n_stores)
+                          /. float_of_int n_loads)));
+                reserve_unused = max_ops;
+                outstanding = Hashtbl.create 8;
+                saf = 0;
+                arrivals = Hashtbl.create 64;
+              }
+            end);
+      group_of = Hashtbl.create 1024;
+      resp = Hashtbl.create 16;
+      now = 0;
+      pending_squash = None;
+      frontier = 0;
+      strict_seq = -1;
+      max_arrived = -1;
+      replay_until = -1;
+      reads = Hashtbl.create 8;
+      writes = Hashtbl.create 8;
+    }
+  in
+  Array.iter
+    (fun p ->
+      Hashtbl.replace t.reads p.Portmap.array (ref 2);
+      Hashtbl.replace t.writes p.Portmap.array (ref 1))
+    pm.Portmap.ports;
+  let inst_of_port port =
+    match (Portmap.port pm port).Portmap.instance with
+    | Some i -> Some t.insts.(i)
+    | None -> None
+  in
+  let pos_of ~inst ~seq ~port =
+    let group = Hashtbl.find t.group_of seq in
+    match Portmap.rom_pos pm ~inst ~group ~port with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          (Printf.sprintf "PreVV: port %d not in ROM of instance %d group %d"
+             port inst group)
+  in
+  let note_arrival seq =
+    if seq <= t.replay_until then
+      t.stats.Pv_dataflow.Memif.replayed_ops <-
+        t.stats.Pv_dataflow.Memif.replayed_ops + 1;
+    if seq > t.max_arrived then t.max_arrived <- seq
+  in
+  let begin_instance ~seq ~group =
+    Hashtbl.replace t.group_of seq group;
+    true
+  in
+  let load_req ~port ~seq ~addr =
+    match inst_of_port port with
+    | None ->
+        if take_budget t.reads (Portmap.port t.pm port).Portmap.array then begin
+          t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
+          respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~seq
+            ~value:(read_mem t addr);
+          true
+        end
+        else begin
+          t.stats.Pv_dataflow.Memif.stall_bw <-
+            t.stats.Pv_dataflow.Memif.stall_bw + 1;
+          false
+        end
+    | Some inst -> (
+        let pos = pos_of ~inst:inst.id ~seq ~port in
+        match Arbiter.load_gate inst.q ~seq ~pos ~index:addr with
+        | Arbiter.Wait ->
+            t.stats.Pv_dataflow.Memif.stall_order <-
+              t.stats.Pv_dataflow.Memif.stall_order + 1;
+            false
+        | Arbiter.Forward v ->
+            if not (has_room t inst ~port ~seq) then begin
+              t.stats.Pv_dataflow.Memif.stall_full <-
+                t.stats.Pv_dataflow.Memif.stall_full + 1;
+              false
+            end
+            else begin
+              ignore
+                (Premature_queue.push inst.q ~seq ~pos ~port
+                   ~kind:Portmap.OLoad ~index:addr ~value:v);
+              incr (outstanding inst port);
+              mark_arrival inst ~seq ~port;
+              note_arrival seq;
+              respond t ~port ~ready_at:(t.now + 1) ~seq ~value:v;
+              t.stats.Pv_dataflow.Memif.forwarded <-
+                t.stats.Pv_dataflow.Memif.forwarded + 1;
+              t.stats.Pv_dataflow.Memif.loads <-
+                t.stats.Pv_dataflow.Memif.loads + 1;
+              note_occupancy t;
+              true
+            end
+        | Arbiter.Clear ->
+            if strict_blocked t inst ~seq ~pos then begin
+              t.stats.Pv_dataflow.Memif.stall_order <-
+                t.stats.Pv_dataflow.Memif.stall_order + 1;
+              false
+            end
+            else if not (has_room t inst ~port ~seq) then begin
+              t.stats.Pv_dataflow.Memif.stall_full <-
+                t.stats.Pv_dataflow.Memif.stall_full + 1;
+              false
+            end
+            else if not (take_budget t.reads (Portmap.port t.pm port).Portmap.array)
+            then begin
+              t.stats.Pv_dataflow.Memif.stall_bw <-
+                t.stats.Pv_dataflow.Memif.stall_bw + 1;
+              false
+            end
+            else begin
+              let v = read_mem t addr in
+              ignore
+                (Premature_queue.push inst.q ~seq ~pos ~port
+                   ~kind:Portmap.OLoad ~index:addr ~value:v);
+              incr (outstanding inst port);
+              mark_arrival inst ~seq ~port;
+              note_arrival seq;
+              respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~seq ~value:v;
+              t.stats.Pv_dataflow.Memif.loads <-
+                t.stats.Pv_dataflow.Memif.loads + 1;
+              note_occupancy t;
+              true
+            end)
+  in
+  let store_req ~port ~seq ~addr ~value =
+    match inst_of_port port with
+    | None ->
+        if take_budget t.writes (Portmap.port t.pm port).Portmap.array then begin
+          t.stats.Pv_dataflow.Memif.stores <-
+            t.stats.Pv_dataflow.Memif.stores + 1;
+          if addr >= 0 && addr < Array.length t.mem then t.mem.(addr) <- value;
+          true
+        end
+        else begin
+          t.stats.Pv_dataflow.Memif.stall_bw <-
+            t.stats.Pv_dataflow.Memif.stall_bw + 1;
+          false
+        end
+    | Some inst ->
+        if not (has_room t inst ~port ~seq) then begin
+          t.stats.Pv_dataflow.Memif.stall_full <-
+            t.stats.Pv_dataflow.Memif.stall_full + 1;
+          false
+        end
+        else begin
+          let pos = pos_of ~inst:inst.id ~seq ~port in
+          (match
+             Arbiter.store_violation ~value_validation:t.cfg.value_validation
+               inst.q ~seq ~pos ~index:addr ~value
+           with
+          | Some seq_err -> raise_squash t seq_err
+          | None -> ());
+          ignore
+            (Premature_queue.push inst.q ~seq ~pos ~port ~kind:Portmap.OStore
+               ~index:addr ~value);
+          incr (outstanding inst port);
+          mark_arrival inst ~seq ~port;
+          note_arrival seq;
+          t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
+          note_occupancy t;
+          true
+        end
+  in
+  let op_skip ~port ~seq =
+    match inst_of_port port with
+    | None -> true
+    | Some inst ->
+        if cfg.fake_tokens then begin
+          mark_arrival inst ~seq ~port;
+          t.stats.Pv_dataflow.Memif.fake_tokens <-
+            t.stats.Pv_dataflow.Memif.fake_tokens + 1
+        end;
+        (* without fake tokens the notification is silently dropped: the
+           arbiter starves, reproducing the deadlock of Fig. 6 *)
+        true
+  in
+  let poll_squash () =
+    match t.pending_squash with
+    | None -> None
+    | Some err ->
+        t.pending_squash <- None;
+        t.stats.Pv_dataflow.Memif.squashes <-
+          t.stats.Pv_dataflow.Memif.squashes + 1;
+        assert (t.frontier <= err);
+        t.strict_seq <- err;
+        Array.iter
+          (fun inst ->
+            let retired =
+              Premature_queue.retire_if inst.q
+                (fun (e : Premature_queue.entry) ->
+                  e.Premature_queue.e_seq >= err)
+            in
+            release t inst retired;
+            if inst.saf > err then inst.saf <- err;
+            let stale =
+              Hashtbl.fold
+                (fun s _ acc -> if s >= err then s :: acc else acc)
+                inst.arrivals []
+            in
+            List.iter (Hashtbl.remove inst.arrivals) stale)
+          t.insts;
+        Hashtbl.iter
+          (fun _ q ->
+            let keep = Queue.create () in
+            Queue.iter
+              (fun ((_, seq, _) as r) -> if seq < err then Queue.add r keep)
+              q;
+            Queue.clear q;
+            Queue.transfer keep q)
+          t.resp;
+        t.replay_until <- t.max_arrived;
+        Some err
+  in
+  let clock () =
+    Array.iter (validate_loads t) t.insts;
+    advance_frontier t;
+    Hashtbl.iter (fun _ r -> r := 2) t.reads;
+    Hashtbl.iter (fun _ r -> r := 1) t.writes;
+    t.now <- t.now + 1
+  in
+  let load_poll ~port =
+    match Hashtbl.find_opt t.resp port with
+    | Some q when not (Queue.is_empty q) ->
+        let ready_at, seq, value = Queue.peek q in
+        if ready_at <= t.now then begin
+          ignore (Queue.pop q);
+          Some (seq, value)
+        end
+        else None
+    | _ -> None
+  in
+  let quiesced () =
+    Array.for_all (fun inst -> Premature_queue.is_empty inst.q) t.insts
+    && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) t.resp true
+    && t.pending_squash = None
+  in
+  ( t,
+    {
+      Pv_dataflow.Memif.begin_instance;
+      alloc_group = (fun ~seq:_ ~group:_ -> true);
+      load_req;
+      load_poll;
+      store_req;
+      store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
+      op_skip;
+      poll_squash;
+      clock;
+      quiesced;
+      stats = (fun () -> t.stats);
+    } )
+
+let create cfg pm mem = snd (create_full cfg pm mem)
+
+(** Debug dump of the backend state. *)
+let dump ppf t =
+  Format.fprintf ppf "frontier=%d strict=%d pending=%s@\n" t.frontier t.strict_seq
+    (match t.pending_squash with Some e -> string_of_int e | None -> "-");
+  Array.iter
+    (fun inst ->
+      Format.fprintf ppf "instance %d: occ=%d quota=%d saf=%d@\n" inst.id
+        (Premature_queue.occupancy inst.q)
+        inst.quota inst.saf;
+      Premature_queue.iter
+        (fun (e : Premature_queue.entry) ->
+          Format.fprintf ppf "  seq=%d pos=%d port=%d %s idx=%d val=%d@\n" e.e_seq
+            e.e_pos e.e_port
+            (match e.e_kind with Portmap.OLoad -> "load" | _ -> "store")
+            e.e_index e.e_value)
+        inst.q;
+      (* incomplete arrivals near the frontier *)
+      for s = t.frontier to t.frontier + 3 do
+        match Hashtbl.find_opt t.group_of s with
+        | None -> ()
+        | Some g ->
+            let exp = t.pm.Portmap.rom.(inst.id).(g) in
+            let got =
+              match Hashtbl.find_opt inst.arrivals s with
+              | Some l -> !l
+              | None -> []
+            in
+            if Array.length exp > 0 then
+              Format.fprintf ppf "  seq %d group %d: expect [%s] got [%s]@\n" s g
+                (String.concat ";" (Array.to_list (Array.map string_of_int exp)))
+                (String.concat ";" (List.map string_of_int got))
+      done)
+    t.insts

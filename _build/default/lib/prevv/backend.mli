@@ -1,0 +1,59 @@
+(** The PreVV memory backend: one premature queue + arbiter per ambiguous
+    array (one disambiguation instance), no load or store queue.
+
+    Premature execution: loads read committed memory the moment their
+    address arrives; stores buffer in the premature queue and reach memory
+    only when their body instance has been validated, in global program
+    order (the commit frontier).  The arbiter checks each arriving record
+    against the queue (Eqs. 2–5); a violation squashes the pipeline from
+    the erring iteration and the circuit replays it — the simulator purges
+    in-flight tokens and rewinds the loop generator.  Conditional pair
+    members send fake tokens (Sec. V-C); disabling them reproduces the
+    deadlock of Fig. 6.
+
+    Load records retire once the {e store-arrival frontier} passes their
+    iteration (every store that could accuse them has arrived and been
+    checked), long before the commit frontier; per-port quotas and a
+    dynamic frontier reserve make queue admission fair and deadlock-free.
+    See DESIGN.md §8 for each argument. *)
+
+type config = {
+  depth_q : int;  (** premature queue depth in simulated entries *)
+  mem_latency : int;
+  commits_per_cycle : int;  (** validated instances retired per cycle *)
+  fake_tokens : bool;  (** Sec. V-C deadlock elimination on/off *)
+  value_validation : bool;
+      (** Eq. 5 on/off (ablation: off = address-only disambiguation) *)
+  collapse_queue : bool;
+      (** interior slot reclamation on/off (ablation: off = naive circular
+          pointers, prone to fragmentation wedging) *)
+}
+
+(** Simulated queue entries per named (paper) depth unit: this simulator
+    pipelines the datapath into roughly twice as many (thinner) stages as
+    the published circuits, so occupancies — and hence the capacity a named
+    depth must provide — scale by the same factor.  The LSQ baselines use
+    the identical mapping. *)
+val depth_scale : int
+
+(** Defaults with an explicit simulated depth. *)
+val default : depth_q:int -> config
+
+(** Configuration for a paper-named depth (PreVV16, PreVV64, ...):
+    [depth_q = depth_scale * depth]. *)
+val named : depth:int -> config
+
+(** Internal state, exposed for debugging dumps. *)
+type t
+
+(** Build a backend over [mem]; returns the state alongside (for dumps).
+    @raise Invalid_argument when [depth_q] cannot hold one body instance
+    of some disambiguation instance. *)
+val create_full :
+  config -> Pv_memory.Portmap.t -> int array -> t * Pv_dataflow.Memif.t
+
+val create : config -> Pv_memory.Portmap.t -> int array -> Pv_dataflow.Memif.t
+
+(** Dump frontier, per-instance queue contents and near-frontier arrival
+    status. *)
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Overlapping ambiguous pairs and dimension reduction (Sec. V-B,
+    Eqs. 11–12).
+
+    When an operation belongs to [n] pairs, naively replicating PreVV per
+    pair blows complexity up exponentially (Eq. 11) and collapses the
+    achievable frequency (Eq. 12).  The reduction observes that inside a
+    chain of operations with mutual hazards, consecutive operations of the
+    same type never form a pair, so a single shared instance per ambiguous
+    array with one representative per same-type run suffices. *)
+
+(** Eq. 11: complexity of naive replication for an [n]-fold overlap. *)
+let naive_complexity ~n ~com1 = (2.0 ** float_of_int n) *. com1
+
+(** Eq. 12: frequency collapse of naive replication. *)
+let naive_frequency ~frq1 = log frq1 /. log 2.0
+
+(** Complexity after dimension reduction: a single instance whose queue is
+    shared, i.e. linear in the number of member operations. *)
+let reduced_complexity ~n ~com1 = float_of_int (max 1 n) *. com1
+
+(** Collapse consecutive same-kind operations to one representative —
+    "validating only one operation is sufficient … within each consecutive
+    type".  Input and output are in program order. *)
+let reduce_runs (ops : (Pv_memory.Portmap.op_kind * 'a) list) :
+    (Pv_memory.Portmap.op_kind * 'a) list =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (k, x) :: rest -> (
+        match acc with
+        | (k', _) :: _ when k' = k -> go acc rest
+        | _ -> go ((k, x) :: acc) rest)
+  in
+  go [] ops
+
+(** Number of ambiguous pairs formed by an op sequence before reduction:
+    every (load, store) or (store, load) adjacency across the sequence —
+    the quadratic pairing of Def. 1. *)
+let naive_pairs ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let count = ref 0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if fst arr.(a) <> fst arr.(b) then incr count
+    done
+  done;
+  !count
+
+(** Pairs after reduction: adjacencies between representative runs. *)
+let reduced_pairs ops = max 0 (List.length (reduce_runs ops) - 1)

@@ -1,0 +1,31 @@
+(** Overlapping ambiguous pairs and dimension reduction (Sec. V-B,
+    Eqs. 11–12).
+
+    When an operation belongs to [n] pairs, naively replicating PreVV per
+    pair blows complexity up exponentially (Eq. 11) and collapses the
+    achievable frequency (Eq. 12).  The reduction observes that inside a
+    chain of operations with mutual hazards, consecutive operations of the
+    same type never form a pair, so a single shared instance per ambiguous
+    array with one representative per same-type run suffices. *)
+
+(** Eq. 11: complexity of naive replication, [2^n * com1]. *)
+val naive_complexity : n:int -> com1:float -> float
+
+(** Eq. 12: the frequency collapse of naive replication, [log2 frq1]. *)
+val naive_frequency : frq1:float -> float
+
+(** Cost of the shared instance: linear in the member count. *)
+val reduced_complexity : n:int -> com1:float -> float
+
+(** Collapse consecutive same-kind operations to one representative
+    ("validating only one operation is sufficient within each consecutive
+    type"); input and output are in program order. *)
+val reduce_runs :
+  (Pv_memory.Portmap.op_kind * 'a) list -> (Pv_memory.Portmap.op_kind * 'a) list
+
+(** Pairs formed before reduction: every (load, store) combination across
+    the sequence (Def. 1's quadratic pairing). *)
+val naive_pairs : (Pv_memory.Portmap.op_kind * 'a) list -> int
+
+(** Pairs after reduction: adjacencies between representative runs. *)
+val reduced_pairs : (Pv_memory.Portmap.op_kind * 'a) list -> int

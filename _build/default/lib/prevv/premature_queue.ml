@@ -1,0 +1,132 @@
+(** The premature queue of Sec. IV-B / Fig. 4.
+
+    A circular buffer with head and tail pointers.  The tail advances when
+    a new premature operation is recorded; the head advances when the
+    oldest operations are validated and committed.  Pipeline squashes mark
+    entries invalid in place (a valid bit, as real hardware would), and the
+    head simply skips them — invalidated slots still occupy capacity until
+    the head passes, which is what makes a too-shallow queue stall the
+    pipeline. *)
+
+type entry = {
+  e_seq : int;  (** iteration (body-instance) number: [iter] of Eq. 1 *)
+  e_pos : int;  (** ROM position within the group (same-iteration order) *)
+  e_port : int;
+  e_kind : Pv_memory.Portmap.op_kind;  (** [Op] of Eq. 1 *)
+  e_index : int;  (** target address: [index] of Eq. 1 *)
+  e_value : int;  (** loaded or to-be-stored value: [value] of Eq. 1 *)
+  mutable e_valid : bool;
+}
+
+type t = {
+  buf : entry option array;
+  depth : int;
+  collapse : bool;
+      (** reclaim interior retirees (valid-bit shift structure); without it
+          only head-adjacent slots free — the naive Fig. 4 pointer queue,
+          kept as an ablation that demonstrates fragmentation wedging *)
+  mutable head : int;
+  mutable tail : int;
+  mutable count : int;  (** occupied slots, including invalidated ones *)
+}
+
+let create ?(collapse = true) depth =
+  if depth <= 0 then invalid_arg "Premature_queue.create: depth must be > 0";
+  { buf = Array.make depth None; depth; collapse; head = 0; tail = 0; count = 0 }
+
+let is_full t = t.count = t.depth
+let is_empty t = t.count = 0
+let occupancy t = t.count
+
+(** Fig. 4 state: [`Normal] when the live region does not wrap, [`Wrapped]
+    when it does, [`Full] when head = tail with data. *)
+let state t =
+  if is_full t then `Full
+  else if is_empty t then `Empty
+  else if t.head < t.tail then `Normal
+  else `Wrapped
+
+exception Full
+
+let push t ~seq ~pos ~port ~kind ~index ~value =
+  if is_full t then raise Full;
+  let e =
+    { e_seq = seq; e_pos = pos; e_port = port; e_kind = kind; e_index = index;
+      e_value = value; e_valid = true }
+  in
+  t.buf.(t.tail) <- Some e;
+  t.tail <- (t.tail + 1) mod t.depth;
+  t.count <- t.count + 1;
+  e
+
+(** Reclaim invalidated slots.  Retirement follows program order while the
+    queue is in arrival order, so freed slots can sit behind younger live
+    entries; the queue collapses them (a shift/valid-bit structure, as load
+    and store queues do) — without collapsing, fragmentation eventually
+    wedges the oldest instance out of the queue and deadlocks the
+    pipeline. *)
+let compact t =
+  (* the head pointer advances circularly past retired entries, as in
+     Fig. 4 ... *)
+  let continue = ref true in
+  while !continue && t.count > 0 do
+    match t.buf.(t.head) with
+    | Some e when e.e_valid -> continue := false
+    | _ ->
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod t.depth;
+        t.count <- t.count - 1
+  done;
+  (* ... and interior gaps collapse towards the head *)
+  if t.collapse then begin
+  let live = ref [] in
+  for k = t.count - 1 downto 0 do
+    match t.buf.((t.head + k) mod t.depth) with
+    | Some e when e.e_valid -> live := e :: !live
+    | _ -> ()
+  done;
+  let n = List.length !live in
+  List.iteri (fun k e -> t.buf.((t.head + k) mod t.depth) <- Some e) !live;
+  for k = n to t.count - 1 do
+    t.buf.((t.head + k) mod t.depth) <- None
+  done;
+  t.count <- n;
+  t.tail <- (t.head + n) mod t.depth
+  end
+
+(** Iterate over valid entries from head to tail (arrival order), exactly
+    the arbiter's search direction. *)
+let iter f t =
+  for k = 0 to t.count - 1 do
+    match t.buf.((t.head + k) mod t.depth) with
+    | Some e when e.e_valid -> f e
+    | _ -> ()
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun e -> acc := f !acc e) t;
+  !acc
+
+let exists p t = fold (fun found e -> found || p e) false t
+let to_list t = List.rev (fold (fun acc e -> e :: acc) [] t)
+
+(** Invalidate every valid entry satisfying [p]; returns the retired
+    entries (so callers can release per-port credits). *)
+let retire_if t p =
+  let retired = ref [] in
+  iter
+    (fun e ->
+      if p e then begin
+        e.e_valid <- false;
+        retired := e :: !retired
+      end)
+    t;
+  compact t;
+  List.rev !retired
+
+(** Invalidate all valid entries with [e_seq >= seq] (pipeline squash). *)
+let invalidate_from t ~seq = ignore (retire_if t (fun e -> e.e_seq >= seq))
+
+(** Invalidate all valid entries of exactly [seq] (commit of an instance). *)
+let retire_seq t ~seq = ignore (retire_if t (fun e -> e.e_seq = seq))

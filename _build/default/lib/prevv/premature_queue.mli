@@ -1,0 +1,76 @@
+(** The premature queue of Sec. IV-B / Fig. 4.
+
+    A circular buffer of premature-operation records.  The tail advances
+    when a new operation is recorded; the head advances past retired
+    entries.  Because commits follow program order while the queue is in
+    arrival order, retired entries can sit behind younger live ones; by
+    default the queue {e collapses} such interior gaps (a shift/valid-bit
+    structure, as real load/store queues use) — without collapsing,
+    fragmentation eventually wedges the oldest iteration out of the queue
+    and deadlocks the pipeline (kept available as an ablation). *)
+
+(** One premature record — the four properties of Eq. 1 plus the ROM
+    position used for same-iteration ordering. *)
+type entry = {
+  e_seq : int;  (** iteration (body-instance) number: [iter] of Eq. 1 *)
+  e_pos : int;  (** ROM position within the group (same-iteration order) *)
+  e_port : int;
+  e_kind : Pv_memory.Portmap.op_kind;  (** [Op] of Eq. 1 *)
+  e_index : int;  (** target address: [index] of Eq. 1 *)
+  e_value : int;  (** loaded or to-be-stored value: [value] of Eq. 1 *)
+  mutable e_valid : bool;
+}
+
+type t = private {
+  buf : entry option array;
+  depth : int;
+  collapse : bool;
+  mutable head : int;
+  mutable tail : int;
+  mutable count : int;  (** occupied slots, including invalidated ones *)
+}
+
+(** @raise Invalid_argument when [depth <= 0]. *)
+val create : ?collapse:bool -> int -> t
+
+val is_full : t -> bool
+val is_empty : t -> bool
+val occupancy : t -> int
+
+(** Fig. 4 state: [`Normal] when the live region does not wrap, [`Wrapped]
+    when it does, [`Full] when head = tail with data. *)
+val state : t -> [ `Empty | `Normal | `Wrapped | `Full ]
+
+exception Full
+
+(** Record a premature operation at the tail.
+    @raise Full when the queue has no free slot (backpressure). *)
+val push :
+  t ->
+  seq:int ->
+  pos:int ->
+  port:int ->
+  kind:Pv_memory.Portmap.op_kind ->
+  index:int ->
+  value:int ->
+  entry
+
+(** Iterate over valid entries from head to tail (arrival order) — exactly
+    the arbiter's search direction. *)
+val iter : (entry -> unit) -> t -> unit
+
+val fold : ('a -> entry -> 'a) -> 'a -> t -> 'a
+val exists : (entry -> bool) -> t -> bool
+val to_list : t -> entry list
+
+(** Invalidate every valid entry satisfying the predicate and reclaim
+    their slots; returns the retired entries (so callers can release
+    per-port credits). *)
+val retire_if : t -> (entry -> bool) -> entry list
+
+(** Invalidate all valid entries with [e_seq >= seq] (pipeline squash). *)
+val invalidate_from : t -> seq:int -> unit
+
+(** Invalidate all valid entries of exactly [seq] (commit of an
+    iteration). *)
+val retire_seq : t -> seq:int -> unit

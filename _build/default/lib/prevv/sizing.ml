@@ -1,0 +1,82 @@
+(** Premature-queue depth sizing (Sec. V-A, Defs. 2–3, Eqs. 6–10).
+
+    The model matches the average execution time of an ambiguous pair with
+    PreVV against the token supply rate of its predecessor: a pair is
+    {e matched} when [t_p = t_w], which pins the queue depth that keeps the
+    pipeline from stalling without over-provisioning registers. *)
+
+(** Eq. 6: average execution time of an ambiguous pair under PreVV, in
+    units of the original datapath time [t_org], inflated by the squash
+    probability [p_s] (a squash replays the computation). *)
+let pair_time ~t_org ~p_s = t_org *. (2.0 +. p_s)
+
+(** Eq. 7: average wait of the predecessor for a premature-queue slot. *)
+let wait_time ~t_token ~depth_q = t_token /. float_of_int depth_q
+
+(** The matched depth of Def. 2: smallest integer depth with
+    [t_w <= t_p], i.e. [depth_q >= t_token / t_p]. *)
+let matched_depth ~t_org ~p_s ~t_token =
+  let tp = pair_time ~t_org ~p_s in
+  if tp <= 0.0 then invalid_arg "matched_depth: t_org must be positive";
+  max 1 (int_of_float (ceil (t_token /. tp)))
+
+(** Eq. 8 (Def. 3): two pairs are independent when the component distance
+    between them covers both spans at the token supply rate. *)
+let independent ~d_mn ~s_m ~s_n ~clock_period ~t_token ~depth_q =
+  let lhs = float_of_int d_mn /. clock_period in
+  let spans = float_of_int (s_m + s_n) /. clock_period in
+  lhs >= spans && spans >= wait_time ~t_token ~depth_q
+
+(* --- Eqs. 9–10 over an actual dataflow graph ---------------------------- *)
+
+(** Longest component count over any path from a node of [froms] to a node
+    of [tos] in [g] (Eq. 9's [d_mn] / Eq. 10's span when [froms]/[tos] are
+    the pair's own endpoints).  Opaque buffers break the traversal the same
+    way they break combinational paths; returns [None] when no path
+    exists. *)
+let longest_path (g : Pv_dataflow.Graph.t) ~froms ~tos : int option =
+  let n = Pv_dataflow.Graph.n_nodes g in
+  let is_target = Array.make n false in
+  List.iter (fun nid -> is_target.(nid) <- true) tos;
+  (* memoised longest suffix (in components) from each node to any target;
+     -1 = unreachable *)
+  let memo = Array.make n min_int in
+  let on_stack = Array.make n false in
+  let succs nid =
+    let node = Pv_dataflow.Graph.node g nid in
+    Array.to_list node.Pv_dataflow.Graph.outputs
+    |> List.filter_map (fun cid ->
+           if cid = -1 then None
+           else
+             Some
+               (Pv_dataflow.Graph.chan g cid).Pv_dataflow.Graph.dst
+                 .Pv_dataflow.Graph.node)
+  in
+  let rec longest nid =
+    if memo.(nid) > min_int then memo.(nid)
+    else if on_stack.(nid) then -1 (* cycle: broken conservatively *)
+    else begin
+      on_stack.(nid) <- true;
+      let best =
+        List.fold_left
+          (fun acc s ->
+            let l = longest s in
+            if l >= 0 then max acc (l + 1) else acc)
+          (if is_target.(nid) then 0 else -1)
+          (succs nid)
+      in
+      on_stack.(nid) <- false;
+      memo.(nid) <- best;
+      best
+    end
+  in
+  let best =
+    List.fold_left
+      (fun acc f ->
+        let l = longest f in
+        match acc with
+        | Some b -> Some (max b l)
+        | None -> if l >= 0 then Some l else None)
+      None froms
+  in
+  match best with Some b when b >= 0 -> Some b | _ -> None

@@ -1,0 +1,35 @@
+(** Premature-queue depth sizing (Sec. V-A, Defs. 2–3, Eqs. 6–10).
+
+    The model matches the average execution time of an ambiguous pair with
+    PreVV against the token supply rate of its predecessor: a pair is
+    {e matched} when [t_p = t_w], which pins the queue depth that keeps the
+    pipeline from stalling without over-provisioning storage. *)
+
+(** Eq. 6: average pair execution time [t_org * (2 + p_s)] — the premature
+    pass plus the validation pass, inflated by the squash probability. *)
+val pair_time : t_org:float -> p_s:float -> float
+
+(** Eq. 7: average predecessor wait for a queue slot, [t_token / depth]. *)
+val wait_time : t_token:float -> depth_q:int -> float
+
+(** Def. 2: the smallest depth with [t_w <= t_p].
+    @raise Invalid_argument when [t_org <= 0]. *)
+val matched_depth : t_org:float -> p_s:float -> t_token:float -> int
+
+(** Eq. 8 (Def. 3): whether two pairs at component distance [d_mn] with
+    spans [s_m], [s_n] are independent at the given clock and token rate. *)
+val independent :
+  d_mn:int ->
+  s_m:int ->
+  s_n:int ->
+  clock_period:float ->
+  t_token:float ->
+  depth_q:int ->
+  bool
+
+(** Eqs. 9–10 over an actual graph: the longest component count on any
+    path from a node of [froms] to a node of [tos]; [None] when no path
+    exists.  Opaque buffers break the traversal like they break
+    combinational paths. *)
+val longest_path :
+  Pv_dataflow.Graph.t -> froms:int list -> tos:int list -> int option

@@ -1,0 +1,1 @@
+lib/resource/device.mli: Format Report

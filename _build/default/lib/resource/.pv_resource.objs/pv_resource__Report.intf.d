@@ -1,0 +1,1 @@
+lib/resource/report.mli: Format Pv_dataflow Pv_memory Pv_netlist

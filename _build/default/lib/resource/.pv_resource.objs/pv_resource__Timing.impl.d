@@ -1,0 +1,1 @@
+lib/resource/timing.ml: Float Graph Pv_dataflow Types

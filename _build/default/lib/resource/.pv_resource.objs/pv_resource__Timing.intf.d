@@ -1,0 +1,1 @@
+lib/resource/timing.mli: Pv_dataflow

@@ -1,0 +1,48 @@
+(** FPGA device capacities and utilisation — the paper's motivation: "high-
+    performance FPGA accelerators must reserve significant space for LSQs
+    ... making them incompatible with edge devices that have limited
+    resources" (Sec. I). *)
+
+type t = {
+  name : string;
+  luts : int;
+  ffs : int;
+  brams : int;
+  dsps : int;
+}
+
+(** The paper's evaluation target (Kintex-7 160T). *)
+let xc7k160t = { name = "xc7k160t"; luts = 101_400; ffs = 202_800; brams = 325; dsps = 600 }
+
+(** A representative edge-class part (Artix-7 35T), for the incompatibility
+    argument of the introduction. *)
+let xc7a35t = { name = "xc7a35t"; luts = 20_800; ffs = 41_600; brams = 50; dsps = 90 }
+
+(** A small Zynq SoC fabric. *)
+let xc7z020 = { name = "xc7z020"; luts = 53_200; ffs = 106_400; brams = 140; dsps = 220 }
+
+let devices = [ xc7k160t; xc7z020; xc7a35t ]
+
+type utilisation = {
+  device : t;
+  lut_pct : float;
+  ff_pct : float;
+  fits : bool;
+}
+
+let utilisation (dev : t) (r : Report.t) : utilisation =
+  let lut_pct = 100.0 *. float_of_int r.Report.luts /. float_of_int dev.luts in
+  let ff_pct = 100.0 *. float_of_int r.Report.ffs /. float_of_int dev.ffs in
+  { device = dev; lut_pct; ff_pct; fits = lut_pct <= 100.0 && ff_pct <= 100.0 }
+
+(** How many copies of the circuit fit on [dev] (compute-density argument:
+    the area a disambiguation scheme saves becomes extra parallel kernel
+    instances). *)
+let copies_that_fit (dev : t) (r : Report.t) : int =
+  if r.Report.luts = 0 then 0
+  else min (dev.luts / max 1 r.Report.luts) (dev.ffs / max 1 r.Report.ffs)
+
+let pp_utilisation ppf u =
+  Format.fprintf ppf "%s: LUT %.1f%%, FF %.1f%%%s" u.device.name u.lut_pct
+    u.ff_pct
+    (if u.fits then "" else "  (DOES NOT FIT)")

@@ -1,0 +1,53 @@
+(** Area/timing reports for a compiled circuit under a disambiguation
+    scheme — the data behind Fig. 1, Table I, Table II and Fig. 7. *)
+
+type t = {
+  luts : int;
+  ffs : int;
+  muxes : int;
+  cp_ns : float;
+  datapath_luts : int;  (** computation + controller share (Fig. 1) *)
+  queue_luts : int;  (** LSQ / PreVV share (Fig. 1) *)
+  datapath_ffs : int;
+  queue_ffs : int;
+}
+
+let dis_of_elab = function
+  | Pv_netlist.Elaborate.D_plain_lsq _ -> Timing.M_plain_lsq
+  | Pv_netlist.Elaborate.D_fast_lsq _ -> Timing.M_fast_lsq
+  | Pv_netlist.Elaborate.D_prevv _ -> Timing.M_prevv
+
+let depth_of_elab = function
+  | Pv_netlist.Elaborate.D_plain_lsq d
+  | Pv_netlist.Elaborate.D_fast_lsq d
+  | Pv_netlist.Elaborate.D_prevv d ->
+      d
+
+let of_circuit (g : Pv_dataflow.Graph.t) (pm : Pv_memory.Portmap.t)
+    (dis : Pv_netlist.Elaborate.disambiguation) : t =
+  let nl = Pv_netlist.Elaborate.circuit g pm dis in
+  let totals = Pv_netlist.Primitive.totals nl in
+  let dp, queue = Pv_netlist.Elaborate.breakdown nl in
+  {
+    luts = totals.Pv_netlist.Primitive.luts;
+    ffs = totals.Pv_netlist.Primitive.ffs;
+    muxes = totals.Pv_netlist.Primitive.muxes;
+    cp_ns = Timing.clock_period g (dis_of_elab dis) ~depth:(depth_of_elab dis);
+    datapath_luts = dp.Pv_netlist.Primitive.luts;
+    queue_luts = queue.Pv_netlist.Primitive.luts;
+    datapath_ffs = dp.Pv_netlist.Primitive.ffs;
+    queue_ffs = queue.Pv_netlist.Primitive.ffs;
+  }
+
+(** Fraction of LUT+FF+mux resources spent in the disambiguation logic
+    (the Fig. 1 metric). *)
+let queue_share r =
+  let q = r.queue_luts + r.queue_ffs in
+  let d = r.datapath_luts + r.datapath_ffs in
+  float_of_int q /. float_of_int (max 1 (q + d))
+
+let pp ppf r =
+  Format.fprintf ppf
+    "LUT=%d (dp %d / queue %d)  FF=%d (dp %d / queue %d)  MUX=%d  CP=%.2fns"
+    r.luts r.datapath_luts r.queue_luts r.ffs r.datapath_ffs r.queue_ffs
+    r.muxes r.cp_ns

@@ -1,0 +1,25 @@
+(** Area/timing reports for a compiled circuit under a disambiguation
+    scheme — the data behind Fig. 1, Table I, Table II and Fig. 7. *)
+
+type t = {
+  luts : int;
+  ffs : int;
+  muxes : int;
+  cp_ns : float;  (** modelled achieved clock period *)
+  datapath_luts : int;  (** computation + controller share (Fig. 1) *)
+  queue_luts : int;  (** LSQ / PreVV share (Fig. 1) *)
+  datapath_ffs : int;
+  queue_ffs : int;
+}
+
+val of_circuit :
+  Pv_dataflow.Graph.t ->
+  Pv_memory.Portmap.t ->
+  Pv_netlist.Elaborate.disambiguation ->
+  t
+
+(** Fraction of LUT+FF resources spent in the disambiguation logic (the
+    Fig. 1 metric). *)
+val queue_share : t -> float
+
+val pp : Format.formatter -> t -> unit

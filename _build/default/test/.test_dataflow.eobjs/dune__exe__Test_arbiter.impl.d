@@ -1,0 +1,1 @@
+test/test_arbiter.ml: Alcotest Arbiter Format List Premature_queue Pv_memory Pv_prevv QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Check Graph List Memif Pv_dataflow QCheck QCheck_alcotest Sim Types

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Balance Build Defs Depend Interp List Printf Pv_core Pv_dataflow Pv_frontend Pv_kernels Pv_memory QCheck QCheck_alcotest Trace Workload

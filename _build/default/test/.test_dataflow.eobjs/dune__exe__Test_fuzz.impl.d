@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest List Pipeline Pv_core Pv_dataflow Pv_frontend Pv_kernels QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Pipeline Printf Pv_core Pv_dataflow Pv_frontend Pv_kernels QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Ast Defs Format Hashtbl Interp List Pv_kernels QCheck QCheck_alcotest String Workload

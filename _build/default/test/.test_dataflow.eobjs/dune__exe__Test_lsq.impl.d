@@ -1,0 +1,1 @@
+test/test_lsq.ml: Alcotest Array Portmap Pv_dataflow Pv_lsq Pv_memory

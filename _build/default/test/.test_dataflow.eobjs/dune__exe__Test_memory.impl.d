@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Defs Hashtbl Interp Layout List Portmap Printf Pv_dataflow Pv_frontend Pv_kernels Pv_memory Workload

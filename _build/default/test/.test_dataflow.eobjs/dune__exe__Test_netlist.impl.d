@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Elaborate Emit Gen List Primitive Pv_core Pv_dataflow Pv_frontend Pv_kernels Pv_netlist QCheck QCheck_alcotest String

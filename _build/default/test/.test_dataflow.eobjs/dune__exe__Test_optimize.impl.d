@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Ast Defs Hashtbl Interp List Pipeline Pv_core Pv_dataflow Pv_frontend Pv_kernels Pv_memory QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Ast Defs Format Hashtbl Interp List Parse Pv_dataflow Pv_kernels QCheck QCheck_alcotest Workload

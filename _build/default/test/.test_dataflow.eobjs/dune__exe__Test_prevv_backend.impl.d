@@ -1,0 +1,1 @@
+test/test_prevv_backend.ml: Alcotest Array Portmap Pv_dataflow Pv_memory Pv_prevv

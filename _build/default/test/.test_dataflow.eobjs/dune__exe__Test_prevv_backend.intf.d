@@ -1,0 +1,1 @@
+test/test_prevv_backend.mli:

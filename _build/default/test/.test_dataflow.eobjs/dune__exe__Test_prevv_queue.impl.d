@@ -1,0 +1,1 @@
+test/test_prevv_queue.ml: Alcotest Gen List Premature_queue Pv_memory Pv_prevv QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest List Printf Pv_core Pv_frontend Pv_kernels Pv_netlist Pv_resource Report Timing

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Experiment Filename List Pipeline Printf Pv_core Pv_dataflow Pv_kernels Pv_lsq Pv_memory Pv_prevv Pv_resource String Sys

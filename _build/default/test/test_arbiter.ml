@@ -1,0 +1,159 @@
+(* Truth-table tests for the arbiter's validation rule (Eqs. 2-5) and the
+   load admission gate. *)
+
+open Pv_prevv
+module PQ = Premature_queue
+module PM = Pv_memory.Portmap
+
+let queue_with entries =
+  let q = PQ.create 16 in
+  List.iter
+    (fun (seq, pos, kind, index, value) ->
+      ignore (PQ.push q ~seq ~pos ~port:0 ~kind ~index ~value))
+    entries;
+  q
+
+(* A store P_m arriving at the arbiter; entries are (seq,pos,kind,idx,val). *)
+let violation entries ~seq ~pos ~index ~value =
+  Arbiter.store_violation (queue_with entries) ~seq ~pos ~index ~value
+
+let some = Alcotest.(option int)
+
+(* Eq. 2-5 all satisfied: older store vs younger load, same index,
+   different value -> squash at the load's iteration *)
+let test_violation_hit () =
+  Alcotest.check some "younger load exposed" (Some 7)
+    (violation [ (7, 0, PM.OLoad, 100, 5) ] ~seq:3 ~pos:0 ~index:100 ~value:9)
+
+(* Eq. 5 fails: same value means the premature load was right anyway *)
+let test_value_match_no_violation () =
+  Alcotest.check some "value validation passes" None
+    (violation [ (7, 0, PM.OLoad, 100, 9) ] ~seq:3 ~pos:0 ~index:100 ~value:9)
+
+(* Eq. 4 fails: different index *)
+let test_index_mismatch () =
+  Alcotest.check some "different address" None
+    (violation [ (7, 0, PM.OLoad, 101, 5) ] ~seq:3 ~pos:0 ~index:100 ~value:9)
+
+(* Eq. 3 fails: two stores never form a violation *)
+let test_same_kind () =
+  Alcotest.check some "store vs store" None
+    (violation [ (7, 0, PM.OStore, 100, 5) ] ~seq:3 ~pos:0 ~index:100 ~value:9)
+
+(* Eq. 2 fails: the queued load is older than the arriving store *)
+let test_older_load_safe () =
+  Alcotest.check some "older load untouched" None
+    (violation [ (2, 0, PM.OLoad, 100, 5) ] ~seq:3 ~pos:0 ~index:100 ~value:9)
+
+(* earliest erring iteration wins when several loads are wrong *)
+let test_min_seq_err () =
+  Alcotest.check some "earliest iter_err" (Some 5)
+    (violation
+       [ (9, 0, PM.OLoad, 100, 5); (5, 0, PM.OLoad, 100, 6); (7, 0, PM.OLoad, 100, 7) ]
+       ~seq:3 ~pos:0 ~index:100 ~value:9)
+
+(* same iteration: the ROM position is the tie-break (end of Sec. III) *)
+let test_same_iteration_rom_order () =
+  (* store at position 1, load at position 3 of the same iteration: the
+     load should have seen the store's value -> violation *)
+  Alcotest.check some "same-iter store-before-load" (Some 4)
+    (violation [ (4, 3, PM.OLoad, 100, 5) ] ~seq:4 ~pos:1 ~index:100 ~value:9);
+  (* accumulation order (load pos 0, store pos 1): no violation *)
+  Alcotest.check some "same-iter load-before-store" None
+    (violation [ (4, 0, PM.OLoad, 100, 5) ] ~seq:4 ~pos:1 ~index:100 ~value:9)
+
+(* invalidated entries are ignored by the search *)
+let test_invalid_entries_skipped () =
+  let q = queue_with [ (7, 0, PM.OLoad, 100, 5) ] in
+  PQ.invalidate_from q ~seq:0;
+  Alcotest.check some "empty after invalidation" None
+    (Arbiter.store_violation q ~seq:3 ~pos:0 ~index:100 ~value:9)
+
+(* --- load gate -------------------------------------------------------------- *)
+
+let gate entries ~seq ~pos ~index =
+  Arbiter.load_gate (queue_with entries) ~seq ~pos ~index
+
+let gate_t =
+  Alcotest.testable
+    (fun ppf -> function
+      | Arbiter.Clear -> Format.pp_print_string ppf "Clear"
+      | Arbiter.Wait -> Format.pp_print_string ppf "Wait"
+      | Arbiter.Forward v -> Format.fprintf ppf "Forward %d" v)
+    ( = )
+
+let test_gate_clear () =
+  Alcotest.check gate_t "no conflicting store" Arbiter.Clear
+    (gate [ (2, 0, PM.OStore, 50, 1) ] ~seq:5 ~pos:0 ~index:100);
+  Alcotest.check gate_t "younger store ignored" Arbiter.Clear
+    (gate [ (9, 0, PM.OStore, 100, 1) ] ~seq:5 ~pos:0 ~index:100)
+
+let test_gate_wait () =
+  Alcotest.check gate_t "older uncommitted store" Arbiter.Wait
+    (gate [ (2, 0, PM.OStore, 100, 1) ] ~seq:5 ~pos:0 ~index:100)
+
+let test_gate_forward () =
+  Alcotest.check gate_t "same-iteration earlier store forwards"
+    (Arbiter.Forward 77)
+    (gate [ (5, 0, PM.OStore, 100, 77) ] ~seq:5 ~pos:2 ~index:100)
+
+let test_gate_youngest_older_wins () =
+  (* two older stores to the same address: the youngest decides *)
+  Alcotest.check gate_t "youngest older store decides" Arbiter.Wait
+    (gate
+       [ (5, 0, PM.OStore, 100, 1); (2, 0, PM.OStore, 100, 2) ]
+       ~seq:7 ~pos:0 ~index:100);
+  Alcotest.check gate_t "same-seq store closest" (Arbiter.Forward 9)
+    (gate
+       [ (2, 0, PM.OStore, 100, 1); (7, 0, PM.OStore, 100, 9) ]
+       ~seq:7 ~pos:3 ~index:100)
+
+(* property: a violation requires all four conditions at once *)
+let prop_violation_iff_conditions =
+  QCheck.Test.make ~count:500 ~name:"Eqs. 2-5 are necessary and sufficient"
+    QCheck.(
+      tup4 (pair (int_range 0 9) (int_range 0 3))
+        (pair (int_range 0 9) (int_range 0 3))
+        (pair (int_range 0 3) (int_range 0 3))
+        (pair bool (pair (int_range 0 3) (int_range 0 3))))
+    (fun ((m_seq, m_pos), (n_seq, n_pos), (m_idx, n_idx), (n_is_load, (m_val, n_val))) ->
+      let kind = if n_is_load then PM.OLoad else PM.OStore in
+      let got =
+        violation
+          [ (n_seq, n_pos, kind, n_idx, n_val) ]
+          ~seq:m_seq ~pos:m_pos ~index:m_idx ~value:m_val
+      in
+      let older = m_seq < n_seq || (m_seq = n_seq && m_pos < n_pos) in
+      let expect =
+        if n_is_load && older && m_idx = n_idx && m_val <> n_val then Some n_seq
+        else None
+      in
+      got = expect)
+
+let () =
+  Alcotest.run "pv_arbiter"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "violation hit" `Quick test_violation_hit;
+          Alcotest.test_case "value match (Eq. 5)" `Quick
+            test_value_match_no_violation;
+          Alcotest.test_case "index mismatch (Eq. 4)" `Quick test_index_mismatch;
+          Alcotest.test_case "same kind (Eq. 3)" `Quick test_same_kind;
+          Alcotest.test_case "older load safe (Eq. 2)" `Quick test_older_load_safe;
+          Alcotest.test_case "min iter_err" `Quick test_min_seq_err;
+          Alcotest.test_case "same-iteration ROM order" `Quick
+            test_same_iteration_rom_order;
+          Alcotest.test_case "invalidated entries skipped" `Quick
+            test_invalid_entries_skipped;
+        ] );
+      ( "load gate",
+        [
+          Alcotest.test_case "clear" `Quick test_gate_clear;
+          Alcotest.test_case "wait" `Quick test_gate_wait;
+          Alcotest.test_case "forward" `Quick test_gate_forward;
+          Alcotest.test_case "youngest older wins" `Quick
+            test_gate_youngest_older_wins;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_violation_iff_conditions ]);
+    ]

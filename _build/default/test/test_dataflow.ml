@@ -1,0 +1,336 @@
+(* Unit and property tests for the elastic dataflow substrate: graph
+   construction, structural checking, and the cycle-accurate simulator. *)
+
+open Pv_dataflow
+
+let mem4 () = Array.make 16 0
+
+(* A generator emitting values [0..n-1] on one output. *)
+let counter_gen n =
+  Types.Gen
+    {
+      Types.gen_arity = 1;
+      gen_next = (fun s -> if s < n then Some [| s |] else None);
+      gen_group = (fun _ -> 0);
+    }
+
+let run_graph ?cfg g =
+  let mem = mem4 () in
+  let outcome, stats = Sim.run ?cfg g (Memif.direct ~latency:1 mem) in
+  (outcome, stats, mem)
+
+let cycles_of = function
+  | Sim.Finished { cycles } -> cycles
+  | o -> Alcotest.failf "expected Finished, got %a" Sim.pp_outcome o
+
+(* --- graph construction -------------------------------------------------- *)
+
+let test_connect_errors () =
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen 4) in
+  let sink = Graph.add b Types.Sink in
+  Graph.connect b (gen, 0) (sink, 0);
+  Alcotest.check_raises "double-wired output"
+    (Invalid_argument "connect: output 0 of node 0 (gen) already wired")
+    (fun () ->
+      let s2 = Graph.add b Types.Sink in
+      Graph.connect b (gen, 0) (s2, 0));
+  Alcotest.check_raises "bad slot"
+    (Invalid_argument "connect: node 1 (sink) has no output slot 3") (fun () ->
+      let s2 = Graph.add b Types.Sink in
+      Graph.connect b (sink, 3) (s2, 0))
+
+let test_check_unwired () =
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen 4) in
+  ignore gen;
+  let g = Graph.finalize b in
+  match Check.errors g with
+  | [ Check.Unwired { dir = "output"; slot = 0; _ } ] -> ()
+  | errs ->
+      Alcotest.failf "expected one unwired error, got %d" (List.length errs)
+
+let test_check_cycle () =
+  (* two unops feeding each other: a combinational cycle *)
+  let b = Graph.create () in
+  let a = Graph.add b (Types.Unop Types.Neg) in
+  let c = Graph.add b (Types.Unop Types.Neg) in
+  Graph.connect b (a, 0) (c, 0);
+  Graph.connect b (c, 0) (a, 0);
+  let g = Graph.finalize b in
+  Alcotest.(check bool) "cycle detected"
+    true
+    (List.exists
+       (function Check.Combinational_cycle _ -> true | _ -> false)
+       (Check.errors g))
+
+(* --- simulator semantics -------------------------------------------------- *)
+
+(* gen -> unop -> sink chain sustains one token per cycle *)
+let test_chain_ii1 () =
+  let n = 300 in
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen n) in
+  let u1 = Graph.add b (Types.Unop Types.Neg) in
+  let u2 = Graph.add b (Types.Unop Types.Neg) in
+  let sink = Graph.add b Types.Sink in
+  Graph.connect b (gen, 0) (u1, 0);
+  Graph.connect b (u1, 0) (u2, 0);
+  Graph.connect b (u2, 0) (sink, 0);
+  let outcome, stats, _ = run_graph (Graph.finalize b) in
+  let c = cycles_of outcome in
+  Alcotest.(check bool) "II close to 1" true (c <= n + 8);
+  Alcotest.(check int) "each node fired n times" n stats.Sim.node_fires.(1)
+
+(* balanced fork/join diamond also sustains II=1 *)
+let test_diamond_ii1 () =
+  let n = 200 in
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen n) in
+  let fork = Graph.add b (Types.Fork 2) in
+  Graph.connect b (gen, 0) (fork, 0);
+  let u = Graph.add b (Types.Unop Types.Neg) in
+  Graph.connect b (fork, 0) (u, 0);
+  let buf = Graph.add b (Types.Buffer { transparent = true; slots = 2 }) in
+  Graph.connect b (fork, 1) (buf, 0);
+  let add = Graph.add b (Types.Binop Types.Add) in
+  Graph.connect b (u, 0) (add, 0);
+  Graph.connect b (buf, 0) (add, 1);
+  let sink = Graph.add b Types.Sink in
+  Graph.connect b (add, 0) (sink, 0);
+  let outcome, _, _ = run_graph (Graph.finalize b) in
+  Alcotest.(check bool) "II close to 1" true (cycles_of outcome <= n + 10)
+
+(* -x + x = 0 for every token: functional correctness through the diamond *)
+let test_diamond_values () =
+  let n = 50 in
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen n) in
+  let fork = Graph.add b (Types.Fork 2) in
+  Graph.connect b (gen, 0) (fork, 0);
+  let u = Graph.add b (Types.Unop Types.Neg) in
+  Graph.connect b (fork, 0) (u, 0);
+  let buf = Graph.add b (Types.Buffer { transparent = true; slots = 2 }) in
+  Graph.connect b (fork, 1) (buf, 0);
+  let add = Graph.add b (Types.Binop Types.Add) in
+  Graph.connect b (u, 0) (add, 0);
+  Graph.connect b (buf, 0) (add, 1);
+  (* store each sum to memory at address = a counter via a store port *)
+  let st = Graph.add b (Types.Store { port = 0 }) in
+  let czero = Graph.add b (Types.Const 3) in
+  (* address constant 3: all results land on the same word; all must be 0 *)
+  let fork2 = Graph.add b (Types.Fork 2) in
+  Graph.connect b (add, 0) (fork2, 0);
+  Graph.connect b (fork2, 0) (czero, 0);
+  Graph.connect b (czero, 0) (st, 0);
+  Graph.connect b (fork2, 1) (st, 1);
+  let mem = mem4 () in
+  mem.(3) <- 42;
+  let outcome, _ = Sim.run (Graph.finalize b) (Memif.direct ~latency:1 mem) in
+  ignore (cycles_of outcome);
+  Alcotest.(check int) "all sums were zero" 0 mem.(3)
+
+(* branch routes by condition *)
+let test_branch_routing () =
+  let n = 40 in
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen n) in
+  let fork = Graph.add b (Types.Fork 2) in
+  Graph.connect b (gen, 0) (fork, 0);
+  (* cond = value land 1 *)
+  let one = Graph.add b (Types.Const 1) in
+  let fork1 = Graph.add b (Types.Fork 2) in
+  Graph.connect b (fork, 0) (fork1, 0);
+  Graph.connect b (fork1, 0) (one, 0);
+  let band = Graph.add b (Types.Binop Types.And) in
+  Graph.connect b (fork1, 1) (band, 0);
+  Graph.connect b (one, 0) (band, 1);
+  let br = Graph.add b Types.Branch in
+  Graph.connect b (fork, 1) (br, 0);
+  Graph.connect b (band, 0) (br, 1);
+  (* taken (odd) -> store to addr 0 as count; not taken -> sink *)
+  let st = Graph.add b (Types.Store { port = 0 }) in
+  let addr = Graph.add b (Types.Const 0) in
+  let fork2 = Graph.add b (Types.Fork 2) in
+  Graph.connect b (br, 0) (fork2, 0);
+  Graph.connect b (fork2, 0) (addr, 0);
+  Graph.connect b (addr, 0) (st, 0);
+  Graph.connect b (fork2, 1) (st, 1);
+  let sink = Graph.add b Types.Sink in
+  Graph.connect b (br, 1) (sink, 0);
+  let mem = mem4 () in
+  let outcome, _ = Sim.run (Graph.finalize b) (Memif.direct ~latency:1 mem) in
+  ignore (cycles_of outcome);
+  (* last odd value stored is n-1 = 39 *)
+  Alcotest.(check int) "last odd token" 39 mem.(0)
+
+(* pipelined binop (latency > 0) preserves order and II; the store's data
+   input gets a slack buffer because its address side is one stage longer
+   (the same fix the Balance pass applies automatically) *)
+let test_pipelined_op () =
+  let n = 120 in
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen n) in
+  let fork = Graph.add b (Types.Fork 2) in
+  Graph.connect b (gen, 0) (fork, 0);
+  let mul = Graph.add b (Types.Binop Types.Mul) in
+  Graph.connect b (fork, 0) (mul, 0);
+  Graph.connect b (fork, 1) (mul, 1);
+  let st = Graph.add b (Types.Store { port = 0 }) in
+  let addr = Graph.add b (Types.Const 5) in
+  let fork2 = Graph.add b (Types.Fork 2) in
+  Graph.connect b (mul, 0) (fork2, 0);
+  Graph.connect b (fork2, 0) (addr, 0);
+  Graph.connect b (addr, 0) (st, 0);
+  let slack = Graph.add b (Types.Buffer { transparent = true; slots = 2 }) in
+  Graph.connect b (fork2, 1) (slack, 0);
+  Graph.connect b (slack, 0) (st, 1);
+  let mem = mem4 () in
+  let outcome, _ = Sim.run (Graph.finalize b) (Memif.direct ~latency:1 mem) in
+  let c = cycles_of outcome in
+  Alcotest.(check int) "last square" ((n - 1) * (n - 1)) mem.(5);
+  Alcotest.(check bool) "pipelined II close to 1" true (c <= n + 16)
+
+(* load port round-trips values through memory *)
+let test_load_port () =
+  let n = 10 in
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen n) in
+  let load = Graph.add b (Types.Load { port = 0 }) in
+  Graph.connect b (gen, 0) (load, 0);
+  let st = Graph.add b (Types.Store { port = 1 }) in
+  let fork = Graph.add b (Types.Fork 2) in
+  Graph.connect b (load, 0) (fork, 0);
+  let caddr = Graph.add b (Types.Const 15) in
+  Graph.connect b (fork, 0) (caddr, 0);
+  Graph.connect b (caddr, 0) (st, 0);
+  Graph.connect b (fork, 1) (st, 1);
+  let mem = mem4 () in
+  Array.iteri (fun i _ -> mem.(i) <- (i * 7) mod 13) mem;
+  let expect = mem.(n - 1) in
+  let outcome, _ = Sim.run (Graph.finalize b) (Memif.direct ~latency:2 mem) in
+  ignore (cycles_of outcome);
+  Alcotest.(check int) "last loaded value stored" expect mem.(15)
+
+(* the deadlock detector fires on a stuck circuit *)
+let test_deadlock_detection () =
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen 10) in
+  (* a join whose second operand never arrives *)
+  let join = Graph.add b (Types.Join 2) in
+  Graph.connect b (gen, 0) (join, 0);
+  let gen2 =
+    Graph.add b
+      (Types.Gen
+         {
+           Types.gen_arity = 1;
+           gen_next = (fun _ -> None);  (* never emits *)
+           gen_group = (fun _ -> 0);
+         })
+  in
+  Graph.connect b (gen2, 0) (join, 1);
+  let sink = Graph.add b Types.Sink in
+  Graph.connect b (join, 0) (sink, 0);
+  let cfg = { Sim.default_config with Sim.stall_limit = 64 } in
+  let outcome, _, _ = run_graph ~cfg (Graph.finalize b) in
+  match outcome with
+  | Sim.Deadlock _ -> ()
+  | o -> Alcotest.failf "expected deadlock, got %a" Sim.pp_outcome o
+
+(* merge forwards whichever input is ready *)
+let test_merge () =
+  let n = 20 in
+  let b = Graph.create () in
+  let gen = Graph.add b (counter_gen n) in
+  let merge = Graph.add b (Types.Merge 2) in
+  Graph.connect b (gen, 0) (merge, 0);
+  let gen2 =
+    Graph.add b
+      (Types.Gen
+         {
+           Types.gen_arity = 1;
+           gen_next = (fun _ -> None);
+           gen_group = (fun _ -> 0);
+         })
+  in
+  Graph.connect b (gen2, 0) (merge, 1);
+  let sink = Graph.add b Types.Sink in
+  Graph.connect b (merge, 0) (sink, 0);
+  let outcome, stats, _ = run_graph (Graph.finalize b) in
+  ignore (cycles_of outcome);
+  Alcotest.(check int) "merge fired n times" n stats.Sim.node_fires.(1)
+
+(* --- property tests ------------------------------------------------------- *)
+
+(* an opaque buffer of any size is a FIFO: outputs appear in push order *)
+let prop_buffer_fifo =
+  QCheck.Test.make ~count:50 ~name:"buffer preserves order and count"
+    QCheck.(pair (int_range 1 8) (int_range 1 64))
+    (fun (slots, n) ->
+      let b = Graph.create () in
+      let gen = Graph.add b (counter_gen n) in
+      let buf = Graph.add b (Types.Buffer { transparent = false; slots }) in
+      Graph.connect b (gen, 0) (buf, 0);
+      let st = Graph.add b (Types.Store { port = 0 }) in
+      let fork = Graph.add b (Types.Fork 2) in
+      Graph.connect b (buf, 0) (fork, 0);
+      let caddr = Graph.add b (Types.Const 2) in
+      Graph.connect b (fork, 0) (caddr, 0);
+      Graph.connect b (caddr, 0) (st, 0);
+      Graph.connect b (fork, 1) (st, 1);
+      let mem = mem4 () in
+      let outcome, stats = Sim.run (Graph.finalize b) (Memif.direct ~latency:1 mem) in
+      (match outcome with Sim.Finished _ -> () | _ -> QCheck.Test.fail_report "not finished");
+      ignore stats;
+      (* last value out equals last value in: order preserved end-to-end *)
+      mem.(2) = n - 1)
+
+(* chains of arbitrary unops terminate with every token delivered *)
+let prop_chain_total =
+  QCheck.Test.make ~count:50 ~name:"unop chains deliver every token"
+    QCheck.(pair (int_range 0 12) (int_range 1 80))
+    (fun (depth, n) ->
+      let b = Graph.create () in
+      let gen = Graph.add b (counter_gen n) in
+      let rec chain src k =
+        if k = 0 then src
+        else begin
+          let u = Graph.add b (Types.Unop Types.Neg) in
+          Graph.connect b src (u, 0);
+          chain (u, 0) (k - 1)
+        end
+      in
+      let last = chain (gen, 0) depth in
+      let sink = Graph.add b Types.Sink in
+      Graph.connect b last (sink, 0);
+      let outcome, stats = Sim.run (Graph.finalize b) (Memif.direct ~latency:1 (mem4 ())) in
+      (match outcome with Sim.Finished _ -> true | _ -> false)
+      && stats.Sim.node_fires.(sink) = n
+      && stats.Sim.gen_instances = n)
+
+let () =
+  Alcotest.run "pv_dataflow"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "connect errors" `Quick test_connect_errors;
+          Alcotest.test_case "unwired detection" `Quick test_check_unwired;
+          Alcotest.test_case "cycle detection" `Quick test_check_cycle;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "chain II=1" `Quick test_chain_ii1;
+          Alcotest.test_case "diamond II=1" `Quick test_diamond_ii1;
+          Alcotest.test_case "diamond values" `Quick test_diamond_values;
+          Alcotest.test_case "branch routing" `Quick test_branch_routing;
+          Alcotest.test_case "pipelined op" `Quick test_pipelined_op;
+          Alcotest.test_case "load port" `Quick test_load_port;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_buffer_fifo;
+          QCheck_alcotest.to_alcotest prop_chain_total;
+        ] );
+    ]

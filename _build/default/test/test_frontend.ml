@@ -1,0 +1,262 @@
+(* Tests for the front-end: dependence analysis, trace generation, circuit
+   construction and throughput balancing. *)
+
+open Pv_frontend
+open Pv_kernels
+
+let info_of k = Depend.analyse k
+
+(* --- dependence analysis --------------------------------------------------- *)
+
+let test_leaves_and_groups () =
+  let info = info_of (Defs.two_mm ~n:4 ()) in
+  Alcotest.(check int) "two leaves" 2 (List.length info.Depend.leaves);
+  Alcotest.(check int) "two groups" 2 info.Depend.portmap.Pv_memory.Portmap.n_groups;
+  Alcotest.(check int) "max depth 3" 3 info.Depend.max_loop_depth
+
+let test_ambiguous_arrays () =
+  let info = info_of (Defs.two_mm ~n:4 ()) in
+  Alcotest.(check (list string)) "stored arrays are ambiguous" [ "tmp"; "D" ]
+    (List.map fst info.Depend.ambiguous_arrays)
+
+let test_affine_classification () =
+  let info = info_of (Defs.two_mm ~n:4 ()) in
+  List.iter
+    (fun (a, cls) ->
+      Alcotest.(check bool) (a ^ " affine") true (cls = Depend.Affine))
+    info.Depend.ambiguous_arrays;
+  let hist = info_of (Defs.histogram ()) in
+  Alcotest.(check bool) "histogram a indirect" true
+    (List.assoc "a" hist.Depend.ambiguous_arrays = Depend.Indirect)
+
+let test_affine_of () =
+  let params = [ ("N", 10) ] in
+  let e_affine = Ast.((v "i" * v "N") + v "j" + i 3) in
+  let e_indirect = Ast.(idx "b" (v "i")) in
+  let e_bilinear = Ast.(v "i" * v "j") in
+  (match Depend.affine_of ~params e_affine with
+  | Some { Depend.coeffs; const } ->
+      Alcotest.(check int) "const" 3 const;
+      Alcotest.(check (list (pair string int))) "coeffs"
+        [ ("i", 10); ("j", 1) ]
+        (List.sort compare coeffs)
+  | None -> Alcotest.fail "expected affine");
+  Alcotest.(check bool) "indirect is not affine" true
+    (Depend.affine_of ~params e_indirect = None);
+  Alcotest.(check bool) "i*j is not affine" true
+    (Depend.affine_of ~params e_bilinear = None)
+
+let test_port_enumeration_order () =
+  (* polyn_mult: c[i+j] += a[i]*b[j]
+     index loads first (none), then value loads post-order: c, a, b, store c *)
+  let info = info_of (Defs.polyn_mult ~n:4 ()) in
+  let arrays =
+    Array.to_list info.Depend.portmap.Pv_memory.Portmap.ports
+    |> List.map (fun p -> p.Pv_memory.Portmap.array)
+  in
+  Alcotest.(check (list string)) "program order" [ "c"; "a"; "b"; "c" ] arrays
+
+let test_naive_pair_count () =
+  let info = info_of (Defs.gaussian ~n:6 ()) in
+  (* 4 ambiguous loads x 1 store on array a *)
+  Alcotest.(check int) "gaussian pairs" 4 (Depend.naive_pair_count info)
+
+let test_conditional_ops () =
+  let info = info_of (Defs.cond_update ()) in
+  let conditional =
+    List.concat_map
+      (fun l -> List.filter (fun o -> o.Depend.op_conditional) l.Depend.ops)
+      info.Depend.leaves
+  in
+  (* store s[y[i]] = s[y[i]] + x[i]: the index load of y, the value loads
+     of y, s and x, and the store itself *)
+  Alcotest.(check int) "conditional ops" 5 (List.length conditional)
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let test_trace_length_matches_interpreter () =
+  List.iter
+    (fun k ->
+      let info = info_of k in
+      let trace = Trace.of_kernel k info in
+      let init = Workload.default_init k in
+      Alcotest.(check int)
+        (k.Ast.name ^ " trace length")
+        (Interp.count_instances k ~init)
+        (Trace.length trace))
+    [ Defs.polyn_mult ~n:6 (); Defs.gaussian ~n:6 (); Defs.two_mm ~n:3 () ]
+
+let test_trace_rows () =
+  let k = Defs.two_mm ~n:2 () in
+  let info = info_of k in
+  let t = Trace.of_kernel k info in
+  (* 2 leaves x 2^3 instances *)
+  Alcotest.(check int) "length" 16 (Trace.length t);
+  Alcotest.(check (array int)) "first row" [| 0; 0; 0; 0 |] t.Trace.rows.(0);
+  Alcotest.(check (array int)) "last row" [| 1; 1; 1; 1 |] t.Trace.rows.(15);
+  let spec = Trace.gen_spec t in
+  Alcotest.(check bool) "exhausted" true (spec.Pv_dataflow.Types.gen_next 16 = None);
+  Alcotest.(check int) "group of 8" 1 (spec.Pv_dataflow.Types.gen_group 8)
+
+let test_trace_data_dependent_bound () =
+  let open Ast in
+  let k =
+    {
+      name = "bad";
+      arrays = [ ("a", 4) ];
+      params = [];
+      body = [ for_ "i" (i 0) (idx "a" (i 0)) [ store "a" (i 0) (i 1) ] ];
+    }
+  in
+  let info = info_of k in
+  Alcotest.(check bool) "raises Data_dependent_bound" true
+    (try
+       ignore (Trace.of_kernel k info);
+       false
+     with Trace.Data_dependent_bound _ -> true)
+
+(* --- build ------------------------------------------------------------------ *)
+
+let test_build_all_kernels_valid () =
+  List.iter
+    (fun k ->
+      let compiled = Pv_core.Pipeline.compile k in
+      (* Check.validate_exn runs inside Sim.create; run it directly here *)
+      Pv_dataflow.Check.validate_exn compiled.Pv_core.Pipeline.graph;
+      Alcotest.(check bool)
+        (k.Ast.name ^ " has nodes")
+        true
+        (Pv_dataflow.Graph.n_nodes compiled.Pv_core.Pipeline.graph > 10))
+    (Defs.all ())
+
+let test_build_port_count_matches_analysis () =
+  List.iter
+    (fun k ->
+      let compiled = Pv_core.Pipeline.compile k in
+      let g = compiled.Pv_core.Pipeline.graph in
+      let pm = compiled.Pv_core.Pipeline.info.Depend.portmap in
+      let port_nodes =
+        Pv_dataflow.Graph.count_nodes
+          (fun n ->
+            match n.Pv_dataflow.Graph.kind with
+            | Pv_dataflow.Types.Load _ | Pv_dataflow.Types.Store _ -> true
+            | _ -> false)
+          g
+      in
+      Alcotest.(check int)
+        (k.Ast.name ^ " ports")
+        (Array.length pm.Pv_memory.Portmap.ports)
+        port_nodes)
+    (Defs.all ())
+
+let test_build_strength_reduction () =
+  (* i*n with constant n must become Mulc, not Mul *)
+  let compiled = Pv_core.Pipeline.compile (Defs.two_mm ~n:4 ()) in
+  let g = compiled.Pv_core.Pipeline.graph in
+  let count op =
+    Pv_dataflow.Graph.count_nodes
+      (fun n -> n.Pv_dataflow.Graph.kind = Pv_dataflow.Types.Binop op)
+      g
+  in
+  Alcotest.(check bool) "addr muls reduced" true (count Pv_dataflow.Types.Mulc > 0);
+  (* the data multiply A[i][k]*B[k][j] stays a true multiplier *)
+  Alcotest.(check bool) "data mul remains" true (count Pv_dataflow.Types.Mul > 0)
+
+let test_skip_nodes_only_with_fake_tokens () =
+  let count_skips options =
+    let compiled = Pv_core.Pipeline.compile ~options (Defs.cond_update ()) in
+    Pv_dataflow.Graph.count_nodes
+      (fun n ->
+        match n.Pv_dataflow.Graph.kind with
+        | Pv_dataflow.Types.Skip _ -> true
+        | _ -> false)
+      compiled.Pv_core.Pipeline.graph
+  in
+  Alcotest.(check int) "with fake tokens: 2 ambiguous conditional ops" 2
+    (count_skips Build.default_options);
+  Alcotest.(check int) "without fake tokens: none" 0
+    (count_skips { Build.default_options with Build.fake_tokens = false })
+
+(* --- balance ----------------------------------------------------------------- *)
+
+let test_balance_plan_covers_deficits () =
+  let compiled =
+    Pv_core.Pipeline.compile
+      ~options:{ Build.default_options with Build.balance = false }
+      (Defs.polyn_mult ~n:4 ())
+  in
+  let g = compiled.Pv_core.Pipeline.graph in
+  let slots = Balance.plan g in
+  Alcotest.(check bool) "some channels need slack" true
+    (Array.exists (fun s -> s > 0) slots);
+  let g' = Balance.insert_buffers g slots in
+  Alcotest.(check bool) "buffers added" true
+    (Pv_dataflow.Graph.n_nodes g' > Pv_dataflow.Graph.n_nodes g);
+  Pv_dataflow.Check.validate_exn g'
+
+let test_balance_improves_throughput () =
+  let cycles options =
+    let compiled = Pv_core.Pipeline.compile ~options (Defs.polyn_mult ~n:8 ()) in
+    let r = Pv_core.Pipeline.simulate compiled (Pv_core.Pipeline.prevv 16) in
+    r.Pv_core.Pipeline.cycles
+  in
+  let balanced = cycles Build.default_options in
+  let unbalanced = cycles { Build.default_options with Build.balance = false } in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced %d < unbalanced %d" balanced unbalanced)
+    true (balanced < unbalanced)
+
+(* property: on randomized polyn sizes, the built circuit is structurally
+   valid and its trace length matches the interpreter *)
+let prop_build_valid =
+  QCheck.Test.make ~count:15 ~name:"build validity over random sizes"
+    QCheck.(int_range 2 20)
+    (fun n ->
+      let k = Defs.polyn_mult ~n () in
+      let compiled = Pv_core.Pipeline.compile k in
+      Pv_dataflow.Check.errors compiled.Pv_core.Pipeline.graph = []
+      && Trace.length compiled.Pv_core.Pipeline.trace = n * n)
+
+let () =
+  Alcotest.run "pv_frontend"
+    [
+      ( "depend",
+        [
+          Alcotest.test_case "leaves and groups" `Quick test_leaves_and_groups;
+          Alcotest.test_case "ambiguous arrays" `Quick test_ambiguous_arrays;
+          Alcotest.test_case "affine classification" `Quick
+            test_affine_classification;
+          Alcotest.test_case "affine_of" `Quick test_affine_of;
+          Alcotest.test_case "port enumeration order" `Quick
+            test_port_enumeration_order;
+          Alcotest.test_case "naive pair count" `Quick test_naive_pair_count;
+          Alcotest.test_case "conditional ops" `Quick test_conditional_ops;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "length matches interpreter" `Quick
+            test_trace_length_matches_interpreter;
+          Alcotest.test_case "rows" `Quick test_trace_rows;
+          Alcotest.test_case "data-dependent bound" `Quick
+            test_trace_data_dependent_bound;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "all kernels valid" `Quick
+            test_build_all_kernels_valid;
+          Alcotest.test_case "port counts" `Quick
+            test_build_port_count_matches_analysis;
+          Alcotest.test_case "strength reduction" `Quick
+            test_build_strength_reduction;
+          Alcotest.test_case "skip nodes" `Quick
+            test_skip_nodes_only_with_fake_tokens;
+        ] );
+      ( "balance",
+        [
+          Alcotest.test_case "plan covers deficits" `Quick
+            test_balance_plan_covers_deficits;
+          Alcotest.test_case "improves throughput" `Quick
+            test_balance_improves_throughput;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_build_valid ]);
+    ]

@@ -1,0 +1,79 @@
+(* Differential fuzzing: randomly generated kernels must behave identically
+   on the interpreter and on the simulated circuit under every backend,
+   with and without the optimisation passes. *)
+
+open Pv_core
+
+let schemes = [ Pipeline.plain_lsq; Pipeline.fast_lsq; Pipeline.prevv 16; Pipeline.prevv 64 ]
+
+let check_seed ?(options = Pv_frontend.Build.default_options) seed dis =
+  let kernel = Pv_kernels.Generate.kernel seed in
+  let init = Pv_kernels.Generate.init_for kernel seed in
+  let compiled = Pipeline.compile ~options kernel in
+  let result = Pipeline.simulate ~init compiled dis in
+  match result.Pipeline.outcome with
+  | Pv_dataflow.Sim.Finished _ -> (
+      match Pipeline.verify ~init compiled result with
+      | [] -> true
+      | l ->
+          QCheck.Test.fail_reportf "seed %d / %s: %d mismatches" seed
+            (Pipeline.name_of dis) (List.length l))
+  | o ->
+      QCheck.Test.fail_reportf "seed %d / %s: %a" seed (Pipeline.name_of dis)
+        Pv_dataflow.Sim.pp_outcome o
+
+let prop_fuzz_all_backends =
+  QCheck.Test.make ~count:40 ~name:"random kernels verify under every scheme"
+    QCheck.(pair (int_range 0 100_000) (int_range 0 3))
+    (fun (seed, which) -> check_seed seed (List.nth schemes which))
+
+let prop_fuzz_with_cse =
+  QCheck.Test.make ~count:25 ~name:"random kernels verify with CSE"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      check_seed
+        ~options:{ Pv_frontend.Build.default_options with Pv_frontend.Build.cse = true }
+        seed (Pipeline.prevv 16))
+
+let prop_fuzz_folded =
+  QCheck.Test.make ~count:25 ~name:"random kernels verify after folding"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let kernel =
+        Pv_frontend.Optimize.constant_fold (Pv_kernels.Generate.kernel seed)
+      in
+      let init = Pv_kernels.Generate.init_for kernel seed in
+      match Pipeline.check ~init kernel (Pipeline.prevv 64) with
+      | Ok _ -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+(* generated kernels are deterministic in their seed *)
+let prop_generator_deterministic =
+  QCheck.Test.make ~count:50 ~name:"generator is seed-deterministic"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      Pv_kernels.Generate.kernel seed = Pv_kernels.Generate.kernel seed)
+
+(* backends agree with each other, not just with the interpreter *)
+let prop_backends_agree =
+  QCheck.Test.make ~count:20 ~name:"LSQ and PreVV final memories agree"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let kernel = Pv_kernels.Generate.kernel seed in
+      let init = Pv_kernels.Generate.init_for kernel seed in
+      let compiled = Pipeline.compile kernel in
+      let run dis = (Pipeline.simulate ~init compiled dis).Pipeline.mem in
+      run Pipeline.fast_lsq = run (Pipeline.prevv 16))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_fuzz_all_backends;
+          QCheck_alcotest.to_alcotest prop_fuzz_with_cse;
+          QCheck_alcotest.to_alcotest prop_fuzz_folded;
+          QCheck_alcotest.to_alcotest prop_generator_deterministic;
+          QCheck_alcotest.to_alcotest prop_backends_agree;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Tests for memory layout and the port map. *)
+
+open Pv_memory
+open Pv_kernels
+
+let test_layout_bases () =
+  let k = Defs.polyn_mult ~n:4 () in
+  let l = Layout.of_kernel k in
+  Alcotest.(check int) "a base" 0 (Layout.base l "a");
+  Alcotest.(check int) "b base" 4 (Layout.base l "b");
+  Alcotest.(check int) "c base" 8 (Layout.base l "c");
+  Alcotest.(check int) "total" 15 l.Layout.total;
+  Alcotest.check_raises "unknown array"
+    (Invalid_argument "layout: unknown array \"z\"") (fun () ->
+      ignore (Layout.base l "z"))
+
+let test_initial_memory_and_extract () =
+  let k = Defs.polyn_mult ~n:4 () in
+  let l = Layout.of_kernel k in
+  let init = [ ("a", [| 1; 2; 3; 4 |]); ("b", [| 5; 6; 7; 8 |]) ] in
+  let mem = Layout.initial_memory l k ~init in
+  Alcotest.(check (array int)) "a region" [| 1; 2; 3; 4 |] (Layout.extract l k mem "a");
+  Alcotest.(check (array int)) "b region" [| 5; 6; 7; 8 |] (Layout.extract l k mem "b");
+  Alcotest.(check (array int)) "c zeroed" (Array.make 7 0) (Layout.extract l k mem "c")
+
+let test_initial_memory_length_check () =
+  let k = Defs.polyn_mult ~n:4 () in
+  let l = Layout.of_kernel k in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "initial_memory: a length 2, expected 4") (fun () ->
+      ignore (Layout.initial_memory l k ~init:[ ("a", [| 1; 2 |]) ]))
+
+let test_diff_against () =
+  let k = Defs.polyn_mult ~n:4 () in
+  let l = Layout.of_kernel k in
+  let init = Workload.default_init k in
+  let golden = Interp.run k ~init in
+  (* a memory computed by the interpreter itself must diff clean *)
+  let mem = Layout.initial_memory l k ~init in
+  Array.blit (Hashtbl.find golden "c") 0 mem (Layout.base l "c") 7;
+  Array.blit (Hashtbl.find golden "a") 0 mem (Layout.base l "a") 4;
+  Array.blit (Hashtbl.find golden "b") 0 mem (Layout.base l "b") 4;
+  Alcotest.(check int) "no diffs" 0 (List.length (Layout.diff_against l k mem golden));
+  (* corrupt one word *)
+  mem.(Layout.base l "c" + 3) <- mem.(Layout.base l "c" + 3) + 1;
+  match Layout.diff_against l k mem golden with
+  | [ ("c", 3, _, _) ] -> ()
+  | d -> Alcotest.failf "expected one diff in c[3], got %d" (List.length d)
+
+(* --- port map -------------------------------------------------------------- *)
+
+let analyse name = (Pv_frontend.Depend.analyse (Defs.by_name name)).Pv_frontend.Depend.portmap
+
+let test_group_ports_program_order () =
+  (* gaussian: ports of its single group must come back in id order *)
+  let pm = analyse "gaussian" in
+  let ports = Portmap.group_ports pm 0 in
+  Alcotest.(check (list int)) "sorted by id" (List.sort compare ports) ports;
+  Alcotest.(check int) "all five ambiguous ops" 5 (List.length ports)
+
+let test_ambiguity_classification () =
+  let pm = analyse "polyn_mult" in
+  (* a and b are load-only -> direct; c is accumulated -> ambiguous *)
+  Array.iter
+    (fun p ->
+      let expected_instance = p.Portmap.array = "c" in
+      Alcotest.(check bool)
+        (Printf.sprintf "port %d (%s)" p.Portmap.id p.Portmap.array)
+        expected_instance
+        (p.Portmap.instance <> None))
+    pm.Portmap.ports
+
+let test_rom_positions () =
+  let pm = analyse "polyn_mult" in
+  (* instance 0 = c: the load precedes the store in the ROM *)
+  let c_ports =
+    Array.to_list pm.Portmap.ports
+    |> List.filter (fun p -> p.Portmap.instance = Some 0)
+  in
+  match c_ports with
+  | [ load; store ] ->
+      Alcotest.(check bool) "load kind" true (load.Portmap.kind = Portmap.OLoad);
+      Alcotest.(check bool) "store kind" true (store.Portmap.kind = Portmap.OStore);
+      let pos p =
+        match Portmap.rom_pos pm ~inst:0 ~group:0 ~port:p.Portmap.id with
+        | Some x -> x
+        | None -> Alcotest.fail "missing rom position"
+      in
+      Alcotest.(check bool) "load before store" true (pos load < pos store)
+  | l -> Alcotest.failf "expected 2 c-ports, got %d" (List.length l)
+
+let test_conditional_flag () =
+  let pm = analyse "cond_update" in
+  let conditional_stores =
+    Array.to_list pm.Portmap.ports
+    |> List.filter (fun p -> p.Portmap.conditional && p.Portmap.kind = Portmap.OStore)
+  in
+  Alcotest.(check int) "one conditional store" 1 (List.length conditional_stores)
+
+let test_direct_backend_latency () =
+  let mem = Array.make 4 7 in
+  let b = Pv_dataflow.Memif.direct ~latency:3 mem in
+  Alcotest.(check bool) "accepts" true (b.Pv_dataflow.Memif.load_req ~port:0 ~seq:0 ~addr:2);
+  Alcotest.(check bool) "no early response" true (b.Pv_dataflow.Memif.load_poll ~port:0 = None);
+  b.Pv_dataflow.Memif.clock ();
+  b.Pv_dataflow.Memif.clock ();
+  Alcotest.(check bool) "still pending" true (b.Pv_dataflow.Memif.load_poll ~port:0 = None);
+  b.Pv_dataflow.Memif.clock ();
+  (match b.Pv_dataflow.Memif.load_poll ~port:0 with
+  | Some (0, 7) -> ()
+  | _ -> Alcotest.fail "expected (0,7) after 3 cycles");
+  Alcotest.(check bool) "quiesced" true (b.Pv_dataflow.Memif.quiesced ())
+
+let () =
+  Alcotest.run "pv_memory"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "bases" `Quick test_layout_bases;
+          Alcotest.test_case "initial memory + extract" `Quick
+            test_initial_memory_and_extract;
+          Alcotest.test_case "length check" `Quick test_initial_memory_length_check;
+          Alcotest.test_case "diff" `Quick test_diff_against;
+        ] );
+      ( "portmap",
+        [
+          Alcotest.test_case "group ports in program order" `Quick
+            test_group_ports_program_order;
+          Alcotest.test_case "ambiguity classification" `Quick
+            test_ambiguity_classification;
+          Alcotest.test_case "ROM positions" `Quick test_rom_positions;
+          Alcotest.test_case "conditional flag" `Quick test_conditional_flag;
+        ] );
+      ( "direct backend",
+        [ Alcotest.test_case "latency" `Quick test_direct_backend_latency ] );
+    ]

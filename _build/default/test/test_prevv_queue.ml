@@ -1,0 +1,140 @@
+(* Tests for the premature queue (Sec. IV-B / Fig. 4): circular pointer
+   behaviour, collapse on out-of-order retirement, and a FIFO-model
+   property. *)
+
+open Pv_prevv
+module PQ = Premature_queue
+module PM = Pv_memory.Portmap
+
+let push q ?(kind = PM.OStore) ?(pos = 0) ?(port = 0) ?(index = 0) ?(value = 0)
+    seq =
+  ignore (PQ.push q ~seq ~pos ~port ~kind ~index ~value)
+
+let seqs q = List.map (fun e -> e.PQ.e_seq) (PQ.to_list q)
+
+let test_empty_full () =
+  let q = PQ.create 4 in
+  Alcotest.(check bool) "empty" true (PQ.is_empty q);
+  Alcotest.(check bool) "state" true (PQ.state q = `Empty);
+  for s = 0 to 3 do push q s done;
+  Alcotest.(check bool) "full" true (PQ.is_full q);
+  Alcotest.(check bool) "state full" true (PQ.state q = `Full);
+  Alcotest.check_raises "push on full" PQ.Full (fun () -> push q 4)
+
+let test_fig4_states () =
+  let q = PQ.create 8 in
+  for s = 0 to 4 do push q s done;
+  Alcotest.(check bool) "normal" true (PQ.state q = `Normal);
+  PQ.retire_seq q ~seq:0;
+  PQ.retire_seq q ~seq:1;
+  PQ.retire_seq q ~seq:2;
+  Alcotest.(check int) "head advanced" 3 q.PQ.head;
+  for s = 5 to 9 do push q s done;
+  Alcotest.(check bool) "wrapped" true (PQ.state q = `Wrapped);
+  Alcotest.(check bool) "tail behind head" true (q.PQ.tail < q.PQ.head)
+
+let test_arrival_order_preserved () =
+  let q = PQ.create 8 in
+  List.iter (push q) [ 5; 2; 7; 1 ];
+  Alcotest.(check (list int)) "arrival order" [ 5; 2; 7; 1 ] (seqs q)
+
+let test_collapse_reclaims_middle () =
+  (* retire an entry that is NOT at the head: the slot must be reclaimed *)
+  let q = PQ.create 4 in
+  List.iter (push q) [ 10; 11; 12; 13 ];
+  Alcotest.(check bool) "full before" true (PQ.is_full q);
+  PQ.retire_seq q ~seq:12;
+  Alcotest.(check int) "occupancy dropped" 3 (PQ.occupancy q);
+  Alcotest.(check bool) "no longer full" true (not (PQ.is_full q));
+  push q 14;
+  Alcotest.(check (list int)) "order preserved after collapse" [ 10; 11; 13; 14 ]
+    (seqs q)
+
+let test_invalidate_from () =
+  let q = PQ.create 8 in
+  List.iter (push q) [ 1; 5; 2; 6; 3 ];
+  PQ.invalidate_from q ~seq:4;
+  Alcotest.(check (list int)) "only older survive" [ 1; 2; 3 ] (seqs q)
+
+let test_retire_if_returns_entries () =
+  let q = PQ.create 8 in
+  push q ~kind:PM.OLoad ~port:3 4;
+  push q ~kind:PM.OStore ~port:5 4;
+  push q ~kind:PM.OLoad ~port:3 5;
+  let retired = PQ.retire_if q (fun e -> e.PQ.e_kind = PM.OLoad) in
+  Alcotest.(check int) "two loads retired" 2 (List.length retired);
+  Alcotest.(check (list int)) "ports" [ 3; 3 ]
+    (List.map (fun e -> e.PQ.e_port) retired);
+  Alcotest.(check (list int)) "store remains" [ 4 ] (seqs q)
+
+let test_wrap_stress () =
+  (* continuous push/retire cycling through the buffer many times *)
+  let q = PQ.create 5 in
+  for s = 0 to 99 do
+    push q s;
+    if s >= 3 then PQ.retire_seq q ~seq:(s - 3)
+  done;
+  (* pushes 0..99, retires 0..96 *)
+  Alcotest.(check (list int)) "last three remain" [ 97; 98; 99 ] (seqs q)
+
+let test_create_guard () =
+  Alcotest.check_raises "zero depth"
+    (Invalid_argument "Premature_queue.create: depth must be > 0") (fun () ->
+      ignore (PQ.create 0))
+
+(* property: the queue behaves like a list-based FIFO-with-removal model *)
+let prop_matches_model =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun s -> `Push s) (int_range 0 50));
+          (2, map (fun s -> `Retire s) (int_range 0 50));
+          (1, map (fun s -> `InvalidateFrom s) (int_range 0 50));
+        ])
+  in
+  QCheck.Test.make ~count:200 ~name:"queue matches FIFO-with-removal model"
+    QCheck.(make Gen.(list_size (int_range 0 60) op_gen))
+    (fun ops ->
+      let q = PQ.create 8 in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push s ->
+              if List.length !model < 8 then begin
+                push q s;
+                model := !model @ [ s ]
+              end
+              else begin
+                (try
+                   push q s;
+                   raise Exit
+                 with PQ.Full -> ())
+              end
+          | `Retire s ->
+              PQ.retire_seq q ~seq:s;
+              model := List.filter (fun x -> x <> s) !model
+          | `InvalidateFrom s ->
+              PQ.invalidate_from q ~seq:s;
+              model := List.filter (fun x -> x < s) !model)
+        ops;
+      seqs q = !model && PQ.occupancy q = List.length !model)
+
+let () =
+  Alcotest.run "pv_prevv_queue"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "empty/full" `Quick test_empty_full;
+          Alcotest.test_case "Fig. 4 states" `Quick test_fig4_states;
+          Alcotest.test_case "arrival order" `Quick test_arrival_order_preserved;
+          Alcotest.test_case "collapse middle slot" `Quick
+            test_collapse_reclaims_middle;
+          Alcotest.test_case "invalidate_from" `Quick test_invalidate_from;
+          Alcotest.test_case "retire_if" `Quick test_retire_if_returns_entries;
+          Alcotest.test_case "wrap stress" `Quick test_wrap_stress;
+          Alcotest.test_case "create guard" `Quick test_create_guard;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_model ]);
+    ]

@@ -1,0 +1,111 @@
+(* Tests for the area/timing report and the clock-period model. *)
+
+open Pv_resource
+
+let compiled k = Pv_core.Pipeline.compile k
+
+let report k dis =
+  let c = compiled k in
+  Report.of_circuit c.Pv_core.Pipeline.graph
+    c.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap dis
+
+let test_cp_ordering () =
+  (* at the same depth: PreVV <= fast LSQ <= plain LSQ search paths *)
+  let d = 32 in
+  Alcotest.(check bool) "prevv fastest" true
+    (Timing.mem_cp Timing.M_prevv ~depth:d < Timing.mem_cp Timing.M_fast_lsq ~depth:d);
+  Alcotest.(check bool) "plain slowest" true
+    (Timing.mem_cp Timing.M_fast_lsq ~depth:d < Timing.mem_cp Timing.M_plain_lsq ~depth:d)
+
+let test_cp_depth_sensitivity () =
+  (* PreVV's validation is nearly depth-independent; the LSQ search is not *)
+  let delta kind = Timing.mem_cp kind ~depth:64 -. Timing.mem_cp kind ~depth:16 in
+  Alcotest.(check bool) "prevv flat" true (delta Timing.M_prevv < 0.5);
+  Alcotest.(check bool) "plain grows" true (delta Timing.M_plain_lsq > 1.0)
+
+let test_datapath_cp_div_kernel_slower () =
+  let cp k = Timing.datapath_cp (compiled k).Pv_core.Pipeline.graph in
+  Alcotest.(check bool) "gaussian (div) slower than polyn" true
+    (cp (Pv_kernels.Defs.gaussian ()) > cp (Pv_kernels.Defs.polyn_mult ()))
+
+let test_cp_in_published_band () =
+  (* every published circuit lands between 6.9 and 9.3 ns *)
+  List.iter
+    (fun k ->
+      List.iter
+        (fun dis ->
+          let r = report k dis in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s CP %.2f in band" k.Pv_kernels.Ast.name
+               r.Report.cp_ns)
+            true
+            (r.Report.cp_ns > 6.5 && r.Report.cp_ns < 9.5))
+        [
+          Pv_netlist.Elaborate.D_plain_lsq 32;
+          Pv_netlist.Elaborate.D_fast_lsq 32;
+          Pv_netlist.Elaborate.D_prevv 16;
+          Pv_netlist.Elaborate.D_prevv 64;
+        ])
+    (Pv_kernels.Defs.paper_benchmarks ())
+
+let test_exec_time () =
+  Alcotest.(check (float 1e-9)) "us conversion" 14.4
+    (Timing.exec_time_us ~cycles:1800 ~cp_ns:8.0)
+
+let test_queue_share_band () =
+  (* Fig. 1: >80% of plain-Dynamatic resources sit in the LSQ *)
+  List.iter
+    (fun k ->
+      let r = report k (Pv_netlist.Elaborate.D_plain_lsq 32) in
+      let share = Report.queue_share r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s share %.2f > 0.8" k.Pv_kernels.Ast.name share)
+        true (share > 0.8))
+    (Pv_kernels.Defs.paper_benchmarks ())
+
+let test_report_consistency () =
+  let r = report (Pv_kernels.Defs.two_mm ()) (Pv_netlist.Elaborate.D_prevv 16) in
+  Alcotest.(check int) "lut split exact" r.Report.luts
+    (r.Report.datapath_luts + r.Report.queue_luts);
+  Alcotest.(check int) "ff split exact" r.Report.ffs
+    (r.Report.datapath_ffs + r.Report.queue_ffs)
+
+(* the Table-I reduction bands, as a regression test of the whole model *)
+let test_reduction_bands () =
+  let geo = ref [] in
+  List.iter
+    (fun k ->
+      let p8 = report k (Pv_netlist.Elaborate.D_fast_lsq 32) in
+      let v16 = report k (Pv_netlist.Elaborate.D_prevv 16) in
+      geo := (float_of_int v16.Report.luts /. float_of_int p8.Report.luts) :: !geo)
+    (Pv_kernels.Defs.paper_benchmarks ());
+  let gm =
+    exp (List.fold_left (fun a r -> a +. log r) 0.0 !geo /. float_of_int (List.length !geo))
+  in
+  (* paper: -43.75%; accept the +-4 point band *)
+  Alcotest.(check bool)
+    (Printf.sprintf "LUT geomean reduction %.1f%% in band" (100.0 *. (gm -. 1.0)))
+    true
+    (gm > 0.52 && gm < 0.61)
+
+let () =
+  Alcotest.run "pv_resource"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "CP ordering" `Quick test_cp_ordering;
+          Alcotest.test_case "CP depth sensitivity" `Quick
+            test_cp_depth_sensitivity;
+          Alcotest.test_case "div kernel slower" `Quick
+            test_datapath_cp_div_kernel_slower;
+          Alcotest.test_case "CP in published band" `Quick test_cp_in_published_band;
+          Alcotest.test_case "exec time" `Quick test_exec_time;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "queue share (Fig. 1)" `Quick test_queue_share_band;
+          Alcotest.test_case "split consistency" `Quick test_report_consistency;
+          Alcotest.test_case "reduction bands (Table I)" `Quick
+            test_reduction_bands;
+        ] );
+    ]
