@@ -1,0 +1,26 @@
+.PHONY: all build test verify bench soak clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# the tier-1 gate: everything builds, every suite passes, and the smoke
+# driver runs each kernel under each scheme end-to-end
+verify:
+	dune build @all
+	dune runtest
+	dune exec bin/smoke.exe
+
+bench:
+	dune exec bench/main.exe
+
+# deeper differential-fuzz sweep (FUZZ_ITERS multiplies the qcheck counts)
+soak:
+	FUZZ_ITERS=10 dune exec test/test_fuzz.exe
+
+clean:
+	dune clean

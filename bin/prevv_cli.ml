@@ -93,8 +93,34 @@ let show_cmd =
 
 (* --- run ------------------------------------------------------------------ *)
 
+let inject_arg =
+  let plan_conv =
+    Arg.conv
+      ( (fun s ->
+          match Pv_dataflow.Fault.parse s with
+          | Ok p -> Ok p
+          | Error e -> Error (`Msg e)),
+        Pv_dataflow.Fault.pp_plan )
+  in
+  let doc =
+    "Fault-injection plan: comma-separated CYCLE:KIND:ARGS events, e.g. \
+     $(b,40:drop-replay:c3,100:stall:c7:64,200:squash:i5).  Kinds: drop, \
+     drop-replay, stall, flip, flip-replay, squash, pqflip, pqdrop.  The \
+     *-replay kinds (and squash, and pqflip with detect) model detected \
+     faults and must still verify; silent kinds may end in a diagnosed \
+     deadlock."
+  in
+  Arg.(value & opt (some plan_conv) None & info [ "inject" ] ~docv:"PLAN" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Inject a random plan of detected (recoverable) faults derived \
+     deterministically from this seed."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
 let run_cmd =
-  let run kernel scheme depth cse fold =
+  let run kernel scheme depth cse fold inject fault_seed =
     let kernel =
       if fold then Pv_frontend.Optimize.constant_fold kernel else kernel
     in
@@ -102,7 +128,26 @@ let run_cmd =
     let options = { Pv_frontend.Build.default_options with Pv_frontend.Build.cse } in
     match
       (let compiled = Pipeline.compile ~options kernel in
-       let result = Pipeline.simulate compiled dis in
+       let faults =
+         Option.value ~default:[] inject
+         @
+         match fault_seed with
+         | None -> []
+         | Some seed ->
+             let instances = Pv_frontend.Trace.length compiled.Pipeline.trace in
+             Pv_dataflow.Fault.random_recoverable ~seed
+               ~n_chans:(Pv_dataflow.Graph.n_chans compiled.Pipeline.graph)
+               ~max_seq:instances
+               ~horizon:(100 + (4 * instances))
+               ()
+       in
+       if faults <> [] then
+         Format.printf "@[<hov 2>injecting: %a@]@." Pv_dataflow.Fault.pp_plan
+           faults;
+       let sim_cfg =
+         { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.faults }
+       in
+       let result = Pipeline.simulate ~sim_cfg compiled dis in
        match result.Pipeline.outcome with
        | Pv_dataflow.Sim.Finished _ -> (
            match Pipeline.verify compiled result with
@@ -111,7 +156,11 @@ let run_cmd =
                Error
                  (Printf.sprintf "%d memory mismatches vs the interpreter"
                     (List.length l)))
-       | o -> Error (Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome o))
+       | o ->
+           Error
+             (Format.asprintf "%a@\n%a" Pv_dataflow.Sim.pp_outcome o
+                (Format.pp_print_option Pv_dataflow.Sim.pp_post_mortem)
+                (Pipeline.post_mortem result)))
     with
     | Ok r ->
         Format.printf "%s / %s: %a@." kernel.Pv_kernels.Ast.name
@@ -124,8 +173,14 @@ let run_cmd =
     | exception Invalid_argument m -> `Error (false, m)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Simulate a kernel and verify the result.")
-    Term.(ret (const run $ kernel_arg $ scheme_arg $ depth_arg $ cse_arg $ fold_arg))
+    (Cmd.info "run"
+       ~doc:
+         "Simulate a kernel and verify the result, optionally under fault \
+          injection.")
+    Term.(
+      ret
+        (const run $ kernel_arg $ scheme_arg $ depth_arg $ cse_arg $ fold_arg
+        $ inject_arg $ fault_seed_arg))
 
 (* --- report --------------------------------------------------------------- *)
 

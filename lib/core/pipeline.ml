@@ -74,8 +74,8 @@ let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
   let cycles =
     match outcome with
     | Pv_dataflow.Sim.Finished { cycles } -> cycles
-    | Pv_dataflow.Sim.Deadlock { at_cycle } | Pv_dataflow.Sim.Timeout { at_cycle }
-      ->
+    | Pv_dataflow.Sim.Deadlock { at_cycle; _ }
+    | Pv_dataflow.Sim.Timeout { at_cycle; _ } ->
         at_cycle
   in
   {
@@ -85,6 +85,14 @@ let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
     mem_stats = backend.Pv_dataflow.Memif.stats ();
     run_stats;
   }
+
+(** The diagnosis attached to a [Deadlock]/[Timeout] outcome, if any. *)
+let post_mortem (r : result) : Pv_dataflow.Sim.post_mortem option =
+  match r.outcome with
+  | Pv_dataflow.Sim.Deadlock { post_mortem; _ }
+  | Pv_dataflow.Sim.Timeout { post_mortem; _ } ->
+      Some post_mortem
+  | Pv_dataflow.Sim.Finished _ -> None
 
 (** Check a simulation result against the reference interpreter on the
     same inputs; returns mismatches as (array, index, expected, got). *)
@@ -114,5 +122,7 @@ let check ?sim_cfg ?init kernel dis : (result, string) Stdlib.result =
                got))
   | o ->
       Error
-        (Format.asprintf "%s/%s: %a" kernel.Pv_kernels.Ast.name (name_of dis)
-           Pv_dataflow.Sim.pp_outcome o)
+        (Format.asprintf "%s/%s: %a@\n%a" kernel.Pv_kernels.Ast.name
+           (name_of dis) Pv_dataflow.Sim.pp_outcome o
+           (Format.pp_print_option Pv_dataflow.Sim.pp_post_mortem)
+           (post_mortem result))

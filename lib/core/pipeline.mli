@@ -43,6 +43,9 @@ type result = {
 (** Instantiate the chosen backend over a flat memory. *)
 val backend_of : compiled -> int array -> disambiguation -> Pv_dataflow.Memif.t
 
+(** The diagnosis attached to a [Deadlock]/[Timeout] outcome, if any. *)
+val post_mortem : result -> Pv_dataflow.Sim.post_mortem option
+
 (** Simulate under the chosen scheme; [init] defaults to the kernel's
     {!Pv_kernels.Workload.default_init}. *)
 val simulate :

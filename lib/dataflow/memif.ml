@@ -20,6 +20,8 @@ type stats = {
   mutable forwarded : int;  (** loads served by store-to-load forwarding *)
   mutable fake_tokens : int;  (** Skip notifications accepted *)
   mutable max_occupancy : int;  (** high-water mark of the central queue *)
+  mutable faults : int;  (** injected backend faults accepted *)
+  mutable degraded : int;  (** livelock-guard engagements (squash storms) *)
 }
 
 let fresh_stats () =
@@ -35,6 +37,8 @@ let fresh_stats () =
     forwarded = 0;
     fake_tokens = 0;
     max_occupancy = 0;
+    faults = 0;
+    degraded = 0;
   }
 
 let pp_stats ppf s =
@@ -42,7 +46,9 @@ let pp_stats ppf s =
     "loads=%d stores=%d squashes=%d replayed=%d stall_full=%d stall_alloc=%d \
      stall_order=%d stall_bw=%d forwarded=%d fake=%d max_occ=%d"
     s.loads s.stores s.squashes s.replayed_ops s.stall_full s.stall_alloc
-    s.stall_order s.stall_bw s.forwarded s.fake_tokens s.max_occupancy
+    s.stall_order s.stall_bw s.forwarded s.fake_tokens s.max_occupancy;
+  if s.faults > 0 then Format.fprintf ppf " faults=%d" s.faults;
+  if s.degraded > 0 then Format.fprintf ppf " DEGRADED(x%d)" s.degraded
 
 type t = {
   begin_instance : seq:int -> group:int -> bool;
@@ -69,6 +75,12 @@ type t = {
   clock : unit -> unit;
   quiesced : unit -> bool;  (** all accepted operations fully committed *)
   stats : unit -> stats;
+  inject : Fault.backend_action -> bool;
+      (** apply a backend-level fault; [false] = not applicable (no such
+          queue entry, squash point already committed, or the backend has
+          no speculative state at all) *)
+  describe : unit -> string;
+      (** human-readable snapshot of internal state for post-mortems *)
 }
 
 (** A trivially correct backend over a plain memory: loads and stores are
@@ -110,4 +122,7 @@ let direct ~latency (mem : int array) : t =
       (fun () -> Hashtbl.iter (fun _ (cd, _, _) -> if !cd > 0 then decr cd) inflight);
     quiesced = (fun () -> Hashtbl.length inflight = 0);
     stats = (fun () -> stats);
+    inject = (fun _ -> false);  (* nothing speculative to disturb *)
+    describe =
+      (fun () -> Printf.sprintf "direct: %d in-flight load(s)" (Hashtbl.length inflight));
   }

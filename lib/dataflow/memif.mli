@@ -21,6 +21,8 @@ type stats = {
   mutable forwarded : int;  (** loads served by store-to-load forwarding *)
   mutable fake_tokens : int;  (** Skip notifications accepted *)
   mutable max_occupancy : int;  (** high-water mark of the central queue *)
+  mutable faults : int;  (** injected backend faults accepted *)
+  mutable degraded : int;  (** livelock-guard engagements (squash storms) *)
 }
 
 val fresh_stats : unit -> stats
@@ -55,6 +57,12 @@ type t = {
   clock : unit -> unit;
   quiesced : unit -> bool;  (** all accepted operations fully committed *)
   stats : unit -> stats;
+  inject : Fault.backend_action -> bool;
+      (** apply a backend-level fault; [false] = not applicable (no such
+          queue entry, squash point already committed, or the backend has
+          no speculative state at all) *)
+  describe : unit -> string;
+      (** human-readable snapshot of internal state for post-mortems *)
 }
 
 (** A trivially correct backend over a plain memory: loads and stores are

@@ -32,9 +32,11 @@ let run ?(cfg = Sim.default_config) (g : Graph.t) (mem : Memif.t) : t =
     let rec loop () =
       if Sim.finished sim then Sim.Finished { cycles = sim.Sim.cycle }
       else if sim.Sim.cycle >= cfg.Sim.max_cycles then
-        Sim.Timeout { at_cycle = sim.Sim.cycle }
+        Sim.Timeout
+          { at_cycle = sim.Sim.cycle; post_mortem = Sim.post_mortem sim }
       else if sim.Sim.cycle - sim.Sim.last_progress > cfg.Sim.stall_limit then
-        Sim.Deadlock { at_cycle = sim.Sim.cycle }
+        Sim.Deadlock
+          { at_cycle = sim.Sim.cycle; post_mortem = Sim.post_mortem sim }
       else begin
         Sim.step sim;
         Array.iteri

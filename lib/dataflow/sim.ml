@@ -25,6 +25,9 @@ type config = {
   max_cycles : int;
   stall_limit : int;
       (** cycles without any token movement before declaring deadlock *)
+  faults : Fault.plan;
+      (** transient disturbances to inject during the run (resilience
+          testing); empty for a fault-free simulation *)
 }
 
 (* Few, fat stages: the paper's circuits close at 7.2-9.2 ns, implying
@@ -37,17 +40,79 @@ let default_latency = function
   | _ -> 0
 
 let default_config =
-  { op_latency = default_latency; max_cycles = 2_000_000; stall_limit = 4096 }
+  {
+    op_latency = default_latency;
+    max_cycles = 2_000_000;
+    stall_limit = 4096;
+    faults = [];
+  }
+
+(** Diagnosis attached to a non-[Finished] outcome: enough state to tell a
+    starved pipeline from a backpressured one from a wedged backend without
+    re-running under a debugger. *)
+type post_mortem = {
+  pm_at_cycle : int;
+  pm_last_progress : int;  (** cycle of the last token movement *)
+  pm_epoch : int;  (** squash epoch at the end (number of squashes seen) *)
+  pm_occupied : int;  (** channel registers still holding a token *)
+  pm_tokens : (chan_id * token) list;  (** in-flight tokens (capped) *)
+  pm_oldest_seq : int option;  (** oldest in-flight iteration anywhere *)
+  pm_stalled : (node_id * string * string) list;
+      (** (node, label, stall reason) for nodes blocked with work (capped) *)
+  pm_gens : (node_id * int * bool) list;  (** generator (node, next seq, done) *)
+  pm_fault_stalls : chan_id list;  (** channels under an injected stall *)
+  pm_backend : string;  (** backend state snapshot ({!Memif.t.describe}) *)
+  pm_faults : Fault.application list;  (** what each planned fault did *)
+}
 
 type outcome =
   | Finished of { cycles : int }
-  | Deadlock of { at_cycle : int }
-  | Timeout of { at_cycle : int }
+  | Deadlock of { at_cycle : int; post_mortem : post_mortem }
+  | Timeout of { at_cycle : int; post_mortem : post_mortem }
 
 let pp_outcome ppf = function
   | Finished { cycles } -> Format.fprintf ppf "finished in %d cycles" cycles
-  | Deadlock { at_cycle } -> Format.fprintf ppf "DEADLOCK at cycle %d" at_cycle
-  | Timeout { at_cycle } -> Format.fprintf ppf "timeout at cycle %d" at_cycle
+  | Deadlock { at_cycle; _ } -> Format.fprintf ppf "DEADLOCK at cycle %d" at_cycle
+  | Timeout { at_cycle; _ } -> Format.fprintf ppf "timeout at cycle %d" at_cycle
+
+let pp_post_mortem ppf pm =
+  Format.fprintf ppf "@[<v>post-mortem at cycle %d:@," pm.pm_at_cycle;
+  Format.fprintf ppf "  last progress at cycle %d (%d idle cycles); epoch %d@,"
+    pm.pm_last_progress
+    (pm.pm_at_cycle - pm.pm_last_progress)
+    pm.pm_epoch;
+  Format.fprintf ppf "  %d occupied channel(s)%s@," pm.pm_occupied
+    (match pm.pm_oldest_seq with
+    | Some s -> Printf.sprintf "; oldest in-flight iteration %d" s
+    | None -> "");
+  List.iter
+    (fun (cid, tok) ->
+      Format.fprintf ppf "    chan %d: %a@," cid pp_token tok)
+    pm.pm_tokens;
+  List.iter
+    (fun (nid, gseq, gdone) ->
+      Format.fprintf ppf "  generator #%d: next seq %d, %s@," nid gseq
+        (if gdone then "exhausted" else "not exhausted"))
+    pm.pm_gens;
+  if pm.pm_fault_stalls <> [] then
+    Format.fprintf ppf "  channels under injected stall: %s@,"
+      (String.concat ", " (List.map string_of_int pm.pm_fault_stalls));
+  if pm.pm_stalled = [] then Format.fprintf ppf "  no node holds work@,"
+  else begin
+    Format.fprintf ppf "  stalled nodes:@,";
+    List.iter
+      (fun (nid, label, why) ->
+        Format.fprintf ppf "    %s#%d: %s@," label nid why)
+      pm.pm_stalled
+  end;
+  Format.fprintf ppf "  backend: %s@," pm.pm_backend;
+  if pm.pm_faults <> [] then begin
+    Format.fprintf ppf "  injected faults:@,";
+    List.iter
+      (fun ap -> Format.fprintf ppf "    %a@," Fault.pp_application ap)
+      pm.pm_faults
+  end;
+  Format.fprintf ppf "@]"
 
 type run_stats = {
   cycles : int;
@@ -77,6 +142,15 @@ and gen_state = {
   mutable g_emitted : int;
 }
 
+(** One armed fault event: fires at the first applicable cycle at or after
+    its [at_cycle], at most once. *)
+type fault_state = {
+  fs_event : Fault.event;
+  mutable fs_fired : int option;
+  mutable fs_dead : bool;  (** permanently inapplicable; stop retrying *)
+  mutable fs_note : string;
+}
+
 type t = {
   g : Graph.t;
   cfg : config;
@@ -88,6 +162,8 @@ type t = {
   states : nstate array;
   order : int array;  (* node evaluation order: consumers before producers *)
   fires : int array;
+  faults : fault_state array;
+  stall_until : int array;  (* per channel: consumption blocked below this cycle *)
   mutable epoch : int;
   mutable cycle : int;
   mutable progress : bool;  (* any movement this cycle *)
@@ -165,6 +241,23 @@ let init_state cfg (node : Graph.node) : nstate =
 let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
   Check.validate_exn g;
   let nc = Graph.n_chans g in
+  List.iter
+    (fun (e : Fault.event) ->
+      let check_chan c =
+        if c < 0 || c >= nc then
+          invalid_arg
+            (Printf.sprintf "Sim.create: fault %s targets channel %d of %d"
+               (Fault.string_of_event e) c nc)
+      in
+      match e.Fault.action with
+      | Fault.Drop { chan }
+      | Fault.Drop_replay { chan }
+      | Fault.Stall { chan; _ }
+      | Fault.Flip { chan; _ }
+      | Fault.Flip_replay { chan; _ } ->
+          check_chan chan
+      | Fault.Backend _ -> ())
+    cfg.faults;
   {
     g;
     cfg;
@@ -175,6 +268,13 @@ let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
     states = Array.init (Graph.n_nodes g) (fun i -> init_state cfg (Graph.node g i));
     order = eval_order g;
     fires = Array.make (Graph.n_nodes g) 0;
+    faults =
+      List.sort (fun (a : Fault.event) b -> compare a.Fault.at_cycle b.Fault.at_cycle)
+        cfg.faults
+      |> List.map (fun e ->
+             { fs_event = e; fs_fired = None; fs_dead = false; fs_note = "" })
+      |> Array.of_list;
+    stall_until = Array.make nc 0;
     epoch = 0;
     cycle = 0;
     progress = false;
@@ -185,7 +285,7 @@ let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
 
 let in_tok t (node : Graph.node) slot =
   let cid = node.Graph.inputs.(slot) in
-  if t.consumed.(cid) then None else t.cur.(cid)
+  if t.consumed.(cid) || t.stall_until.(cid) > t.cycle then None else t.cur.(cid)
 
 let take t (node : Graph.node) slot =
   let cid = node.Graph.inputs.(slot) in
@@ -504,6 +604,207 @@ let purge t ~seq_err =
       | S_plain -> ())
     t.states
 
+(* --- fault injection ---------------------------------------------------- *)
+
+(* Apply every armed fault event that is due and applicable this cycle.
+   Runs at the very top of [step], BEFORE the squash poll: a detected
+   fault ([*_replay]) both disturbs the token and raises the squash, so
+   the purge that follows in the same step erases the corrupted token
+   before any node can observe it — exactly the one-cycle detection a
+   parity-checked elastic channel would give. *)
+let apply_faults t =
+  Array.iter
+    (fun fs ->
+      if fs.fs_fired = None && (not fs.fs_dead)
+         && t.cycle >= fs.fs_event.Fault.at_cycle
+      then
+        let fired ?(note = "") () =
+          fs.fs_fired <- Some t.cycle;
+          fs.fs_note <- note
+        in
+        match fs.fs_event.Fault.action with
+        | Fault.Drop { chan } -> (
+            match t.cur.(chan) with
+            | Some tok ->
+                t.cur.(chan) <- None;
+                fired ~note:(Format.asprintf "lost %a" pp_token tok) ()
+            | None -> ())
+        | Fault.Drop_replay { chan } -> (
+            match t.cur.(chan) with
+            | Some tok ->
+                if t.mem.Memif.inject (Fault.B_squash { seq = tok.seq }) then begin
+                  t.cur.(chan) <- None;
+                  fired ~note:(Format.asprintf "lost %a, squash raised" pp_token tok) ()
+                end
+                (* a pre-commit-frontier remnant: retry on a younger token *)
+            | None -> ())
+        | Fault.Stall { chan; cycles } ->
+            t.stall_until.(chan) <- max t.stall_until.(chan) (t.cycle + cycles);
+            fired ()
+        | Fault.Flip { chan; mask } -> (
+            match t.cur.(chan) with
+            | Some tok ->
+                t.cur.(chan) <- Some { tok with value = tok.value lxor mask };
+                fired ~note:(Format.asprintf "corrupted %a" pp_token tok) ()
+            | None -> ())
+        | Fault.Flip_replay { chan; mask } -> (
+            match t.cur.(chan) with
+            | Some tok ->
+                if t.mem.Memif.inject (Fault.B_squash { seq = tok.seq }) then begin
+                  t.cur.(chan) <- Some { tok with value = tok.value lxor mask };
+                  fired
+                    ~note:(Format.asprintf "corrupted %a, squash raised" pp_token tok)
+                    ()
+                end
+            | None -> ())
+        | Fault.Backend b ->
+            if t.mem.Memif.inject b then fired ()
+            else (
+              match b with
+              | Fault.B_squash _ ->
+                  (* the frontier only advances: a stale squash point stays
+                     stale, so stop retrying *)
+                  fs.fs_dead <- true;
+                  fs.fs_note <- "squash point already committed"
+              | Fault.B_pq_flip _ | Fault.B_pq_drop _ -> ()))
+    t.faults
+
+(** What each planned fault did (or why it never fired). *)
+let fault_log t : Fault.application list =
+  Array.to_list t.faults
+  |> List.map (fun fs ->
+         {
+           Fault.ap_event = fs.fs_event;
+           ap_fired_at = fs.fs_fired;
+           ap_note = fs.fs_note;
+         })
+
+(* --- post-mortem -------------------------------------------------------- *)
+
+let cap_list n l =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go n l
+
+(** Snapshot the diagnosis state; attached to [Deadlock]/[Timeout] so a hung
+    run explains itself without a debugger. *)
+let post_mortem t : post_mortem =
+  let nc = Array.length t.cur in
+  let occupied = ref 0 in
+  let tokens = ref [] in
+  for cid = nc - 1 downto 0 do
+    match t.cur.(cid) with
+    | Some tok ->
+        incr occupied;
+        tokens := (cid, tok) :: !tokens
+    | None -> ()
+  done;
+  let oldest = ref None in
+  let note_seq s =
+    match !oldest with
+    | None -> oldest := Some s
+    | Some o -> if s < o then oldest := Some s
+  in
+  Array.iter (function Some (tk : token) -> note_seq tk.seq | None -> ()) t.cur;
+  Array.iter (function Some (tk : token) -> note_seq tk.seq | None -> ()) t.staged;
+  Array.iter
+    (function
+      | S_pipe (q, _) -> Queue.iter (fun e -> note_seq e.tok.seq) q
+      | S_buf (q, _) -> Queue.iter (fun ((tok : token), _) -> note_seq tok.seq) q
+      | S_store st -> Queue.iter (fun (s, _) -> note_seq s) st.pending
+      | _ -> ())
+    t.states;
+  let stalled = ref [] in
+  let gens = ref [] in
+  for nid = Graph.n_nodes t.g - 1 downto 0 do
+    let node = Graph.node t.g nid in
+    let wired = Array.to_list node.Graph.inputs |> List.filter (fun c -> c >= 0) in
+    let any_in = List.exists (fun c -> t.cur.(c) <> None) wired in
+    let frozen =
+      List.filter (fun c -> t.cur.(c) <> None && t.stall_until.(c) > t.cycle) wired
+    in
+    let missing =
+      (* a Merge fires on any single input, so it is never input-starved *)
+      match node.Graph.kind with
+      | Merge _ -> []
+      | _ ->
+          Array.to_list node.Graph.inputs
+          |> List.mapi (fun slot c -> (slot, c))
+          |> List.filter (fun (_, c) -> c >= 0 && t.cur.(c) = None)
+    in
+    let out_full =
+      Array.to_list node.Graph.outputs
+      |> List.filter (fun c -> c >= 0 && t.cur.(c) <> None)
+    in
+    let add why = stalled := (nid, node.Graph.label, why) :: !stalled in
+    match t.states.(nid) with
+    | S_gen gs ->
+        gens := (nid, gs.g_seq, gs.g_done) :: !gens;
+        if not gs.g_done then
+          if out_full <> [] then
+            add
+              (Printf.sprintf "generator blocked: output chan %d occupied"
+                 (List.hd out_full))
+          else add "generator blocked: allocation refused by backend"
+    | st -> (
+        let internal =
+          match st with
+          | S_pipe (q, _) when not (Queue.is_empty q) ->
+              Some (Printf.sprintf "%d result(s) stuck in FU pipeline" (Queue.length q))
+          | S_buf (q, _) when not (Queue.is_empty q) ->
+              Some (Printf.sprintf "%d token(s) stuck in buffer" (Queue.length q))
+          | S_store ss when not (Queue.is_empty ss.pending) ->
+              let seq, addr = Queue.peek ss.pending in
+              Some
+                (Printf.sprintf
+                   "%d announced store(s) awaiting data (head: seq=%d addr=%d)"
+                   (Queue.length ss.pending) seq addr)
+          | _ -> None
+        in
+        if any_in || internal <> None then
+          let why =
+            if frozen <> [] then
+              Printf.sprintf "input chan %d frozen by injected stall"
+                (List.hd frozen)
+            else
+              match internal with
+              | Some w -> w
+              | None -> (
+                  if missing <> [] && any_in then
+                    let slot, c = List.hd missing in
+                    Printf.sprintf "starved: input slot %d (chan %d) empty" slot c
+                  else if out_full <> [] then
+                    Printf.sprintf "backpressured: output chan %d occupied"
+                      (List.hd out_full)
+                  else
+                    match node.Graph.kind with
+                    | Load _ | Store _ | Skip _ | Galloc _ ->
+                        "inputs ready but refused by memory backend"
+                    | _ -> "inputs ready, output free")
+          in
+          add why)
+  done;
+  let fault_stalls = ref [] in
+  for cid = nc - 1 downto 0 do
+    if t.stall_until.(cid) > t.cycle then fault_stalls := cid :: !fault_stalls
+  done;
+  {
+    pm_at_cycle = t.cycle;
+    pm_last_progress = t.last_progress;
+    pm_epoch = t.epoch;
+    pm_occupied = !occupied;
+    pm_tokens = cap_list 16 !tokens;
+    pm_oldest_seq = !oldest;
+    pm_stalled = cap_list 16 !stalled;
+    pm_gens = !gens;
+    pm_fault_stalls = !fault_stalls;
+    pm_backend = t.mem.Memif.describe ();
+    pm_faults = fault_log t;
+  }
+
 (* --- main loop ---------------------------------------------------------- *)
 
 let all_empty t =
@@ -524,6 +825,7 @@ let gens_done t =
 
 let step t =
   t.progress <- false;
+  if Array.length t.faults > 0 then apply_faults t;
   (match t.mem.Memif.poll_squash () with
   | Some seq_err ->
       purge t ~seq_err;
@@ -558,9 +860,10 @@ let run ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) :
   let t = create ~cfg g mem in
   let rec loop () =
     if finished t then Finished { cycles = t.cycle }
-    else if t.cycle >= cfg.max_cycles then Timeout { at_cycle = t.cycle }
+    else if t.cycle >= cfg.max_cycles then
+      Timeout { at_cycle = t.cycle; post_mortem = post_mortem t }
     else if t.cycle - t.last_progress > cfg.stall_limit then
-      Deadlock { at_cycle = t.cycle }
+      Deadlock { at_cycle = t.cycle; post_mortem = post_mortem t }
     else begin
       step t;
       loop ()

@@ -22,6 +22,9 @@ type config = {
   max_cycles : int;
   stall_limit : int;
       (** cycles without any token movement before declaring deadlock *)
+  faults : Fault.plan;
+      (** transient disturbances to inject during the run (resilience
+          testing); empty for a fault-free simulation *)
 }
 
 (** mul 2, div/rem 3, constant-multiply 0, everything else combinational —
@@ -31,12 +34,32 @@ val default_latency : Types.binop -> int
 
 val default_config : config
 
+(** Diagnosis attached to a non-[Finished] outcome: enough state to tell a
+    starved pipeline from a backpressured one from a wedged backend without
+    re-running under a debugger. *)
+type post_mortem = {
+  pm_at_cycle : int;
+  pm_last_progress : int;  (** cycle of the last token movement *)
+  pm_epoch : int;  (** squash epoch at the end (number of squashes seen) *)
+  pm_occupied : int;  (** channel registers still holding a token *)
+  pm_tokens : (Types.chan_id * Types.token) list;  (** in-flight tokens (capped) *)
+  pm_oldest_seq : int option;  (** oldest in-flight iteration anywhere *)
+  pm_stalled : (Types.node_id * string * string) list;
+      (** (node, label, stall reason) for nodes blocked with work (capped) *)
+  pm_gens : (Types.node_id * int * bool) list;
+      (** generator (node, next seq, exhausted) *)
+  pm_fault_stalls : Types.chan_id list;  (** channels under an injected stall *)
+  pm_backend : string;  (** backend state snapshot ({!Memif.t.describe}) *)
+  pm_faults : Fault.application list;  (** what each planned fault did *)
+}
+
 type outcome =
   | Finished of { cycles : int }
-  | Deadlock of { at_cycle : int }
-  | Timeout of { at_cycle : int }
+  | Deadlock of { at_cycle : int; post_mortem : post_mortem }
+  | Timeout of { at_cycle : int; post_mortem : post_mortem }
 
 val pp_outcome : Format.formatter -> outcome -> unit
+val pp_post_mortem : Format.formatter -> post_mortem -> unit
 
 type run_stats = {
   cycles : int;
@@ -70,6 +93,15 @@ and gen_state = {
   mutable g_emitted : int;
 }
 
+(** One armed fault event: fires at the first applicable cycle at or after
+    its [at_cycle], at most once. *)
+type fault_state = {
+  fs_event : Fault.event;
+  mutable fs_fired : int option;
+  mutable fs_dead : bool;  (** permanently inapplicable; stop retrying *)
+  mutable fs_note : string;
+}
+
 type t = {
   g : Graph.t;
   cfg : config;
@@ -80,6 +112,9 @@ type t = {
   states : nstate array;
   order : int array;  (** node evaluation order: consumers before producers *)
   fires : int array;  (** per-node fire counts *)
+  faults : fault_state array;
+  stall_until : int array;
+      (** per channel: consumption blocked below this cycle *)
   mutable epoch : int;
   mutable cycle : int;
   mutable progress : bool;
@@ -97,6 +132,12 @@ val step : t -> unit
 (** True once the generator is exhausted, every channel/buffer/pipe is
     empty, and the backend has quiesced. *)
 val finished : t -> bool
+
+(** Snapshot the diagnosis state of a (possibly wedged) simulation. *)
+val post_mortem : t -> post_mortem
+
+(** What each planned fault did (or why it never fired). *)
+val fault_log : t -> Fault.application list
 
 (** Run to completion (or deadlock/timeout per [cfg]). *)
 val run : ?cfg:config -> Graph.t -> Memif.t -> outcome * run_stats

@@ -442,6 +442,13 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
       clock = (fun () -> clock t);
       quiesced;
       stats = (fun () -> t.stats);
+      (* the LSQ never speculates, so there is no squash/replay machinery
+         to drive: backend-level faults are not applicable *)
+      inject = (fun _ -> false);
+      describe =
+        (fun () ->
+          Printf.sprintf "lsq: LQ=%d SQ=%d" (List.length t.lq)
+            (List.length t.sq));
     } )
 
 let create cfg pm mem = snd (create_full cfg pm mem)

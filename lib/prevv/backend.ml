@@ -23,6 +23,14 @@ type config = {
   collapse_queue : bool;
       (** interior slot reclamation on/off (ablation: off = naive circular
           pointers, prone to fragmentation wedging) *)
+  squash_budget : int;
+      (** livelock guard: consecutive squashes of the {e same} iteration
+          tolerated before the backend degrades to non-speculative load
+          admission (a load only issues once no older store can still
+          accuse it).  Unreachable in fault-free runs — the strict re-issue
+          after a squash already guarantees forward progress — but a stuck
+          external squash source (fault injection, a flaky error detector)
+          would otherwise replay one iteration forever. *)
 }
 
 (* Simulated queue entries per named (paper) depth unit: this simulator
@@ -40,6 +48,7 @@ let default ~depth_q =
     fake_tokens = true;
     value_validation = true;
     collapse_queue = true;
+    squash_budget = 8;
   }
 
 (** Configuration for a paper-named depth (PreVV16, PreVV64, ...). *)
@@ -87,6 +96,12 @@ type t = {
           non-speculatively until the frontier passes [s] *)
   mutable max_arrived : int;
   mutable replay_until : int;  (** ops at or below this seq are replays *)
+  (* livelock guard *)
+  mutable last_err : int;  (** iteration of the most recent squash *)
+  mutable err_streak : int;  (** consecutive squashes of [last_err] *)
+  mutable degraded_at : int option;
+      (** cycle the guard engaged; [Some _] = speculative load admission is
+          off for the rest of the run *)
   (* per-array (per-BRAM) budgets: one read and one write per cycle *)
   reads : (string, int ref) Hashtbl.t;
   writes : (string, int ref) Hashtbl.t;
@@ -204,6 +219,16 @@ let same_seq_store_pending t inst ~seq ~pos =
    arrived (it will then forward), and otherwise behaves normally. *)
 let strict_blocked t inst ~seq ~pos =
   seq = t.strict_seq && same_seq_store_pending t inst ~seq ~pos
+
+(* Degraded (livelock-guard) admission: a load issues only once no store
+   that could accuse it can still arrive — every older iteration's stores
+   are in ([seq <= saf]) and so are the same-iteration stores the ROM
+   places before it.  Such a load can never be squashed, so admission under
+   this gate makes forward progress no matter how the squash source
+   behaves. *)
+let degraded_blocked t inst ~seq ~pos =
+  t.degraded_at <> None
+  && (seq > inst.saf || same_seq_store_pending t inst ~seq ~pos)
 
 let release t inst (retired : Premature_queue.entry list) =
   ignore t;
@@ -391,6 +416,9 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
       strict_seq = -1;
       max_arrived = -1;
       replay_until = -1;
+      last_err = -1;
+      err_streak = 0;
+      degraded_at = None;
       reads = Hashtbl.create 8;
       writes = Hashtbl.create 8;
     }
@@ -446,28 +474,44 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
               t.stats.Pv_dataflow.Memif.stall_order + 1;
             false
         | Arbiter.Forward v ->
-            if not (has_room t inst ~port ~seq) then begin
+            (* forwarding still speculates that no {e older} store is
+               missing, so the degraded gate applies here too *)
+            if degraded_blocked t inst ~seq ~pos then begin
+              t.stats.Pv_dataflow.Memif.stall_order <-
+                t.stats.Pv_dataflow.Memif.stall_order + 1;
+              false
+            end
+            else if not (has_room t inst ~port ~seq) then begin
               t.stats.Pv_dataflow.Memif.stall_full <-
                 t.stats.Pv_dataflow.Memif.stall_full + 1;
               false
             end
             else begin
-              ignore
-                (Premature_queue.push inst.q ~seq ~pos ~port
-                   ~kind:Portmap.OLoad ~index:addr ~value:v);
-              incr (outstanding inst port);
-              mark_arrival inst ~seq ~port;
-              note_arrival seq;
-              respond t ~port ~ready_at:(t.now + 1) ~seq ~value:v;
-              t.stats.Pv_dataflow.Memif.forwarded <-
-                t.stats.Pv_dataflow.Memif.forwarded + 1;
-              t.stats.Pv_dataflow.Memif.loads <-
-                t.stats.Pv_dataflow.Memif.loads + 1;
-              note_occupancy t;
-              true
+              match
+                Premature_queue.push_opt inst.q ~seq ~pos ~port
+                  ~kind:Portmap.OLoad ~index:addr ~value:v
+              with
+              | None ->
+                  t.stats.Pv_dataflow.Memif.stall_full <-
+                    t.stats.Pv_dataflow.Memif.stall_full + 1;
+                  false
+              | Some _ ->
+                  incr (outstanding inst port);
+                  mark_arrival inst ~seq ~port;
+                  note_arrival seq;
+                  respond t ~port ~ready_at:(t.now + 1) ~seq ~value:v;
+                  t.stats.Pv_dataflow.Memif.forwarded <-
+                    t.stats.Pv_dataflow.Memif.forwarded + 1;
+                  t.stats.Pv_dataflow.Memif.loads <-
+                    t.stats.Pv_dataflow.Memif.loads + 1;
+                  note_occupancy t;
+                  true
             end
         | Arbiter.Clear ->
-            if strict_blocked t inst ~seq ~pos then begin
+            if
+              strict_blocked t inst ~seq ~pos
+              || degraded_blocked t inst ~seq ~pos
+            then begin
               t.stats.Pv_dataflow.Memif.stall_order <-
                 t.stats.Pv_dataflow.Memif.stall_order + 1;
               false
@@ -485,17 +529,24 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
             end
             else begin
               let v = read_mem t addr in
-              ignore
-                (Premature_queue.push inst.q ~seq ~pos ~port
-                   ~kind:Portmap.OLoad ~index:addr ~value:v);
-              incr (outstanding inst port);
-              mark_arrival inst ~seq ~port;
-              note_arrival seq;
-              respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~seq ~value:v;
-              t.stats.Pv_dataflow.Memif.loads <-
-                t.stats.Pv_dataflow.Memif.loads + 1;
-              note_occupancy t;
-              true
+              match
+                Premature_queue.push_opt inst.q ~seq ~pos ~port
+                  ~kind:Portmap.OLoad ~index:addr ~value:v
+              with
+              | None ->
+                  t.stats.Pv_dataflow.Memif.stall_full <-
+                    t.stats.Pv_dataflow.Memif.stall_full + 1;
+                  false
+              | Some _ ->
+                  incr (outstanding inst port);
+                  mark_arrival inst ~seq ~port;
+                  note_arrival seq;
+                  respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~seq
+                    ~value:v;
+                  t.stats.Pv_dataflow.Memif.loads <-
+                    t.stats.Pv_dataflow.Memif.loads + 1;
+                  note_occupancy t;
+                  true
             end)
   in
   let store_req ~port ~seq ~addr ~value =
@@ -520,21 +571,29 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
         end
         else begin
           let pos = pos_of ~inst:inst.id ~seq ~port in
-          (match
-             Arbiter.store_violation ~value_validation:t.cfg.value_validation
-               inst.q ~seq ~pos ~index:addr ~value
-           with
-          | Some seq_err -> raise_squash t seq_err
-          | None -> ());
-          ignore
-            (Premature_queue.push inst.q ~seq ~pos ~port ~kind:Portmap.OStore
-               ~index:addr ~value);
-          incr (outstanding inst port);
-          mark_arrival inst ~seq ~port;
-          note_arrival seq;
-          t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
-          note_occupancy t;
-          true
+          let violation =
+            Arbiter.store_violation ~value_validation:t.cfg.value_validation
+              inst.q ~seq ~pos ~index:addr ~value
+          in
+          match
+            Premature_queue.push_opt inst.q ~seq ~pos ~port ~kind:Portmap.OStore
+              ~index:addr ~value
+          with
+          | None ->
+              t.stats.Pv_dataflow.Memif.stall_full <-
+                t.stats.Pv_dataflow.Memif.stall_full + 1;
+              false
+          | Some _ ->
+              (match violation with
+              | Some seq_err -> raise_squash t seq_err
+              | None -> ());
+              incr (outstanding inst port);
+              mark_arrival inst ~seq ~port;
+              note_arrival seq;
+              t.stats.Pv_dataflow.Memif.stores <-
+                t.stats.Pv_dataflow.Memif.stores + 1;
+              note_occupancy t;
+              true
         end
   in
   let op_skip ~port ~seq =
@@ -558,6 +617,18 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
         t.stats.Pv_dataflow.Memif.squashes <-
           t.stats.Pv_dataflow.Memif.squashes + 1;
         assert (t.frontier <= err);
+        (* livelock guard: replaying the same iteration over and over means
+           speculation is not making progress — stop speculating *)
+        if err = t.last_err then t.err_streak <- t.err_streak + 1
+        else begin
+          t.last_err <- err;
+          t.err_streak <- 1
+        end;
+        if t.err_streak > t.cfg.squash_budget && t.degraded_at = None then begin
+          t.degraded_at <- Some t.now;
+          t.stats.Pv_dataflow.Memif.degraded <-
+            t.stats.Pv_dataflow.Memif.degraded + 1
+        end;
         t.strict_seq <- err;
         Array.iter
           (fun inst ->
@@ -610,6 +681,70 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
     && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) t.resp true
     && t.pending_squash = None
   in
+  let inject (b : Pv_dataflow.Fault.backend_action) =
+    let accepted =
+      match b with
+      | Pv_dataflow.Fault.B_squash { seq } ->
+          (* a squash below the commit frontier is meaningless (those
+             iterations are architectural state already) and would break the
+             frontier<=err invariant: refuse it *)
+          if seq < t.frontier then false
+          else begin
+            raise_squash t seq;
+            true
+          end
+      | Pv_dataflow.Fault.B_pq_flip { inst; slot; mask; detect } ->
+          if inst < 0 || inst >= Array.length t.insts then false
+          else begin
+            match Premature_queue.corrupt t.insts.(inst).q ~slot ~mask with
+            | None -> false
+            | Some e ->
+                (* an ECC-checked queue notices the upset and treats it as a
+                   mis-speculation of the entry's iteration; an unprotected
+                   one leaves detection to value validation (Eq. 5) *)
+                if detect then raise_squash t e.Premature_queue.e_seq;
+                true
+          end
+      | Pv_dataflow.Fault.B_pq_drop { inst; slot } ->
+          if inst < 0 || inst >= Array.length t.insts then false
+          else begin
+            let i = t.insts.(inst) in
+            match Premature_queue.drop i.q ~slot with
+            | None -> false
+            | Some e ->
+                (* the record vanishes as if never made: release the slot
+                   credit and forget the arrival, so the commit frontier
+                   will wait forever for an operation that already happened
+                   — the hang this causes must be diagnosed, not silent *)
+                release t i [ e ];
+                (match Hashtbl.find_opt i.arrivals e.Premature_queue.e_seq with
+                | Some l ->
+                    l := List.filter (fun p -> p <> e.Premature_queue.e_port) !l
+                | None -> ());
+                if i.saf > e.Premature_queue.e_seq then
+                  i.saf <- e.Premature_queue.e_seq;
+                true
+          end
+    in
+    if accepted then
+      t.stats.Pv_dataflow.Memif.faults <- t.stats.Pv_dataflow.Memif.faults + 1;
+    accepted
+  in
+  let describe () =
+    Format.asprintf "frontier=%d strict=%d pending=%s streak=%d(i%d)%s occ=[%s] saf=[%s]"
+      t.frontier t.strict_seq
+      (match t.pending_squash with Some e -> string_of_int e | None -> "-")
+      t.err_streak t.last_err
+      (match t.degraded_at with
+      | Some c -> Printf.sprintf " DEGRADED@%d" c
+      | None -> "")
+      (String.concat ";"
+         (Array.to_list t.insts
+         |> List.map (fun i ->
+                string_of_int (Premature_queue.occupancy i.q))))
+      (String.concat ";"
+         (Array.to_list t.insts |> List.map (fun i -> string_of_int i.saf)))
+  in
   ( t,
     {
       Pv_dataflow.Memif.begin_instance;
@@ -623,14 +758,22 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
       clock;
       quiesced;
       stats = (fun () -> t.stats);
+      inject;
+      describe;
     } )
 
 let create cfg pm mem = snd (create_full cfg pm mem)
+let degraded_at t = t.degraded_at
 
 (** Debug dump of the backend state. *)
 let dump ppf t =
-  Format.fprintf ppf "frontier=%d strict=%d pending=%s@\n" t.frontier t.strict_seq
-    (match t.pending_squash with Some e -> string_of_int e | None -> "-");
+  Format.fprintf ppf "frontier=%d strict=%d pending=%s streak=%d(i%d)%s@\n"
+    t.frontier t.strict_seq
+    (match t.pending_squash with Some e -> string_of_int e | None -> "-")
+    t.err_streak t.last_err
+    (match t.degraded_at with
+    | Some c -> Printf.sprintf " DEGRADED@%d" c
+    | None -> "");
   Array.iter
     (fun inst ->
       Format.fprintf ppf "instance %d: occ=%d quota=%d saf=%d@\n" inst.id

@@ -27,6 +27,12 @@ type config = {
   collapse_queue : bool;
       (** interior slot reclamation on/off (ablation: off = naive circular
           pointers, prone to fragmentation wedging) *)
+  squash_budget : int;
+      (** livelock guard: consecutive squashes of the {e same} iteration
+          tolerated before the backend degrades to non-speculative load
+          admission for the rest of the run.  Unreachable in fault-free
+          runs; protects against a stuck external squash source (fault
+          injection, a flaky error detector). *)
 }
 
 (** Simulated queue entries per named (paper) depth unit: this simulator
@@ -57,3 +63,8 @@ val create : config -> Pv_memory.Portmap.t -> int array -> Pv_dataflow.Memif.t
 (** Dump frontier, per-instance queue contents and near-frontier arrival
     status. *)
 val dump : Format.formatter -> t -> unit
+
+(** [Some cycle] once the livelock guard has engaged (see
+    [config.squash_budget]); the backend then admits loads
+    non-speculatively for the rest of the run. *)
+val degraded_at : t -> int option

@@ -59,6 +59,11 @@ let push t ~seq ~pos ~port ~kind ~index ~value =
   t.count <- t.count + 1;
   e
 
+(** Non-raising [push]: [None] when the queue is full, so callers can turn
+    a full queue into ordinary backpressure instead of an exception. *)
+let push_opt t ~seq ~pos ~port ~kind ~index ~value =
+  if is_full t then None else Some (push t ~seq ~pos ~port ~kind ~index ~value)
+
 (** Reclaim invalidated slots.  Retirement follows program order while the
     queue is in arrival order, so freed slots can sit behind younger live
     entries; the queue collapses them (a shift/valid-bit structure, as load
@@ -130,3 +135,57 @@ let invalidate_from t ~seq = ignore (retire_if t (fun e -> e.e_seq >= seq))
 
 (** Invalidate all valid entries of exactly [seq] (commit of an instance). *)
 let retire_seq t ~seq = ignore (retire_if t (fun e -> e.e_seq = seq))
+
+(* --- fault-injection hooks ---------------------------------------------- *)
+
+(* buffer index of the [n]-th valid entry in arrival order *)
+let nth_valid_idx t n =
+  let found = ref None in
+  let seen = ref 0 in
+  (try
+     for k = 0 to t.count - 1 do
+       let i = (t.head + k) mod t.depth in
+       match t.buf.(i) with
+       | Some e when e.e_valid ->
+           if !seen = n then begin
+             found := Some i;
+             raise Exit
+           end;
+           incr seen
+       | _ -> ()
+     done
+   with Exit -> ());
+  !found
+
+(** The [n]-th valid entry in arrival order, if any. *)
+let nth_valid t n =
+  match nth_valid_idx t n with
+  | Some i -> t.buf.(i)
+  | None -> None
+
+(** Model an SEU in the value field of the [slot]-th live entry: replace it
+    with a copy whose value has [mask] xor-ed in.  Returns the {e original}
+    entry, [None] when no such live entry exists. *)
+let corrupt t ~slot ~mask =
+  match nth_valid_idx t slot with
+  | None -> None
+  | Some i -> (
+      match t.buf.(i) with
+      | Some e ->
+          t.buf.(i) <- Some { e with e_value = e.e_value lxor mask };
+          Some e
+      | None -> None)
+
+(** Model an SEU in the valid bit of the [slot]-th live entry: the record
+    vanishes as if never made.  Returns the lost entry so the caller can
+    repair its own bookkeeping (or deliberately not, for a silent fault). *)
+let drop t ~slot =
+  match nth_valid_idx t slot with
+  | None -> None
+  | Some i -> (
+      match t.buf.(i) with
+      | Some e ->
+          e.e_valid <- false;
+          compact t;
+          Some e
+      | None -> None)

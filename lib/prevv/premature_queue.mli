@@ -55,6 +55,18 @@ val push :
   value:int ->
   entry
 
+(** Non-raising {!push}: [None] when the queue is full, so callers can turn
+    a full queue into ordinary backpressure instead of an exception. *)
+val push_opt :
+  t ->
+  seq:int ->
+  pos:int ->
+  port:int ->
+  kind:Pv_memory.Portmap.op_kind ->
+  index:int ->
+  value:int ->
+  entry option
+
 (** Iterate over valid entries from head to tail (arrival order) — exactly
     the arbiter's search direction. *)
 val iter : (entry -> unit) -> t -> unit
@@ -74,3 +86,18 @@ val invalidate_from : t -> seq:int -> unit
 (** Invalidate all valid entries of exactly [seq] (commit of an
     iteration). *)
 val retire_seq : t -> seq:int -> unit
+
+(** {1 Fault-injection hooks} — see {!Pv_dataflow.Fault}. *)
+
+(** The [n]-th valid entry in arrival order, if any. *)
+val nth_valid : t -> int -> entry option
+
+(** Model an SEU in the value field of the [slot]-th live entry (its value
+    gets [mask] xor-ed in).  Returns the {e original} entry, [None] when no
+    such live entry exists. *)
+val corrupt : t -> slot:int -> mask:int -> entry option
+
+(** Model an SEU in the valid bit of the [slot]-th live entry: the record
+    vanishes as if never made.  Returns the lost entry so the caller can
+    repair its own bookkeeping (or deliberately not, for a silent fault). *)
+val drop : t -> slot:int -> entry option

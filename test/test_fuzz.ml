@@ -1,8 +1,22 @@
 (* Differential fuzzing: randomly generated kernels must behave identically
    on the interpreter and on the simulated circuit under every backend,
-   with and without the optimisation passes. *)
+   with and without the optimisation passes.
+
+   Iteration counts scale with the FUZZ_ITERS environment variable (default
+   1x): `FUZZ_ITERS=10 dune exec test/test_fuzz.exe` runs a 10x-deeper
+   sweep, for soak testing outside the tier-1 budget. *)
 
 open Pv_core
+
+let iters base =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | None -> base
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> base * n
+      | _ ->
+          Printf.eprintf "FUZZ_ITERS=%S ignored (want a positive integer)\n" s;
+          base)
 
 let schemes = [ Pipeline.plain_lsq; Pipeline.fast_lsq; Pipeline.prevv 16; Pipeline.prevv 64 ]
 
@@ -23,12 +37,12 @@ let check_seed ?(options = Pv_frontend.Build.default_options) seed dis =
         Pv_dataflow.Sim.pp_outcome o
 
 let prop_fuzz_all_backends =
-  QCheck.Test.make ~count:40 ~name:"random kernels verify under every scheme"
+  QCheck.Test.make ~count:(iters 40) ~name:"random kernels verify under every scheme"
     QCheck.(pair (int_range 0 100_000) (int_range 0 3))
     (fun (seed, which) -> check_seed seed (List.nth schemes which))
 
 let prop_fuzz_with_cse =
-  QCheck.Test.make ~count:25 ~name:"random kernels verify with CSE"
+  QCheck.Test.make ~count:(iters 25) ~name:"random kernels verify with CSE"
     QCheck.(int_range 0 100_000)
     (fun seed ->
       check_seed
@@ -36,7 +50,7 @@ let prop_fuzz_with_cse =
         seed (Pipeline.prevv 16))
 
 let prop_fuzz_folded =
-  QCheck.Test.make ~count:25 ~name:"random kernels verify after folding"
+  QCheck.Test.make ~count:(iters 25) ~name:"random kernels verify after folding"
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let kernel =
@@ -49,14 +63,14 @@ let prop_fuzz_folded =
 
 (* generated kernels are deterministic in their seed *)
 let prop_generator_deterministic =
-  QCheck.Test.make ~count:50 ~name:"generator is seed-deterministic"
+  QCheck.Test.make ~count:(iters 50) ~name:"generator is seed-deterministic"
     QCheck.(int_range 0 100_000)
     (fun seed ->
       Pv_kernels.Generate.kernel seed = Pv_kernels.Generate.kernel seed)
 
 (* backends agree with each other, not just with the interpreter *)
 let prop_backends_agree =
-  QCheck.Test.make ~count:20 ~name:"LSQ and PreVV final memories agree"
+  QCheck.Test.make ~count:(iters 20) ~name:"LSQ and PreVV final memories agree"
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let kernel = Pv_kernels.Generate.kernel seed in
@@ -64,6 +78,47 @@ let prop_backends_agree =
       let compiled = Pipeline.compile kernel in
       let run dis = (Pipeline.simulate ~init compiled dis).Pipeline.mem in
       run Pipeline.fast_lsq = run (Pipeline.prevv 16))
+
+(* resilience: any seed-derived plan of detected (recoverable) faults on
+   any generated kernel still finishes with the interpreter's memory — the
+   squash/replay machinery absorbs arbitrary transient disturbances *)
+let prop_fuzz_recoverable_faults =
+  QCheck.Test.make ~count:(iters 20)
+    ~name:"random kernels survive random recoverable faults"
+    QCheck.(pair (int_range 0 100_000) (int_range 1 1_000))
+    (fun (seed, fseed) ->
+      let kernel = Pv_kernels.Generate.kernel seed in
+      let init = Pv_kernels.Generate.init_for kernel seed in
+      let compiled = Pipeline.compile kernel in
+      let fault_free = Pipeline.simulate ~init compiled (Pipeline.prevv 16) in
+      match fault_free.Pipeline.outcome with
+      | Pv_dataflow.Sim.Finished { cycles } -> (
+          let faults =
+            Pv_dataflow.Fault.random_recoverable ~n:4 ~seed:fseed
+              ~n_chans:(Pv_dataflow.Graph.n_chans compiled.Pipeline.graph)
+              ~max_seq:4 ~horizon:(max 20 (cycles / 2)) ()
+          in
+          let sim_cfg = { Pv_dataflow.Sim.default_config with faults } in
+          let result =
+            Pipeline.simulate ~sim_cfg ~init compiled (Pipeline.prevv 16)
+          in
+          match result.Pipeline.outcome with
+          | Pv_dataflow.Sim.Finished _ -> (
+              match Pipeline.verify ~init compiled result with
+              | [] -> true
+              | l ->
+                  QCheck.Test.fail_reportf
+                    "seed %d fault-seed %d under %s: %d mismatches" seed fseed
+                    (Pv_dataflow.Fault.to_string faults)
+                    (List.length l))
+          | o ->
+              QCheck.Test.fail_reportf "seed %d fault-seed %d under %s: %a"
+                seed fseed
+                (Pv_dataflow.Fault.to_string faults)
+                Pv_dataflow.Sim.pp_outcome o)
+      | o ->
+          QCheck.Test.fail_reportf "seed %d fault-free run failed: %a" seed
+            Pv_dataflow.Sim.pp_outcome o)
 
 let () =
   Alcotest.run "fuzz"
@@ -76,4 +131,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_generator_deterministic;
           QCheck_alcotest.to_alcotest prop_backends_agree;
         ] );
+      ( "resilience",
+        [ QCheck_alcotest.to_alcotest prop_fuzz_recoverable_faults ] );
     ]

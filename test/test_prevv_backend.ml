@@ -4,6 +4,7 @@
 
 open Pv_memory
 module MI = Pv_dataflow.Memif
+module Fault = Pv_dataflow.Fault
 
 (* one ambiguous array "x": load port 0, store port 1 in one group *)
 let portmap () =
@@ -33,6 +34,7 @@ let cfg depth =
     fake_tokens = true;
     value_validation = true;
     collapse_queue = true;
+    squash_budget = 8;
   }
 
 let fresh ?(depth = 8) ?(pm = portmap ()) () =
@@ -253,6 +255,114 @@ let test_saf_retirement () =
     (b.MI.load_req ~port:0 ~seq:6 ~addr:26);
   Alcotest.(check bool) "another" true (b.MI.load_req ~port:0 ~seq:7 ~addr:27)
 
+(* an undetected SEU flipping a recorded load value is indistinguishable
+   from a premature read of stale data — value validation (Eq. 5) catches
+   it when the older store arrives and squashes the victim iteration *)
+let test_silent_pq_flip_caught () =
+  let _, b = fresh () in
+  begin_seqs b 2;
+  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+  ignore (poll_until b ~port:0);
+  (* SEU: the queued record's value silently flips (no ECC flag) *)
+  Alcotest.(check bool) "flip accepted" true
+    (b.MI.inject (Fault.B_pq_flip { inst = 0; slot = 0; mask = 0xff; detect = false }));
+  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:2);
+  (* the store writes exactly what the load originally observed: without
+     the SEU this is the no-squash case of test_value_validation_passes *)
+  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:5 ~value:105);
+  match b.MI.poll_squash () with
+  | Some 1 -> ()
+  | Some s -> Alcotest.failf "squash at %d, expected 1" s
+  | None -> Alcotest.fail "corrupted record escaped value validation"
+
+(* a spurious squash below the commit frontier is refused: those iterations
+   are architectural state already *)
+let test_inject_stale_squash_refused () =
+  let _, b = fresh () in
+  begin_seqs b 2;
+  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:4);
+  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:4 ~value:1);
+  step b;
+  (* instance 0 committed; the frontier is past it *)
+  Alcotest.(check bool) "stale squash refused" false
+    (b.MI.inject (Fault.B_squash { seq = 0 }));
+  Alcotest.(check bool) "live squash accepted" true
+    (b.MI.inject (Fault.B_squash { seq = 1 }));
+  Alcotest.(check bool) "and observable" true (b.MI.poll_squash () = Some 1)
+
+(* livelock guard unit: a squash source stuck on one iteration trips the
+   budget and the backend degrades to non-speculative admission *)
+let test_livelock_guard_unit () =
+  let mem = Array.make 32 0 in
+  let t, b =
+    Pv_prevv.Backend.create_full
+      { (cfg 8) with Pv_prevv.Backend.squash_budget = 2 }
+      (portmap ()) mem
+  in
+  begin_seqs b 6;
+  Alcotest.(check bool) "not degraded initially" true
+    (Pv_prevv.Backend.degraded_at t = None);
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "squash accepted" true
+      (b.MI.inject (Fault.B_squash { seq = 1 }));
+    Alcotest.(check bool) "squash observed" true (b.MI.poll_squash () = Some 1);
+    step b
+  done;
+  (* streak 4 > budget 2: guard engaged and recorded *)
+  Alcotest.(check bool) "degraded_at set" true
+    (Pv_prevv.Backend.degraded_at t <> None);
+  Alcotest.(check bool) "stats record the degradation" true
+    ((b.MI.stats ()).MI.degraded >= 1);
+  (* degraded admission: a load far beyond the store-arrival frontier could
+     still be accused by an older store, so it must wait *)
+  Alcotest.(check bool) "speculative load refused" false
+    (b.MI.load_req ~port:0 ~seq:4 ~addr:3);
+  (* the frontier-age load has no possible accuser and still goes through *)
+  Alcotest.(check bool) "frontier load admitted" true
+    (b.MI.load_req ~port:0 ~seq:0 ~addr:3)
+
+(* minimal legal depth (= one body instance): admission backpressures with
+   [false] and the run still completes — a full queue must never surface as
+   an exception *)
+let test_min_depth_backpressure () =
+  let mem, b = fresh ~depth:2 () in
+  begin_seqs b 4;
+  let refused = ref 0 in
+  (* issue every op as early as possible, in program order, so younger
+     iterations contend with the un-committed frontier for the two slots *)
+  let ops = List.concat_map (fun s -> [ `L s; `S s ]) [ 0; 1; 2; 3 ] in
+  let remaining = ref ops in
+  let cycles = ref 0 in
+  while !remaining <> [] do
+    incr cycles;
+    if !cycles > 100 then Alcotest.fail "no admission within 100 cycles";
+    let rec issue = function
+      | [] -> []
+      | op :: rest ->
+          let ok =
+            match op with
+            | `L s -> b.MI.load_req ~port:0 ~seq:s ~addr:(8 + s)
+            | `S s ->
+                b.MI.store_req ~port:1 ~seq:s ~addr:(8 + s) ~value:(50 + s)
+          in
+          if ok then issue rest
+          else begin
+            incr refused;
+            op :: rest
+          end
+    in
+    remaining := issue !remaining;
+    step b
+  done;
+  for _ = 0 to 3 do ignore (poll_until b ~port:0) done;
+  for _ = 1 to 8 do step b done;
+  Alcotest.(check bool) "tight queue did backpressure" true (!refused > 0);
+  Alcotest.(check bool) "refusals counted as stall_full" true
+    ((b.MI.stats ()).MI.stall_full > 0);
+  Alcotest.(check (list int)) "all stores committed" [ 50; 51; 52; 53 ]
+    [ mem.(8); mem.(9); mem.(10); mem.(11) ];
+  Alcotest.(check bool) "quiesced" true (b.MI.quiesced ())
+
 let () =
   Alcotest.run "pv_prevv_backend"
     [
@@ -274,5 +384,16 @@ let () =
           Alcotest.test_case "port quota" `Quick test_port_quota;
           Alcotest.test_case "depth guard" `Quick test_depth_guard;
           Alcotest.test_case "SAF retirement" `Quick test_saf_retirement;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "silent PQ flip caught by Eq. 5" `Quick
+            test_silent_pq_flip_caught;
+          Alcotest.test_case "stale injected squash refused" `Quick
+            test_inject_stale_squash_refused;
+          Alcotest.test_case "livelock guard degrades admission" `Quick
+            test_livelock_guard_unit;
+          Alcotest.test_case "minimal depth backpressures, never raises" `Quick
+            test_min_depth_backpressure;
         ] );
     ]

@@ -77,6 +77,104 @@ let test_wrap_stress () =
   (* pushes 0..99, retires 0..96 *)
   Alcotest.(check (list int)) "last three remain" [ 97; 98; 99 ] (seqs q)
 
+let test_wrapped_to_full () =
+  (* Fig. 4 full transition sequence: Empty → Normal → Wrapped → Full,
+     then drain back to Empty *)
+  let q = PQ.create 4 in
+  Alcotest.(check bool) "starts empty" true (PQ.state q = `Empty);
+  List.iter (push q) [ 0; 1; 2 ];
+  Alcotest.(check bool) "normal region" true (PQ.state q = `Normal);
+  PQ.retire_seq q ~seq:0;
+  PQ.retire_seq q ~seq:1;
+  push q 3;
+  (* head at slot 2, tail wrapped to 0: the live region crosses the end *)
+  Alcotest.(check bool) "wrapped" true (PQ.state q = `Wrapped);
+  Alcotest.(check bool) "tail wrapped past head" true (q.PQ.tail <= q.PQ.head);
+  push q 4;
+  Alcotest.(check bool) "still wrapped" true (PQ.state q = `Wrapped);
+  push q 5;
+  Alcotest.(check bool) "full" true (PQ.state q = `Full);
+  Alcotest.(check bool) "is_full" true (PQ.is_full q);
+  List.iter (fun s -> PQ.retire_seq q ~seq:s) [ 2; 3; 4; 5 ];
+  Alcotest.(check bool) "drained to empty" true (PQ.state q = `Empty)
+
+let test_retire_behind_live_frees_slots () =
+  (* commits follow program order but arrival order differs: retiring the
+     older seq sitting BEHIND a younger live one must still free capacity *)
+  let q = PQ.create 3 in
+  List.iter (push q) [ 7; 5; 6 ];
+  Alcotest.(check bool) "full before" true (PQ.is_full q);
+  (* 5 and 6 retire first (program order) though they arrived after 7 *)
+  PQ.retire_seq q ~seq:5;
+  PQ.retire_seq q ~seq:6;
+  Alcotest.(check int) "two slots reclaimed" 1 (PQ.occupancy q);
+  push q 8;
+  push q 9;
+  Alcotest.(check (list int)) "live entries in arrival order" [ 7; 8; 9 ]
+    (seqs q)
+
+let test_fragmentation_without_collapse () =
+  (* the naive pointer queue (ablation): interior retirees keep their slots
+     until the head passes them, so out-of-order retirement fragments the
+     queue and admission backpressures while mostly-dead *)
+  let q = PQ.create ~collapse:false 4 in
+  List.iter (push q) [ 0; 1; 2; 3 ];
+  PQ.retire_seq q ~seq:1;
+  PQ.retire_seq q ~seq:2;
+  (* only the head entry (seq 0) and seq 3 are live, yet nothing freed *)
+  Alcotest.(check int) "interior retirees still occupy" 4 (PQ.occupancy q);
+  Alcotest.(check bool) "still full (fragmented)" true (PQ.is_full q);
+  Alcotest.(check bool) "push_opt backpressures" true
+    (PQ.push_opt q ~seq:4 ~pos:0 ~port:0 ~kind:PM.OStore ~index:0 ~value:0
+    = None);
+  Alcotest.(check (list int)) "live view hides dead slots" [ 0; 3 ] (seqs q);
+  (* once the head retires, it sweeps past the dead interior in one go *)
+  PQ.retire_seq q ~seq:0;
+  Alcotest.(check int) "head sweep reclaims the run" 1 (PQ.occupancy q);
+  (* the collapsing queue frees the same slots immediately *)
+  let c = PQ.create 4 in
+  List.iter (push c) [ 0; 1; 2; 3 ];
+  PQ.retire_seq c ~seq:1;
+  PQ.retire_seq c ~seq:2;
+  Alcotest.(check int) "collapse reclaims interior at once" 2 (PQ.occupancy c)
+
+let test_push_opt () =
+  let q = PQ.create 2 in
+  let p seq =
+    PQ.push_opt q ~seq ~pos:0 ~port:0 ~kind:PM.OStore ~index:0 ~value:0
+  in
+  Alcotest.(check bool) "first admitted" true (p 0 <> None);
+  Alcotest.(check bool) "second admitted" true (p 1 <> None);
+  Alcotest.(check bool) "full queue refuses without raising" true (p 2 = None);
+  PQ.retire_seq q ~seq:0;
+  Alcotest.(check bool) "admits again after retire" true (p 2 <> None)
+
+let test_fault_hooks () =
+  let q = PQ.create 8 in
+  List.iteri (fun k s -> push q ~value:(100 + k) s) [ 4; 5; 6 ];
+  (match PQ.nth_valid q 1 with
+  | Some e ->
+      Alcotest.(check int) "nth_valid picks arrival order" 5 e.PQ.e_seq;
+      Alcotest.(check int) "value" 101 e.PQ.e_value
+  | None -> Alcotest.fail "nth_valid 1 missing");
+  Alcotest.(check bool) "nth_valid out of range" true (PQ.nth_valid q 5 = None);
+  (* corrupt returns the ORIGINAL entry and leaves the flipped copy live *)
+  (match PQ.corrupt q ~slot:1 ~mask:0xf with
+  | Some e -> Alcotest.(check int) "corrupt returns original" 101 e.PQ.e_value
+  | None -> Alcotest.fail "corrupt missed");
+  (match PQ.nth_valid q 1 with
+  | Some e -> Alcotest.(check int) "value flipped in place" (101 lxor 0xf) e.PQ.e_value
+  | None -> Alcotest.fail "entry vanished after corrupt");
+  Alcotest.(check int) "corrupt keeps occupancy" 3 (PQ.occupancy q);
+  Alcotest.(check bool) "corrupt out of range" true
+    (PQ.corrupt q ~slot:9 ~mask:1 = None);
+  (* drop erases the record as if never made *)
+  (match PQ.drop q ~slot:0 with
+  | Some e -> Alcotest.(check int) "drop returns the lost entry" 4 e.PQ.e_seq
+  | None -> Alcotest.fail "drop missed");
+  Alcotest.(check (list int)) "record gone" [ 5; 6 ] (seqs q);
+  Alcotest.(check bool) "drop out of range" true (PQ.drop q ~slot:9 = None)
+
 let test_create_guard () =
   Alcotest.check_raises "zero depth"
     (Invalid_argument "Premature_queue.create: depth must be > 0") (fun () ->
@@ -134,6 +232,14 @@ let () =
           Alcotest.test_case "invalidate_from" `Quick test_invalidate_from;
           Alcotest.test_case "retire_if" `Quick test_retire_if_returns_entries;
           Alcotest.test_case "wrap stress" `Quick test_wrap_stress;
+          Alcotest.test_case "wrapped to full (Fig. 4)" `Quick
+            test_wrapped_to_full;
+          Alcotest.test_case "retire behind live frees slots" `Quick
+            test_retire_behind_live_frees_slots;
+          Alcotest.test_case "fragmentation without collapse" `Quick
+            test_fragmentation_without_collapse;
+          Alcotest.test_case "push_opt backpressure" `Quick test_push_opt;
+          Alcotest.test_case "fault hooks" `Quick test_fault_hooks;
           Alcotest.test_case "create guard" `Quick test_create_guard;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_matches_model ]);
