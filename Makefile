@@ -1,4 +1,4 @@
-.PHONY: all build test verify bench soak clean
+.PHONY: all build test verify bench bench-tables soak clean
 
 all: build
 
@@ -15,7 +15,13 @@ verify:
 	dune runtest
 	dune exec bin/smoke.exe
 
+# machine-readable baselines: per-kernel cycles, wall time and node
+# evaluations for both simulator engines, written to BENCH_sim.json
 bench:
+	dune exec bench/main.exe -- --json BENCH_sim.json
+
+# the paper's tables and figures, printed to stdout
+bench-tables:
 	dune exec bench/main.exe
 
 # deeper differential-fuzz sweep (FUZZ_ITERS multiplies the qcheck counts)

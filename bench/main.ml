@@ -155,7 +155,7 @@ let queue_states () =
   let q = Pv_prevv.Premature_queue.create 8 in
   let push seq =
     ignore
-      (Pv_prevv.Premature_queue.push q ~seq ~pos:0 ~port:0
+      (Pv_prevv.Premature_queue.push_exn q ~seq ~pos:0 ~port:0
          ~kind:Pv_memory.Portmap.OStore ~index:seq ~value:seq)
   in
   let show what =
@@ -410,12 +410,124 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* --json: machine-readable simulator baselines (BENCH_sim.json)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-kernel cycles, wall-clock time and node evaluations for both
+   simulator engines under PreVV16, as a stable JSON document the CI
+   archives — the perf trajectory of the event-driven core is tracked
+   against these numbers. *)
+
+let bench_json ~path () =
+  let module Sim = Pv_dataflow.Sim in
+  let dis = Pipeline.prevv 16 in
+  let reps = 3 in
+  let measure compiled engine =
+    (* best-of-N to shed allocator/GC noise; Sys.time is fine for a
+       single-threaded CPU-bound loop *)
+    let sim_cfg = { Sim.default_config with Sim.engine } in
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to reps do
+      let t0 = Sys.time () in
+      let r = Pipeline.simulate ~sim_cfg compiled dis in
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  header "engine baselines (scan vs event, PreVV16)";
+  Printf.printf "%-14s | %10s %10s %9s | %10s %10s %9s | %6s %5s\n" "kernel"
+    "scan ev" "ev/cyc" "time(s)" "event ev" "ev/cyc" "time(s)" "ratio" "equiv";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v1\",\n";
+  Buffer.add_string buf "  \"backend\": \"prevv16\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"default_engine\": %S,\n"
+       (Sim.string_of_engine Sim.default_config.Sim.engine));
+  Buffer.add_string buf "  \"kernels\": [\n";
+  let eval_ratios = ref [] and time_ratios = ref [] in
+  let kernels = Pv_kernels.Defs.paper_benchmarks () in
+  let n_kernels = List.length kernels in
+  List.iteri
+    (fun i kernel ->
+      let name = kernel.Pv_kernels.Ast.name in
+      let compiled = Pipeline.compile kernel in
+      let scan, scan_t = measure compiled Sim.Scan in
+      let event, event_t = measure compiled Sim.Event in
+      let epc (r : Pipeline.result) =
+        float_of_int r.Pipeline.run_stats.Sim.evals
+        /. float_of_int (max r.Pipeline.cycles 1)
+      in
+      let side (r : Pipeline.result) dt =
+        Printf.sprintf
+          "{ \"cycles\": %d, \"time_s\": %.6f, \"evals\": %d, \
+           \"evals_per_cycle\": %.3f }"
+          r.Pipeline.cycles dt r.Pipeline.run_stats.Sim.evals (epc r)
+      in
+      let equivalent =
+        scan.Pipeline.cycles = event.Pipeline.cycles
+        && scan.Pipeline.run_stats.Sim.node_fires
+           = event.Pipeline.run_stats.Sim.node_fires
+        && scan.Pipeline.mem = event.Pipeline.mem
+      in
+      let ratio =
+        float_of_int event.Pipeline.run_stats.Sim.evals
+        /. float_of_int (max scan.Pipeline.run_stats.Sim.evals 1)
+      in
+      eval_ratios := ratio :: !eval_ratios;
+      time_ratios := (event_t /. max scan_t epsilon_float) :: !time_ratios;
+      Printf.printf
+        "%-14s | %10d %10.2f %9.4f | %10d %10.2f %9.4f | %6.3f %5b\n" name
+        scan.Pipeline.run_stats.Sim.evals (epc scan) scan_t
+        event.Pipeline.run_stats.Sim.evals (epc event) event_t ratio equivalent;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"kernel\": %S,\n\
+           \      \"scan\": %s,\n\
+           \      \"event\": %s,\n\
+           \      \"equivalent\": %b,\n\
+           \      \"event_eval_ratio\": %.4f }%s\n"
+           name (side scan scan_t) (side event event_t) equivalent ratio
+           (if i = n_kernels - 1 then "" else ",")))
+    kernels;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"geomean_event_eval_ratio\": %.4f,\n"
+       (Experiment.geomean !eval_ratios));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"geomean_event_time_ratio\": %.4f\n"
+       (Experiment.geomean !time_ratios));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "geomean eval ratio %.3f, geomean time ratio %.3f -> wrote %s\n"
+    (Experiment.geomean !eval_ratios)
+    (Experiment.geomean !time_ratios)
+    path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  match args with
+  | "--json" :: rest ->
+      let path =
+        match rest with
+        | p :: _ when String.length p > 0 && p.[0] <> '-' -> p
+        | _ -> "BENCH_sim.json"
+      in
+      bench_json ~path ()
+  | _ ->
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ ->
+    match args with
+    | _ :: _ -> args
+    | [] ->
         [
           "fig1"; "table1"; "table2"; "fig7"; "queue_states"; "deadlock";
           "depth_sweep"; "scalability"; "ablation"; "micro";

@@ -119,8 +119,22 @@ let fault_seed_arg =
   in
   Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
 
+let engine_arg =
+  let doc =
+    "Simulator engine: $(b,event) (activity-driven wake set, the default) \
+     or $(b,scan) (evaluate every node every cycle).  The engines are \
+     cycle-equivalent; scan is the reference implementation."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("event", Pv_dataflow.Sim.Event); ("scan", Pv_dataflow.Sim.Scan) ])
+        Pv_dataflow.Sim.default_config.Pv_dataflow.Sim.engine
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let run_cmd =
-  let run kernel scheme depth cse fold inject fault_seed =
+  let run kernel scheme depth cse fold inject fault_seed engine =
     let kernel =
       if fold then Pv_frontend.Optimize.constant_fold kernel else kernel
     in
@@ -145,7 +159,9 @@ let run_cmd =
          Format.printf "@[<hov 2>injecting: %a@]@." Pv_dataflow.Fault.pp_plan
            faults;
        let sim_cfg =
-         { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.faults }
+         { Pv_dataflow.Sim.default_config with
+           Pv_dataflow.Sim.faults;
+           Pv_dataflow.Sim.engine }
        in
        let result = Pipeline.simulate ~sim_cfg compiled dis in
        match result.Pipeline.outcome with
@@ -180,7 +196,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ scheme_arg $ depth_arg $ cse_arg $ fold_arg
-        $ inject_arg $ fault_seed_arg))
+        $ inject_arg $ fault_seed_arg $ engine_arg))
 
 (* --- report --------------------------------------------------------------- *)
 

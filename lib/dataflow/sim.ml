@@ -5,10 +5,20 @@
     canonical latency-insensitive wire), so every component contributes one
     pipeline stage; functional units may add [op_latency] further internal
     stages (fully pipelined, initiation interval 1).  Nodes are evaluated
-    once per cycle in reverse topological order, so a register chain
+    once per cycle in consumers-before-producers order, so a register chain
     sustains one token per cycle — exactly the throughput behaviour of the
     circuits the paper measures, with stalls arising only from structural
     hazards and memory backpressure.
+
+    Two engines share that cycle semantics.  [Scan] evaluates every node
+    every cycle.  [Event] keeps a wake set and evaluates only nodes that can
+    possibly fire: a node is awake iff one of its channels changed at the
+    last clock edge, a timed event (injected stall expiry) is due, or it
+    still holds retryable work (a refused backend call, a non-empty FU pipe
+    or buffer, an unexhausted generator, an outstanding load response).
+    Within a cycle, consuming a token pulls the channel's producer into the
+    same wave when its turn is still to come, preserving the
+    one-token-per-cycle streaming of the full scan.
 
     Squash/replay: when the backend reports a mis-speculation at [seq_err],
     the simulator bumps the global epoch, purges every in-flight token with
@@ -17,6 +27,15 @@
     instances. *)
 
 open Types
+
+type engine = Scan | Event
+
+let string_of_engine = function Scan -> "scan" | Event -> "event"
+
+let engine_of_string = function
+  | "scan" -> Some Scan
+  | "event" -> Some Event
+  | _ -> None
 
 type config = {
   op_latency : binop -> int;
@@ -28,6 +47,8 @@ type config = {
   faults : Fault.plan;
       (** transient disturbances to inject during the run (resilience
           testing); empty for a fault-free simulation *)
+  engine : engine;
+      (** evaluation strategy; both engines are cycle-equivalent *)
 }
 
 (* Few, fat stages: the paper's circuits close at 7.2-9.2 ns, implying
@@ -45,6 +66,7 @@ let default_config =
     max_cycles = 2_000_000;
     stall_limit = 4096;
     faults = [];
+    engine = Event;
   }
 
 (** Diagnosis attached to a non-[Finished] outcome: enough state to tell a
@@ -118,11 +140,18 @@ type run_stats = {
   cycles : int;
   node_fires : int array;  (** per node id *)
   gen_instances : int;  (** body instances emitted, including replays *)
+  evals : int;
+      (** total [eval_node] calls; under [Scan] this is nodes x cycles,
+          under [Event] only the awake subset *)
 }
 
 (* --- internal node state ------------------------------------------------ *)
 
-type pipe_entry = { mutable left : int; tok : token }
+type pipe_entry = { ready : int; tok : token }
+(* [ready] is the absolute cycle at which the entry may drain: pushed at
+   cycle [c] with latency [l], it drains at the first eval with
+   [cycle >= c + l] — identical to the old per-cycle countdown, without
+   touching every entry every cycle. *)
 
 type nstate =
   | S_plain
@@ -161,9 +190,29 @@ type t = {
   consumed : bool array;
   states : nstate array;
   order : int array;  (* node evaluation order: consumers before producers *)
+  pos : int array;  (* node id -> index in [order] *)
+  chan_src : int array;  (* channel id -> producer node *)
+  chan_dst : int array;  (* channel id -> consumer node *)
   fires : int array;
   faults : fault_state array;
   stall_until : int array;  (* per channel: consumption blocked below this cycle *)
+  (* event engine: wake set for the next cycle, a position-indexed bitmap
+     for the wave being evaluated, timed wakes for stall expiries, per-Load
+     counts of outstanding responses, channels touched this cycle.  Stacks
+     are preallocated (dedup by flag bounds them) so the hot loop does not
+     allocate. *)
+  event : bool;
+  awake : bool array;
+  wake_stack : int array;
+  mutable wake_len : int;
+  mutable timed_wakes : (int * node_id) list;
+  wave : bool array;  (* indexed by [pos]: nodes to evaluate this cycle *)
+  mutable cur_pos : int;
+  load_resp : int Queue.t array;  (* per Load node: seqs of accepted requests *)
+  touched : bool array;
+  touch_stack : int array;
+  mutable touch_len : int;
+  mutable evals : int;
   mutable epoch : int;
   mutable cycle : int;
   mutable progress : bool;  (* any movement this cycle *)
@@ -229,8 +278,8 @@ let init_state cfg (node : Graph.node) : nstate =
   match node.Graph.kind with
   | Binop op when cfg.op_latency op > 0 ->
       (* an entry occupies the pipe for latency+1 cycles (entering at the
-         eval of its acceptance, draining the eval its countdown expires),
-         so II=1 needs latency+1 slots *)
+         eval of its acceptance, draining the eval its ready-cycle is
+         reached), so II=1 needs latency+1 slots *)
       let l = cfg.op_latency op in
       S_pipe (Queue.create (), l + 1)
   | Buffer { slots; _ } -> S_buf (Queue.create (), slots)
@@ -238,9 +287,24 @@ let init_state cfg (node : Graph.node) : nstate =
   | Store _ -> S_store { announced = -1; pending = Queue.create () }
   | _ -> S_plain
 
+(* --- wake set ----------------------------------------------------------- *)
+
+let wake t nid =
+  if not t.awake.(nid) then begin
+    t.awake.(nid) <- true;
+    t.wake_stack.(t.wake_len) <- nid;
+    t.wake_len <- t.wake_len + 1
+  end
+
+let wake_all t =
+  for nid = 0 to Graph.n_nodes t.g - 1 do
+    wake t nid
+  done
+
 let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
   Check.validate_exn g;
   let nc = Graph.n_chans g in
+  let n = Graph.n_nodes g in
   List.iter
     (fun (e : Fault.event) ->
       let check_chan c =
@@ -258,30 +322,65 @@ let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
           check_chan chan
       | Fault.Backend _ -> ())
     cfg.faults;
-  {
-    g;
-    cfg;
-    mem;
-    cur = Array.make nc None;
-    staged = Array.make nc None;
-    consumed = Array.make nc false;
-    states = Array.init (Graph.n_nodes g) (fun i -> init_state cfg (Graph.node g i));
-    order = eval_order g;
-    fires = Array.make (Graph.n_nodes g) 0;
-    faults =
-      List.sort (fun (a : Fault.event) b -> compare a.Fault.at_cycle b.Fault.at_cycle)
-        cfg.faults
-      |> List.map (fun e ->
-             { fs_event = e; fs_fired = None; fs_dead = false; fs_note = "" })
-      |> Array.of_list;
-    stall_until = Array.make nc 0;
-    epoch = 0;
-    cycle = 0;
-    progress = false;
-    last_progress = 0;
-  }
+  let order = eval_order g in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i nid -> pos.(nid) <- i) order;
+  let chan_src = Array.make nc 0 and chan_dst = Array.make nc 0 in
+  for cid = 0 to nc - 1 do
+    let c = Graph.chan g cid in
+    chan_src.(cid) <- c.Graph.src.Graph.node;
+    chan_dst.(cid) <- c.Graph.dst.Graph.node
+  done;
+  let t =
+    {
+      g;
+      cfg;
+      mem;
+      cur = Array.make nc None;
+      staged = Array.make nc None;
+      consumed = Array.make nc false;
+      states = Array.init n (fun i -> init_state cfg (Graph.node g i));
+      order;
+      pos;
+      chan_src;
+      chan_dst;
+      fires = Array.make n 0;
+      faults =
+        List.sort (fun (a : Fault.event) b -> compare a.Fault.at_cycle b.Fault.at_cycle)
+          cfg.faults
+        |> List.map (fun e ->
+               { fs_event = e; fs_fired = None; fs_dead = false; fs_note = "" })
+        |> Array.of_list;
+      stall_until = Array.make nc 0;
+      event = cfg.engine = Event;
+      awake = Array.make n false;
+      wake_stack = Array.make (max n 1) 0;
+      wake_len = 0;
+      timed_wakes = [];
+      wave = Array.make (max n 1) false;
+      cur_pos = -1;
+      load_resp = Array.init n (fun _ -> Queue.create ());
+      touched = Array.make nc false;
+      touch_stack = Array.make (max nc 1) 0;
+      touch_len = 0;
+      evals = 0;
+      epoch = 0;
+      cycle = 0;
+      progress = false;
+      last_progress = 0;
+    }
+  in
+  wake_all t;
+  t
 
 (* --- channel helpers ---------------------------------------------------- *)
+
+let touch t cid =
+  if not t.touched.(cid) then begin
+    t.touched.(cid) <- true;
+    t.touch_stack.(t.touch_len) <- cid;
+    t.touch_len <- t.touch_len + 1
+  end
 
 let in_tok t (node : Graph.node) slot =
   let cid = node.Graph.inputs.(slot) in
@@ -292,7 +391,15 @@ let take t (node : Graph.node) slot =
   match t.cur.(cid) with
   | Some tok when not t.consumed.(cid) ->
       t.consumed.(cid) <- true;
+      touch t cid;
       t.progress <- true;
+      if t.event then begin
+        (* the freed register is visible to its producer this very cycle
+           (consumers run first): pull the producer into the current wave
+           if its turn is still to come *)
+        let p = t.pos.(t.chan_src.(cid)) in
+        if p > t.cur_pos then t.wave.(p) <- true
+      end;
       tok
   | _ -> invalid_arg "take: empty channel"
 
@@ -307,6 +414,7 @@ let put t (node : Graph.node) slot tok =
   let cid = node.Graph.outputs.(slot) in
   assert (t.staged.(cid) = None);
   t.staged.(cid) <- Some tok;
+  touch t cid;
   t.progress <- true
 
 (* --- node evaluation ---------------------------------------------------- *)
@@ -373,7 +481,7 @@ let eval_node t nid =
               if Queue.length q < cap then begin
                 ignore (take t node 0);
                 ignore (take t node 1);
-                Queue.add { left = t.cfg.op_latency op; tok = result } q;
+                Queue.add { ready = t.cycle + t.cfg.op_latency op; tok = result } q;
                 fired := true
               end
           | _ ->
@@ -388,7 +496,7 @@ let eval_node t nid =
       (match t.states.(nid) with
       | S_pipe (q, _) when not (Queue.is_empty q) ->
           let head = Queue.peek q in
-          if head.left <= 0 && out_free t node 0 then begin
+          if head.ready <= t.cycle && out_free t node 0 then begin
             ignore (Queue.pop q);
             put t node 0 head.tok;
             fired := true
@@ -500,6 +608,8 @@ let eval_node t nid =
       (if out_free t node 0 then
          match t.mem.Memif.load_poll ~port with
          | Some (seq, v) ->
+             if not (Queue.is_empty t.load_resp.(nid)) then
+               ignore (Queue.pop t.load_resp.(nid));
              put t node 0 (token ~epoch:t.epoch ~seq v);
              fired := true
          | None -> ());
@@ -508,6 +618,7 @@ let eval_node t nid =
       | Some addr ->
           if t.mem.Memif.load_req ~port ~seq:addr.seq ~addr:addr.value then begin
             ignore (take t node 0);
+            Queue.add addr.seq t.load_resp.(nid);
             fired := true
           end
       | None -> ())
@@ -561,6 +672,36 @@ let eval_node t nid =
     t.progress <- true
   end
 
+(* Wake-set invariant: after its evaluation, a node may sleep unless it
+   still holds work that could fire with NO further channel event — refused
+   backend calls must be retried (the refusal clears on a backend-internal
+   transition the simulator cannot observe), FU pipes and buffers become
+   drainable by the mere passage of time, an unexhausted generator races the
+   backend for allocation, and an outstanding load response must be polled.
+   Everything else is re-woken by the channel commits, the same-cycle pull
+   in [take], squash wake-alls, or fault wakes. *)
+let stays_awake t nid =
+  let node = Graph.node t.g nid in
+  let pending_in slot =
+    let cid = node.Graph.inputs.(slot) in
+    cid >= 0 && t.cur.(cid) <> None && not t.consumed.(cid)
+  in
+  match node.Graph.kind with
+  | Gen _ -> (
+      match t.states.(nid) with S_gen gs -> not gs.g_done | _ -> false)
+  | Load _ -> pending_in 0 || not (Queue.is_empty t.load_resp.(nid))
+  | Store _ -> pending_in 0 || pending_in 1
+  | Skip _ | Galloc _ -> pending_in 0
+  | Binop _ -> (
+      match t.states.(nid) with
+      | S_pipe (q, _) -> not (Queue.is_empty q)
+      | _ -> false)
+  | Buffer _ -> (
+      match t.states.(nid) with
+      | S_buf (q, _) -> not (Queue.is_empty q)
+      | _ -> false)
+  | _ -> false
+
 (* --- squash ------------------------------------------------------------- *)
 
 let purge t ~seq_err =
@@ -602,7 +743,19 @@ let purge t ~seq_err =
           Queue.clear st.pending;
           Queue.transfer keep st.pending
       | S_plain -> ())
-    t.states
+    t.states;
+  (* the backend purges its response queues with the same cutoff
+     (see Memif.poll_squash): mirror it on the outstanding-response
+     counts so sleeping Loads never poll a dead response *)
+  Array.iter
+    (fun q ->
+      if not (Queue.is_empty q) then begin
+        let keep = Queue.create () in
+        Queue.iter (fun s -> if s < seq_err then Queue.add s keep) q;
+        Queue.clear q;
+        Queue.transfer keep q
+      end)
+    t.load_resp
 
 (* --- fault injection ---------------------------------------------------- *)
 
@@ -613,6 +766,7 @@ let purge t ~seq_err =
    before any node can observe it — exactly the one-cycle detection a
    parity-checked elastic channel would give. *)
 let apply_faults t =
+  let any_fired = ref false in
   Array.iter
     (fun fs ->
       if fs.fs_fired = None && (not fs.fs_dead)
@@ -620,7 +774,8 @@ let apply_faults t =
       then
         let fired ?(note = "") () =
           fs.fs_fired <- Some t.cycle;
-          fs.fs_note <- note
+          fs.fs_note <- note;
+          any_fired := true
         in
         match fs.fs_event.Fault.action with
         | Fault.Drop { chan } -> (
@@ -640,6 +795,12 @@ let apply_faults t =
             | None -> ())
         | Fault.Stall { chan; cycles } ->
             t.stall_until.(chan) <- max t.stall_until.(chan) (t.cycle + cycles);
+            if t.event then begin
+              (* the frozen token can only move again when the stall
+                 expires — a timed event no channel commit announces *)
+              t.timed_wakes <-
+                (t.stall_until.(chan), t.chan_dst.(chan)) :: t.timed_wakes
+            end;
             fired ()
         | Fault.Flip { chan; mask } -> (
             match t.cur.(chan) with
@@ -667,7 +828,10 @@ let apply_faults t =
                   fs.fs_dead <- true;
                   fs.fs_note <- "squash point already committed"
               | Fault.B_pq_flip _ | Fault.B_pq_drop _ -> ()))
-    t.faults
+    t.faults;
+  (* a disturbance invalidates the wake set wholesale; faults are rare, so
+     one conservative wake-all per firing is cheaper than per-case proofs *)
+  if !any_fired && t.event then wake_all t
 
 (** What each planned fault did (or why it never fired). *)
 let fault_log t : Fault.application list =
@@ -829,26 +993,61 @@ let step t =
   (match t.mem.Memif.poll_squash () with
   | Some seq_err ->
       purge t ~seq_err;
+      (* the purge moves tokens everywhere at once; restart from a full set *)
+      if t.event then wake_all t;
       t.progress <- true
   | None -> ());
-  Array.fill t.consumed 0 (Array.length t.consumed) false;
-  Array.iter (fun nid -> eval_node t nid) t.order;
-  (* clock edge *)
-  Array.iteri
-    (fun i staged ->
-      (match (staged, t.consumed.(i)) with
-      | Some tok, _ ->
-          t.cur.(i) <- Some tok;
-          t.staged.(i) <- None
-      | None, true -> t.cur.(i) <- None
-      | None, false -> ()))
-    t.staged;
-  Array.iter
-    (fun st ->
-      match st with
-      | S_pipe (q, _) -> Queue.iter (fun e -> if e.left > 0 then e.left <- e.left - 1) q
-      | _ -> ())
-    t.states;
+  (match t.cfg.engine with
+  | Scan ->
+      t.evals <- t.evals + Array.length t.order;
+      Array.iter (fun nid -> eval_node t nid) t.order
+  | Event ->
+      if t.timed_wakes <> [] then begin
+        let due, rest =
+          List.partition (fun (c, _) -> c <= t.cycle) t.timed_wakes
+        in
+        t.timed_wakes <- rest;
+        List.iter (fun (_, nid) -> wake t nid) due
+      end;
+      (* seed the wave with the wake set, then sweep it in [pos] order;
+         [take] may grow the wave downstream of the sweep cursor, and
+         wakes raised during the sweep land in the next cycle's set *)
+      for k = 0 to t.wake_len - 1 do
+        let nid = t.wake_stack.(k) in
+        t.awake.(nid) <- false;
+        t.wave.(t.pos.(nid)) <- true
+      done;
+      t.wake_len <- 0;
+      let n = Array.length t.order in
+      t.cur_pos <- -1;
+      for i = 0 to n - 1 do
+        if t.wave.(i) then begin
+          t.wave.(i) <- false;
+          let nid = t.order.(i) in
+          t.cur_pos <- i;
+          t.evals <- t.evals + 1;
+          eval_node t nid;
+          if stays_awake t nid then wake t nid
+        end
+      done);
+  (* clock edge: commit only the channels touched this cycle (untouched
+     channels cannot have staged writes or consumption marks) *)
+  for k = 0 to t.touch_len - 1 do
+    let cid = t.touch_stack.(k) in
+    (match t.staged.(cid) with
+    | Some tok ->
+        t.cur.(cid) <- Some tok;
+        t.staged.(cid) <- None;
+        if t.event then wake t t.chan_dst.(cid)
+    | None ->
+        if t.consumed.(cid) then begin
+          t.cur.(cid) <- None;
+          if t.event then wake t t.chan_src.(cid)
+        end);
+    t.consumed.(cid) <- false;
+    t.touched.(cid) <- false
+  done;
+  t.touch_len <- 0;
   t.mem.Memif.clock ();
   if t.progress then t.last_progress <- t.cycle;
   t.cycle <- t.cycle + 1
@@ -875,4 +1074,10 @@ let run ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) :
       (fun acc st -> match st with S_gen gs -> acc + gs.g_emitted | _ -> acc)
       0 t.states
   in
-  (outcome, { cycles = t.cycle; node_fires = Array.copy t.fires; gen_instances })
+  ( outcome,
+    {
+      cycles = t.cycle;
+      node_fires = Array.copy t.fires;
+      gen_instances;
+      evals = t.evals;
+    } )

@@ -5,15 +5,29 @@
     canonical latency-insensitive wire), so every component contributes one
     pipeline stage; functional units may add [op_latency] further internal
     stages (fully pipelined, initiation interval 1).  Nodes are evaluated
-    once per cycle in reversed topological order, so a full register chain
-    streams one token per cycle; stalls arise only from structural hazards
-    and memory backpressure.
+    once per cycle in consumers-before-producers order, so a full register
+    chain streams one token per cycle; stalls arise only from structural
+    hazards and memory backpressure.
+
+    Two engines implement that semantics: [Scan] evaluates every node every
+    cycle, [Event] evaluates only nodes that can possibly fire (see the
+    wake-set invariant in DESIGN.md).  They are cycle-equivalent — same
+    outcomes, cycle counts, per-node fire counts and backend traffic — and
+    the equivalence is enforced by test/test_sim_equiv.ml and a fuzz
+    property.
 
     Squash/replay: when the backend reports a mis-speculation at [seq_err],
     the simulator bumps the global epoch, purges every in-flight token with
     [seq >= seq_err] (channels, buffers, functional-unit pipelines) and
     rewinds the loop-nest generator, which then re-emits the squashed body
     instances. *)
+
+(** Evaluation strategy: [Scan] visits all nodes every cycle; [Event] visits
+    only the wake set.  Cycle-equivalent by construction. *)
+type engine = Scan | Event
+
+val string_of_engine : engine -> string
+val engine_of_string : string -> engine option
 
 type config = {
   op_latency : Types.binop -> int;
@@ -25,6 +39,8 @@ type config = {
   faults : Fault.plan;
       (** transient disturbances to inject during the run (resilience
           testing); empty for a fault-free simulation *)
+  engine : engine;
+      (** evaluation strategy; both engines are cycle-equivalent *)
 }
 
 (** mul 2, div/rem 3, constant-multiply 0, everything else combinational —
@@ -32,6 +48,7 @@ type config = {
     periods. *)
 val default_latency : Types.binop -> int
 
+(** Event engine, no faults, 2M-cycle budget. *)
 val default_config : config
 
 (** Diagnosis attached to a non-[Finished] outcome: enough state to tell a
@@ -65,6 +82,9 @@ type run_stats = {
   cycles : int;
   node_fires : int array;  (** per node id *)
   gen_instances : int;  (** body instances emitted, including replays *)
+  evals : int;
+      (** total [eval_node] calls; under [Scan] this is nodes x cycles,
+          under [Event] only the awake subset *)
 }
 
 (** {1 Stepping interface}
@@ -72,7 +92,9 @@ type run_stats = {
     The internal state is exposed for tools (profilers, waveform dumpers,
     debuggers) that drive the simulation cycle by cycle. *)
 
-type pipe_entry = { mutable left : int; tok : Types.token }
+type pipe_entry = { ready : int; tok : Types.token }
+(** [ready] is the absolute cycle at which the FU-pipeline entry may
+    drain (push cycle + op latency). *)
 
 type nstate =
   | S_plain
@@ -111,10 +133,28 @@ type t = {
   consumed : bool array;
   states : nstate array;
   order : int array;  (** node evaluation order: consumers before producers *)
+  pos : int array;  (** node id -> index in [order] *)
+  chan_src : int array;  (** channel id -> producer node *)
+  chan_dst : int array;  (** channel id -> consumer node *)
   fires : int array;  (** per-node fire counts *)
   faults : fault_state array;
   stall_until : int array;
       (** per channel: consumption blocked below this cycle *)
+  event : bool;  (** running the event engine *)
+  awake : bool array;  (** wake set for the next cycle, by node id *)
+  wake_stack : int array;  (** the awake node ids, dense *)
+  mutable wake_len : int;
+  mutable timed_wakes : (int * Types.node_id) list;
+      (** (cycle, node): wake [node] at [cycle] (injected stall expiry) *)
+  wave : bool array;
+      (** indexed by [pos]: nodes to evaluate this cycle, swept in order *)
+  mutable cur_pos : int;  (** [pos] of the node being evaluated *)
+  load_resp : int Queue.t array;
+      (** per Load node: seqs of accepted, not-yet-delivered requests *)
+  touched : bool array;  (** channels staged/consumed this cycle *)
+  touch_stack : int array;  (** the touched channel ids, dense *)
+  mutable touch_len : int;
+  mutable evals : int;  (** total [eval_node] calls so far *)
   mutable epoch : int;
   mutable cycle : int;
   mutable progress : bool;
@@ -125,8 +165,9 @@ type t = {
     @raise Check.Invalid on a structurally invalid graph. *)
 val create : ?cfg:config -> Graph.t -> Memif.t -> t
 
-(** Advance one cycle: poll squashes, evaluate every node once, commit the
-    staged channel writes, clock the backend. *)
+(** Advance one cycle: poll squashes, evaluate nodes (all of them under
+    [Scan], the wake set under [Event]), commit the touched channel writes,
+    clock the backend. *)
 val step : t -> unit
 
 (** True once the generator is exhausted, every channel/buffer/pipe is

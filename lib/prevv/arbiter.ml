@@ -55,14 +55,22 @@ type load_gate =
     [Forward] resolves an intra-iteration store→load dependence dictated
     by the ROM order. *)
 let load_gate q ~seq ~pos ~index : load_gate =
+  (* among the qualifying stores, forwarding must take the YOUNGEST one
+     still older than the load — the last write the load may observe in
+     program order; queue arrival order carries no meaning here *)
   let best =
     Premature_queue.fold
       (fun acc (e : Premature_queue.entry) ->
-        if e.e_kind = OStore && e.e_index = index && older (e.e_seq, e.e_pos) (seq, pos)
+        if
+          e.e_kind = OStore && e.e_index = index
+          && older (e.e_seq, e.e_pos) (seq, pos)
         then
           match acc with
-          | Some (bs, bp, _) when older (e.e_seq, e.e_pos) (bs, bp) -> acc
-          | _ -> Some (e.e_seq, e.e_pos, e.e_value)
+          | Some (bs, bp, _) when older (bs, bp) (e.e_seq, e.e_pos) ->
+              (* the candidate is the later write: it supersedes *)
+              Some (e.e_seq, e.e_pos, e.e_value)
+          | None -> Some (e.e_seq, e.e_pos, e.e_value)
+          | some -> some
         else acc)
       None q
   in

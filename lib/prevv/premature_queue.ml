@@ -48,7 +48,7 @@ let state t =
 
 exception Full
 
-let push t ~seq ~pos ~port ~kind ~index ~value =
+let push_exn t ~seq ~pos ~port ~kind ~index ~value =
   if is_full t then raise Full;
   let e =
     { e_seq = seq; e_pos = pos; e_port = port; e_kind = kind; e_index = index;
@@ -59,10 +59,10 @@ let push t ~seq ~pos ~port ~kind ~index ~value =
   t.count <- t.count + 1;
   e
 
-(** Non-raising [push]: [None] when the queue is full, so callers can turn
+(** Non-raising [push_exn]: [None] when the queue is full, so callers can turn
     a full queue into ordinary backpressure instead of an exception. *)
 let push_opt t ~seq ~pos ~port ~kind ~index ~value =
-  if is_full t then None else Some (push t ~seq ~pos ~port ~kind ~index ~value)
+  if is_full t then None else Some (push_exn t ~seq ~pos ~port ~kind ~index ~value)
 
 (** Reclaim invalidated slots.  Retirement follows program order while the
     queue is in arrival order, so freed slots can sit behind younger live

@@ -43,9 +43,11 @@ val state : t -> [ `Empty | `Normal | `Wrapped | `Full ]
 
 exception Full
 
-(** Record a premature operation at the tail.
+(** Record a premature operation at the tail.  Production callers should
+    use {!push_opt}; the raising variant exists for tests and demos that
+    want the overflow to be loud.
     @raise Full when the queue has no free slot (backpressure). *)
-val push :
+val push_exn :
   t ->
   seq:int ->
   pos:int ->
@@ -55,7 +57,7 @@ val push :
   value:int ->
   entry
 
-(** Non-raising {!push}: [None] when the queue is full, so callers can turn
+(** Non-raising {!push_exn}: [None] when the queue is full, so callers can turn
     a full queue into ordinary backpressure instead of an exception. *)
 val push_opt :
   t ->

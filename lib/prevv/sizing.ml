@@ -11,7 +11,9 @@
 let pair_time ~t_org ~p_s = t_org *. (2.0 +. p_s)
 
 (** Eq. 7: average wait of the predecessor for a premature-queue slot. *)
-let wait_time ~t_token ~depth_q = t_token /. float_of_int depth_q
+let wait_time ~t_token ~depth_q =
+  if depth_q <= 0 then invalid_arg "wait_time: depth_q must be positive";
+  t_token /. float_of_int depth_q
 
 (** The matched depth of Def. 2: smallest integer depth with
     [t_w <= t_p], i.e. [depth_q >= t_token / t_p]. *)

@@ -9,7 +9,10 @@
     pass plus the validation pass, inflated by the squash probability. *)
 val pair_time : t_org:float -> p_s:float -> float
 
-(** Eq. 7: average predecessor wait for a queue slot, [t_token / depth]. *)
+(** Eq. 7: average predecessor wait for a queue slot, [t_token / depth].
+    @raise Invalid_argument when [depth_q <= 0] (a zero-depth queue cannot
+    accept tokens; letting the division yield [infinity]/[nan] would flow
+    silently through {!independent}). *)
 val wait_time : t_token:float -> depth_q:int -> float
 
 (** Def. 2: the smallest depth with [t_w <= t_p].

@@ -9,7 +9,7 @@ let queue_with entries =
   let q = PQ.create 16 in
   List.iter
     (fun (seq, pos, kind, index, value) ->
-      ignore (PQ.push q ~seq ~pos ~port:0 ~kind ~index ~value))
+      ignore (PQ.push_exn q ~seq ~pos ~port:0 ~kind ~index ~value))
     entries;
   q
 
@@ -108,6 +108,67 @@ let test_gate_youngest_older_wins () =
        [ (2, 0, PM.OStore, 100, 1); (7, 0, PM.OStore, 100, 9) ]
        ~seq:7 ~pos:3 ~index:100)
 
+(* regression: two same-index stores in ONE iteration — forwarding must
+   take the youngest store still older than the load in ROM order (the
+   last write the load may observe), not the oldest, and not whichever
+   happened to arrive in the queue first *)
+let test_gate_two_stores_same_iteration () =
+  Alcotest.check gate_t "latest same-iter store forwards" (Arbiter.Forward 8)
+    (gate
+       [ (5, 0, PM.OStore, 100, 3); (5, 2, PM.OStore, 100, 8) ]
+       ~seq:5 ~pos:4 ~index:100);
+  (* premature arrivals are unordered: swapping queue order must not
+     change the winner *)
+  Alcotest.check gate_t "arrival order is irrelevant" (Arbiter.Forward 8)
+    (gate
+       [ (5, 2, PM.OStore, 100, 8); (5, 0, PM.OStore, 100, 3) ]
+       ~seq:5 ~pos:4 ~index:100);
+  (* a same-iteration store AFTER the load in ROM order does not qualify *)
+  Alcotest.check gate_t "later store ignored" (Arbiter.Forward 3)
+    (gate
+       [ (5, 0, PM.OStore, 100, 3); (5, 6, PM.OStore, 100, 8) ]
+       ~seq:5 ~pos:4 ~index:100)
+
+(* property: the gate agrees with a reference "youngest qualifying store"
+   over arbitrary queues (permutation-insensitive) *)
+let prop_gate_youngest =
+  let entry_gen =
+    QCheck.(
+      quad (int_range 0 4) (int_range 0 3) bool (pair (int_range 0 2) (int_range 0 99)))
+  in
+  QCheck.Test.make ~count:500 ~name:"load gate takes the youngest older store"
+    QCheck.(pair (list_of_size Gen.(int_range 0 8) entry_gen)
+              (pair (int_range 0 4) (int_range 0 3)))
+    (fun (raw, (seq, pos)) ->
+      let entries =
+        List.map
+          (fun (s, p, is_store, (idx, v)) ->
+            ((s, p, (if is_store then PM.OStore else PM.OLoad), idx, v)))
+          raw
+      in
+      let index = 1 in
+      let got = gate entries ~seq ~pos ~index in
+      let qualifying =
+        List.filter
+          (fun (s, p, k, i, _) ->
+            k = PM.OStore && i = index
+            && (s < seq || (s = seq && p < pos)))
+          entries
+      in
+      let expect =
+        match qualifying with
+        | [] -> Arbiter.Clear
+        | l ->
+            let bs, _, _, _, bv =
+              List.fold_left
+                (fun ((bs, bp, _, _, _) as b) ((s, p, _, _, _) as e) ->
+                  if s > bs || (s = bs && p > bp) then e else b)
+                (List.hd l) (List.tl l)
+            in
+            if bs = seq then Arbiter.Forward bv else Arbiter.Wait
+      in
+      got = expect)
+
 (* property: a violation requires all four conditions at once *)
 let prop_violation_iff_conditions =
   QCheck.Test.make ~count:500 ~name:"Eqs. 2-5 are necessary and sufficient"
@@ -154,6 +215,12 @@ let () =
           Alcotest.test_case "forward" `Quick test_gate_forward;
           Alcotest.test_case "youngest older wins" `Quick
             test_gate_youngest_older_wins;
+          Alcotest.test_case "two stores, one iteration" `Quick
+            test_gate_two_stores_same_iteration;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_violation_iff_conditions ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_violation_iff_conditions;
+          QCheck_alcotest.to_alcotest prop_gate_youngest;
+        ] );
     ]

@@ -79,6 +79,48 @@ let prop_backends_agree =
       let run dis = (Pipeline.simulate ~init compiled dis).Pipeline.mem in
       run Pipeline.fast_lsq = run (Pipeline.prevv 16))
 
+(* the event-driven engine is cycle-equivalent to the exhaustive scan on
+   arbitrary generated kernels, under every backend, and never does more
+   work (see test_sim_equiv.ml for the directed paper-kernel version) *)
+let prop_engines_agree =
+  QCheck.Test.make ~count:(iters 20)
+    ~name:"scan and event engines are cycle-equivalent"
+    QCheck.(pair (int_range 0 100_000) (int_range 0 3))
+    (fun (seed, which) ->
+      let kernel = Pv_kernels.Generate.kernel seed in
+      let init = Pv_kernels.Generate.init_for kernel seed in
+      let compiled = Pipeline.compile kernel in
+      let dis = List.nth schemes which in
+      let run engine =
+        let sim_cfg = { Pv_dataflow.Sim.default_config with engine } in
+        Pipeline.simulate ~sim_cfg ~init compiled dis
+      in
+      let scan = run Pv_dataflow.Sim.Scan in
+      let event = run Pv_dataflow.Sim.Event in
+      let sig_of r =
+        match r.Pipeline.outcome with
+        | Pv_dataflow.Sim.Finished { cycles } -> ("finished", cycles)
+        | Pv_dataflow.Sim.Deadlock { at_cycle; _ } -> ("deadlock", at_cycle)
+        | Pv_dataflow.Sim.Timeout { at_cycle; _ } -> ("timeout", at_cycle)
+      in
+      if
+        sig_of scan = sig_of event
+        && scan.Pipeline.cycles = event.Pipeline.cycles
+        && scan.Pipeline.run_stats.Pv_dataflow.Sim.node_fires
+           = event.Pipeline.run_stats.Pv_dataflow.Sim.node_fires
+        && scan.Pipeline.mem = event.Pipeline.mem
+        && event.Pipeline.run_stats.Pv_dataflow.Sim.evals
+           <= scan.Pipeline.run_stats.Pv_dataflow.Sim.evals
+      then true
+      else
+        QCheck.Test.fail_reportf
+          "seed %d / %s: engines diverge (scan %s@%d, event %s@%d)" seed
+          (Pipeline.name_of dis)
+          (fst (sig_of scan))
+          scan.Pipeline.cycles
+          (fst (sig_of event))
+          event.Pipeline.cycles)
+
 (* resilience: any seed-derived plan of detected (recoverable) faults on
    any generated kernel still finishes with the interpreter's memory — the
    squash/replay machinery absorbs arbitrary transient disturbances *)
@@ -130,6 +172,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_fuzz_folded;
           QCheck_alcotest.to_alcotest prop_generator_deterministic;
           QCheck_alcotest.to_alcotest prop_backends_agree;
+          QCheck_alcotest.to_alcotest prop_engines_agree;
         ] );
       ( "resilience",
         [ QCheck_alcotest.to_alcotest prop_fuzz_recoverable_faults ] );

@@ -8,7 +8,7 @@ module PM = Pv_memory.Portmap
 
 let push q ?(kind = PM.OStore) ?(pos = 0) ?(port = 0) ?(index = 0) ?(value = 0)
     seq =
-  ignore (PQ.push q ~seq ~pos ~port ~kind ~index ~value)
+  ignore (PQ.push_exn q ~seq ~pos ~port ~kind ~index ~value)
 
 let seqs q = List.map (fun e -> e.PQ.e_seq) (PQ.to_list q)
 

@@ -1,0 +1,64 @@
+(* Guard and happy-path tests for the queue-depth sizing model
+   (Sec. V-A, Eqs. 6-10). *)
+
+open Pv_prevv
+
+let flt = Alcotest.float 1e-9
+
+(* Eq. 7 on a live queue, plus both argument guards *)
+let test_wait_time () =
+  Alcotest.check flt "t_token / depth" 15.0
+    (Sizing.wait_time ~t_token:60.0 ~depth_q:4);
+  Alcotest.check flt "depth 1 passes t_token through" 60.0
+    (Sizing.wait_time ~t_token:60.0 ~depth_q:1);
+  Alcotest.check_raises "zero depth rejected"
+    (Invalid_argument "wait_time: depth_q must be positive") (fun () ->
+      ignore (Sizing.wait_time ~t_token:60.0 ~depth_q:0));
+  Alcotest.check_raises "negative depth rejected"
+    (Invalid_argument "wait_time: depth_q must be positive") (fun () ->
+      ignore (Sizing.wait_time ~t_token:60.0 ~depth_q:(-3)))
+
+let test_pair_time () =
+  (* Eq. 6: t_org * (2 + p_s) *)
+  Alcotest.check flt "no squashes" 20.0 (Sizing.pair_time ~t_org:10.0 ~p_s:0.0);
+  Alcotest.check flt "quarter squash rate" 22.5
+    (Sizing.pair_time ~t_org:10.0 ~p_s:0.25)
+
+let test_matched_depth () =
+  (* Def. 2: smallest depth with t_w <= t_p, i.e. ceil (t_token / t_p) *)
+  Alcotest.(check int)
+    "ceil (60 / 20)" 3
+    (Sizing.matched_depth ~t_org:10.0 ~p_s:0.0 ~t_token:60.0);
+  Alcotest.(check int)
+    "floor of 1" 1
+    (Sizing.matched_depth ~t_org:10.0 ~p_s:0.0 ~t_token:5.0);
+  Alcotest.check_raises "non-positive t_org rejected"
+    (Invalid_argument "matched_depth: t_org must be positive") (fun () ->
+      ignore (Sizing.matched_depth ~t_org:0.0 ~p_s:0.5 ~t_token:60.0));
+  Alcotest.check_raises "negative t_org rejected"
+    (Invalid_argument "matched_depth: t_org must be positive") (fun () ->
+      ignore (Sizing.matched_depth ~t_org:(-1.0) ~p_s:0.0 ~t_token:60.0))
+
+(* the matched depth really is the tipping point of Eq. 7 vs Eq. 6 *)
+let prop_matched_depth_is_minimal =
+  QCheck.Test.make ~count:300 ~name:"matched depth is the smallest viable"
+    QCheck.(
+      triple (float_range 0.5 20.0) (float_range 0.0 1.0)
+        (float_range 0.5 200.0))
+    (fun (t_org, p_s, t_token) ->
+      let tp = Sizing.pair_time ~t_org ~p_s in
+      let d = Sizing.matched_depth ~t_org ~p_s ~t_token in
+      let ok_at depth = Sizing.wait_time ~t_token ~depth_q:depth <= tp in
+      d >= 1 && ok_at d && (d = 1 || not (ok_at (d - 1))))
+
+let () =
+  Alcotest.run "pv_sizing"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "wait_time" `Quick test_wait_time;
+          Alcotest.test_case "pair_time" `Quick test_pair_time;
+          Alcotest.test_case "matched_depth" `Quick test_matched_depth;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matched_depth_is_minimal ]);
+    ]
