@@ -1,5 +1,9 @@
 .PHONY: all build test verify bench bench-tables soak clean
 
+# worker domains for the grid-shaped benchmarks (make bench JOBS=N);
+# clamped to the machine's core count at runtime
+JOBS ?= 2
+
 all: build
 
 build:
@@ -16,13 +20,14 @@ verify:
 	dune exec bin/smoke.exe
 
 # machine-readable baselines: per-kernel cycles, wall time and node
-# evaluations for both simulator engines, written to BENCH_sim.json
+# evaluations for both simulator engines, plus serial-vs-parallel grid
+# wall clock and result-cache stats, written to BENCH_sim.json
 bench:
-	dune exec bench/main.exe -- --json BENCH_sim.json
+	dune exec bench/main.exe -- --json BENCH_sim.json --jobs $(JOBS)
 
 # the paper's tables and figures, printed to stdout
 bench-tables:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- --jobs $(JOBS)
 
 # deeper differential-fuzz sweep (FUZZ_ITERS multiplies the qcheck counts)
 soak:

@@ -3,12 +3,25 @@
    runs Bechamel micro-benchmarks of the simulator itself.
 
    Usage:
-     dune exec bench/main.exe             -- everything
+     dune exec bench/main.exe                        -- everything, serial
+     dune exec bench/main.exe -- --jobs 4 table1     -- across 4 domains
+     dune exec bench/main.exe -- --json [PATH]       -- baselines JSON (v2)
      dune exec bench/main.exe -- fig1 table1 table2 fig7 queue_states
-                                            deadlock depth_sweep scalability
-                                            micro *)
+                                  deadlock depth_sweep scalability
+                                  ablation micro
+
+   Grid-shaped sections fan their (kernel, scheme) cells across --jobs
+   worker domains (Pv_core.Parallel); workers only compute, all printing
+   happens on the main domain afterwards, so output is byte-identical to a
+   serial run.  --cache / --no-cache control the content-addressed result
+   cache (default: on for --json, off for tables). *)
 
 open Pv_core
+
+(* wall clock (CLOCK_MONOTONIC, ns).  Sys.time is per-process CPU time:
+   under multiple domains it sums the busy time of every worker and is
+   inflated by their GC, so it is wrong for any multi-domain measurement. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let line = String.make 118 '-'
 
@@ -19,21 +32,25 @@ let header title =
 (* Fig. 1: LSQ share of resources in plain Dynamatic circuits          *)
 (* ------------------------------------------------------------------ *)
 
-let fig1 () =
+let fig1 ~grid () =
   header
     "Fig. 1 — LSQ resource usage in Dynamatic: share of LUT+FF+mux spent in \
      the LSQ (paper: >80% across tasks)";
   Printf.printf "%-14s %10s %10s %10s %12s\n" "benchmark" "LSQ LUT" "LSQ FF"
     "datapath" "LSQ share";
   List.iter
-    (fun kernel ->
-      let p = Experiment.run kernel Pipeline.plain_lsq in
-      let r = p.Experiment.report in
-      Printf.printf "%-14s %10d %10d %10d %11.1f%%\n" p.Experiment.kernel
-        r.Pv_resource.Report.queue_luts r.Pv_resource.Report.queue_ffs
-        (r.Pv_resource.Report.datapath_luts + r.Pv_resource.Report.datapath_ffs)
-        (100.0 *. Pv_resource.Report.queue_share r))
-    (Pv_kernels.Defs.paper_benchmarks ())
+    (fun row ->
+      match row with
+      | (p : Experiment.point) :: _ ->
+          (* column 0 of the grid is the plain-LSQ Dynamatic baseline *)
+          let r = p.Experiment.report in
+          Printf.printf "%-14s %10d %10d %10d %11.1f%%\n" p.Experiment.kernel
+            r.Pv_resource.Report.queue_luts r.Pv_resource.Report.queue_ffs
+            (r.Pv_resource.Report.datapath_luts
+            + r.Pv_resource.Report.datapath_ffs)
+            (100.0 *. Pv_resource.Report.queue_share r)
+      | [] -> assert false)
+    (Lazy.force grid)
 
 (* ------------------------------------------------------------------ *)
 (* Table I: resource usage                                             *)
@@ -215,24 +232,26 @@ let deadlock () =
 (* Eqs. 6-10: premature queue depth sweep and the sizing model          *)
 (* ------------------------------------------------------------------ *)
 
-let depth_sweep () =
+let depth_sweep ~jobs ~cache () =
   header
     "Sec. V-A — queue-depth sweep: cycles and LUTs vs Depth_q (Defs. 2-3)";
   let kernel = Pv_kernels.Defs.gaussian () in
   Printf.printf "%-8s %10s %10s %12s %10s\n" "depth" "cycles" "LUT" "stalls"
     "squashes";
-  List.iter
-    (fun d ->
-      match Experiment.run kernel (Pipeline.prevv d) with
-      | p ->
+  let depths = [ 4; 8; 16; 24; 32; 48; 64; 96; 128 ] in
+  let cells = List.map (fun d -> (kernel, Pipeline.prevv d)) depths in
+  let results = Experiment.sweep ?cache ~jobs cells in
+  List.iter2
+    (fun d result ->
+      match result with
+      | Ok (p : Experiment.point) ->
           Printf.printf "%-8d %10d %10d %12d %10d%s\n" d p.Experiment.cycles
             p.Experiment.report.Pv_resource.Report.luts
             p.Experiment.mem_stats.Pv_dataflow.Memif.stall_full
             p.Experiment.mem_stats.Pv_dataflow.Memif.squashes
             (if p.Experiment.verified then "" else "  (NOT VERIFIED)")
-      | exception Invalid_argument msg ->
-          Printf.printf "%-8d infeasible: %s\n" d msg)
-    [ 4; 8; 16; 24; 32; 48; 64; 96; 128 ];
+      | Error msg -> Printf.printf "%-8d infeasible: %s\n" d msg)
+    depths results;
   let t_org = 10.0 and p_s = 0.02 and t_token = 60.0 in
   Printf.printf
     "sizing model: matched depth (Eq. 6/7, t_org=%.0f cyc, P_s=%.2f, \
@@ -246,10 +265,11 @@ let depth_sweep () =
 
 let scalability () =
   header
-    "Sec. V-B — overlapping pairs: naive replication (Eq. 11) vs dimension \
-     reduction";
-  Printf.printf "%-10s %16s %16s %12s %12s\n" "overlap n" "naive compl."
-    "reduced compl." "naive pairs" "red. pairs";
+    "Sec. V-B — overlapping pairs: naive replication (Eqs. 11-12) vs \
+     dimension reduction";
+  let frq1 = 150.0 in
+  Printf.printf "%-10s %16s %16s %14s %12s %12s\n" "overlap n" "naive compl."
+    "reduced compl." "naive MHz" "naive pairs" "red. pairs";
   List.iter
     (fun n ->
       let ops =
@@ -258,110 +278,144 @@ let scalability () =
                else Pv_memory.Portmap.OStore),
               k ))
       in
-      Printf.printf "%-10d %16.0f %16.0f %12d %12d\n" n
+      Printf.printf "%-10d %16.0f %16.0f %14.1f %12d %12d\n" n
         (Pv_prevv.Overlap.naive_complexity ~n ~com1:1.0)
         (Pv_prevv.Overlap.reduced_complexity ~n ~com1:1.0)
+        (Pv_prevv.Overlap.naive_frequency ~n ~frq1)
         (Pv_prevv.Overlap.naive_pairs ops)
         (Pv_prevv.Overlap.reduced_pairs ops))
     [ 1; 2; 4; 6; 8; 12; 16 ];
   Printf.printf
-    "(Eq. 11: naive cost 2^n; reduction keeps one instance per array, linear \
-     in members)\n"
+    "(Eq. 11: naive cost 2^n; Eq. 12: frequency Frq_1/n at Frq_1 = %.0f MHz; \
+     reduction keeps one instance per array, linear in members)\n"
+    frq1
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out                 *)
 (* ------------------------------------------------------------------ *)
 
-let ablation () =
+(* every ablation job computes in a worker and returns plain data; the
+   main domain prints after the fan-out, keeping output byte-identical
+   whatever the worker count *)
+let ablation ~jobs () =
   header "Ablations — value validation (Eq. 5), queue collapse, forwarding,           slack buffers";
   (* Eq. 5 on/off: when stores often rewrite unchanged values, comparing
      values instead of only addresses eliminates squashes *)
   Printf.printf "value validation (PreVV16):\n";
   Printf.printf "  %-16s %14s %14s %14s %14s\n" "kernel" "cycles(on)"
     "squash(on)" "cycles(off)" "squash(off)";
+  let vv_rows =
+    Parallel.map ~jobs
+      (fun (k : Pv_kernels.Ast.kernel) ->
+        let run value_validation =
+          let compiled = Pipeline.compile k in
+          Pipeline.simulate compiled
+            (Pipeline.Prevv
+               { (Pv_prevv.Backend.named ~depth:16) with
+                 Pv_prevv.Backend.value_validation })
+        in
+        let on = run true and off = run false in
+        ( k.Pv_kernels.Ast.name,
+          on.Pipeline.cycles,
+          on.Pipeline.mem_stats.Pv_dataflow.Memif.squashes,
+          off.Pipeline.cycles,
+          off.Pipeline.mem_stats.Pv_dataflow.Memif.squashes ))
+      [
+        Pv_kernels.Defs.running_max ();
+        Pv_kernels.Defs.stencil1d ();
+        Pv_kernels.Defs.triangular_tight ();
+        Pv_kernels.Defs.fn_dependent ();
+      ]
+  in
   List.iter
-    (fun k ->
-      let run value_validation =
-        let compiled = Pipeline.compile k in
-        Pipeline.simulate compiled
-          (Pipeline.Prevv
-             { (Pv_prevv.Backend.named ~depth:16) with
-               Pv_prevv.Backend.value_validation })
-      in
-      let on = run true and off = run false in
-      Printf.printf "  %-16s %14d %14d %14d %14d\n" k.Pv_kernels.Ast.name
-        on.Pipeline.cycles on.Pipeline.mem_stats.Pv_dataflow.Memif.squashes
-        off.Pipeline.cycles off.Pipeline.mem_stats.Pv_dataflow.Memif.squashes)
-    [
-      Pv_kernels.Defs.running_max ();
-      Pv_kernels.Defs.stencil1d ();
-      Pv_kernels.Defs.triangular_tight ();
-      Pv_kernels.Defs.fn_dependent ();
-    ];
+    (fun (name, cyc_on, sq_on, cyc_off, sq_off) ->
+      Printf.printf "  %-16s %14d %14d %14d %14d\n" name cyc_on sq_on cyc_off
+        sq_off)
+    vv_rows;
   (* collapsing queue on/off: without interior reclamation the queue
      fragments and the pipeline wedges *)
   Printf.printf "\ncollapsing premature queue (gaussian, PreVV16):\n";
+  let collapse_rows =
+    Parallel.map ~jobs
+      (fun (what, collapse_queue) ->
+        let compiled = Pipeline.compile (Pv_kernels.Defs.gaussian ()) in
+        let sim_cfg =
+          { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.stall_limit = 2000 }
+        in
+        let r =
+          Pipeline.simulate ~sim_cfg compiled
+            (Pipeline.Prevv
+               { (Pv_prevv.Backend.named ~depth:16) with
+                 Pv_prevv.Backend.collapse_queue })
+        in
+        (what, Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome r.Pipeline.outcome))
+      [ ("with collapse", true); ("without collapse", false) ]
+  in
   List.iter
-    (fun (what, collapse_queue) ->
-      let compiled = Pipeline.compile (Pv_kernels.Defs.gaussian ()) in
-      let sim_cfg =
-        { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.stall_limit = 2000 }
-      in
-      let r =
-        Pipeline.simulate ~sim_cfg compiled
-          (Pipeline.Prevv
-             { (Pv_prevv.Backend.named ~depth:16) with
-               Pv_prevv.Backend.collapse_queue })
-      in
-      Printf.printf "  %-22s -> %s\n" what
-        (Format.asprintf "%a" Pv_dataflow.Sim.pp_outcome r.Pipeline.outcome))
-    [ ("with collapse", true); ("without collapse", false) ];
+    (fun (what, outcome) -> Printf.printf "  %-22s -> %s\n" what outcome)
+    collapse_rows;
   (* store-to-load forwarding in the LSQ *)
   Printf.printf "\nLSQ store-to-load forwarding (matvec, fast LSQ):\n";
+  let fwd_rows =
+    Parallel.map ~jobs
+      (fun (what, forwarding) ->
+        let compiled = Pipeline.compile (Pv_kernels.Defs.matvec ()) in
+        let r =
+          Pipeline.simulate compiled
+            (Pipeline.Fast_lsq { Pv_lsq.Lsq.fast with Pv_lsq.Lsq.forwarding })
+        in
+        (what, r.Pipeline.cycles, r.Pipeline.mem_stats.Pv_dataflow.Memif.forwarded))
+      [ ("with forwarding", true); ("without forwarding", false) ]
+  in
   List.iter
-    (fun (what, forwarding) ->
-      let compiled = Pipeline.compile (Pv_kernels.Defs.matvec ()) in
-      let r =
-        Pipeline.simulate compiled
-          (Pipeline.Fast_lsq { Pv_lsq.Lsq.fast with Pv_lsq.Lsq.forwarding })
-      in
-      Printf.printf "  %-22s -> %d cycles (%d forwarded)\n" what
-        r.Pipeline.cycles r.Pipeline.mem_stats.Pv_dataflow.Memif.forwarded)
-    [ ("with forwarding", true); ("without forwarding", false) ];
+    (fun (what, cycles, forwarded) ->
+      Printf.printf "  %-22s -> %d cycles (%d forwarded)\n" what cycles forwarded)
+    fwd_rows;
   (* load CSE: repeated loads share one port, shrinking the premature
      record count per iteration *)
   Printf.printf "\nload CSE (histogram, PreVV16):\n";
+  let cse_rows =
+    Parallel.map ~jobs
+      (fun (what, cse) ->
+        let options =
+          { Pv_frontend.Build.default_options with Pv_frontend.Build.cse }
+        in
+        let compiled = Pipeline.compile ~options (Pv_kernels.Defs.histogram ()) in
+        let ports =
+          Array.length
+            compiled.Pipeline.info.Pv_frontend.Depend.portmap.Pv_memory.Portmap.ports
+        in
+        let p =
+          Pv_resource.Report.of_circuit compiled.Pipeline.graph
+            compiled.Pipeline.info.Pv_frontend.Depend.portmap
+            (Pv_netlist.Elaborate.D_prevv 16)
+        in
+        let r = Pipeline.simulate compiled (Pipeline.prevv 16) in
+        (what, ports, p.Pv_resource.Report.luts, r.Pipeline.cycles))
+      [ ("without CSE", false); ("with CSE", true) ]
+  in
   List.iter
-    (fun (what, cse) ->
-      let options =
-        { Pv_frontend.Build.default_options with Pv_frontend.Build.cse }
-      in
-      let compiled = Pipeline.compile ~options (Pv_kernels.Defs.histogram ()) in
-      let ports =
-        Array.length
-          compiled.Pipeline.info.Pv_frontend.Depend.portmap.Pv_memory.Portmap.ports
-      in
-      let p =
-        Pv_resource.Report.of_circuit compiled.Pipeline.graph
-          compiled.Pipeline.info.Pv_frontend.Depend.portmap
-          (Pv_netlist.Elaborate.D_prevv 16)
-      in
-      let r = Pipeline.simulate compiled (Pipeline.prevv 16) in
-      Printf.printf "  %-22s -> %d ports, %d LUTs, %d cycles\n" what ports
-        p.Pv_resource.Report.luts r.Pipeline.cycles)
-    [ ("without CSE", false); ("with CSE", true) ];
+    (fun (what, ports, luts, cycles) ->
+      Printf.printf "  %-22s -> %d ports, %d LUTs, %d cycles\n" what ports luts
+        cycles)
+    cse_rows;
   (* slack-buffer balancing *)
   Printf.printf "\nthroughput balancing (polyn_mult, PreVV16):\n";
+  let bal_rows =
+    Parallel.map ~jobs
+      (fun (what, balance) ->
+        let compiled =
+          Pipeline.compile
+            ~options:{ Pv_frontend.Build.default_options with Pv_frontend.Build.balance }
+            (Pv_kernels.Defs.polyn_mult ())
+        in
+        let r = Pipeline.simulate compiled (Pipeline.prevv 16) in
+        (what, r.Pipeline.cycles))
+      [ ("with slack buffers", true); ("without", false) ]
+  in
   List.iter
-    (fun (what, balance) ->
-      let compiled =
-        Pipeline.compile
-          ~options:{ Pv_frontend.Build.default_options with Pv_frontend.Build.balance }
-          (Pv_kernels.Defs.polyn_mult ())
-      in
-      let r = Pipeline.simulate compiled (Pipeline.prevv 16) in
-      Printf.printf "  %-22s -> %d cycles\n" what r.Pipeline.cycles)
-    [ ("with slack buffers", true); ("without", false) ]
+    (fun (what, cycles) -> Printf.printf "  %-22s -> %d cycles\n" what cycles)
+    bal_rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator itself                   *)
@@ -414,24 +468,24 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 (* Per-kernel cycles, wall-clock time and node evaluations for both
-   simulator engines under PreVV16, as a stable JSON document the CI
-   archives — the perf trajectory of the event-driven core is tracked
-   against these numbers. *)
+   simulator engines under PreVV16, plus the serial-vs-parallel wall
+   clock of the full Table I/II grid and the result-cache statistics, as
+   a stable JSON document the CI archives (schema prevv-bench-sim/v2). *)
 
-let bench_json ~path () =
+let bench_json ~path ~jobs ~cache () =
   let module Sim = Pv_dataflow.Sim in
   let dis = Pipeline.prevv 16 in
   let reps = 3 in
   let measure compiled engine =
-    (* best-of-N to shed allocator/GC noise; Sys.time is fine for a
-       single-threaded CPU-bound loop *)
+    (* best-of-N on the monotonic wall clock to shed allocator/GC noise;
+       kept serial so worker contention never skews the timings *)
     let sim_cfg = { Sim.default_config with Sim.engine } in
     let best = ref infinity in
     let result = ref None in
     for _ = 1 to reps do
-      let t0 = Sys.time () in
+      let t0 = now_s () in
       let r = Pipeline.simulate ~sim_cfg compiled dis in
-      let dt = Sys.time () -. t0 in
+      let dt = now_s () -. t0 in
       if dt < !best then best := dt;
       result := Some r
     done;
@@ -442,11 +496,12 @@ let bench_json ~path () =
     "scan ev" "ev/cyc" "time(s)" "event ev" "ev/cyc" "time(s)" "ratio" "equiv";
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v2\",\n";
   Buffer.add_string buf "  \"backend\": \"prevv16\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"default_engine\": %S,\n"
        (Sim.string_of_engine Sim.default_config.Sim.engine));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf "  \"kernels\": [\n";
   let eval_ratios = ref [] and time_ratios = ref [] in
   let kernels = Pv_kernels.Defs.paper_benchmarks () in
@@ -498,8 +553,55 @@ let bench_json ~path () =
     (Printf.sprintf "  \"geomean_event_eval_ratio\": %.4f,\n"
        (Experiment.geomean !eval_ratios));
   Buffer.add_string buf
-    (Printf.sprintf "  \"geomean_event_time_ratio\": %.4f\n"
+    (Printf.sprintf "  \"geomean_event_time_ratio\": %.4f,\n"
        (Experiment.geomean !time_ratios));
+  (* the full Table I/II grid: serial vs parallel wall clock (both
+     cache-cold so the comparison is compute vs compute), then a cached
+     pass whose hit count a second invocation raises to the full grid *)
+  header "table1+table2 grid: serial vs parallel wall clock";
+  let t0 = now_s () in
+  let serial_grid = Experiment.paper_grid () in
+  let wall_serial = now_s () -. t0 in
+  let t0 = now_s () in
+  let parallel_grid = Experiment.paper_grid ~jobs () in
+  let wall_parallel = now_s () -. t0 in
+  let identical = serial_grid = parallel_grid in
+  let n_points = List.length (List.concat serial_grid) in
+  let cached_wall, hits, misses, cache_consistent =
+    match cache with
+    | None -> (0.0, 0, 0, true)
+    | Some cache ->
+        Parallel.Cache.reset_stats cache;
+        let t0 = now_s () in
+        let cached_grid = Experiment.paper_grid ~cache ~jobs () in
+        ( now_s () -. t0,
+          Parallel.Cache.hits cache,
+          Parallel.Cache.misses cache,
+          cached_grid = serial_grid )
+  in
+  Printf.printf
+    "%d points: serial %.3fs, parallel (%d jobs requested, %d effective) \
+     %.3fs, speedup %.2fx, identical %b\n"
+    n_points wall_serial jobs
+    (Parallel.effective_jobs jobs)
+    wall_parallel
+    (wall_serial /. max wall_parallel epsilon_float)
+    identical;
+  if cache <> None then
+    Printf.printf "cached pass: %.3fs, %d hits / %d misses, consistent %b\n"
+      cached_wall hits misses cache_consistent;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"grid\": { \"points\": %d, \"jobs\": %d, \"jobs_effective\": %d, \
+        \"wall_s_serial\": %.6f, \"wall_s_parallel\": %.6f, \
+        \"parallel_speedup\": %.3f, \"identical_to_serial\": %b, \
+        \"cache_hits\": %d, \"cache_misses\": %d, \"cache_consistent\": %b, \
+        \"wall_s_cached\": %.6f }\n"
+       n_points jobs
+       (Parallel.effective_jobs jobs)
+       wall_serial wall_parallel
+       (wall_serial /. max wall_parallel epsilon_float)
+       identical hits misses cache_consistent cached_wall);
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -511,42 +613,89 @@ let bench_json ~path () =
 
 (* ------------------------------------------------------------------ *)
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--jobs N] [--cache|--no-cache] [--json [PATH]] \
+     [SECTION...]";
+  exit 2
+
 let () =
+  (* hand-rolled flag parsing: sections and flags may be interleaved *)
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  match args with
-  | "--json" :: rest ->
-      let path =
-        match rest with
-        | p :: _ when String.length p > 0 && p.[0] <> '-' -> p
-        | _ -> "BENCH_sim.json"
-      in
-      bench_json ~path ()
-  | _ ->
-  let requested =
-    match args with
-    | _ :: _ -> args
-    | [] ->
-        [
-          "fig1"; "table1"; "table2"; "fig7"; "queue_states"; "deadlock";
-          "depth_sweep"; "scalability"; "ablation"; "micro";
-        ]
+  let jobs = ref 1 in
+  let json = ref None in
+  let cache_flag = ref None in
+  let sections = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ -> usage ())
+    | [ "--jobs" ] -> usage ()
+    | "--cache" :: rest ->
+        cache_flag := Some true;
+        parse rest
+    | "--no-cache" :: rest ->
+        cache_flag := Some false;
+        parse rest
+    | "--json" :: p :: rest when String.length p > 0 && p.[0] <> '-' ->
+        json := Some p;
+        parse rest
+    | "--json" :: rest ->
+        json := Some "BENCH_sim.json";
+        parse rest
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+        Printf.eprintf "unknown flag %S\n" s;
+        usage ()
+    | s :: rest ->
+        sections := s :: !sections;
+        parse rest
   in
-  (* one shared grid for the three grid-based sections *)
-  let grid = lazy (Experiment.paper_grid ()) in
-  List.iter
-    (fun name ->
-      match name with
-      | "fig1" -> fig1 ()
-      | "table1" -> table1 ~grid ()
-      | "table2" -> table2 ~grid ()
-      | "fig7" -> fig7 ~grid ()
-      | "queue_states" -> queue_states ()
-      | "deadlock" -> deadlock ()
-      | "depth_sweep" -> depth_sweep ()
-      | "scalability" -> scalability ()
-      | "ablation" -> ablation ()
-      | "micro" -> micro ()
-      | s -> Printf.eprintf "unknown section %S\n" s)
-    requested
+  parse args;
+  let jobs = !jobs in
+  (* the result cache defaults on for --json (so a second invocation
+     reports hits) and off for tables (so CI's serial-vs-parallel diff
+     compares real computations) *)
+  let cache_on =
+    match !cache_flag with Some b -> b | None -> !json <> None
+  in
+  let cache =
+    if cache_on then
+      Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()))
+    else None
+  in
+  match !json with
+  | Some path -> bench_json ~path ~jobs ~cache ()
+  | None ->
+      let requested =
+        match List.rev !sections with
+        | _ :: _ as l -> l
+        | [] ->
+            [
+              "fig1"; "table1"; "table2"; "fig7"; "queue_states"; "deadlock";
+              "depth_sweep"; "scalability"; "ablation"; "micro";
+            ]
+      in
+      (* one shared grid for the grid-based sections, computed across the
+         worker pool on first use *)
+      let grid = lazy (Experiment.paper_grid ?cache ~jobs ()) in
+      List.iter
+        (fun name ->
+          match name with
+          | "fig1" -> fig1 ~grid ()
+          | "table1" -> table1 ~grid ()
+          | "table2" -> table2 ~grid ()
+          | "fig7" -> fig7 ~grid ()
+          | "queue_states" -> queue_states ()
+          | "deadlock" -> deadlock ()
+          | "depth_sweep" -> depth_sweep ~jobs ~cache ()
+          | "scalability" -> scalability ()
+          | "ablation" -> ablation ~jobs ()
+          | "micro" -> micro ()
+          | s -> Printf.eprintf "unknown section %S\n" s)
+        requested

@@ -5,6 +5,7 @@
      show KERNEL               print a kernel and its dependence analysis
      run KERNEL [-s SCHEME]    simulate and verify
      report KERNEL             area/timing across all schemes
+     sweep [KERNEL...] [-j N]  domain-parallel kernel x scheme grid
      emit KERNEL [-s SCHEME]   write the structural netlist
      dot KERNEL                write the dataflow graph (Graphviz) *)
 
@@ -220,6 +221,106 @@ let report_cmd =
        ~doc:"Area, clock period and runtime for every scheme (one Table I/II row).")
     Term.(const run $ kernel_arg)
 
+(* --- sweep ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let kernels_arg =
+    let doc = "Kernels to sweep (default: the paper's five benchmarks)." in
+    Arg.(value & pos_all kernel_conv [] & info [] ~docv:"KERNEL" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains to fan the grid across (0 = one per available core)."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Recompute every point instead of reusing the result cache.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the points as a JSON array on stdout.")
+  in
+  let depths_arg =
+    let doc = "PreVV premature-queue depths to include (paper units)." in
+    Arg.(value & opt (list int) [ 16; 64 ] & info [ "depths" ] ~docv:"D,.." ~doc)
+  in
+  let run kernels jobs no_cache json depths =
+    let kernels =
+      match kernels with
+      | [] -> Pv_kernels.Defs.paper_benchmarks ()
+      | ks -> ks
+    in
+    let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
+    let cache =
+      if no_cache then None
+      else Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()))
+    in
+    let schemes =
+      [ Pipeline.plain_lsq; Pipeline.fast_lsq ]
+      @ List.map (fun d -> Pipeline.prevv d) depths
+    in
+    let cells =
+      List.concat_map (fun k -> List.map (fun d -> (k, d)) schemes) kernels
+    in
+    let results = Experiment.sweep ?cache ~jobs cells in
+    if json then (
+      print_string "[\n";
+      let n = List.length cells in
+      List.iteri
+        (fun i ((kernel, dis), result) ->
+          let body =
+            match result with
+            | Ok p -> Experiment.point_to_json p
+            | Error msg ->
+                Printf.sprintf "{ \"kernel\": %S, \"config\": %S, \"error\": %S }"
+                  kernel.Pv_kernels.Ast.name (Pipeline.name_of dis) msg
+          in
+          Printf.printf "  %s%s\n" body (if i = n - 1 then "" else ","))
+        (List.combine cells results);
+      print_string "]\n")
+    else (
+      Printf.printf "%-14s %-12s %8s %8s %8s %8s %10s\n" "kernel" "scheme"
+        "LUT" "FF" "CP(ns)" "cycles" "exec(us)";
+      List.iter2
+        (fun (kernel, dis) result ->
+          match result with
+          | Ok (p : Experiment.point) ->
+              Printf.printf "%-14s %-12s %8d %8d %8.2f %8d %10.2f%s\n"
+                p.Experiment.kernel p.Experiment.config
+                p.Experiment.report.Pv_resource.Report.luts
+                p.Experiment.report.Pv_resource.Report.ffs
+                p.Experiment.report.Pv_resource.Report.cp_ns
+                p.Experiment.cycles p.Experiment.exec_us
+                (if p.Experiment.verified then "" else "  NOT VERIFIED")
+          | Error msg ->
+              Printf.printf "%-14s %-12s infeasible: %s\n"
+                kernel.Pv_kernels.Ast.name (Pipeline.name_of dis) msg)
+        cells results);
+    (* stats go to stderr so --json output stays a clean document *)
+    (match cache with
+    | None -> ()
+    | Some cache ->
+        Printf.eprintf "cache: %d hits, %d misses (%s)\n"
+          (Parallel.Cache.hits cache)
+          (Parallel.Cache.misses cache)
+          (Parallel.Cache.default_dir ()));
+    Printf.eprintf "%d points across %d worker(s) (%d effective)\n"
+      (List.length cells) jobs
+      (Parallel.effective_jobs jobs)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Evaluate a kernel x scheme grid across worker domains, reusing \
+          cached results.")
+    Term.(
+      const run $ kernels_arg $ jobs_arg $ no_cache_arg $ json_arg $ depths_arg)
+
 (* --- emit ------------------------------------------------------------------ *)
 
 let emit_cmd =
@@ -376,6 +477,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "prevv" ~version:"1.0.0" ~doc)
           [
-            list_cmd; show_cmd; run_cmd; report_cmd; emit_cmd; dot_cmd;
-            profile_cmd; vcd_cmd; util_cmd; area_cmd;
+            list_cmd; show_cmd; run_cmd; report_cmd; sweep_cmd; emit_cmd;
+            dot_cmd; profile_cmd; vcd_cmd; util_cmd; area_cmd;
           ]))

@@ -30,19 +30,25 @@ let overlapped_kernel n =
         ];
     })
 
+(* the base frequency the collapse of Eq. 12 is measured against: the
+   paper's single-pair PreVV circuits close timing around 150 MHz *)
+let frq1_mhz = 150.0
+
 let () =
-  Format.printf "Analytic model (Eqs. 11-12), Com_1 = 1:@.@.";
-  Format.printf "  %-10s %14s %16s %12s %12s@." "overlap n" "naive 2^n"
-    "reduced (linear)" "naive pairs" "red. pairs";
+  Format.printf "Analytic model (Eqs. 11-12), Com_1 = 1, Frq_1 = %.0f MHz:@.@."
+    frq1_mhz;
+  Format.printf "  %-10s %14s %16s %14s %12s %12s@." "overlap n" "naive 2^n"
+    "reduced (linear)" "naive MHz" "naive pairs" "red. pairs";
   List.iter
     (fun n ->
       let ops =
         List.init (2 * n) (fun k ->
             ((if k mod 2 = 0 then Pv_memory.Portmap.OLoad else Pv_memory.Portmap.OStore), k))
       in
-      Format.printf "  %-10d %14.0f %16.0f %12d %12d@." n
+      Format.printf "  %-10d %14.0f %16.0f %14.1f %12d %12d@." n
         (Pv_prevv.Overlap.naive_complexity ~n ~com1:1.0)
         (Pv_prevv.Overlap.reduced_complexity ~n ~com1:1.0)
+        (Pv_prevv.Overlap.naive_frequency ~n ~frq1:frq1_mhz)
         (Pv_prevv.Overlap.naive_pairs ops)
         (Pv_prevv.Overlap.reduced_pairs ops))
     [ 1; 2; 3; 4; 6; 8 ];

@@ -50,15 +50,131 @@ let run ?sim_cfg ?init (kernel : Pv_kernels.Ast.kernel)
     verified;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Result caching                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* every functional-unit kind, so a sim config's latency function can be
+   fingerprinted by sampling (the closure itself is not marshalable) *)
+let all_binops : Pv_dataflow.Types.binop list =
+  Pv_dataflow.Types.
+    [
+      Add; Sub; Mul; Mulc; Div; Rem; And; Or; Xor; Shl; Shr; Lt; Le; Gt; Ge;
+      Eq; Ne; Min; Max;
+    ]
+
+(** Content address of one evaluation point: a digest over everything that
+    determines the result — kernel AST, input data, the full scheme
+    configuration, and the simulator configuration (engine, budgets, fault
+    plan, per-unit latencies).  Wall-clock timing is never part of a
+    [point], so cached results are exact.  The salt names the schema: bump
+    it whenever [point] or any constituent record changes shape. *)
+let cache_key ?(sim_cfg = Pv_dataflow.Sim.default_config) ?init
+    (kernel : Pv_kernels.Ast.kernel) (dis : Pipeline.disambiguation) : string =
+  let module Sim = Pv_dataflow.Sim in
+  let init =
+    match init with
+    | Some i -> i
+    | None -> Pv_kernels.Workload.default_init kernel
+  in
+  let dis_repr =
+    match dis with
+    | Pipeline.Plain_lsq c -> ("plain_lsq", Marshal.to_string c [])
+    | Pipeline.Fast_lsq c -> ("fast_lsq", Marshal.to_string c [])
+    | Pipeline.Prevv c -> ("prevv", Marshal.to_string c [])
+  in
+  let sim_repr =
+    ( Sim.string_of_engine sim_cfg.Sim.engine,
+      sim_cfg.Sim.max_cycles,
+      sim_cfg.Sim.stall_limit,
+      Marshal.to_string sim_cfg.Sim.faults [],
+      List.map sim_cfg.Sim.op_latency all_binops )
+  in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string ("prevv-expt/v1", kernel, init, dis_repr, sim_repr) []))
+
+(** {!run} through a {!Parallel.Cache}: a hit returns the stored point
+    without compiling or simulating anything. *)
+let run_cached ?sim_cfg ?init ~cache kernel dis : point * [ `Hit | `Miss ] =
+  let key = cache_key ?sim_cfg ?init kernel dis in
+  Parallel.Cache.memo cache ~key (fun () -> run ?sim_cfg ?init kernel dis)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep driver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_point ?sim_cfg ?cache (kernel, dis) =
+  match cache with
+  | None -> run ?sim_cfg kernel dis
+  | Some cache -> fst (run_cached ?sim_cfg ~cache kernel dis)
+
+(** Fan a list of (kernel, scheme) cells across [jobs] worker domains
+    (serially for [jobs <= 1]), in cell order.  Infeasible configurations
+    (a queue depth below one iteration's operation count) come back as
+    [Error msg] instead of aborting the whole sweep.  Workers only
+    compute; any printing belongs to the caller, after the sweep. *)
+let sweep ?sim_cfg ?cache ?(jobs = 1) cells : (point, string) result list =
+  Parallel.map ~jobs
+    (fun cell ->
+      match run_point ?sim_cfg ?cache cell with
+      | p -> Ok p
+      | exception Invalid_argument msg -> Error msg)
+    cells
+
 (** The paper's four evaluated configurations, in table-column order. *)
 let paper_configs () =
   [ Pipeline.plain_lsq; Pipeline.fast_lsq; Pipeline.prevv 16; Pipeline.prevv 64 ]
 
-(** Run the full grid for the paper's five kernels (Tables I & II). *)
-let paper_grid ?sim_cfg () : point list list =
-  List.map
-    (fun kernel -> List.map (run ?sim_cfg kernel) (paper_configs ()))
-    (Pv_kernels.Defs.paper_benchmarks ())
+(** Run the full grid for the paper's five kernels (Tables I & II),
+    optionally across [jobs] domains and through a result cache.  The
+    returned rows are identical whatever the worker count: every point is
+    deterministic and is computed from private state. *)
+let paper_grid ?sim_cfg ?cache ?(jobs = 1) () : point list list =
+  let configs = paper_configs () in
+  let kernels = Pv_kernels.Defs.paper_benchmarks () in
+  let cells =
+    List.concat_map (fun k -> List.map (fun d -> (k, d)) configs) kernels
+  in
+  let points =
+    Parallel.map ~jobs (fun cell -> run_point ?sim_cfg ?cache cell) cells
+  in
+  (* regroup the flat cell list into one row of |configs| per kernel *)
+  let rec rows = function
+    | [] -> []
+    | points ->
+        let rec split n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else
+            match rest with
+            | [] -> invalid_arg "paper_grid: ragged grid"
+            | p :: rest -> split (n - 1) (p :: acc) rest
+        in
+        let row, rest = split (List.length configs) [] points in
+        row :: rows rest
+  in
+  rows points
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic JSON rendering of a point (no timing fields beyond the
+    modelled [exec_us], which is a pure function of cycles and CP): the
+    byte-identity surface for the parallel-vs-serial determinism harness
+    and the bench/CLI JSON outputs. *)
+let point_to_json (p : point) : string =
+  let r = p.report in
+  Printf.sprintf
+    "{ \"kernel\": %S, \"config\": %S, \"cycles\": %d, \"luts\": %d, \
+     \"ffs\": %d, \"cp_ns\": %.4f, \"exec_us\": %.4f, \"queue_luts\": %d, \
+     \"queue_ffs\": %d, \"squashes\": %d, \"stall_full\": %d, \
+     \"verified\": %b }"
+    p.kernel p.config p.cycles r.Pv_resource.Report.luts
+    r.Pv_resource.Report.ffs r.Pv_resource.Report.cp_ns p.exec_us
+    r.Pv_resource.Report.queue_luts r.Pv_resource.Report.queue_ffs
+    p.mem_stats.Pv_dataflow.Memif.squashes
+    p.mem_stats.Pv_dataflow.Memif.stall_full p.verified
 
 let pct a b = 100.0 *. (float_of_int a /. float_of_int b -. 1.0)
 let pctf a b = 100.0 *. ((a /. b) -. 1.0)

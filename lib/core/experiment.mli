@@ -27,13 +27,58 @@ val run :
   Pipeline.disambiguation ->
   point
 
+(** Content address of one evaluation point: a digest of the kernel AST,
+    input data, scheme configuration and simulator configuration (engine,
+    budgets, fault plan, sampled per-unit latencies).  Two cells with equal
+    keys produce equal points; wall-clock timing is never part of a point,
+    so cached results are exact. *)
+val cache_key :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?init:(string * int array) list ->
+  Pv_kernels.Ast.kernel ->
+  Pipeline.disambiguation ->
+  string
+
+(** {!run} through a {!Parallel.Cache}: a hit returns the stored point
+    without compiling or simulating anything.
+    @raise Invalid_argument as {!run} (errors are never cached). *)
+val run_cached :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?init:(string * int array) list ->
+  cache:Parallel.Cache.t ->
+  Pv_kernels.Ast.kernel ->
+  Pipeline.disambiguation ->
+  point * [ `Hit | `Miss ]
+
+(** Fan (kernel, scheme) cells across [jobs] worker domains (default 1 =
+    serial on the calling domain), returning results in cell order.
+    Infeasible configurations come back as [Error msg] rather than
+    aborting the sweep.  Workers never print. *)
+val sweep :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?cache:Parallel.Cache.t ->
+  ?jobs:int ->
+  (Pv_kernels.Ast.kernel * Pipeline.disambiguation) list ->
+  (point, string) result list
+
 (** The paper's four evaluated configurations, in table-column order:
     [15], [8], PreVV16, PreVV64. *)
 val paper_configs : unit -> Pipeline.disambiguation list
 
 (** The full grid for the paper's five kernels (Tables I & II): one row
-    per kernel, one point per configuration. *)
-val paper_grid : ?sim_cfg:Pv_dataflow.Sim.config -> unit -> point list list
+    per kernel, one point per configuration.  [jobs] fans the cells across
+    that many worker domains (default 1 = serial); [cache] reuses stored
+    points.  The result is identical whatever the worker count. *)
+val paper_grid :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?cache:Parallel.Cache.t ->
+  ?jobs:int ->
+  unit ->
+  point list list
+
+(** Deterministic JSON rendering of a point — the byte-identity surface
+    of the parallel-vs-serial determinism harness. *)
+val point_to_json : point -> string
 
 (** Percentage delta [100 * (a/b - 1)], integer and float versions. *)
 val pct : int -> int -> float

@@ -1,0 +1,250 @@
+(** Domain-parallel job execution and result caching — see the .mli. *)
+
+let default_jobs () =
+  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  n : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;  (** signalled on submit and on shutdown *)
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size pool = pool.n
+
+(* Workers block on [nonempty] until a job or shutdown arrives; the job
+   itself runs outside the lock so the queue stays available. *)
+let worker pool () =
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.closing then None
+    else (
+      Condition.wait pool.nonempty pool.lock;
+      next ())
+  in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let job = next () in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some f ->
+        f ();
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let pool =
+    {
+      n = max 1 jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init pool.n (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let submit pool f =
+  Mutex.lock pool.lock;
+  if pool.closing then (
+    Mutex.unlock pool.lock;
+    invalid_arg "Parallel.submit: pool is shut down");
+  Queue.push f pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closing <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let map_pool pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      (* each slot is written by exactly one job; the lock only guards the
+         completion counter and the condition *)
+      let results = Array.make n None in
+      let lock = Mutex.create () in
+      let all_done = Condition.create () in
+      let pending = ref n in
+      Array.iteri
+        (fun i x ->
+          submit pool (fun () ->
+              let r = match f x with v -> Ok v | exception e -> Error e in
+              Mutex.lock lock;
+              results.(i) <- Some r;
+              decr pending;
+              if !pending = 0 then Condition.signal all_done;
+              Mutex.unlock lock))
+        arr;
+      Mutex.lock lock;
+      while !pending > 0 do
+        Condition.wait all_done lock
+      done;
+      Mutex.unlock lock;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+
+(* Worker domains beyond the hardware's parallelism only add
+   stop-the-world GC synchronisation (on a single-core host, several
+   times the serial wall clock), so [map] never oversubscribes: the
+   requested job count is an upper bound, the hardware the limit.  A
+   deliberate oversubscription — e.g. a race-hunting stress test on a
+   small machine — goes through [create] + [map_pool], which honour the
+   exact count. *)
+let effective_jobs jobs = min jobs (Domain.recommended_domain_count ())
+
+let map ?jobs f xs =
+  let jobs =
+    effective_jobs (match jobs with Some j -> j | None -> default_jobs ())
+  in
+  match xs with
+  | [] -> []
+  | _ when jobs <= 1 || List.compare_length_with xs 2 < 0 -> List.map f xs
+  | xs ->
+      let pool = create ~jobs:(min jobs (List.length xs)) in
+      Fun.protect
+        ~finally:(fun () -> shutdown pool)
+        (fun () -> map_pool pool f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type t = {
+    dir : string option;
+    mem : (string, string) Hashtbl.t;  (** key -> marshalled value *)
+    lock : Mutex.t;
+    mutable n_hits : int;
+    mutable n_misses : int;
+  }
+
+  let default_dir () =
+    match Sys.getenv_opt "PREVV_CACHE_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> "_prevv_cache"
+
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then (
+      let parent = Filename.dirname dir in
+      if parent <> dir then mkdir_p parent;
+      try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+
+  let make dir =
+    {
+      dir;
+      mem = Hashtbl.create 64;
+      lock = Mutex.create ();
+      n_hits = 0;
+      n_misses = 0;
+    }
+
+  let in_memory () = make None
+
+  let on_disk ~dir =
+    mkdir_p dir;
+    make (Some dir)
+
+  let path t key =
+    match t.dir with
+    | None -> None
+    | Some dir -> Some (Filename.concat dir (key ^ ".bin"))
+
+  let read_file p =
+    match open_in_bin p with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match really_input_string ic (in_channel_length ic) with
+            | s -> Some s
+            | exception _ -> None)
+
+  (* atomic publish: write to a temp name, then rename.  Two processes
+     racing on the same key can at worst publish a garbled temp file,
+     which later decodes as a miss and is rewritten. *)
+  let write_file p s =
+    let tmp = Printf.sprintf "%s.tmp.%d" p (Domain.self () :> int) in
+    try
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc s);
+      Sys.rename tmp p
+    with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+  let find t key =
+    Mutex.lock t.lock;
+    let cached = Hashtbl.find_opt t.mem key in
+    Mutex.unlock t.lock;
+    match cached with
+    | Some s -> Some s
+    | None -> (
+        match path t key with
+        | None -> None
+        | Some p -> (
+            match read_file p with
+            | None -> None
+            | Some s ->
+                Mutex.lock t.lock;
+                Hashtbl.replace t.mem key s;
+                Mutex.unlock t.lock;
+                Some s))
+
+  let store t key s =
+    Mutex.lock t.lock;
+    Hashtbl.replace t.mem key s;
+    Mutex.unlock t.lock;
+    match path t key with None -> () | Some p -> write_file p s
+
+  let bump t hit =
+    Mutex.lock t.lock;
+    if hit then t.n_hits <- t.n_hits + 1 else t.n_misses <- t.n_misses + 1;
+    Mutex.unlock t.lock
+
+  let memo t ~key compute =
+    match
+      Option.bind (find t key) (fun s ->
+          (* a stale or truncated entry decodes as a miss *)
+          match Marshal.from_string s 0 with v -> Some v | exception _ -> None)
+    with
+    | Some v ->
+        bump t true;
+        (v, `Hit)
+    | None ->
+        let v = compute () in
+        store t key (Marshal.to_string v []);
+        bump t false;
+        (v, `Miss)
+
+  let hits t = t.n_hits
+  let misses t = t.n_misses
+
+  let reset_stats t =
+    Mutex.lock t.lock;
+    t.n_hits <- 0;
+    t.n_misses <- 0;
+    Mutex.unlock t.lock
+end

@@ -1,0 +1,106 @@
+(** Domain-parallel job execution for the experiment grid, plus a
+    content-addressed result cache.
+
+    The whole kernel × scheme × depth evaluation grid is embarrassingly
+    parallel: every point compiles its own circuit, simulates against its
+    own backend instance and elaborates its own netlist, with no shared
+    mutable state (see DESIGN.md §14 for the audit).  This module supplies
+    the two pieces the drivers need:
+
+    - a fixed-size worker {!pool} (stdlib [Domain] + [Mutex]/[Condition],
+      no external dependencies) with a shared job queue and an
+      order-preserving {!map} on top;
+    - a {!Cache} keyed by a digest of everything that determines a result
+      (kernel source, scheme configuration, simulator configuration,
+      inputs), so repeated table/sweep invocations reuse prior points.
+
+    Workers must never print: all [Format]/[Printf]/[Buffer] rendering
+    happens on the calling domain after the jobs return, which is what
+    makes parallel output byte-identical to serial output. *)
+
+(** A sensible worker count for this machine:
+    [Domain.recommended_domain_count () - 1], clamped to [1, 8]. *)
+val default_jobs : unit -> int
+
+(** {1 Worker pool} *)
+
+type pool
+(** A fixed set of worker domains draining one shared job queue. *)
+
+(** Spawn [jobs] worker domains (at least one). *)
+val create : jobs:int -> pool
+
+(** Number of worker domains. *)
+val size : pool -> int
+
+(** Enqueue a job.  The job runs on some worker domain; it must do its own
+    synchronisation for any shared result slot and must not print.
+    @raise Invalid_argument after {!shutdown}. *)
+val submit : pool -> (unit -> unit) -> unit
+
+(** Stop accepting jobs, drain the queue, and join every worker.
+    Idempotent. *)
+val shutdown : pool -> unit
+
+(** [map_pool pool f xs] runs [f] on every element using the pool's
+    workers and returns the results in input order.  If any job raised,
+    the exception of the smallest-index failing element is re-raised after
+    all jobs have completed (unlike serial [List.map], later elements are
+    still evaluated). *)
+val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [effective_jobs jobs]: the worker count {!map} will actually use —
+    [jobs] clamped to [Domain.recommended_domain_count ()].  Domains
+    beyond the hardware's parallelism only add stop-the-world GC
+    synchronisation, so {!map} never oversubscribes; on a single-core
+    host every requested count degrades to the serial path. *)
+val effective_jobs : int -> int
+
+(** [map ~jobs f xs]: {!map_pool} on a transient pool of
+    [effective_jobs jobs] workers.  With an effective count of 1 (or
+    fewer than two elements) this is exactly [List.map f xs] on the
+    calling domain — the serial reference the determinism harness
+    compares against.  [jobs] defaults to {!default_jobs}.  To force an
+    exact worker count (e.g. an oversubscribed race-hunting stress), use
+    {!create} + {!map_pool}. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Result cache} *)
+
+module Cache : sig
+  (** Content-addressed memoisation of experiment results.
+
+      Values are stored marshalled, in memory and (optionally) on disk as
+      [dir/<key>.bin], written atomically so concurrent processes can
+      share a directory.  A disk entry that fails to load for any reason
+      (truncated write, stale binary layout) is treated as a miss and
+      overwritten.
+
+      {b The key must determine the value's type as well as its contents}:
+      [memo] unmarshals whatever the key maps to.  Callers achieve this by
+      salting keys with a schema tag (see {!Experiment.cache_key}).  Only
+      marshal-safe values (no closures) may be cached. *)
+
+  type t
+
+  (** Memory-only cache (per-process). *)
+  val in_memory : unit -> t
+
+  (** Disk-backed cache rooted at [dir] (created if missing). *)
+  val on_disk : dir:string -> t
+
+  (** [$PREVV_CACHE_DIR] if set, else ["_prevv_cache"]. *)
+  val default_dir : unit -> string
+
+  (** [memo t ~key compute] returns the cached value for [key], or runs
+      [compute], stores its result and returns it.  Thread-safe; may be
+      called from pool workers.  Exceptions from [compute] propagate and
+      nothing is stored. *)
+  val memo : t -> key:string -> (unit -> 'a) -> 'a * [ `Hit | `Miss ]
+
+  (** Hit/miss counters since creation (or {!reset_stats}). *)
+  val hits : t -> int
+
+  val misses : t -> int
+  val reset_stats : t -> unit
+end

@@ -11,8 +11,14 @@
 (** Eq. 11: complexity of naive replication for an [n]-fold overlap. *)
 let naive_complexity ~n ~com1 = (2.0 ** float_of_int n) *. com1
 
-(** Eq. 12: frequency collapse of naive replication. *)
-let naive_frequency ~frq1 = log frq1 /. log 2.0
+(** Eq. 12: frequency collapse of naive replication.  The [2^n]-replicated
+    validation network of Eq. 11 deepens the combinational checking path by
+    one comparator level per overlap degree, so the achievable frequency
+    divides by the depth of that tree: [frq_n = frq1 / log2(2^n) = frq1/n].
+    Equals [frq1] at [n = 1] and decreases monotonically with [n]. *)
+let naive_frequency ~n ~frq1 =
+  if n < 1 then invalid_arg "Overlap.naive_frequency: n must be >= 1";
+  frq1 /. (log (2.0 ** float_of_int n) /. log 2.0)
 
 (** Complexity after dimension reduction: a single instance whose queue is
     shared, i.e. linear in the number of member operations. *)

@@ -11,8 +11,12 @@
 (** Eq. 11: complexity of naive replication, [2^n * com1]. *)
 val naive_complexity : n:int -> com1:float -> float
 
-(** Eq. 12: the frequency collapse of naive replication, [log2 frq1]. *)
-val naive_frequency : frq1:float -> float
+(** Eq. 12: the frequency collapse of naive replication,
+    [frq1 / log2(2^n) = frq1 / n]: the replicated validation tree of
+    Eq. 11 adds one comparator level per overlap degree.  Equals [frq1] at
+    [n = 1], monotonically decreasing in [n].
+    @raise Invalid_argument when [n < 1]. *)
+val naive_frequency : n:int -> frq1:float -> float
 
 (** Cost of the shared instance: linear in the member count. *)
 val reduced_complexity : n:int -> com1:float -> float

@@ -1,0 +1,74 @@
+(* Overlap scalability model (Sec. V-B, Eqs. 11-12) and the run
+   reduction.
+
+   Regression: naive_frequency used to ignore the overlap degree
+   entirely ([log2 frq1]), so the modelled frequency collapse was
+   independent of [n] and the function was dead code.  These tests pin
+   the Eq. 12 shape: equal to [frq1] at [n = 1] and monotonically
+   decreasing in [n]. *)
+
+open Pv_prevv
+
+let feq a b = Alcotest.(check (float 1e-9)) "float" a b
+
+let test_eq12_identity_at_one () =
+  feq 300.0 (Overlap.naive_frequency ~n:1 ~frq1:300.0);
+  feq 150.0 (Overlap.naive_frequency ~n:1 ~frq1:150.0)
+
+let test_eq12_monotone_decreasing () =
+  let frq1 = 150.0 in
+  let prev = ref infinity in
+  for n = 1 to 16 do
+    let f = Overlap.naive_frequency ~n ~frq1 in
+    if not (f < !prev) then
+      Alcotest.failf "naive_frequency not strictly decreasing at n=%d: %f >= %f"
+        n f !prev;
+    if not (f > 0.0) then
+      Alcotest.failf "naive_frequency not positive at n=%d: %f" n f;
+    prev := f
+  done
+
+let test_eq12_collapse_rate () =
+  (* the replicated validation tree of Eq. 11 deepens one comparator
+     level per overlap: frq_n = frq1 / log2(2^n) = frq1 / n *)
+  feq 75.0 (Overlap.naive_frequency ~n:2 ~frq1:150.0);
+  feq 37.5 (Overlap.naive_frequency ~n:4 ~frq1:150.0);
+  feq 25.0 (Overlap.naive_frequency ~n:6 ~frq1:150.0)
+
+let test_eq12_invalid_n () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Overlap.naive_frequency: n must be >= 1") (fun () ->
+      ignore (Overlap.naive_frequency ~n:0 ~frq1:150.0))
+
+let test_eq11_exponential () =
+  feq 2.0 (Overlap.naive_complexity ~n:1 ~com1:1.0);
+  feq 64.0 (Overlap.naive_complexity ~n:5 ~com1:2.0);
+  (* the reduction is linear in the member count *)
+  feq 5.0 (Overlap.reduced_complexity ~n:5 ~com1:1.0);
+  feq 1.0 (Overlap.reduced_complexity ~n:0 ~com1:1.0)
+
+let test_pairs () =
+  let ld k = (Pv_memory.Portmap.OLoad, k) and st k = (Pv_memory.Portmap.OStore, k) in
+  let ops = [ ld 0; st 1; ld 2; st 3 ] in
+  (* every load-store combination across the sequence *)
+  Alcotest.(check int) "naive pairs" 4 (Overlap.naive_pairs ops);
+  (* one representative per same-kind run: adjacencies only *)
+  Alcotest.(check int) "reduced pairs" 3 (Overlap.reduced_pairs ops);
+  let runs = Overlap.reduce_runs [ ld 0; ld 1; st 2; st 3; ld 4 ] in
+  Alcotest.(check int) "runs collapsed" 3 (List.length runs)
+
+let () =
+  Alcotest.run "overlap"
+    [
+      ( "eq12",
+        [
+          Alcotest.test_case "frq at n=1 is frq1" `Quick test_eq12_identity_at_one;
+          Alcotest.test_case "monotone decreasing in n" `Quick
+            test_eq12_monotone_decreasing;
+          Alcotest.test_case "collapse rate frq1/n" `Quick test_eq12_collapse_rate;
+          Alcotest.test_case "rejects n < 1" `Quick test_eq12_invalid_n;
+        ] );
+      ( "eq11",
+        [ Alcotest.test_case "2^n vs linear" `Quick test_eq11_exponential ] );
+      ("pairs", [ Alcotest.test_case "pair counting" `Quick test_pairs ]);
+    ]
