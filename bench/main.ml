@@ -5,7 +5,7 @@
    Usage:
      dune exec bench/main.exe                        -- everything, serial
      dune exec bench/main.exe -- --jobs 4 table1     -- across 4 domains
-     dune exec bench/main.exe -- --json [PATH]       -- baselines JSON (v2)
+     dune exec bench/main.exe -- --json [PATH]       -- baselines JSON (v3)
      dune exec bench/main.exe -- fig1 table1 table2 fig7 queue_states
                                   deadlock depth_sweep scalability
                                   ablation micro
@@ -468,9 +468,11 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 (* Per-kernel cycles, wall-clock time and node evaluations for both
-   simulator engines under PreVV16, plus the serial-vs-parallel wall
-   clock of the full Table I/II grid and the result-cache statistics, as
-   a stable JSON document the CI archives (schema prevv-bench-sim/v2). *)
+   simulator engines under PreVV16, the serial-vs-parallel wall clock of
+   the full Table I/II grid with the result-cache statistics, and each
+   grid cell's metric snapshot (Pv_obs.Metrics — cycles, fires, backend
+   traffic, arbiter tallies), as a stable JSON document the CI archives
+   (schema prevv-bench-sim/v3). *)
 
 let bench_json ~path ~jobs ~cache () =
   let module Sim = Pv_dataflow.Sim in
@@ -496,7 +498,7 @@ let bench_json ~path ~jobs ~cache () =
     "scan ev" "ev/cyc" "time(s)" "event ev" "ev/cyc" "time(s)" "ratio" "equiv";
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v2\",\n";
+  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v3\",\n";
   Buffer.add_string buf "  \"backend\": \"prevv16\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"default_engine\": %S,\n"
@@ -590,6 +592,22 @@ let bench_json ~path ~jobs ~cache () =
   if cache <> None then
     Printf.printf "cached pass: %.3fs, %d hits / %d misses, consistent %b\n"
       cached_wall hits misses cache_consistent;
+  (* per-cell metric snapshots: deterministic (engine- and jobs-invariant),
+     so CI can diff this section across runs and machines *)
+  let flat = List.concat serial_grid in
+  let n_flat = List.length flat in
+  Buffer.add_string buf "  \"grid_cells\": [\n";
+  List.iteri
+    (fun i (p : Experiment.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"kernel\": %S, \"config\": %S, \"metrics\": %s }%s\n"
+           p.Experiment.kernel p.Experiment.config
+           (Pv_obs.Json.to_string
+              (Pv_obs.Metrics.snapshot_to_json p.Experiment.metrics))
+           (if i = n_flat - 1 then "" else ",")))
+    flat;
+  Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"grid\": { \"points\": %d, \"jobs\": %d, \"jobs_effective\": %d, \

@@ -4,6 +4,7 @@
      list                      kernels available
      show KERNEL               print a kernel and its dependence analysis
      run KERNEL [-s SCHEME]    simulate and verify
+     trace KERNEL [-o FILE]    simulate recording a Chrome trace (Perfetto)
      report KERNEL             area/timing across all schemes
      sweep [KERNEL...] [-j N]  domain-parallel kernel x scheme grid
      emit KERNEL [-s SCHEME]   write the structural netlist
@@ -134,28 +135,43 @@ let engine_arg =
         Pv_dataflow.Sim.default_config.Pv_dataflow.Sim.engine
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the run's metric snapshot (counters, gauges, histograms) \
+           as a JSON object on stdout.")
+
+(* the explicit plan plus, when seeded, a deterministic random recoverable
+   plan sized to the kernel's instance count *)
+let fault_plan compiled inject fault_seed =
+  Option.value ~default:[] inject
+  @
+  match fault_seed with
+  | None -> []
+  | Some seed ->
+      let instances = Pv_frontend.Trace.length compiled.Pipeline.trace in
+      Pv_dataflow.Fault.random_recoverable ~seed
+        ~n_chans:(Pv_dataflow.Graph.n_chans compiled.Pipeline.graph)
+        ~max_seq:instances
+        ~horizon:(100 + (4 * instances))
+        ()
+
+let print_metrics m =
+  print_endline (Pv_obs.Json.to_string (Pv_obs.Metrics.to_json m))
+
 let run_cmd =
-  let run kernel scheme depth cse fold inject fault_seed engine =
+  let run kernel scheme depth cse fold inject fault_seed engine metrics =
     let kernel =
       if fold then Pv_frontend.Optimize.constant_fold kernel else kernel
     in
     let dis = dis_of scheme depth in
     let options = { Pv_frontend.Build.default_options with Pv_frontend.Build.cse } in
+    let m = if metrics then Some (Pv_obs.Metrics.create ()) else None in
     match
       (let compiled = Pipeline.compile ~options kernel in
-       let faults =
-         Option.value ~default:[] inject
-         @
-         match fault_seed with
-         | None -> []
-         | Some seed ->
-             let instances = Pv_frontend.Trace.length compiled.Pipeline.trace in
-             Pv_dataflow.Fault.random_recoverable ~seed
-               ~n_chans:(Pv_dataflow.Graph.n_chans compiled.Pipeline.graph)
-               ~max_seq:instances
-               ~horizon:(100 + (4 * instances))
-               ()
-       in
+       let faults = fault_plan compiled inject fault_seed in
        if faults <> [] then
          Format.printf "@[<hov 2>injecting: %a@]@." Pv_dataflow.Fault.pp_plan
            faults;
@@ -164,7 +180,7 @@ let run_cmd =
            Pv_dataflow.Sim.faults;
            Pv_dataflow.Sim.engine }
        in
-       let result = Pipeline.simulate ~sim_cfg compiled dis in
+       let result = Pipeline.simulate ~sim_cfg ?metrics:m compiled dis in
        match result.Pipeline.outcome with
        | Pv_dataflow.Sim.Finished _ -> (
            match Pipeline.verify compiled result with
@@ -185,6 +201,7 @@ let run_cmd =
         Format.printf "memory system: %a@." Pv_dataflow.Memif.pp_stats
           r.Pipeline.mem_stats;
         Format.printf "VERIFIED against the reference interpreter@.";
+        Option.iter print_metrics m;
         `Ok ()
     | Error e -> `Error (false, e)
     | exception Invalid_argument m -> `Error (false, m)
@@ -197,29 +214,100 @@ let run_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ scheme_arg $ depth_arg $ cse_arg $ fold_arg
-        $ inject_arg $ fault_seed_arg $ engine_arg))
+        $ inject_arg $ fault_seed_arg $ engine_arg $ metrics_arg))
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let output_arg =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file (Chrome trace-event JSON).")
+  in
+  let max_cycles_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cycles" ] ~docv:"N" ~doc:"Simulation cycle budget.")
+  in
+  let run kernel scheme depth engine inject fault_seed max_cycles out metrics =
+    let dis = dis_of scheme depth in
+    let compiled = Pipeline.compile kernel in
+    let faults = fault_plan compiled inject fault_seed in
+    if faults <> [] then
+      Format.eprintf "@[<hov 2>injecting: %a@]@." Pv_dataflow.Fault.pp_plan
+        faults;
+    let sim_cfg =
+      let d = Pv_dataflow.Sim.default_config in
+      {
+        d with
+        Pv_dataflow.Sim.faults;
+        engine;
+        max_cycles =
+          Option.value ~default:d.Pv_dataflow.Sim.max_cycles max_cycles;
+      }
+    in
+    let tr = Pv_obs.Trace.create () in
+    let m = Pv_obs.Metrics.create () in
+    let result =
+      Pipeline.simulate ~sim_cfg ~obs_trace:tr ~metrics:m compiled dis
+    in
+    Pv_obs.Trace.write ~process:kernel.Pv_kernels.Ast.name tr out;
+    (* diagnostics on stderr so `--metrics > m.json` stays a clean document *)
+    Format.eprintf "wrote %s: %d events%s — %a@." out
+      (Pv_obs.Trace.event_count tr)
+      (match Pv_obs.Trace.dropped tr with
+      | 0 -> ""
+      | n -> Printf.sprintf " (%d dropped)" n)
+      Pv_dataflow.Sim.pp_outcome result.Pipeline.outcome;
+    if metrics then print_metrics m
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate while recording a Chrome trace — epoch spans, squash and \
+          validation instants, occupancy counter tracks.  Open the file in \
+          Perfetto (ui.perfetto.dev) or chrome://tracing; timestamps are \
+          cycles (1 cycle = 1 us).")
+    Term.(
+      const run $ kernel_arg $ scheme_arg $ depth_arg $ engine_arg
+      $ inject_arg $ fault_seed_arg $ max_cycles_arg $ output_arg
+      $ metrics_arg)
 
 (* --- report --------------------------------------------------------------- *)
 
 let report_cmd =
-  let run kernel =
+  let run kernel metrics =
+    let points =
+      List.map (fun dis -> Experiment.run kernel dis) (Experiment.paper_configs ())
+    in
     Printf.printf "%-12s %8s %8s %8s %8s %10s\n" "scheme" "LUT" "FF" "CP(ns)"
       "cycles" "exec(us)";
     List.iter
-      (fun dis ->
-        let p = Experiment.run kernel dis in
+      (fun (p : Experiment.point) ->
         Printf.printf "%-12s %8d %8d %8.2f %8d %10.2f%s\n" p.Experiment.config
           p.Experiment.report.Pv_resource.Report.luts
           p.Experiment.report.Pv_resource.Report.ffs
           p.Experiment.report.Pv_resource.Report.cp_ns p.Experiment.cycles
           p.Experiment.exec_us
           (if p.Experiment.verified then "" else "  NOT VERIFIED"))
-      (Experiment.paper_configs ())
+      points;
+    if metrics then
+      print_endline
+        (Pv_obs.Json.to_string
+           (Pv_obs.Json.Obj
+              (List.map
+                 (fun (p : Experiment.point) ->
+                   ( p.Experiment.config,
+                     Pv_obs.Metrics.snapshot_to_json p.Experiment.metrics ))
+                 points)))
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Area, clock period and runtime for every scheme (one Table I/II row).")
-    Term.(const run $ kernel_arg)
+    Term.(const run $ kernel_arg $ metrics_arg)
 
 (* --- sweep ------------------------------------------------------------------ *)
 
@@ -249,7 +337,7 @@ let sweep_cmd =
     let doc = "PreVV premature-queue depths to include (paper units)." in
     Arg.(value & opt (list int) [ 16; 64 ] & info [ "depths" ] ~docv:"D,.." ~doc)
   in
-  let run kernels jobs no_cache json depths =
+  let run kernels jobs no_cache json depths metrics =
     let kernels =
       match kernels with
       | [] -> Pv_kernels.Defs.paper_benchmarks ()
@@ -267,7 +355,8 @@ let sweep_cmd =
     let cells =
       List.concat_map (fun k -> List.map (fun d -> (k, d)) schemes) kernels
     in
-    let results = Experiment.sweep ?cache ~jobs cells in
+    let m = if metrics then Some (Pv_obs.Metrics.create ()) else None in
+    let results = Experiment.sweep ?cache ?metrics:m ~jobs cells in
     if json then (
       print_string "[\n";
       let n = List.length cells in
@@ -311,15 +400,24 @@ let sweep_cmd =
           (Parallel.Cache.default_dir ()));
     Printf.eprintf "%d points across %d worker(s) (%d effective)\n"
       (List.length cells) jobs
-      (Parallel.effective_jobs jobs)
+      (Parallel.effective_jobs jobs);
+    (* aggregate metrics also to stderr, keeping --json a clean document *)
+    Option.iter
+      (fun m ->
+        Printf.eprintf "%s\n"
+          (Pv_obs.Json.to_string (Pv_obs.Metrics.to_json m)))
+      m
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Evaluate a kernel x scheme grid across worker domains, reusing \
-          cached results.")
+          cached results.  $(b,--metrics) prints the aggregated snapshot \
+          (every point's metrics absorbed, plus runner.* telemetry) as JSON \
+          on stderr.")
     Term.(
-      const run $ kernels_arg $ jobs_arg $ no_cache_arg $ json_arg $ depths_arg)
+      const run $ kernels_arg $ jobs_arg $ no_cache_arg $ json_arg
+      $ depths_arg $ metrics_arg)
 
 (* --- emit ------------------------------------------------------------------ *)
 
@@ -369,23 +467,34 @@ let dot_cmd =
 (* --- profile ---------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run kernel scheme depth =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the profile as a JSON object instead of text.")
+  in
+  let run kernel scheme depth engine json =
     let compiled = Pipeline.compile kernel in
     let init = Pv_kernels.Workload.default_init kernel in
     let mem =
       Pv_memory.Layout.initial_memory compiled.Pipeline.layout kernel ~init
     in
     let backend = Pipeline.backend_of compiled mem (dis_of scheme depth) in
-    let p = Pv_dataflow.Profile.run compiled.Pipeline.graph backend in
-    Format.printf "%a" (Pv_dataflow.Profile.pp ~top:10) p;
-    Format.printf "II = %.2f cycles/iteration@."
-      (Pv_dataflow.Profile.initiation_interval p
-         ~instances:(Pv_frontend.Trace.length compiled.Pipeline.trace))
+    let cfg = { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.engine } in
+    let p = Pv_dataflow.Profile.run ~cfg compiled.Pipeline.graph backend in
+    if json then
+      print_endline (Pv_obs.Json.to_string (Pv_dataflow.Profile.to_json p))
+    else begin
+      Format.printf "%a" (Pv_dataflow.Profile.pp ~top:10) p;
+      Format.printf "II = %.2f cycles/iteration@."
+        (Pv_dataflow.Profile.initiation_interval p
+           ~instances:(Pv_frontend.Trace.length compiled.Pipeline.trace))
+    end
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Simulate and report per-component utilisation and backpressure.")
-    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg)
+    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ engine_arg $ json_arg)
 
 (* --- vcd --------------------------------------------------------------------- *)
 
@@ -396,7 +505,7 @@ let vcd_cmd =
   let max_cycles_arg =
     Arg.(value & opt int 5000 & info [ "max-cycles" ] ~docv:"N")
   in
-  let run kernel scheme depth output max_cycles =
+  let run kernel scheme depth engine output max_cycles =
     let compiled = Pipeline.compile kernel in
     let init = Pv_kernels.Workload.default_init kernel in
     let mem =
@@ -406,15 +515,19 @@ let vcd_cmd =
     let path =
       match output with Some p -> p | None -> kernel.Pv_kernels.Ast.name ^ ".vcd"
     in
+    let cfg = { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.engine } in
     let outcome =
-      Pv_dataflow.Vcd.record ~max_cycles ~path compiled.Pipeline.graph backend
+      Pv_dataflow.Vcd.record ~cfg ~max_cycles ~path compiled.Pipeline.graph
+        backend
     in
     Format.printf "wrote %s (%a)@." path Pv_dataflow.Sim.pp_outcome outcome
   in
   Cmd.v
     (Cmd.info "vcd"
        ~doc:"Simulate while writing a VCD waveform (view with GTKWave).")
-    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ output_arg $ max_cycles_arg)
+    Term.(
+      const run $ kernel_arg $ scheme_arg $ depth_arg $ engine_arg
+      $ output_arg $ max_cycles_arg)
 
 (* --- area breakdown ----------------------------------------------------------- *)
 
@@ -477,6 +590,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "prevv" ~version:"1.0.0" ~doc)
           [
-            list_cmd; show_cmd; run_cmd; report_cmd; sweep_cmd; emit_cmd;
-            dot_cmd; profile_cmd; vcd_cmd; util_cmd; area_cmd;
+            list_cmd; show_cmd; run_cmd; trace_cmd; report_cmd; sweep_cmd;
+            emit_cmd; dot_cmd; profile_cmd; vcd_cmd; util_cmd; area_cmd;
           ]))

@@ -10,6 +10,11 @@ type point = {
   exec_us : float;
   mem_stats : Pv_dataflow.Memif.stats;
   verified : bool;  (** final memory matched the reference interpreter *)
+  metrics : Pv_obs.Metrics.snapshot;
+      (** per-run metric snapshot (cycles, fires, backend traffic, arbiter
+          tallies — see [Pipeline.simulate]).  Deterministic: identical
+          across engines and worker counts, and marshal-safe so it rides
+          the result cache. *)
 }
 
 let elaboration_of (dis : Pipeline.disambiguation) :
@@ -28,7 +33,8 @@ let elaboration_of (dis : Pipeline.disambiguation) :
 let run ?sim_cfg ?init (kernel : Pv_kernels.Ast.kernel)
     (dis : Pipeline.disambiguation) : point =
   let compiled = Pipeline.compile kernel in
-  let result = Pipeline.simulate ?sim_cfg ?init compiled dis in
+  let m = Pv_obs.Metrics.create () in
+  let result = Pipeline.simulate ?sim_cfg ?init ~metrics:m compiled dis in
   let verified =
     match result.Pipeline.outcome with
     | Pv_dataflow.Sim.Finished _ -> Pipeline.verify ?init compiled result = []
@@ -48,6 +54,7 @@ let run ?sim_cfg ?init (kernel : Pv_kernels.Ast.kernel)
         ~cp_ns:report.Pv_resource.Report.cp_ns;
     mem_stats = result.Pipeline.mem_stats;
     verified;
+    metrics = Pv_obs.Metrics.snapshot m;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -92,7 +99,7 @@ let cache_key ?(sim_cfg = Pv_dataflow.Sim.default_config) ?init
   in
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string ("prevv-expt/v1", kernel, init, dis_repr, sim_repr) []))
+       (Marshal.to_string ("prevv-expt/v2", kernel, init, dis_repr, sim_repr) []))
 
 (** {!run} through a {!Parallel.Cache}: a hit returns the stored point
     without compiling or simulating anything. *)
@@ -113,14 +120,62 @@ let run_point ?sim_cfg ?cache (kernel, dis) =
     (serially for [jobs <= 1]), in cell order.  Infeasible configurations
     (a queue depth below one iteration's operation count) come back as
     [Error msg] instead of aborting the whole sweep.  Workers only
-    compute; any printing belongs to the caller, after the sweep. *)
-let sweep ?sim_cfg ?cache ?(jobs = 1) cells : (point, string) result list =
-  Parallel.map ~jobs
-    (fun cell ->
-      match run_point ?sim_cfg ?cache cell with
-      | p -> Ok p
-      | exception Invalid_argument msg -> Error msg)
-    cells
+    compute; any printing belongs to the caller, after the sweep.
+
+    [metrics] (optional) aggregates the sweep: every point's own snapshot
+    is absorbed (deterministic), plus [runner.*] telemetry — point/error
+    counts and a cycles histogram (deterministic), and cache-hit deltas,
+    effective job count and a per-worker load histogram (runtime-dependent
+    by nature; strip the [runner.] prefix when comparing runs). *)
+let sweep ?sim_cfg ?cache ?metrics ?(jobs = 1) cells :
+    (point, string) result list =
+  let hits0, misses0 =
+    match cache with
+    | Some c -> (Parallel.Cache.hits c, Parallel.Cache.misses c)
+    | None -> (0, 0)
+  in
+  let f cell =
+    match run_point ?sim_cfg ?cache cell with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error msg
+  in
+  (* same execution shape as Parallel.map, but over an explicit pool so
+     the per-worker tallies survive for the telemetry below *)
+  let ej = Parallel.effective_jobs jobs in
+  let serial = ej <= 1 || List.compare_length_with cells 2 < 0 in
+  let results, used_jobs, workers =
+    if serial then (List.map f cells, 1, [ List.length cells ])
+    else begin
+      let n = min ej (List.length cells) in
+      let pool = Parallel.create ~jobs:n in
+      let rs =
+        Fun.protect
+          ~finally:(fun () -> Parallel.shutdown pool)
+          (fun () -> Parallel.map_pool pool f cells)
+      in
+      (rs, n, Parallel.worker_jobs pool)
+    end
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let module M = Pv_obs.Metrics in
+      List.iter
+        (function
+          | Ok p ->
+              M.incr m "runner.points";
+              M.observe m "runner.point_cycles" p.cycles;
+              M.absorb m p.metrics
+          | Error _ -> M.incr m "runner.errors")
+        results;
+      M.set_gauge_max m "runner.jobs_effective" used_jobs;
+      List.iter (fun n -> M.observe m "runner.worker_jobs" n) workers;
+      (match cache with
+      | Some c ->
+          M.add m "runner.cache_hits" (Parallel.Cache.hits c - hits0);
+          M.add m "runner.cache_misses" (Parallel.Cache.misses c - misses0)
+      | None -> ()));
+  results
 
 (** The paper's four evaluated configurations, in table-column order. *)
 let paper_configs () =

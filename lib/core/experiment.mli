@@ -10,6 +10,11 @@ type point = {
   exec_us : float;
   mem_stats : Pv_dataflow.Memif.stats;
   verified : bool;  (** final memory matched the reference interpreter *)
+  metrics : Pv_obs.Metrics.snapshot;
+      (** per-run metric snapshot (cycles, fires, backend traffic, arbiter
+          tallies — see [Pipeline.simulate]).  Deterministic: identical
+          across engines and worker counts, and marshal-safe so it rides
+          the result cache. *)
 }
 
 (** Map a simulation scheme to the area model's configuration (paper-unit
@@ -53,10 +58,17 @@ val run_cached :
 (** Fan (kernel, scheme) cells across [jobs] worker domains (default 1 =
     serial on the calling domain), returning results in cell order.
     Infeasible configurations come back as [Error msg] rather than
-    aborting the sweep.  Workers never print. *)
+    aborting the sweep.  Workers never print.
+
+    [metrics] aggregates the sweep: each point's own snapshot is absorbed
+    (deterministic), plus [runner.*] telemetry — point/error counts and a
+    cycles histogram (deterministic), and cache-hit deltas, effective job
+    count and a per-worker load histogram (runtime-dependent by nature;
+    drop [runner.]-prefixed entries when comparing runs). *)
 val sweep :
   ?sim_cfg:Pv_dataflow.Sim.config ->
   ?cache:Parallel.Cache.t ->
+  ?metrics:Pv_obs.Metrics.t ->
   ?jobs:int ->
   (Pv_kernels.Ast.kernel * Pipeline.disambiguation) list ->
   (point, string) result list

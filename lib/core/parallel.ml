@@ -14,13 +14,17 @@ type pool = {
   nonempty : Condition.t;  (** signalled on submit and on shutdown *)
   mutable closing : bool;
   mutable workers : unit Domain.t list;
+  jobs_done : int array;
+      (** per-worker completed-job tallies; each worker writes only its
+          own slot, so the counts are race-free without atomics.  Exact
+          after {!shutdown}; a live read may lag by the jobs in flight. *)
 }
 
 let size pool = pool.n
 
 (* Workers block on [nonempty] until a job or shutdown arrives; the job
    itself runs outside the lock so the queue stays available. *)
-let worker pool () =
+let worker pool i () =
   let rec next () =
     if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
     else if pool.closing then None
@@ -36,6 +40,7 @@ let worker pool () =
     | None -> ()
     | Some f ->
         f ();
+        pool.jobs_done.(i) <- pool.jobs_done.(i) + 1;
         loop ()
   in
   loop ()
@@ -49,10 +54,14 @@ let create ~jobs =
       nonempty = Condition.create ();
       closing = false;
       workers = [];
+      jobs_done = Array.make (max 1 jobs) 0;
     }
   in
-  pool.workers <- List.init pool.n (fun _ -> Domain.spawn (worker pool));
+  pool.workers <- List.init pool.n (fun i -> Domain.spawn (worker pool i));
   pool
+
+(** Completed jobs per worker (pool-utilisation telemetry). *)
+let worker_jobs pool = Array.to_list pool.jobs_done
 
 let submit pool f =
   Mutex.lock pool.lock;

@@ -33,6 +33,12 @@ val create : jobs:int -> pool
 (** Number of worker domains. *)
 val size : pool -> int
 
+(** Completed jobs per worker — the pool-utilisation telemetry behind the
+    observability layer's [runner.worker_jobs] metric.  Each worker counts
+    only its own slot (race-free by construction); the counts are exact
+    after {!shutdown}, and a live read may lag by the jobs in flight. *)
+val worker_jobs : pool -> int list
+
 (** Enqueue a job.  The job runs on some worker domain; it must do its own
     synchronisation for any shared result slot and must not print.
     @raise Invalid_argument after {!shutdown}. *)

@@ -52,14 +52,70 @@ type result = {
   run_stats : Pv_dataflow.Sim.run_stats;
 }
 
-let backend_of compiled mem = function
+(** The live backend state behind a {!Pv_dataflow.Memif.t} — what the
+    observability layer reads its scheme-specific runtime stats from. *)
+type backend_handle =
+  | Lsq_handle of Pv_lsq.Lsq.t
+  | Prevv_handle of Pv_prevv.Backend.t
+
+let backend_full ?trace compiled mem = function
   | Plain_lsq cfg | Fast_lsq cfg ->
-      Pv_lsq.Lsq.create cfg compiled.info.Pv_frontend.Depend.portmap mem
+      let t, memif =
+        Pv_lsq.Lsq.create_full ?trace cfg compiled.info.Pv_frontend.Depend.portmap
+          mem
+      in
+      (Lsq_handle t, memif)
   | Prevv cfg ->
-      Pv_prevv.Backend.create cfg compiled.info.Pv_frontend.Depend.portmap mem
+      let t, memif =
+        Pv_prevv.Backend.create_full ?trace cfg
+          compiled.info.Pv_frontend.Depend.portmap mem
+      in
+      (Prevv_handle t, memif)
+
+let backend_of compiled mem dis = snd (backend_full compiled mem dis)
+
+(* Fill [m] from the engine-invariant result of a run.  Everything here is
+   identical across Scan/Event (enforced by test_sim_equiv for the stats,
+   by construction for the outcome) and across worker counts (each run owns
+   its state), which is what makes metric snapshots deterministic.  The
+   engine-dependent [run_stats.evals] is deliberately NOT a metric. *)
+let record_metrics m (r : result) (handle : backend_handle) =
+  let module M = Pv_obs.Metrics in
+  let module MS = Pv_dataflow.Memif in
+  M.add m "sim.cycles" r.cycles;
+  M.add m "sim.node_fires" (Array.fold_left ( + ) 0 r.run_stats.node_fires);
+  M.add m "sim.gen_instances" r.run_stats.gen_instances;
+  (match r.outcome with
+  | Pv_dataflow.Sim.Finished _ -> M.incr m "sim.finished"
+  | Pv_dataflow.Sim.Deadlock _ -> M.incr m "sim.deadlock"
+  | Pv_dataflow.Sim.Timeout _ -> M.incr m "sim.timeout");
+  let s = r.mem_stats in
+  M.add m "backend.loads" s.MS.loads;
+  M.add m "backend.stores" s.MS.stores;
+  M.add m "backend.squashes" s.MS.squashes;
+  M.add m "backend.replayed_ops" s.MS.replayed_ops;
+  M.add m "backend.forwarded" s.MS.forwarded;
+  M.add m "backend.fake_tokens" s.MS.fake_tokens;
+  M.add m "backend.faults" s.MS.faults;
+  M.add m "backend.degraded" s.MS.degraded;
+  M.add m "backend.stall_full" s.MS.stall_full;
+  M.add m "backend.stall_alloc" s.MS.stall_alloc;
+  M.add m "backend.stall_order" s.MS.stall_order;
+  M.add m "backend.stall_bw" s.MS.stall_bw;
+  M.set_gauge_max m "backend.pq_high_water" s.MS.max_occupancy;
+  match handle with
+  | Lsq_handle _ -> ()
+  | Prevv_handle b ->
+      let a = Pv_prevv.Backend.arbiter_stats b in
+      M.add m "arbiter.checks" a.Pv_prevv.Arbiter.checks;
+      M.add m "arbiter.violations" a.Pv_prevv.Arbiter.violations;
+      M.add m "arbiter.gate_clear" a.Pv_prevv.Arbiter.gate_clear;
+      M.add m "arbiter.gate_forward" a.Pv_prevv.Arbiter.gate_forward;
+      M.add m "arbiter.gate_wait" a.Pv_prevv.Arbiter.gate_wait
 
 let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
-    ?(init : (string * int array) list option) (compiled : compiled)
+    ?(init : (string * int array) list option)
+    ?(obs_trace = Pv_obs.Trace.null) ?metrics (compiled : compiled)
     (dis : disambiguation) : result =
   let init =
     match init with
@@ -67,9 +123,9 @@ let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
     | None -> Pv_kernels.Workload.default_init compiled.kernel
   in
   let mem = Pv_memory.Layout.initial_memory compiled.layout compiled.kernel ~init in
-  let backend = backend_of compiled mem dis in
+  let handle, backend = backend_full ~trace:obs_trace compiled mem dis in
   let outcome, run_stats =
-    Pv_dataflow.Sim.run ~cfg:sim_cfg compiled.graph backend
+    Pv_dataflow.Sim.run ~cfg:sim_cfg ~trace:obs_trace compiled.graph backend
   in
   let cycles =
     match outcome with
@@ -78,13 +134,19 @@ let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
     | Pv_dataflow.Sim.Timeout { at_cycle; _ } ->
         at_cycle
   in
-  {
-    outcome;
-    cycles;
-    mem;
-    mem_stats = backend.Pv_dataflow.Memif.stats ();
-    run_stats;
-  }
+  let result =
+    {
+      outcome;
+      cycles;
+      mem;
+      mem_stats = backend.Pv_dataflow.Memif.stats ();
+      run_stats;
+    }
+  in
+  (match metrics with
+  | Some m -> record_metrics m result handle
+  | None -> ());
+  result
 
 (** The diagnosis attached to a [Deadlock]/[Timeout] outcome, if any. *)
 let post_mortem (r : result) : Pv_dataflow.Sim.post_mortem option =

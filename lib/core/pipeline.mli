@@ -40,6 +40,23 @@ type result = {
   run_stats : Pv_dataflow.Sim.run_stats;
 }
 
+(** The live backend state behind a {!Pv_dataflow.Memif.t} — what the
+    observability layer reads its scheme-specific runtime stats from
+    ([Pv_prevv.Backend.arbiter_stats] etc.). *)
+type backend_handle =
+  | Lsq_handle of Pv_lsq.Lsq.t
+  | Prevv_handle of Pv_prevv.Backend.t
+
+(** Instantiate the chosen backend over a flat memory, returning the live
+    state alongside the interface.  [trace] is threaded to the backend's
+    instrumentation (default: the null sink). *)
+val backend_full :
+  ?trace:Pv_obs.Trace.t ->
+  compiled ->
+  int array ->
+  disambiguation ->
+  backend_handle * Pv_dataflow.Memif.t
+
 (** Instantiate the chosen backend over a flat memory. *)
 val backend_of : compiled -> int array -> disambiguation -> Pv_dataflow.Memif.t
 
@@ -47,10 +64,20 @@ val backend_of : compiled -> int array -> disambiguation -> Pv_dataflow.Memif.t
 val post_mortem : result -> Pv_dataflow.Sim.post_mortem option
 
 (** Simulate under the chosen scheme; [init] defaults to the kernel's
-    {!Pv_kernels.Workload.default_init}. *)
+    {!Pv_kernels.Workload.default_init}.
+
+    [obs_trace] (default {!Pv_obs.Trace.null}) is threaded through the
+    simulator and the backend: epoch spans, squash/validation/fake-token
+    instants, occupancy and in-flight counter tracks.  [metrics] is filled
+    post-run from the engine-invariant result (cycles, fires, backend
+    traffic, arbiter tallies — never the engine-dependent eval count), so
+    snapshots are deterministic across engines and worker counts, and
+    recording can never perturb the simulation. *)
 val simulate :
   ?sim_cfg:Pv_dataflow.Sim.config ->
   ?init:(string * int array) list ->
+  ?obs_trace:Pv_obs.Trace.t ->
+  ?metrics:Pv_obs.Metrics.t ->
   compiled ->
   disambiguation ->
   result

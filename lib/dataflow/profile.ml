@@ -86,6 +86,47 @@ let run ?(cfg = Sim.default_config) (g : Graph.t) (mem : Memif.t) : t =
   in
   { cycles; outcome; nodes; chans }
 
+(** Deterministic JSON rendering (stable field and list order), for tooling
+    and for the cross-engine profile-equality regression test. *)
+let to_json t : Pv_obs.Json.t =
+  let open Pv_obs.Json in
+  let outcome_str =
+    match t.outcome with
+    | Sim.Finished _ -> "finished"
+    | Sim.Deadlock _ -> "deadlock"
+    | Sim.Timeout _ -> "timeout"
+  in
+  Obj
+    [
+      ("cycles", Int t.cycles);
+      ("outcome", Str outcome_str);
+      ( "nodes",
+        List
+          (List.map
+             (fun n ->
+               Obj
+                 [
+                   ("id", Int n.np_id);
+                   ("label", Str n.np_label);
+                   ("fires", Int n.np_fires);
+                   ("utilisation", Float n.np_utilisation);
+                 ])
+             t.nodes) );
+      ( "chans",
+        List
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("id", Int c.cp_id);
+                   ("src", Str c.cp_src);
+                   ("dst", Str c.cp_dst);
+                   ("held", Int c.cp_held);
+                   ("pressure", Float c.cp_pressure);
+                 ])
+             t.chans) );
+    ]
+
 (** The initiation interval implied by the busiest repeating component. *)
 let initiation_interval t ~instances =
   if instances = 0 then infinity

@@ -24,8 +24,14 @@ type t = {
   chans : chan_profile list;  (** sorted by pressure, highest first *)
 }
 
-(** Run [g] against [mem] collecting the profile. *)
+(** Run [g] against [mem] collecting the profile.  Honours every field of
+    [cfg], including the engine: Scan and Event produce identical profiles
+    (fires and cycle counts are engine-invariant; regression-tested in
+    test/test_obs.ml). *)
 val run : ?cfg:Sim.config -> Graph.t -> Memif.t -> t
+
+(** Deterministic JSON rendering (stable field and list order). *)
+val to_json : t -> Pv_obs.Json.t
 
 (** The initiation interval implied by the total cycle count:
     [cycles / instances]. *)

@@ -217,6 +217,13 @@ type t = {
   mutable cycle : int;
   mutable progress : bool;  (* any movement this cycle *)
   mutable last_progress : int;
+  (* observability: [trace] is Trace.null unless a sink was passed to
+     [create]; every emit site checks [Trace.enabled] first, so a disabled
+     trace costs one branch.  [epoch_start]/[last_inflight] carry the open
+     epoch span and the last emitted in-flight sample between cycles. *)
+  trace : Pv_obs.Trace.t;
+  mutable epoch_start : int;
+  mutable last_inflight : int;
 }
 
 (* Evaluation order: consumers strictly before producers, so a full register
@@ -301,7 +308,8 @@ let wake_all t =
     wake t nid
   done
 
-let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
+let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
+    (mem : Memif.t) : t =
   Check.validate_exn g;
   let nc = Graph.n_chans g in
   let n = Graph.n_nodes g in
@@ -368,6 +376,9 @@ let create ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) : t =
       cycle = 0;
       progress = false;
       last_progress = 0;
+      trace;
+      epoch_start = 0;
+      last_inflight = -1;
     }
   in
   wake_all t;
@@ -775,7 +786,9 @@ let apply_faults t =
         let fired ?(note = "") () =
           fs.fs_fired <- Some t.cycle;
           fs.fs_note <- note;
-          any_fired := true
+          any_fired := true;
+          Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_fault ~ts:t.cycle
+            ("fault: " ^ Fault.string_of_event fs.fs_event)
         in
         match fs.fs_event.Fault.action with
         | Fault.Drop { chan } -> (
@@ -992,6 +1005,18 @@ let step t =
   if Array.length t.faults > 0 then apply_faults t;
   (match t.mem.Memif.poll_squash () with
   | Some seq_err ->
+      if Pv_obs.Trace.enabled t.trace then begin
+        (* close the epoch span and mark the squash on the sim track *)
+        Pv_obs.Trace.complete t.trace ~tid:Pv_obs.Trace.tid_sim
+          ~ts:t.epoch_start
+          ~dur:(max 1 (t.cycle - t.epoch_start))
+          ~args:[ ("epoch", t.epoch) ]
+          (Printf.sprintf "epoch %d" t.epoch);
+        Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_sim ~ts:t.cycle
+          ~args:[ ("seq_err", seq_err); ("epoch", t.epoch + 1) ]
+          "squash";
+        t.epoch_start <- t.cycle
+      end;
       purge t ~seq_err;
       (* the purge moves tokens everywhere at once; restart from a full set *)
       if t.event then wake_all t;
@@ -1049,14 +1074,59 @@ let step t =
   done;
   t.touch_len <- 0;
   t.mem.Memif.clock ();
+  if Pv_obs.Trace.enabled t.trace then begin
+    (* in-flight token counter track, sampled on change only *)
+    let inflight = ref 0 in
+    Array.iter (function Some _ -> incr inflight | None -> ()) t.cur;
+    Array.iter
+      (function
+        | S_pipe (q, _) -> inflight := !inflight + Queue.length q
+        | S_buf (q, _) -> inflight := !inflight + Queue.length q
+        | _ -> ())
+      t.states;
+    if !inflight <> t.last_inflight then begin
+      Pv_obs.Trace.counter t.trace ~tid:Pv_obs.Trace.tid_sim ~ts:t.cycle
+        "in_flight_tokens" !inflight;
+      t.last_inflight <- !inflight
+    end
+  end;
   if t.progress then t.last_progress <- t.cycle;
   t.cycle <- t.cycle + 1
 
 let finished t = gens_done t && all_empty t && t.mem.Memif.quiesced ()
 
-let run ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) :
-    outcome * run_stats =
-  let t = create ~cfg g mem in
+(* Close the observability story of a run: final epoch span, outcome
+   instant, and (for a wedged run) one stall-reason instant per blocked
+   node so the trace explains the hang the way the post-mortem does. *)
+let trace_outcome t outcome =
+  if Pv_obs.Trace.enabled t.trace then begin
+    Pv_obs.Trace.complete t.trace ~tid:Pv_obs.Trace.tid_sim ~ts:t.epoch_start
+      ~dur:(max 1 (t.cycle - t.epoch_start))
+      ~args:[ ("epoch", t.epoch) ]
+      (Printf.sprintf "epoch %d" t.epoch);
+    match outcome with
+    | Finished { cycles } ->
+        Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_sim ~ts:cycles
+          "finished"
+    | Deadlock { at_cycle; post_mortem = pm }
+    | Timeout { at_cycle; post_mortem = pm } ->
+        let what =
+          match outcome with Deadlock _ -> "deadlock" | _ -> "timeout"
+        in
+        Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_sim ~ts:at_cycle
+          ~args:[ ("last_progress", pm.pm_last_progress) ]
+          what;
+        List.iter
+          (fun (nid, label, why) ->
+            Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_sim ~ts:at_cycle
+              ~args:[ ("node", nid) ]
+              (Printf.sprintf "stall %s#%d: %s" label nid why))
+          pm.pm_stalled
+  end
+
+let run ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
+    (mem : Memif.t) : outcome * run_stats =
+  let t = create ~cfg ~trace g mem in
   let rec loop () =
     if finished t then Finished { cycles = t.cycle }
     else if t.cycle >= cfg.max_cycles then
@@ -1069,6 +1139,7 @@ let run ?(cfg = default_config) (g : Graph.t) (mem : Memif.t) :
     end
   in
   let outcome = loop () in
+  trace_outcome t outcome;
   let gen_instances =
     Array.fold_left
       (fun acc st -> match st with S_gen gs -> acc + gs.g_emitted | _ -> acc)

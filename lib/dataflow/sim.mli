@@ -159,11 +159,19 @@ type t = {
   mutable cycle : int;
   mutable progress : bool;
   mutable last_progress : int;
+  trace : Pv_obs.Trace.t;
+      (** event sink; {!Pv_obs.Trace.null} unless passed to [create] *)
+  mutable epoch_start : int;  (** cycle the open epoch span began *)
+  mutable last_inflight : int;  (** last emitted in-flight sample (-1 = none) *)
 }
 
-(** Validate the graph and build the initial state.
+(** Validate the graph and build the initial state.  [trace] (default
+    {!Pv_obs.Trace.null}) receives epoch spans, squash/fault instants and
+    an in-flight-token counter track; the null sink reduces every emit
+    site to one branch and provably leaves behaviour unchanged
+    (test/test_obs.ml).
     @raise Check.Invalid on a structurally invalid graph. *)
-val create : ?cfg:config -> Graph.t -> Memif.t -> t
+val create : ?cfg:config -> ?trace:Pv_obs.Trace.t -> Graph.t -> Memif.t -> t
 
 (** Advance one cycle: poll squashes, evaluate nodes (all of them under
     [Scan], the wake set under [Event]), commit the touched channel writes,
@@ -180,5 +188,11 @@ val post_mortem : t -> post_mortem
 (** What each planned fault did (or why it never fired). *)
 val fault_log : t -> Fault.application list
 
+(** Close the trace of a finished/wedged stepped run: final epoch span,
+    outcome instant, and one stall-reason instant per blocked node on
+    deadlock/timeout.  No-op on a disabled trace; [run] calls it itself. *)
+val trace_outcome : t -> outcome -> unit
+
 (** Run to completion (or deadlock/timeout per [cfg]). *)
-val run : ?cfg:config -> Graph.t -> Memif.t -> outcome * run_stats
+val run :
+  ?cfg:config -> ?trace:Pv_obs.Trace.t -> Graph.t -> Memif.t -> outcome * run_stats

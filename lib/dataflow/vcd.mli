@@ -3,7 +3,9 @@
     built with this library.
 
     Every channel contributes two signals (its 32-bit data value and a
-    [*_v] valid bit) and every node a fire strobe. *)
+    [*_v] valid bit) and every node a fire strobe; an [epoch] vector and a
+    one-cycle [squash] strobe mark mis-speculation squashes so GTKWave
+    timelines line up with the Chrome traces from {!Pv_obs.Trace}. *)
 
 (** Streaming recorder over an existing simulation. *)
 type t

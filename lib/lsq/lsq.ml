@@ -87,6 +87,10 @@ type t = {
      dual-port block RAM; store-to-load forwarding bypasses the RAM *)
   reads : (string, int ref) Hashtbl.t;
   writes : (string, int ref) Hashtbl.t;
+  (* observability: event sink (Trace.null unless passed to [create_full])
+     and the last emitted occupancy sample *)
+  trace : Pv_obs.Trace.t;
+  mutable last_occ : int;
 }
 
 let budget tbl array =
@@ -140,7 +144,12 @@ let occupancy t = List.length t.lq + List.length t.sq
 let note_occupancy t =
   let o = occupancy t in
   if o > t.stats.Pv_dataflow.Memif.max_occupancy then
-    t.stats.Pv_dataflow.Memif.max_occupancy <- o
+    t.stats.Pv_dataflow.Memif.max_occupancy <- o;
+  if Pv_obs.Trace.enabled t.trace && o <> t.last_occ then begin
+    Pv_obs.Trace.counter t.trace ~tid:Pv_obs.Trace.tid_queue ~ts:t.now
+      "lsq_occupancy" o;
+    t.last_occ <- o
+  end
 
 (* A load may issue when all older stores have known addresses; it forwards
    from the youngest older store with a matching address, if any. *)
@@ -236,7 +245,11 @@ let clock t =
            && can_commit t se
            && take_budget t.writes (array_of t se.s_port) ->
         (match (se.s_addr, se.s_value) with
-        | Some a, Some v -> t.mem.(a) <- v
+        | Some a, Some v ->
+            t.mem.(a) <- v;
+            Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
+              ~args:[ ("seq", se.s_seq); ("addr", a) ]
+              "lsq_commit"
         | _ -> assert false);
         t.sq <- rest;
         incr committed;
@@ -244,13 +257,14 @@ let clock t =
     | _ -> ()
   in
   commit_head ();
+  if Pv_obs.Trace.enabled t.trace then note_occupancy t;
   t.allocs_this_cycle <- 0;
   Hashtbl.iter (fun _ r -> r := 2) t.reads;
   Hashtbl.iter (fun _ r -> r := 1) t.writes;
   t.now <- t.now + 1
 
-let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
-    t * Pv_dataflow.Memif.t =
+let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
+    (mem : int array) : t * Pv_dataflow.Memif.t =
   let t =
     {
       cfg;
@@ -264,6 +278,8 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
       resp = Hashtbl.create 16;
       reads = Hashtbl.create 8;
       writes = Hashtbl.create 8;
+      trace;
+      last_occ = -1;
     }
   in
   Array.iter
@@ -328,6 +344,9 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
                       };
                     ])
           ports;
+        Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
+          ~args:[ ("seq", seq); ("loads", n_loads); ("stores", n_stores) ]
+          "lsq_alloc";
         note_occupancy t;
         true
       end
@@ -451,7 +470,10 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
             (List.length t.sq));
     } )
 
-let create cfg pm mem = snd (create_full cfg pm mem)
+let create ?trace cfg pm mem = snd (create_full ?trace cfg pm mem)
+
+(* Runtime stat accessor, symmetric with Backend.stats. *)
+let stats t = t.stats
 
 (** Debug dump of queue contents. *)
 let dump ppf t =

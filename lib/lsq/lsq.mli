@@ -41,11 +41,29 @@ val fast : config
 (** Internal state, exposed for debugging dumps. *)
 type t
 
-(** Build a backend over [mem]; returns the state alongside (for dumps). *)
+(** Build a backend over [mem]; returns the state alongside (for dumps and
+    {!stats}).  [trace] (default {!Pv_obs.Trace.null}) receives
+    allocation/commit instants on the backend track and an
+    [lsq_occupancy] counter track; the null sink makes every emit site one
+    branch and leaves behaviour unchanged. *)
 val create_full :
-  config -> Pv_memory.Portmap.t -> int array -> t * Pv_dataflow.Memif.t
+  ?trace:Pv_obs.Trace.t ->
+  config ->
+  Pv_memory.Portmap.t ->
+  int array ->
+  t * Pv_dataflow.Memif.t
 
-val create : config -> Pv_memory.Portmap.t -> int array -> Pv_dataflow.Memif.t
+val create :
+  ?trace:Pv_obs.Trace.t ->
+  config ->
+  Pv_memory.Portmap.t ->
+  int array ->
+  Pv_dataflow.Memif.t
+
+(** Live traffic tallies (loads, stores, forwarded, stall breakdown,
+    queue high-water mark) — the LSQ-side metric source, symmetric with
+    [Backend.stats]. *)
+val stats : t -> Pv_dataflow.Memif.stats
 
 (** Dump queue contents (entries with addresses/values/flags). *)
 val dump : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** A minimal JSON value type with a printer and a parser — just enough to
+    emit the observability documents (metric snapshots, Chrome traces) and
+    to validate them in tests without an external dependency.
+
+    The printer is deterministic: object members are emitted in the order
+    given, numbers with a fixed format, strings with standard escapes.  The
+    parser accepts the full JSON grammar (objects, arrays, strings with
+    escapes, numbers, booleans, null) and is used by the trace-schema
+    tests to round-trip the files this library writes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render [t] into [buf] (compact, no whitespace). *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** Compact rendering. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    Numbers without [.]/[e] land in [Int], others in [Float]. *)
+val parse : string -> (t, string) result
+
+(** {1 Accessors} (for tests and schema checks) *)
+
+(** [member name j] is the value of field [name] when [j] is an object. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -17,6 +17,20 @@ open Pv_memory.Portmap
 (** Program-order comparison: (seq, ROM position). *)
 let older (s1, p1) (s2, p2) = s1 < s2 || (s1 = s2 && p1 < p2)
 
+(** Decision tallies, updated by [store_violation]/[load_gate] when the
+    caller passes a record — the metric source for the arbiter's tracks in
+    the observability layer.  All fields are monotone counters. *)
+type stats = {
+  mutable checks : int;  (** store_violation evaluations *)
+  mutable violations : int;  (** checks that found an erring load *)
+  mutable gate_clear : int;
+  mutable gate_forward : int;
+  mutable gate_wait : int;
+}
+
+let fresh_stats () =
+  { checks = 0; violations = 0; gate_clear = 0; gate_forward = 0; gate_wait = 0 }
+
 (** Eqs. 2–5: a store [P_m] arriving at the arbiter detects an erroneous
     premature load [C_n] if some valid queue entry is younger (Eq. 2, with
     the ROM tie-break for equal iterations), of opposite type (Eq. 3), on
@@ -28,21 +42,29 @@ let older (s1, p1) (s2, p2) = s1 < s2 || (s1 = s2 && p1 < p2)
     conflict squashes even when the store rewrites the value the load
     already observed — address-only disambiguation, the behaviour PreVV's
     value check improves on. *)
-let store_violation ?(value_validation = true) q ~seq ~pos ~index ~value :
+let store_violation ?(value_validation = true) ?stats q ~seq ~pos ~index ~value :
     int option =
-  Premature_queue.fold
-    (fun worst (e : Premature_queue.entry) ->
-      if
-        e.e_kind = OLoad
-        && older (seq, pos) (e.e_seq, e.e_pos)
-        && e.e_index = index
-        && ((not value_validation) || e.e_value <> value)
-      then
-        match worst with
-        | Some w -> Some (min w e.e_seq)
-        | None -> Some e.e_seq
-      else worst)
-    None q
+  let verdict =
+    Premature_queue.fold
+      (fun worst (e : Premature_queue.entry) ->
+        if
+          e.e_kind = OLoad
+          && older (seq, pos) (e.e_seq, e.e_pos)
+          && e.e_index = index
+          && ((not value_validation) || e.e_value <> value)
+        then
+          match worst with
+          | Some w -> Some (min w e.e_seq)
+          | None -> Some e.e_seq
+        else worst)
+      None q
+  in
+  (match stats with
+  | Some s ->
+      s.checks <- s.checks + 1;
+      if verdict <> None then s.violations <- s.violations + 1
+  | None -> ());
+  verdict
 
 type load_gate =
   | Clear  (** no older store to this address is pending: read memory *)
@@ -54,7 +76,7 @@ type load_gate =
     queued, so speculating again would deterministically squash again);
     [Forward] resolves an intra-iteration store→load dependence dictated
     by the ROM order. *)
-let load_gate q ~seq ~pos ~index : load_gate =
+let load_gate ?stats q ~seq ~pos ~index : load_gate =
   (* among the qualifying stores, forwarding must take the YOUNGEST one
      still older than the load — the last write the load may observe in
      program order; queue arrival order carries no meaning here *)
@@ -74,6 +96,16 @@ let load_gate q ~seq ~pos ~index : load_gate =
         else acc)
       None q
   in
-  match best with
-  | None -> Clear
-  | Some (bs, _, v) -> if bs = seq then Forward v else Wait
+  let verdict =
+    match best with
+    | None -> Clear
+    | Some (bs, _, v) -> if bs = seq then Forward v else Wait
+  in
+  (match stats with
+  | Some s -> (
+      match verdict with
+      | Clear -> s.gate_clear <- s.gate_clear + 1
+      | Forward _ -> s.gate_forward <- s.gate_forward + 1
+      | Wait -> s.gate_wait <- s.gate_wait + 1)
+  | None -> ());
+  verdict

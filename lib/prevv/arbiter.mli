@@ -4,6 +4,19 @@
 (** Program-order comparison on (iteration, ROM position). *)
 val older : int * int -> int * int -> bool
 
+(** Decision tallies, updated by {!store_violation}/{!load_gate} when the
+    caller passes a record — the metric source for the arbiter tracks of
+    the observability layer.  All fields are monotone counters. *)
+type stats = {
+  mutable checks : int;  (** store_violation evaluations *)
+  mutable violations : int;  (** checks that found an erring load *)
+  mutable gate_clear : int;
+  mutable gate_forward : int;
+  mutable gate_wait : int;
+}
+
+val fresh_stats : unit -> stats
+
 (** Eqs. 2–5: a store [P_m] arriving at the arbiter detects an erroneous
     premature load [C_n] if some valid queue entry is younger (Eq. 2, with
     the ROM tie-break for equal iterations), of opposite type (Eq. 3), on
@@ -17,6 +30,7 @@ val older : int * int -> int * int -> bool
     value check improves on. *)
 val store_violation :
   ?value_validation:bool ->
+  ?stats:stats ->
   Premature_queue.t ->
   seq:int ->
   pos:int ->
@@ -34,4 +48,5 @@ type load_gate =
     no-speculation path (the older store is already queued, so speculating
     would deterministically squash again on replay); [Forward] resolves an
     intra-iteration store-to-load dependence dictated by the ROM order. *)
-val load_gate : Premature_queue.t -> seq:int -> pos:int -> index:int -> load_gate
+val load_gate :
+  ?stats:stats -> Premature_queue.t -> seq:int -> pos:int -> index:int -> load_gate

@@ -105,6 +105,12 @@ type t = {
   (* per-array (per-BRAM) budgets: one read and one write per cycle *)
   reads : (string, int ref) Hashtbl.t;
   writes : (string, int ref) Hashtbl.t;
+  (* observability: arbiter decision tallies, event sink (Trace.null unless
+     a sink was passed to [create_full]), last emitted counter samples *)
+  arb_stats : Arbiter.stats;
+  trace : Pv_obs.Trace.t;
+  mutable last_occ : int;
+  mutable last_frontier : int;
 }
 
 let take_budget tbl array =
@@ -158,7 +164,12 @@ let note_occupancy t =
     Array.fold_left (fun acc i -> acc + Premature_queue.occupancy i.q) 0 t.insts
   in
   if o > t.stats.Pv_dataflow.Memif.max_occupancy then
-    t.stats.Pv_dataflow.Memif.max_occupancy <- o
+    t.stats.Pv_dataflow.Memif.max_occupancy <- o;
+  if Pv_obs.Trace.enabled t.trace && o <> t.last_occ then begin
+    Pv_obs.Trace.counter t.trace ~tid:Pv_obs.Trace.tid_queue ~ts:t.now
+      "pq_occupancy" o;
+    t.last_occ <- o
+  end
 
 let raise_squash t seq_err =
   t.pending_squash <-
@@ -352,8 +363,8 @@ let advance_frontier t =
           end
   done
 
-let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
-    t * Pv_dataflow.Memif.t =
+let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
+    (mem : int array) : t * Pv_dataflow.Memif.t =
   let t =
     {
       cfg;
@@ -421,6 +432,10 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
       degraded_at = None;
       reads = Hashtbl.create 8;
       writes = Hashtbl.create 8;
+      arb_stats = Arbiter.fresh_stats ();
+      trace;
+      last_occ = -1;
+      last_frontier = -1;
     }
   in
   Array.iter
@@ -468,7 +483,7 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
         end
     | Some inst -> (
         let pos = pos_of ~inst:inst.id ~seq ~port in
-        match Arbiter.load_gate inst.q ~seq ~pos ~index:addr with
+        match Arbiter.load_gate ~stats:t.arb_stats inst.q ~seq ~pos ~index:addr with
         | Arbiter.Wait ->
             t.stats.Pv_dataflow.Memif.stall_order <-
               t.stats.Pv_dataflow.Memif.stall_order + 1;
@@ -573,8 +588,20 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
           let pos = pos_of ~inst:inst.id ~seq ~port in
           let violation =
             Arbiter.store_violation ~value_validation:t.cfg.value_validation
-              inst.q ~seq ~pos ~index:addr ~value
+              ~stats:t.arb_stats inst.q ~seq ~pos ~index:addr ~value
           in
+          if Pv_obs.Trace.enabled t.trace then begin
+            Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_arbiter ~ts:t.now
+              ~args:[ ("seq", seq); ("index", addr) ]
+              "validation";
+            match violation with
+            | Some seq_err ->
+                Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_arbiter
+                  ~ts:t.now
+                  ~args:[ ("seq", seq); ("seq_err", seq_err) ]
+                  "violation"
+            | None -> ()
+          end;
           match
             Premature_queue.push_opt inst.q ~seq ~pos ~port ~kind:Portmap.OStore
               ~index:addr ~value
@@ -603,7 +630,10 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
         if cfg.fake_tokens then begin
           mark_arrival inst ~seq ~port;
           t.stats.Pv_dataflow.Memif.fake_tokens <-
-            t.stats.Pv_dataflow.Memif.fake_tokens + 1
+            t.stats.Pv_dataflow.Memif.fake_tokens + 1;
+          Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
+            ~args:[ ("seq", seq); ("port", port) ]
+            "fake_token"
         end;
         (* without fake tokens the notification is silently dropped: the
            arbiter starves, reproducing the deadlock of Fig. 6 *)
@@ -627,8 +657,14 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
         if t.err_streak > t.cfg.squash_budget && t.degraded_at = None then begin
           t.degraded_at <- Some t.now;
           t.stats.Pv_dataflow.Memif.degraded <-
-            t.stats.Pv_dataflow.Memif.degraded + 1
+            t.stats.Pv_dataflow.Memif.degraded + 1;
+          Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
+            ~args:[ ("err", err) ]
+            "degraded"
         end;
+        Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
+          ~args:[ ("seq_err", err); ("streak", t.err_streak) ]
+          "backend_squash";
         t.strict_seq <- err;
         Array.iter
           (fun inst ->
@@ -661,6 +697,15 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
   let clock () =
     Array.iter (validate_loads t) t.insts;
     advance_frontier t;
+    if Pv_obs.Trace.enabled t.trace then begin
+      (* validated-load retirement changes occupancy without a request *)
+      note_occupancy t;
+      if t.frontier <> t.last_frontier then begin
+        Pv_obs.Trace.counter t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
+          "commit_frontier" t.frontier;
+        t.last_frontier <- t.frontier
+      end
+    end;
     Hashtbl.iter (fun _ r -> r := 2) t.reads;
     Hashtbl.iter (fun _ r -> r := 1) t.writes;
     t.now <- t.now + 1
@@ -762,8 +807,15 @@ let create_full (cfg : config) (pm : Portmap.t) (mem : int array) :
       describe;
     } )
 
-let create cfg pm mem = snd (create_full cfg pm mem)
+let create ?trace cfg pm mem = snd (create_full ?trace cfg pm mem)
 let degraded_at t = t.degraded_at
+
+(* Runtime stat accessors — the metric sources of the observability layer,
+   reachable without a post-mortem dump. *)
+let stats t = t.stats
+let arbiter_stats t = t.arb_stats
+let pq_high_water t = t.stats.Pv_dataflow.Memif.max_occupancy
+let frontier t = t.frontier
 
 (** Debug dump of the backend state. *)
 let dump ppf t =

@@ -52,13 +52,47 @@ val named : depth:int -> config
 (** Internal state, exposed for debugging dumps. *)
 type t
 
-(** Build a backend over [mem]; returns the state alongside (for dumps).
+(** Build a backend over [mem]; returns the state alongside (for dumps and
+    the stat accessors below).  [trace] (default {!Pv_obs.Trace.null})
+    receives validation/violation instants on the arbiter track,
+    fake-token/squash/degraded instants on the backend track, and
+    [pq_occupancy]/[commit_frontier] counter tracks; the null sink makes
+    every emit site one branch and leaves behaviour unchanged.
     @raise Invalid_argument when [depth_q] cannot hold one body instance
     of some disambiguation instance. *)
 val create_full :
-  config -> Pv_memory.Portmap.t -> int array -> t * Pv_dataflow.Memif.t
+  ?trace:Pv_obs.Trace.t ->
+  config ->
+  Pv_memory.Portmap.t ->
+  int array ->
+  t * Pv_dataflow.Memif.t
 
-val create : config -> Pv_memory.Portmap.t -> int array -> Pv_dataflow.Memif.t
+val create :
+  ?trace:Pv_obs.Trace.t ->
+  config ->
+  Pv_memory.Portmap.t ->
+  int array ->
+  Pv_dataflow.Memif.t
+
+(** {1 Runtime statistics}
+
+    Live accessors (readable mid-run or after), the metric sources of the
+    observability layer — no post-mortem dump needed. *)
+
+(** Backend traffic tallies: loads, stores, squashes, fake tokens,
+    forwarded loads, stall breakdown, PQ high-water mark. *)
+val stats : t -> Pv_dataflow.Memif.stats
+
+(** Arbiter decision tallies: validation checks, violations found, load
+    gate verdicts. *)
+val arbiter_stats : t -> Arbiter.stats
+
+(** Peak summed premature-queue occupancy over the run so far
+    (= [(stats t).max_occupancy]). *)
+val pq_high_water : t -> int
+
+(** Oldest not-yet-committed body instance. *)
+val frontier : t -> int
 
 (** Dump frontier, per-instance queue contents and near-frontier arrival
     status. *)
