@@ -1,4 +1,4 @@
-.PHONY: all build test verify bench bench-tables soak clean
+.PHONY: all build test verify bench bench-tables bounds soak clean
 
 # worker domains for the grid-shaped benchmarks (make bench JOBS=N);
 # clamped to the machine's core count at runtime
@@ -28,6 +28,11 @@ bench:
 # the paper's tables and figures, printed to stdout
 bench-tables:
 	dune exec bench/main.exe -- --jobs $(JOBS)
+
+# differential harness on every paper kernel: all registered backends
+# agree and oracle <= prevv <= dynamatic <= serial (non-zero on violation)
+bounds:
+	dune exec bin/prevv_cli.exe -- bounds
 
 # deeper differential-fuzz sweep (FUZZ_ITERS multiplies the qcheck counts)
 soak:

@@ -5,10 +5,15 @@
    Usage:
      dune exec bench/main.exe                        -- everything, serial
      dune exec bench/main.exe -- --jobs 4 table1     -- across 4 domains
-     dune exec bench/main.exe -- --json [PATH]       -- baselines JSON (v3)
+     dune exec bench/main.exe -- --json [PATH]       -- baselines JSON (v4)
+     dune exec bench/main.exe -- --backend prevv64 --json
      dune exec bench/main.exe -- fig1 table1 table2 fig7 queue_states
                                   deadlock depth_sweep scalability
-                                  ablation micro
+                                  ablation bounds micro
+
+   Backend names (--backend, engine baselines of --json) are parsed by
+   the scheme registry (Pv_core.Scheme.of_string), the same parser the
+   CLI's --backend flag uses.
 
    Grid-shaped sections fan their (kernel, scheme) cells across --jobs
    worker domains (Pv_core.Parallel); workers only compute, all printing
@@ -418,6 +423,18 @@ let ablation ~jobs () =
     bal_rows
 
 (* ------------------------------------------------------------------ *)
+(* Bound chain: differential harness across every registered scheme    *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_section () =
+  header
+    "Bound chain — oracle <= prevv <= dynamatic <= serial (differential \
+     harness over every registered backend)";
+  List.iter
+    (fun k -> Format.printf "%a@." Differential.pp (Differential.run k))
+    (Pv_kernels.Defs.paper_benchmarks ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -468,15 +485,17 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 (* Per-kernel cycles, wall-clock time and node evaluations for both
-   simulator engines under PreVV16, the serial-vs-parallel wall clock of
+   simulator engines under the selected backend (default PreVV16), the
+   bound-chain curves of the differential harness (oracle / serial
+   bracketing every ranked scheme), the serial-vs-parallel wall clock of
    the full Table I/II grid with the result-cache statistics, and each
    grid cell's metric snapshot (Pv_obs.Metrics — cycles, fires, backend
    traffic, arbiter tallies), as a stable JSON document the CI archives
-   (schema prevv-bench-sim/v3). *)
+   (schema prevv-bench-sim/v4). *)
 
-let bench_json ~path ~jobs ~cache () =
+let bench_json ~path ~jobs ~cache ~backend () =
   let module Sim = Pv_dataflow.Sim in
-  let dis = Pipeline.prevv 16 in
+  let dis = backend in
   let reps = 3 in
   let measure compiled engine =
     (* best-of-N on the monotonic wall clock to shed allocator/GC noise;
@@ -493,13 +512,16 @@ let bench_json ~path ~jobs ~cache () =
     done;
     (Option.get !result, !best)
   in
-  header "engine baselines (scan vs event, PreVV16)";
+  header
+    (Printf.sprintf "engine baselines (scan vs event, %s)"
+       (Pv_core.Scheme.to_string dis));
   Printf.printf "%-14s | %10s %10s %9s | %10s %10s %9s | %6s %5s\n" "kernel"
     "scan ev" "ev/cyc" "time(s)" "event ev" "ev/cyc" "time(s)" "ratio" "equiv";
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v3\",\n";
-  Buffer.add_string buf "  \"backend\": \"prevv16\",\n";
+  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v4\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"backend\": %S,\n" (Pv_core.Scheme.to_string dis));
   Buffer.add_string buf
     (Printf.sprintf "  \"default_engine\": %S,\n"
        (Sim.string_of_engine Sim.default_config.Sim.engine));
@@ -557,6 +579,38 @@ let bench_json ~path ~jobs ~cache () =
   Buffer.add_string buf
     (Printf.sprintf "  \"geomean_event_time_ratio\": %.4f,\n"
        (Experiment.geomean !time_ratios));
+  (* bound curves: every registered scheme on every paper kernel, with the
+     differential harness's agreement and ordering verdicts — the data
+     behind the oracle/serial bracketing of Table II *)
+  header "bound chain (oracle <= prevv <= dynamatic <= serial)";
+  let reports =
+    List.map (fun k -> Differential.run k) (Pv_kernels.Defs.paper_benchmarks ())
+  in
+  List.iter (fun r -> Format.printf "%a@." Differential.pp r) reports;
+  let n_reports = List.length reports in
+  Buffer.add_string buf "  \"bounds\": [\n";
+  List.iteri
+    (fun i (r : Differential.report) ->
+      let schemes =
+        String.concat ", "
+          (List.map
+             (fun (row : Differential.row) ->
+               Printf.sprintf
+                 "{ \"scheme\": %S, \"cycles\": %d, \"finished\": %b, \
+                  \"verified\": %b }"
+                 row.Differential.scheme row.Differential.cycles
+                 row.Differential.finished row.Differential.verified)
+             r.Differential.rows)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"kernel\": %S, \"agree\": %b, \"ordering_ok\": %b, \
+            \"schemes\": [ %s ] }%s\n"
+           r.Differential.kernel r.Differential.agree
+           r.Differential.ordering_ok schemes
+           (if i = n_reports - 1 then "" else ",")))
+    reports;
+  Buffer.add_string buf "  ],\n";
   (* the full Table I/II grid: serial vs parallel wall clock (both
      cache-cold so the comparison is compute vs compute), then a cached
      pass whose hit count a second invocation raises to the full grid *)
@@ -633,8 +687,8 @@ let bench_json ~path ~jobs ~cache () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs N] [--cache|--no-cache] [--json [PATH]] \
-     [SECTION...]";
+    "usage: main.exe [--jobs N] [--cache|--no-cache] [--backend NAME] \
+     [--json [PATH]] [SECTION...]";
   exit 2
 
 let () =
@@ -645,6 +699,7 @@ let () =
   let jobs = ref 1 in
   let json = ref None in
   let cache_flag = ref None in
+  let backend = ref (Pipeline.prevv 16) in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
@@ -655,6 +710,16 @@ let () =
             parse rest
         | _ -> usage ())
     | [ "--jobs" ] -> usage ()
+    | "--backend" :: b :: rest -> (
+        (* one parser with the CLI: the scheme registry *)
+        match Pv_core.Scheme.of_string b with
+        | Ok d ->
+            backend := d;
+            parse rest
+        | Error e ->
+            prerr_endline e;
+            usage ())
+    | [ "--backend" ] -> usage ()
     | "--cache" :: rest ->
         cache_flag := Some true;
         parse rest
@@ -688,7 +753,7 @@ let () =
     else None
   in
   match !json with
-  | Some path -> bench_json ~path ~jobs ~cache ()
+  | Some path -> bench_json ~path ~jobs ~cache ~backend:!backend ()
   | None ->
       let requested =
         match List.rev !sections with
@@ -696,7 +761,7 @@ let () =
         | [] ->
             [
               "fig1"; "table1"; "table2"; "fig7"; "queue_states"; "deadlock";
-              "depth_sweep"; "scalability"; "ablation"; "micro";
+              "depth_sweep"; "scalability"; "ablation"; "bounds"; "micro";
             ]
       in
       (* one shared grid for the grid-based sections, computed across the
@@ -714,6 +779,7 @@ let () =
           | "depth_sweep" -> depth_sweep ~jobs ~cache ()
           | "scalability" -> scalability ()
           | "ablation" -> ablation ~jobs ()
+          | "bounds" -> bounds_section ()
           | "micro" -> micro ()
           | s -> Printf.eprintf "unknown section %S\n" s)
         requested

@@ -2,12 +2,14 @@
 
    Subcommands:
      list                      kernels available
+     backends                  registered disambiguation backends
      show KERNEL               print a kernel and its dependence analysis
-     run KERNEL [-s SCHEME]    simulate and verify
+     run KERNEL [-b BACKEND]   simulate and verify
+     bounds [KERNEL...]        differential harness: agreement + bound chain
      trace KERNEL [-o FILE]    simulate recording a Chrome trace (Perfetto)
      report KERNEL             area/timing across all schemes
      sweep [KERNEL...] [-j N]  domain-parallel kernel x scheme grid
-     emit KERNEL [-s SCHEME]   write the structural netlist
+     emit KERNEL [-b BACKEND]  write the structural netlist
      dot KERNEL                write the dataflow graph (Graphviz) *)
 
 open Cmdliner
@@ -36,31 +38,31 @@ let kernel_arg =
   let doc = "Kernel name (see `prevv list')." in
   Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL" ~doc)
 
-let scheme_arg =
+(* one parser for backend names, shared with bench/main.ml: the registry *)
+let backend_conv =
+  Arg.conv
+    ( (fun s ->
+        match Scheme.of_string s with
+        | Ok d -> Ok d
+        | Error e -> Error (`Msg e)),
+      fun ppf d -> Format.pp_print_string ppf (Scheme.to_string d) )
+
+let backend_arg =
   let doc =
-    "Disambiguation scheme: dynamatic (plain LSQ [15]), fast-lsq ([8]), or \
-     prevv (this paper)."
+    "Disambiguation backend, by registry name (see `prevv backends'): \
+     $(b,dynamatic), $(b,fast-lsq), $(b,prevv<DEPTH>), $(b,oracle), \
+     $(b,serial)."
   in
   Arg.(
     value
-    & opt (enum [ ("dynamatic", `Plain); ("fast-lsq", `Fast); ("prevv", `Prevv) ]) `Prevv
-    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
-
-let depth_arg =
-  let doc = "Premature-queue depth for the prevv scheme (paper units)." in
-  Arg.(value & opt int 16 & info [ "d"; "depth" ] ~docv:"DEPTH" ~doc)
+    & opt backend_conv (Pipeline.prevv 16)
+    & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc)
 
 let cse_arg =
   Arg.(value & flag & info [ "cse" ] ~doc:"Deduplicate repeated loads per leaf.")
 
 let fold_arg =
   Arg.(value & flag & info [ "fold" ] ~doc:"Constant-fold the kernel first.")
-
-let dis_of scheme depth =
-  match scheme with
-  | `Plain -> Pipeline.plain_lsq
-  | `Fast -> Pipeline.fast_lsq
-  | `Prevv -> Pipeline.prevv depth
 
 (* --- list ----------------------------------------------------------------- *)
 
@@ -78,6 +80,84 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the bundled kernels.")
     Term.(const run $ const ())
+
+(* --- backends -------------------------------------------------------------- *)
+
+let backends_cmd =
+  let md_arg =
+    Arg.(
+      value & flag
+      & info [ "md" ]
+          ~doc:"Emit a Markdown table (the README's backend table).")
+  in
+  let run md =
+    let schemes = Scheme.all () in
+    if md then begin
+      print_endline "| backend | description |";
+      print_endline "|---|---|";
+      List.iter
+        (fun (module M : Scheme.S) ->
+          Printf.printf "| `%s` | %s |\n" M.name M.description)
+        schemes
+    end
+    else begin
+      List.iter
+        (fun (module M : Scheme.S) ->
+          Printf.printf "%-10s %s\n" M.name M.description)
+        schemes;
+      Printf.printf
+        "\nfamilies: %s\n"
+        (String.concat ", "
+           (List.map (fun f -> f.Scheme.f_name) (Scheme.families ())))
+    end
+  in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:
+         "List the registered disambiguation backends (the names accepted \
+          by $(b,--backend)).")
+    Term.(const run $ md_arg)
+
+(* --- bounds ----------------------------------------------------------------- *)
+
+let bounds_cmd =
+  let kernels_arg =
+    let doc =
+      "Kernels to check (default: the paper's five benchmarks)."
+    in
+    Arg.(value & pos_all kernel_conv [] & info [] ~docv:"KERNEL" ~doc)
+  in
+  let run kernels =
+    let kernels =
+      match kernels with
+      | [] -> Pv_kernels.Defs.paper_benchmarks ()
+      | ks -> ks
+    in
+    let reports = List.map (fun k -> Differential.run k) kernels in
+    List.iter (fun r -> Format.printf "%a@." Differential.pp r) reports;
+    let bad = List.filter (fun r -> not (Differential.ok r)) reports in
+    if bad = [] then begin
+      Format.printf
+        "bound chain oracle <= prevv <= dynamatic <= serial holds on %d \
+         kernel(s)@."
+        (List.length reports);
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "differential harness failed on: %s"
+            (String.concat ", "
+               (List.map (fun r -> r.Differential.kernel) bad)) )
+  in
+  Cmd.v
+    (Cmd.info "bounds"
+       ~doc:
+         "Differential harness: run every registered backend on each \
+          kernel, require agreement on outcome and final memory, and check \
+          the cycle bound chain oracle <= prevv <= dynamatic <= serial.  \
+          Non-zero exit on any violation.")
+    Term.(ret (const run $ kernels_arg))
 
 (* --- show ----------------------------------------------------------------- *)
 
@@ -162,11 +242,10 @@ let print_metrics m =
   print_endline (Pv_obs.Json.to_string (Pv_obs.Metrics.to_json m))
 
 let run_cmd =
-  let run kernel scheme depth cse fold inject fault_seed engine metrics =
+  let run kernel dis cse fold inject fault_seed engine metrics =
     let kernel =
       if fold then Pv_frontend.Optimize.constant_fold kernel else kernel
     in
-    let dis = dis_of scheme depth in
     let options = { Pv_frontend.Build.default_options with Pv_frontend.Build.cse } in
     let m = if metrics then Some (Pv_obs.Metrics.create ()) else None in
     match
@@ -213,7 +292,7 @@ let run_cmd =
           injection.")
     Term.(
       ret
-        (const run $ kernel_arg $ scheme_arg $ depth_arg $ cse_arg $ fold_arg
+        (const run $ kernel_arg $ backend_arg $ cse_arg $ fold_arg
         $ inject_arg $ fault_seed_arg $ engine_arg $ metrics_arg))
 
 (* --- trace ----------------------------------------------------------------- *)
@@ -232,8 +311,7 @@ let trace_cmd =
       & opt (some int) None
       & info [ "max-cycles" ] ~docv:"N" ~doc:"Simulation cycle budget.")
   in
-  let run kernel scheme depth engine inject fault_seed max_cycles out metrics =
-    let dis = dis_of scheme depth in
+  let run kernel dis engine inject fault_seed max_cycles out metrics =
     let compiled = Pipeline.compile kernel in
     let faults = fault_plan compiled inject fault_seed in
     if faults <> [] then
@@ -272,7 +350,7 @@ let trace_cmd =
           Perfetto (ui.perfetto.dev) or chrome://tracing; timestamps are \
           cycles (1 cycle = 1 us).")
     Term.(
-      const run $ kernel_arg $ scheme_arg $ depth_arg $ engine_arg
+      const run $ kernel_arg $ backend_arg $ engine_arg
       $ inject_arg $ fault_seed_arg $ max_cycles_arg $ output_arg
       $ metrics_arg)
 
@@ -333,11 +411,17 @@ let sweep_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the points as a JSON array on stdout.")
   in
-  let depths_arg =
-    let doc = "PreVV premature-queue depths to include (paper units)." in
-    Arg.(value & opt (list int) [ 16; 64 ] & info [ "depths" ] ~docv:"D,.." ~doc)
+  let backends_arg =
+    let doc =
+      "Backends to include, by registry name (default: the paper's four \
+       configurations)."
+    in
+    Arg.(
+      value
+      & opt (list backend_conv) (Experiment.paper_configs ())
+      & info [ "backends" ] ~docv:"NAME,.." ~doc)
   in
-  let run kernels jobs no_cache json depths metrics =
+  let run kernels jobs no_cache json schemes metrics =
     let kernels =
       match kernels with
       | [] -> Pv_kernels.Defs.paper_benchmarks ()
@@ -347,10 +431,6 @@ let sweep_cmd =
     let cache =
       if no_cache then None
       else Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()))
-    in
-    let schemes =
-      [ Pipeline.plain_lsq; Pipeline.fast_lsq ]
-      @ List.map (fun d -> Pipeline.prevv d) depths
     in
     let cells =
       List.concat_map (fun k -> List.map (fun d -> (k, d)) schemes) kernels
@@ -417,7 +497,7 @@ let sweep_cmd =
           on stderr.")
     Term.(
       const run $ kernels_arg $ jobs_arg $ no_cache_arg $ json_arg
-      $ depths_arg $ metrics_arg)
+      $ backends_arg $ metrics_arg)
 
 (* --- emit ------------------------------------------------------------------ *)
 
@@ -425,16 +505,15 @@ let emit_cmd =
   let output_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
   in
-  let run kernel scheme depth output =
+  let run kernel dis output =
     let compiled = Pipeline.compile kernel in
-    let dis = Experiment.elaboration_of (dis_of scheme depth) in
     let nl =
       Pv_netlist.Elaborate.circuit compiled.Pipeline.graph
-        compiled.Pipeline.info.Pv_frontend.Depend.portmap dis
+        compiled.Pipeline.info.Pv_frontend.Depend.portmap
+        (Experiment.elaboration_of dis)
     in
     let entity =
-      Printf.sprintf "%s_%s" kernel.Pv_kernels.Ast.name
-        (Pipeline.name_of (dis_of scheme depth))
+      Printf.sprintf "%s_%s" kernel.Pv_kernels.Ast.name (Pipeline.name_of dis)
     in
     let path = match output with Some p -> p | None -> entity ^ ".vhd" in
     Pv_netlist.Emit.to_file path ~entity nl;
@@ -443,7 +522,7 @@ let emit_cmd =
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Write the structural netlist (VHDL-flavoured).")
-    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ output_arg)
+    Term.(const run $ kernel_arg $ backend_arg $ output_arg)
 
 (* --- dot ------------------------------------------------------------------- *)
 
@@ -473,13 +552,13 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Emit the profile as a JSON object instead of text.")
   in
-  let run kernel scheme depth engine json =
+  let run kernel dis engine json =
     let compiled = Pipeline.compile kernel in
     let init = Pv_kernels.Workload.default_init kernel in
     let mem =
       Pv_memory.Layout.initial_memory compiled.Pipeline.layout kernel ~init
     in
-    let backend = Pipeline.backend_of compiled mem (dis_of scheme depth) in
+    let backend = Pipeline.backend_of compiled mem dis in
     let cfg = { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.engine } in
     let p = Pv_dataflow.Profile.run ~cfg compiled.Pipeline.graph backend in
     if json then
@@ -494,7 +573,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Simulate and report per-component utilisation and backpressure.")
-    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ engine_arg $ json_arg)
+    Term.(const run $ kernel_arg $ backend_arg $ engine_arg $ json_arg)
 
 (* --- vcd --------------------------------------------------------------------- *)
 
@@ -505,13 +584,13 @@ let vcd_cmd =
   let max_cycles_arg =
     Arg.(value & opt int 5000 & info [ "max-cycles" ] ~docv:"N")
   in
-  let run kernel scheme depth engine output max_cycles =
+  let run kernel dis engine output max_cycles =
     let compiled = Pipeline.compile kernel in
     let init = Pv_kernels.Workload.default_init kernel in
     let mem =
       Pv_memory.Layout.initial_memory compiled.Pipeline.layout kernel ~init
     in
-    let backend = Pipeline.backend_of compiled mem (dis_of scheme depth) in
+    let backend = Pipeline.backend_of compiled mem dis in
     let path =
       match output with Some p -> p | None -> kernel.Pv_kernels.Ast.name ^ ".vcd"
     in
@@ -526,7 +605,7 @@ let vcd_cmd =
     (Cmd.info "vcd"
        ~doc:"Simulate while writing a VCD waveform (view with GTKWave).")
     Term.(
-      const run $ kernel_arg $ scheme_arg $ depth_arg $ engine_arg
+      const run $ kernel_arg $ backend_arg $ engine_arg
       $ output_arg $ max_cycles_arg)
 
 (* --- area breakdown ----------------------------------------------------------- *)
@@ -536,12 +615,12 @@ let area_cmd =
     Arg.(value & opt int 2 & info [ "levels" ] ~docv:"N"
            ~doc:"Hierarchy depth of the breakdown.")
   in
-  let run kernel scheme depth levels =
+  let run kernel dis levels =
     let compiled = Pipeline.compile kernel in
     let nl =
       Pv_netlist.Elaborate.circuit compiled.Pipeline.graph
         compiled.Pipeline.info.Pv_frontend.Depend.portmap
-        (Experiment.elaboration_of (dis_of scheme depth))
+        (Experiment.elaboration_of dis)
     in
     Printf.printf "%-32s %10s %10s
 " "hierarchy" "LUT" "FF";
@@ -559,7 +638,7 @@ let area_cmd =
   in
   Cmd.v
     (Cmd.info "area" ~doc:"Hierarchical area breakdown of the netlist.")
-    Term.(const run $ kernel_arg $ scheme_arg $ depth_arg $ depth_lvl_arg)
+    Term.(const run $ kernel_arg $ backend_arg $ depth_lvl_arg)
 
 (* --- utilisation -------------------------------------------------------------- *)
 
@@ -590,6 +669,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "prevv" ~version:"1.0.0" ~doc)
           [
-            list_cmd; show_cmd; run_cmd; trace_cmd; report_cmd; sweep_cmd;
-            emit_cmd; dot_cmd; profile_cmd; vcd_cmd; util_cmd; area_cmd;
+            list_cmd; backends_cmd; show_cmd; run_cmd; bounds_cmd; trace_cmd;
+            report_cmd; sweep_cmd; emit_cmd; dot_cmd; profile_cmd; vcd_cmd;
+            util_cmd; area_cmd;
           ]))

@@ -1,8 +1,9 @@
 let () =
   let open Pv_core in
   let kernels = Pv_kernels.Defs.all () in
+  (* every registered scheme, bound backends included *)
   let configs =
-    [ Pipeline.plain_lsq; Pipeline.fast_lsq; Pipeline.prevv 16; Pipeline.prevv 64 ]
+    List.map (fun (module M : Scheme.S) -> M.config) (Scheme.all ())
   in
   List.iter
     (fun k ->

@@ -1,0 +1,246 @@
+open Pv_dataflow
+open Pv_memory
+module Trace = Pv_obs.Trace
+
+type config = { mem_latency : int; forward_latency : int }
+
+let default = { mem_latency = 2; forward_latency = 1 }
+
+(* A load waiting for a true conflicting store, identified by the store's
+   (port, seq).  Its response slot is already enqueued on the load port so
+   per-port delivery order is preserved. *)
+type waiter = {
+  w_store : int * int;
+  w_value : int;
+  w_addr : int;
+  w_slot : (int * int) option ref;  (* (ready_at, value) *)
+}
+
+type t = {
+  cfg : config;
+  pm : Portmap.t;
+  mem : int array;
+  stats : Memif.stats;
+  prescience : Prescience.t Lazy.t;
+  trace : Trace.t;
+  (* visible memory = youngest arrived store per address; the owner is the
+     (seq, port) program-order key of the store currently backing mem *)
+  vis_owner : (int, int * int) Hashtbl.t;
+  arrived : (int * int, unit) Hashtbl.t;  (* (port, seq) of arrived stores *)
+  resp : (int, (int * (int * int) option ref) Queue.t) Hashtbl.t;
+  mutable waiting : waiter list;
+  mutable broken : bool;
+  mutable now : int;
+  mutable outstanding : int;
+  mutable n_waits : int;
+  mutable n_coincidences : int;
+  mutable n_forwards : int;
+}
+
+let waits t = t.n_waits
+let coincidences t = t.n_coincidences
+let forwards t = t.n_forwards
+let degraded t = t.broken
+let in_bounds t addr = addr >= 0 && addr < Array.length t.mem
+let read_vis t addr = if in_bounds t addr then t.mem.(addr) else 0
+
+let write_vis t ~port ~seq ~addr ~value =
+  if in_bounds t addr then begin
+    let owner =
+      Option.value ~default:(-1, -1) (Hashtbl.find_opt t.vis_owner addr)
+    in
+    if compare (seq, port) owner > 0 then begin
+      t.mem.(addr) <- value;
+      Hashtbl.replace t.vis_owner addr (seq, port)
+    end
+  end
+
+let queue_of t port =
+  match Hashtbl.find_opt t.resp port with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.resp port q;
+      q
+
+let open_slot t ~port ~seq =
+  let slot = ref None in
+  Queue.add (seq, slot) (queue_of t port);
+  t.outstanding <- t.outstanding + 1;
+  if t.outstanding > t.stats.max_occupancy then
+    t.stats.max_occupancy <- t.outstanding;
+  slot
+
+let respond t ~port ~seq ~ready_at ~value =
+  let slot = open_slot t ~port ~seq in
+  slot := Some (ready_at, value)
+
+let degrade t =
+  if not t.broken then begin
+    t.broken <- true;
+    t.stats.degraded <- t.stats.degraded + 1;
+    Trace.instant t.trace ~tid:Trace.tid_backend ~ts:t.now "oracle_degraded";
+    List.iter
+      (fun w ->
+        w.w_slot := Some (t.now + t.cfg.mem_latency, read_vis t w.w_addr))
+      t.waiting;
+    t.waiting <- []
+  end
+
+let release_waiters t key =
+  let rel, keep = List.partition (fun w -> w.w_store = key) t.waiting in
+  List.iter
+    (fun w -> w.w_slot := Some (t.now + t.cfg.forward_latency, w.w_value))
+    rel;
+  t.waiting <- keep
+
+let serve_ambiguous_load t ~port ~seq ~addr =
+  let fallback () =
+    respond t ~port ~seq ~ready_at:(t.now + t.cfg.mem_latency)
+      ~value:(read_vis t addr)
+  in
+  if t.broken then fallback ()
+  else
+    let presc = Lazy.force t.prescience in
+    if not (Prescience.complete presc) then begin
+      degrade t;
+      fallback ()
+    end
+    else
+      match Prescience.load_value presc ~port ~seq ~addr with
+      | None ->
+          (* address diverged from the recording (fault-corrupted) *)
+          degrade t;
+          fallback ()
+      | Some v_correct -> (
+          match Prescience.youngest_older_store presc ~addr ~seq ~port with
+          | None ->
+              respond t ~port ~seq ~ready_at:(t.now + t.cfg.mem_latency)
+                ~value:v_correct
+          | Some st ->
+              if Hashtbl.mem t.arrived (st.Prescience.st_port, st.st_seq) then begin
+                t.n_forwards <- t.n_forwards + 1;
+                t.stats.forwarded <- t.stats.forwarded + 1;
+                respond t ~port ~seq ~ready_at:(t.now + t.cfg.forward_latency)
+                  ~value:v_correct
+              end
+              else if read_vis t addr = v_correct then begin
+                (* value coincidence: PreVV would speculate and survive
+                   validation (Eq. 5), so the lower bound must not wait *)
+                t.n_coincidences <- t.n_coincidences + 1;
+                respond t ~port ~seq ~ready_at:(t.now + t.cfg.mem_latency)
+                  ~value:v_correct
+              end
+              else begin
+                t.n_waits <- t.n_waits + 1;
+                t.stats.stall_order <- t.stats.stall_order + 1;
+                Trace.instant t.trace ~tid:Trace.tid_backend ~ts:t.now
+                  "oracle_wait"
+                  ~args:
+                    [ ("port", port); ("seq", seq); ("store_seq", st.st_seq) ];
+                let slot = open_slot t ~port ~seq in
+                t.waiting <-
+                  {
+                    w_store = (st.st_port, st.st_seq);
+                    w_value = v_correct;
+                    w_addr = addr;
+                    w_slot = slot;
+                  }
+                  :: t.waiting
+              end)
+
+let create_full ?(trace = Trace.null) cfg pm mem ~prescience =
+  let t =
+    {
+      cfg;
+      pm;
+      mem;
+      stats = Memif.fresh_stats ();
+      prescience;
+      trace;
+      vis_owner = Hashtbl.create 64;
+      arrived = Hashtbl.create 256;
+      resp = Hashtbl.create 16;
+      waiting = [];
+      broken = false;
+      now = 0;
+      outstanding = 0;
+      n_waits = 0;
+      n_coincidences = 0;
+      n_forwards = 0;
+    }
+  in
+  let ambiguous port = Portmap.is_ambiguous pm port in
+  let mif =
+    {
+      Memif.begin_instance = (fun ~seq:_ ~group:_ -> true);
+      alloc_group = (fun ~seq:_ ~group:_ -> true);
+      load_req =
+        (fun ~port ~seq ~addr ->
+          t.stats.loads <- t.stats.loads + 1;
+          if ambiguous port then serve_ambiguous_load t ~port ~seq ~addr
+          else
+            respond t ~port ~seq ~ready_at:(t.now + cfg.mem_latency)
+              ~value:(read_vis t addr);
+          true);
+      load_poll =
+        (fun ~port ->
+          match Hashtbl.find_opt t.resp port with
+          | None -> None
+          | Some q -> (
+              if Queue.is_empty q then None
+              else
+                let seq, slot = Queue.peek q in
+                match !slot with
+                | Some (ready_at, value) when ready_at <= t.now ->
+                    ignore (Queue.pop q);
+                    t.outstanding <- t.outstanding - 1;
+                    Some (seq, value)
+                | _ -> None));
+      store_req =
+        (fun ~port ~seq ~addr ~value ->
+          t.stats.stores <- t.stats.stores + 1;
+          if ambiguous port && not t.broken then begin
+            let presc = Lazy.force t.prescience in
+            match Prescience.store_payload presc ~port ~seq with
+            | Some (a, v) when a = addr && v = value -> ()
+            | _ -> degrade t
+          end;
+          Hashtbl.replace t.arrived (port, seq) ();
+          write_vis t ~port ~seq ~addr ~value;
+          release_waiters t (port, seq);
+          true);
+      store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
+      op_skip =
+        (fun ~port ~seq ->
+          t.stats.fake_tokens <- t.stats.fake_tokens + 1;
+          if ambiguous port && not t.broken then begin
+            let presc = Lazy.force t.prescience in
+            (* a store the recording expected will never arrive: anyone
+               waiting on it would hang, so fall back *)
+            if Prescience.store_payload presc ~port ~seq <> None then degrade t
+          end;
+          true);
+      poll_squash = (fun () -> None);
+      clock = (fun () -> t.now <- t.now + 1);
+      quiesced = (fun () -> t.outstanding = 0 && t.waiting = []);
+      stats = (fun () -> t.stats);
+      inject = (fun _ -> false);
+      describe =
+        (fun () ->
+          let waiting =
+            List.map
+              (fun w ->
+                let sp, ss = w.w_store in
+                Printf.sprintf "store(port=%d,seq=%d)" sp ss)
+              t.waiting
+          in
+          Printf.sprintf
+            "oracle: now=%d outstanding=%d waiting=[%s] degraded=%b waits=%d \
+             coincidences=%d forwards=%d"
+            t.now t.outstanding
+            (String.concat "; " waiting)
+            t.broken t.n_waits t.n_coincidences t.n_forwards);
+    }
+  in
+  (t, mif)

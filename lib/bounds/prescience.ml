@@ -1,0 +1,130 @@
+open Pv_dataflow
+open Pv_memory
+
+type store_rec = { st_seq : int; st_port : int; st_value : int }
+
+type t = {
+  n_ops : int;
+  complete : bool;
+  loads : (int * int, int * int) Hashtbl.t;  (* (port,seq) -> (addr,value) *)
+  stores : (int * int, int * int) Hashtbl.t;  (* (port,seq) -> (addr,value) *)
+  skips : (int * int, unit) Hashtbl.t;
+  by_addr : (int, store_rec array) Hashtbl.t;  (* ascending (seq,port) *)
+}
+
+let n_ops t = t.n_ops
+let complete t = t.complete
+
+type recorder = {
+  pm : Portmap.t;
+  load_addr : (int * int, int) Hashtbl.t;
+  loadv : (int * int, int * int) Hashtbl.t;
+  storev : (int * int, int * int) Hashtbl.t;
+  skipt : (int * int, unit) Hashtbl.t;
+  mutable ops : int;
+}
+
+let wrap pm (inner : Memif.t) =
+  let r =
+    {
+      pm;
+      load_addr = Hashtbl.create 256;
+      loadv = Hashtbl.create 256;
+      storev = Hashtbl.create 256;
+      skipt = Hashtbl.create 16;
+      ops = 0;
+    }
+  in
+  let mif =
+    {
+      inner with
+      Memif.load_req =
+        (fun ~port ~seq ~addr ->
+          let ok = inner.Memif.load_req ~port ~seq ~addr in
+          if ok then begin
+            Hashtbl.replace r.load_addr (port, seq) addr;
+            r.ops <- r.ops + 1
+          end;
+          ok);
+      load_poll =
+        (fun ~port ->
+          match inner.Memif.load_poll ~port with
+          | Some (seq, v) as res ->
+              (match Hashtbl.find_opt r.load_addr (port, seq) with
+              | Some a -> Hashtbl.replace r.loadv (port, seq) (a, v)
+              | None -> ());
+              res
+          | None -> None);
+      store_req =
+        (fun ~port ~seq ~addr ~value ->
+          let ok = inner.Memif.store_req ~port ~seq ~addr ~value in
+          if ok then begin
+            Hashtbl.replace r.storev (port, seq) (addr, value);
+            r.ops <- r.ops + 1
+          end;
+          ok);
+      op_skip =
+        (fun ~port ~seq ->
+          let ok = inner.Memif.op_skip ~port ~seq in
+          if ok then Hashtbl.replace r.skipt (port, seq) ();
+          ok);
+    }
+  in
+  (r, mif)
+
+let finish ~complete r =
+  let tmp : (int, store_rec list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (port, seq) (addr, value) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tmp addr) in
+      Hashtbl.replace tmp addr
+        ({ st_seq = seq; st_port = port; st_value = value } :: prev))
+    r.storev;
+  let by_addr = Hashtbl.create (max 16 (Hashtbl.length tmp)) in
+  Hashtbl.iter
+    (fun addr l ->
+      let a = Array.of_list l in
+      Array.sort
+        (fun x y -> compare (x.st_seq, x.st_port) (y.st_seq, y.st_port))
+        a;
+      Hashtbl.replace by_addr addr a)
+    tmp;
+  {
+    n_ops = r.ops;
+    complete;
+    loads = r.loadv;
+    stores = r.storev;
+    skips = r.skipt;
+    by_addr;
+  }
+
+let load_value t ~port ~seq ~addr =
+  match Hashtbl.find_opt t.loads (port, seq) with
+  | Some (a, v) when a = addr -> Some v
+  | _ -> None
+
+let store_payload t ~port ~seq = Hashtbl.find_opt t.stores (port, seq)
+let skipped t ~port ~seq = Hashtbl.mem t.skips (port, seq)
+
+let youngest_older_store t ~addr ~seq ~port =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> None
+  | Some a ->
+      (* rightmost store with (st_seq, st_port) < (seq, port) *)
+      let key = (seq, port) in
+      let lo = ref 0 and hi = ref (Array.length a) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if compare (a.(mid).st_seq, a.(mid).st_port) key < 0 then lo := mid + 1
+        else hi := mid
+      done;
+      if !lo = 0 then None else Some a.(!lo - 1)
+
+let is_final_store t ~addr ~seq ~port =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> false
+  | Some a ->
+      Array.length a > 0
+      &&
+      let last = a.(Array.length a - 1) in
+      last.st_seq = seq && last.st_port = port

@@ -1,0 +1,60 @@
+(** Recorded knowledge of a kernel's dynamic memory behaviour, captured
+    from a fault-free reference run — the "perfect disambiguator" that the
+    {!Oracle} backend consults.
+
+    A {!recorder} wraps any correct {!Pv_dataflow.Memif.t} (the fast LSQ
+    in practice) and logs every accepted operation: load addresses and the
+    values they returned, store payloads, and skip notifications.
+    {!finish} indexes the log into the queries an oracle needs: the
+    correct value of each load, the youngest program-order-older store to
+    an address, and whether a store is the final writer of its address.
+
+    Program order of dynamic ops is the pair [(seq, port)]: instances
+    execute in seq order and port ids are assigned in program order, so
+    the port id is the in-instance tie-break. *)
+
+type store_rec = {
+  st_seq : int;  (** body-instance number *)
+  st_port : int;  (** static port id — the program-order tie-break *)
+  st_value : int;
+}
+
+type t
+
+(** Number of accepted load/store operations recorded. *)
+val n_ops : t -> int
+
+(** The reference run completed; a partial recording (reference deadlock)
+    makes the oracle degrade rather than trust it. *)
+val complete : t -> bool
+
+type recorder
+
+(** Wrap [inner] so every accepted operation is recorded.  The returned
+    interface is behaviourally identical to [inner]. *)
+val wrap :
+  Pv_memory.Portmap.t -> Pv_dataflow.Memif.t -> recorder * Pv_dataflow.Memif.t
+
+(** Index the recording.  [complete] states whether the reference run
+    finished (pass the outcome's verdict). *)
+val finish : complete:bool -> recorder -> t
+
+(** The value the load of [(port, seq)] must return, provided its address
+    matches the recorded one ([None] on any mismatch — the current run has
+    diverged from the recording). *)
+val load_value : t -> port:int -> seq:int -> addr:int -> int option
+
+(** Recorded [(addr, value)] payload of the store of [(port, seq)]. *)
+val store_payload : t -> port:int -> seq:int -> (int * int) option
+
+(** The op of [(port, seq)] was skipped (fake token) in the reference run. *)
+val skipped : t -> port:int -> seq:int -> bool
+
+(** Youngest store to [addr] strictly older in program order than the
+    operation at [(seq, port)] — the only store that can carry the value a
+    load at that point must observe. *)
+val youngest_older_store :
+  t -> addr:int -> seq:int -> port:int -> store_rec option
+
+(** The store at [(seq, port)] is the last writer of [addr]. *)
+val is_final_store : t -> addr:int -> seq:int -> port:int -> bool

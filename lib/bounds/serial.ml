@@ -1,0 +1,189 @@
+open Pv_dataflow
+open Pv_memory
+module Trace = Pv_obs.Trace
+
+type config = { mem_latency : int; turnaround : int }
+
+let default = { mem_latency = 2; turnaround = 1 }
+
+type t = {
+  cfg : config;
+  mem : int array;
+  stats : Memif.stats;
+  trace : Trace.t;
+  gports : int array array;  (* group -> ambiguous ports, program order *)
+  group_of : (int, int) Hashtbl.t;  (* seq -> group *)
+  done_ : (int * int, unit) Hashtbl.t;  (* (seq, port) completed/skipped *)
+  resp : (int, (int * int * int) Queue.t) Hashtbl.t;
+      (* port -> (ready_at, seq, value) *)
+  mutable head_seq : int;
+  mutable head_idx : int;
+  mutable busy_until : int;  (* the single memory channel *)
+  mutable now : int;
+  mutable pending : int;
+  mutable n_serialized : int;
+}
+
+let serialized t = t.n_serialized
+let head t = (t.head_seq, t.head_idx)
+let in_bounds t addr = addr >= 0 && addr < Array.length t.mem
+let read_mem t addr = if in_bounds t addr then t.mem.(addr) else 0
+let write_mem t addr value = if in_bounds t addr then t.mem.(addr) <- value
+
+(* Skip completed/skipped ops and exhausted instances; stops when the head
+   instance's group is not yet announced. *)
+let rec advance t =
+  match Hashtbl.find_opt t.group_of t.head_seq with
+  | None -> ()
+  | Some g ->
+      let ports = t.gports.(g) in
+      if t.head_idx >= Array.length ports then begin
+        t.head_seq <- t.head_seq + 1;
+        t.head_idx <- 0;
+        advance t
+      end
+      else if Hashtbl.mem t.done_ (t.head_seq, ports.(t.head_idx)) then begin
+        t.head_idx <- t.head_idx + 1;
+        advance t
+      end
+
+let expected t =
+  match Hashtbl.find_opt t.group_of t.head_seq with
+  | None -> None
+  | Some g ->
+      let ports = t.gports.(g) in
+      if t.head_idx < Array.length ports then Some ports.(t.head_idx) else None
+
+let queue_of t port =
+  match Hashtbl.find_opt t.resp port with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.resp port q;
+      q
+
+let occupy t =
+  t.busy_until <- t.now + t.cfg.mem_latency + t.cfg.turnaround;
+  if t.stats.max_occupancy < 1 then t.stats.max_occupancy <- 1
+
+(* The single channel is free and — for ambiguous ports — this op is the
+   program-order head. *)
+let admit t ~ambiguous ~port ~seq =
+  if ambiguous then begin
+    advance t;
+    if not (expected t = Some port && seq = t.head_seq) then begin
+      t.stats.stall_order <- t.stats.stall_order + 1;
+      false
+    end
+    else if t.now < t.busy_until then begin
+      t.stats.stall_bw <- t.stats.stall_bw + 1;
+      false
+    end
+    else begin
+      Hashtbl.replace t.done_ (seq, port) ();
+      t.head_idx <- t.head_idx + 1;
+      advance t;
+      t.n_serialized <- t.n_serialized + 1;
+      true
+    end
+  end
+  else if t.now < t.busy_until then begin
+    t.stats.stall_bw <- t.stats.stall_bw + 1;
+    false
+  end
+  else true
+
+let create_full ?(trace = Trace.null) cfg pm mem =
+  let t =
+    {
+      cfg;
+      mem;
+      stats = Memif.fresh_stats ();
+      trace;
+      gports =
+        Array.init pm.Portmap.n_groups (fun g ->
+            Array.of_list (Portmap.group_ports pm g));
+      group_of = Hashtbl.create 256;
+      done_ = Hashtbl.create 256;
+      resp = Hashtbl.create 16;
+      head_seq = 0;
+      head_idx = 0;
+      busy_until = 0;
+      now = 0;
+      pending = 0;
+      n_serialized = 0;
+    }
+  in
+  let ambiguous port = Portmap.is_ambiguous pm port in
+  let mif =
+    {
+      Memif.begin_instance =
+        (fun ~seq ~group ->
+          Hashtbl.replace t.group_of seq group;
+          true);
+      alloc_group =
+        (fun ~seq ~group ->
+          Hashtbl.replace t.group_of seq group;
+          true);
+      load_req =
+        (fun ~port ~seq ~addr ->
+          if admit t ~ambiguous:(ambiguous port) ~port ~seq then begin
+            t.stats.loads <- t.stats.loads + 1;
+            Queue.add
+              (t.now + cfg.mem_latency, seq, read_mem t addr)
+              (queue_of t port);
+            t.pending <- t.pending + 1;
+            occupy t;
+            true
+          end
+          else false);
+      load_poll =
+        (fun ~port ->
+          match Hashtbl.find_opt t.resp port with
+          | None -> None
+          | Some q ->
+              if Queue.is_empty q then None
+              else
+                let ready_at, seq, value = Queue.peek q in
+                if ready_at <= t.now then begin
+                  ignore (Queue.pop q);
+                  t.pending <- t.pending - 1;
+                  Some (seq, value)
+                end
+                else None);
+      store_req =
+        (fun ~port ~seq ~addr ~value ->
+          if admit t ~ambiguous:(ambiguous port) ~port ~seq then begin
+            t.stats.stores <- t.stats.stores + 1;
+            write_mem t addr value;
+            occupy t;
+            true
+          end
+          else false);
+      store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
+      op_skip =
+        (fun ~port ~seq ->
+          t.stats.fake_tokens <- t.stats.fake_tokens + 1;
+          if ambiguous port then begin
+            Hashtbl.replace t.done_ (seq, port) ();
+            advance t
+          end;
+          true);
+      poll_squash = (fun () -> None);
+      clock = (fun () -> t.now <- t.now + 1);
+      quiesced = (fun () -> t.pending = 0);
+      stats = (fun () -> t.stats);
+      inject = (fun _ -> false);
+      describe =
+        (fun () ->
+          Printf.sprintf
+            "serial: now=%d head=(seq=%d,idx=%d) expected_port=%s busy_until=%d \
+             pending=%d serialized=%d"
+            t.now t.head_seq t.head_idx
+            (match expected t with
+            | Some p -> string_of_int p
+            | None -> "?")
+            t.busy_until t.pending t.n_serialized);
+    }
+  in
+  (t, mif)

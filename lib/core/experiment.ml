@@ -19,15 +19,7 @@ type point = {
 
 let elaboration_of (dis : Pipeline.disambiguation) :
     Pv_netlist.Elaborate.disambiguation =
-  match dis with
-  | Pipeline.Plain_lsq cfg ->
-      Pv_netlist.Elaborate.D_plain_lsq cfg.Pv_lsq.Lsq.lq_depth
-  | Pipeline.Fast_lsq cfg ->
-      Pv_netlist.Elaborate.D_fast_lsq cfg.Pv_lsq.Lsq.lq_depth
-  | Pipeline.Prevv cfg ->
-      (* area model is calibrated in paper-named depth units *)
-      Pv_netlist.Elaborate.D_prevv
-        (cfg.Pv_prevv.Backend.depth_q / Pv_prevv.Backend.depth_scale)
+  Scheme.elaboration_of dis
 
 (** Run one (kernel, scheme) point: compile, simulate, verify, elaborate. *)
 let run ?sim_cfg ?init (kernel : Pv_kernels.Ast.kernel)
@@ -84,12 +76,9 @@ let cache_key ?(sim_cfg = Pv_dataflow.Sim.default_config) ?init
     | Some i -> i
     | None -> Pv_kernels.Workload.default_init kernel
   in
-  let dis_repr =
-    match dis with
-    | Pipeline.Plain_lsq c -> ("plain_lsq", Marshal.to_string c [])
-    | Pipeline.Fast_lsq c -> ("fast_lsq", Marshal.to_string c [])
-    | Pipeline.Prevv c -> ("prevv", Marshal.to_string c [])
-  in
+  (* the scheme's own fingerprint covers its full configuration; the name
+     keys distinct families whose configs could collide byte-wise *)
+  let dis_repr = (Scheme.name_of dis, Scheme.fingerprint_of dis) in
   let sim_repr =
     ( Sim.string_of_engine sim_cfg.Sim.engine,
       sim_cfg.Sim.max_cycles,
@@ -99,7 +88,7 @@ let cache_key ?(sim_cfg = Pv_dataflow.Sim.default_config) ?init
   in
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string ("prevv-expt/v2", kernel, init, dis_repr, sim_repr) []))
+       (Marshal.to_string ("prevv-expt/v3", kernel, init, dis_repr, sim_repr) []))
 
 (** {!run} through a {!Parallel.Cache}: a hit returns the stored point
     without compiling or simulating anything. *)

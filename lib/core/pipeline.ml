@@ -2,29 +2,25 @@
 
     This is the API the examples, CLI and benchmarks use.  It mirrors the
     paper's toolchain: Dynamatic elaboration (here {!Pv_frontend.Build}),
-    backend selection (plain LSQ [15], fast-allocation LSQ [8], or PreVV
-    with a chosen premature-queue depth), ModelSim-vs-C++ checking (here
-    simulation vs the reference interpreter). *)
+    backend selection through the {!Scheme} registry (LSQ baselines,
+    PreVV, oracle/serial reference bounds), ModelSim-vs-C++ checking
+    (here simulation vs the reference interpreter). *)
 
-type disambiguation =
+(* Re-exported so every existing [Pipeline.Prevv {...}] construction keeps
+   compiling; the definition (and all matching) lives in [Scheme]. *)
+type disambiguation = Scheme.disambiguation =
   | Plain_lsq of Pv_lsq.Lsq.config  (** Dynamatic baseline [15] *)
   | Fast_lsq of Pv_lsq.Lsq.config  (** fast LSQ allocation [8] *)
   | Prevv of Pv_prevv.Backend.config  (** this paper *)
+  | Oracle of Pv_bounds.Oracle.config  (** prescient lower bound *)
+  | Serial of Pv_bounds.Serial.config  (** serializing upper bound *)
 
-let plain_lsq = Plain_lsq Pv_lsq.Lsq.plain
-let fast_lsq = Fast_lsq Pv_lsq.Lsq.fast
-
-(* PreVV at a paper-named depth: the simulated queue holds
-   [Pv_prevv.Backend.depth_scale] entries per named unit (see there). *)
-let prevv ?(fake_tokens = true) depth =
-  Prevv { (Pv_prevv.Backend.named ~depth) with fake_tokens }
-
-let name_of = function
-  | Plain_lsq _ -> "dynamatic"
-  | Fast_lsq _ -> "fast-lsq"
-  | Prevv c ->
-      Printf.sprintf "prevv%d"
-        (c.Pv_prevv.Backend.depth_q / Pv_prevv.Backend.depth_scale)
+let plain_lsq = Scheme.plain_lsq
+let fast_lsq = Scheme.fast_lsq
+let prevv = Scheme.prevv
+let oracle = Scheme.oracle
+let serial = Scheme.serial
+let name_of = Scheme.name_of
 
 type compiled = {
   kernel : Pv_kernels.Ast.kernel;
@@ -52,34 +48,25 @@ type result = {
   run_stats : Pv_dataflow.Sim.run_stats;
 }
 
-(** The live backend state behind a {!Pv_dataflow.Memif.t} — what the
-    observability layer reads its scheme-specific runtime stats from. *)
-type backend_handle =
-  | Lsq_handle of Pv_lsq.Lsq.t
-  | Prevv_handle of Pv_prevv.Backend.t
+let backend_full ?trace (compiled : compiled) mem dis : Scheme.instance =
+  let env =
+    Scheme.make_env ?trace ~portmap:compiled.info.Pv_frontend.Depend.portmap
+      ~graph:compiled.graph mem
+  in
+  let (module M : Scheme.S) = Scheme.of_disambiguation dis in
+  M.make env
 
-let backend_full ?trace compiled mem = function
-  | Plain_lsq cfg | Fast_lsq cfg ->
-      let t, memif =
-        Pv_lsq.Lsq.create_full ?trace cfg compiled.info.Pv_frontend.Depend.portmap
-          mem
-      in
-      (Lsq_handle t, memif)
-  | Prevv cfg ->
-      let t, memif =
-        Pv_prevv.Backend.create_full ?trace cfg
-          compiled.info.Pv_frontend.Depend.portmap mem
-      in
-      (Prevv_handle t, memif)
-
-let backend_of compiled mem dis = snd (backend_full compiled mem dis)
+let backend_of compiled mem dis =
+  (backend_full compiled mem dis).Scheme.memif
 
 (* Fill [m] from the engine-invariant result of a run.  Everything here is
    identical across Scan/Event (enforced by test_sim_equiv for the stats,
    by construction for the outcome) and across worker counts (each run owns
    its state), which is what makes metric snapshots deterministic.  The
-   engine-dependent [run_stats.evals] is deliberately NOT a metric. *)
-let record_metrics m (r : result) (handle : backend_handle) =
+   engine-dependent [run_stats.evals] is deliberately NOT a metric.
+   Scheme-specific counters are appended by the instance's own
+   [record_metrics] hook under its [scheme.<name>.*] namespace. *)
+let record_metrics m (r : result) =
   let module M = Pv_obs.Metrics in
   let module MS = Pv_dataflow.Memif in
   M.add m "sim.cycles" r.cycles;
@@ -102,16 +89,7 @@ let record_metrics m (r : result) (handle : backend_handle) =
   M.add m "backend.stall_alloc" s.MS.stall_alloc;
   M.add m "backend.stall_order" s.MS.stall_order;
   M.add m "backend.stall_bw" s.MS.stall_bw;
-  M.set_gauge_max m "backend.pq_high_water" s.MS.max_occupancy;
-  match handle with
-  | Lsq_handle _ -> ()
-  | Prevv_handle b ->
-      let a = Pv_prevv.Backend.arbiter_stats b in
-      M.add m "arbiter.checks" a.Pv_prevv.Arbiter.checks;
-      M.add m "arbiter.violations" a.Pv_prevv.Arbiter.violations;
-      M.add m "arbiter.gate_clear" a.Pv_prevv.Arbiter.gate_clear;
-      M.add m "arbiter.gate_forward" a.Pv_prevv.Arbiter.gate_forward;
-      M.add m "arbiter.gate_wait" a.Pv_prevv.Arbiter.gate_wait
+  M.set_gauge_max m "backend.pq_high_water" s.MS.max_occupancy
 
 let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
     ?(init : (string * int array) list option)
@@ -123,7 +101,8 @@ let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
     | None -> Pv_kernels.Workload.default_init compiled.kernel
   in
   let mem = Pv_memory.Layout.initial_memory compiled.layout compiled.kernel ~init in
-  let handle, backend = backend_full ~trace:obs_trace compiled mem dis in
+  let inst = backend_full ~trace:obs_trace compiled mem dis in
+  let backend = inst.Scheme.memif in
   let outcome, run_stats =
     Pv_dataflow.Sim.run ~cfg:sim_cfg ~trace:obs_trace compiled.graph backend
   in
@@ -144,7 +123,9 @@ let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
     }
   in
   (match metrics with
-  | Some m -> record_metrics m result handle
+  | Some m ->
+      record_metrics m result;
+      inst.Scheme.record_metrics m
   | None -> ());
   result
 

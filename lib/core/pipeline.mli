@@ -2,14 +2,18 @@
 
     This is the API the examples, CLI and benchmarks use.  It mirrors the
     paper's toolchain: Dynamatic elaboration ({!Pv_frontend.Build}),
-    backend selection (plain LSQ [15], fast-allocation LSQ [8], or PreVV),
-    and the ModelSim-vs-C++ check (simulation vs the reference
-    interpreter). *)
+    backend selection through the {!Scheme} registry (LSQ baselines [15]
+    [8], PreVV, oracle/serial reference bounds), and the ModelSim-vs-C++
+    check (simulation vs the reference interpreter). *)
 
-type disambiguation =
+(** Re-export of {!Scheme.disambiguation}: the configuration of a
+    registered scheme.  All matching on it lives in {!Scheme}. *)
+type disambiguation = Scheme.disambiguation =
   | Plain_lsq of Pv_lsq.Lsq.config  (** Dynamatic baseline [15] *)
   | Fast_lsq of Pv_lsq.Lsq.config  (** fast LSQ allocation [8] *)
   | Prevv of Pv_prevv.Backend.config  (** this paper *)
+  | Oracle of Pv_bounds.Oracle.config  (** prescient lower bound *)
+  | Serial of Pv_bounds.Serial.config  (** serializing upper bound *)
 
 val plain_lsq : disambiguation
 val fast_lsq : disambiguation
@@ -18,7 +22,14 @@ val fast_lsq : disambiguation
     queue holds {!Pv_prevv.Backend.depth_scale} entries per named unit. *)
 val prevv : ?fake_tokens:bool -> int -> disambiguation
 
-(** Display name: "dynamatic", "fast-lsq", "prevv<depth>". *)
+(** Perfect-disambiguation cycle lower bound (see {!Pv_bounds.Oracle}). *)
+val oracle : disambiguation
+
+(** Fully serializing cycle upper bound (see {!Pv_bounds.Serial}). *)
+val serial : disambiguation
+
+(** Display name: "dynamatic", "fast-lsq", "prevv<depth>", "oracle",
+    "serial" (= {!Scheme.to_string}). *)
 val name_of : disambiguation -> string
 
 (** A compiled kernel: analysis results and the elaborated circuit. *)
@@ -40,22 +51,16 @@ type result = {
   run_stats : Pv_dataflow.Sim.run_stats;
 }
 
-(** The live backend state behind a {!Pv_dataflow.Memif.t} — what the
-    observability layer reads its scheme-specific runtime stats from
-    ([Pv_prevv.Backend.arbiter_stats] etc.). *)
-type backend_handle =
-  | Lsq_handle of Pv_lsq.Lsq.t
-  | Prevv_handle of Pv_prevv.Backend.t
-
-(** Instantiate the chosen backend over a flat memory, returning the live
-    state alongside the interface.  [trace] is threaded to the backend's
-    instrumentation (default: the null sink). *)
+(** Instantiate the chosen scheme over a flat memory via the registry,
+    returning the live {!Scheme.instance} (simulator interface + metric
+    hook).  [trace] is threaded to the backend's instrumentation
+    (default: the null sink). *)
 val backend_full :
   ?trace:Pv_obs.Trace.t ->
   compiled ->
   int array ->
   disambiguation ->
-  backend_handle * Pv_dataflow.Memif.t
+  Scheme.instance
 
 (** Instantiate the chosen backend over a flat memory. *)
 val backend_of : compiled -> int array -> disambiguation -> Pv_dataflow.Memif.t
@@ -70,9 +75,10 @@ val post_mortem : result -> Pv_dataflow.Sim.post_mortem option
     simulator and the backend: epoch spans, squash/validation/fake-token
     instants, occupancy and in-flight counter tracks.  [metrics] is filled
     post-run from the engine-invariant result (cycles, fires, backend
-    traffic, arbiter tallies — never the engine-dependent eval count), so
-    snapshots are deterministic across engines and worker counts, and
-    recording can never perturb the simulation. *)
+    traffic — never the engine-dependent eval count) plus the scheme's own
+    [scheme.<name>.*] counters, so snapshots are deterministic across
+    engines and worker counts, and recording can never perturb the
+    simulation. *)
 val simulate :
   ?sim_cfg:Pv_dataflow.Sim.config ->
   ?init:(string * int array) list ->

@@ -8,6 +8,8 @@ type disambiguation =
   | D_plain_lsq of int  (** pooled LSQ, classic allocation; depth *)
   | D_fast_lsq of int  (** pooled LSQ with fast token delivery; depth *)
   | D_prevv of int  (** PreVV instance per ambiguous array; queue depth *)
+  | D_oracle  (** analytic lower bound: no disambiguation hardware *)
+  | D_serial  (** program-order serializer: a small gate per instance *)
 
 let node_path (n : Graph.node) =
   Printf.sprintf "dp/%s_%d" n.Graph.label n.Graph.nid
@@ -101,6 +103,21 @@ let circuit ?(ws = Gen.default_widths) (g : Graph.t)
                    (Printf.sprintf "mem/prevv%d" i)
                    ~depth ~nload_ports ~nstore_ports ~ngroups
                    ~member_datapath_luts ws))
+    | D_oracle ->
+        (* analytic bound: perfect disambiguation costs no hardware *)
+        []
+    | D_serial ->
+        (* one program-order gate per ambiguous array: a head counter,
+           a port comparator and a busy flag — no queues, no search *)
+        List.concat
+          (List.init pm.Pv_memory.Portmap.n_instances (fun i ->
+               let nload_ports, nstore_ports = count_ports pm ~inst:(Some i) in
+               let nports = nload_ports + nstore_ports in
+               let path = Printf.sprintf "mem/ser%d" i in
+               [
+                 { P.path; prim = P.Lut 4; count = (4 * nports) + ngroups };
+                 { P.path; prim = P.Ff; count = 2 * ws.Gen.addr };
+               ]))
   in
   dp @ mc @ subsystem
 
@@ -109,7 +126,9 @@ let circuit ?(ws = Gen.default_widths) (g : Graph.t)
 let breakdown (nl : P.t) =
   let is_queue path =
     String.length path >= 7
-    && (String.sub path 0 7 = "mem/lsq" || String.sub path 0 7 = "mem/pre")
+    && (String.sub path 0 7 = "mem/lsq"
+       || String.sub path 0 7 = "mem/pre"
+       || String.sub path 0 7 = "mem/ser")
     || String.length path >= 10
        && String.sub path 0 10 = "mem/squash"
   in

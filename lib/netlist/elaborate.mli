@@ -7,6 +7,8 @@ type disambiguation =
   | D_plain_lsq of int  (** pooled LSQ, classic allocation [15] *)
   | D_fast_lsq of int  (** pooled LSQ with fast token delivery [8] *)
   | D_prevv of int  (** PreVV instance per ambiguous array *)
+  | D_oracle  (** analytic lower bound: no disambiguation hardware *)
+  | D_serial  (** program-order serializer: a small gate per instance *)
 
 (** Datapath-only netlist (one entry per component, under ["dp/"]). *)
 val datapath : ?ws:Gen.widths -> Pv_dataflow.Graph.t -> Primitive.t

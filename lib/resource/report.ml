@@ -16,12 +16,15 @@ let dis_of_elab = function
   | Pv_netlist.Elaborate.D_plain_lsq _ -> Timing.M_plain_lsq
   | Pv_netlist.Elaborate.D_fast_lsq _ -> Timing.M_fast_lsq
   | Pv_netlist.Elaborate.D_prevv _ -> Timing.M_prevv
+  | Pv_netlist.Elaborate.D_oracle -> Timing.M_oracle
+  | Pv_netlist.Elaborate.D_serial -> Timing.M_serial
 
 let depth_of_elab = function
   | Pv_netlist.Elaborate.D_plain_lsq d
   | Pv_netlist.Elaborate.D_fast_lsq d
   | Pv_netlist.Elaborate.D_prevv d ->
       d
+  | Pv_netlist.Elaborate.D_oracle | Pv_netlist.Elaborate.D_serial -> 0
 
 let of_circuit (g : Pv_dataflow.Graph.t) (pm : Pv_memory.Portmap.t)
     (dis : Pv_netlist.Elaborate.disambiguation) : t =

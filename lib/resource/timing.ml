@@ -32,7 +32,7 @@ let datapath_cp (g : Graph.t) : float =
   in
   5.6 +. (0.18 *. log2f nodes) +. op_term
 
-type mem_kind = M_plain_lsq | M_fast_lsq | M_prevv
+type mem_kind = M_plain_lsq | M_fast_lsq | M_prevv | M_oracle | M_serial
 
 (** Critical path of the disambiguation subsystem at a given queue depth. *)
 let mem_cp kind ~depth =
@@ -41,6 +41,8 @@ let mem_cp kind ~depth =
   | M_plain_lsq -> 6.70 +. (0.031 *. d)  (* allocation + search in the path *)
   | M_fast_lsq -> 6.85 +. (0.016 *. d)  (* search only *)
   | M_prevv -> 6.85 +. (0.007 *. d)  (* parallel validate + priority *)
+  | M_oracle -> 0.0  (* analytic: never limits the clock *)
+  | M_serial -> 6.0  (* head counter + comparator, depth-independent *)
 
 (** Achieved clock period of the full circuit. *)
 let clock_period (g : Graph.t) kind ~depth =

@@ -15,7 +15,7 @@
 (** Critical path of the computation part, from circuit structure. *)
 val datapath_cp : Pv_dataflow.Graph.t -> float
 
-type mem_kind = M_plain_lsq | M_fast_lsq | M_prevv
+type mem_kind = M_plain_lsq | M_fast_lsq | M_prevv | M_oracle | M_serial
 
 (** Critical path of the disambiguation subsystem at a queue depth. *)
 val mem_cp : mem_kind -> depth:int -> float

@@ -1,0 +1,252 @@
+(* The scheme registry: name round-trips (the one parser shared by CLI and
+   bench), fingerprint distinctness (the cache-key component), registry
+   behaviour, the grep-enforced "no backend match outside the adapter
+   module" rule, and the differential harness's acceptance criterion —
+   oracle <= prevv <= dynamatic <= serial on every paper kernel. *)
+
+open Pv_core
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n > 0 && go 0
+
+(* ------------------------------------------------------------------ *)
+(* Name round-trips                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let canonical_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Pipeline.plain_lsq;
+        return Pipeline.fast_lsq;
+        return Pipeline.oracle;
+        return Pipeline.serial;
+        map (fun d -> Pipeline.prevv d) (int_range 1 512);
+      ])
+
+let canonical_arb =
+  QCheck.make ~print:Scheme.to_string canonical_gen
+
+let roundtrip =
+  QCheck.Test.make ~count:500 ~name:"of_string (to_string d) = Ok d"
+    canonical_arb (fun d -> Scheme.of_string (Scheme.to_string d) = Ok d)
+
+let registry_roundtrip () =
+  List.iter
+    (fun (module M : Scheme.S) ->
+      Alcotest.(check bool)
+        (M.name ^ " round-trips")
+        true
+        (Scheme.of_string M.name = Ok M.config);
+      Alcotest.(check string)
+        (M.name ^ " = to_string config")
+        M.name
+        (Scheme.to_string M.config))
+    (Scheme.all ())
+
+let bogus_names () =
+  List.iter
+    (fun s ->
+      match Scheme.of_string s with
+      | Ok _ -> Alcotest.failf "bogus backend name %S parsed" s
+      | Error msg ->
+          (* the error must teach: it lists the known names *)
+          List.iter
+            (fun known ->
+              if not (contains ~needle:known msg) then
+                Alcotest.failf "error for %S does not mention %S: %s" s known
+                  msg)
+            [ "dynamatic"; "prevv"; "oracle"; "serial" ])
+    [ ""; "lsq"; "prevv0"; "prevv-1"; "prevvx"; "oracle2"; "PREVV16"; "-b" ]
+
+let aliases () =
+  Alcotest.(check bool)
+    "plain-lsq alias" true
+    (Scheme.of_string "plain-lsq" = Ok Pipeline.plain_lsq);
+  Alcotest.(check bool)
+    "bare prevv means the paper's default depth" true
+    (Scheme.of_string "prevv" = Ok (Pipeline.prevv 16))
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints and the registry                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprints_distinct () =
+  let configs =
+    List.map (fun (module M : Scheme.S) -> M.config) (Scheme.all ())
+    @ List.init 8 (fun i -> Pipeline.prevv (1 lsl i))
+  in
+  let prints =
+    List.map (fun d -> (Scheme.to_string d, Scheme.fingerprint_of d)) configs
+  in
+  List.iteri
+    (fun i (n1, f1) ->
+      List.iteri
+        (fun j (n2, f2) ->
+          if i < j && n1 <> n2 && f1 = f2 then
+            Alcotest.failf "fingerprint collision: %s and %s -> %s" n1 n2 f1)
+        prints)
+    prints;
+  (* and stable: the cache key must not drift between invocations *)
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Scheme.to_string d ^ " fingerprint stable")
+        (Scheme.fingerprint_of d) (Scheme.fingerprint_of d))
+    configs
+
+let registry_shape () =
+  let names = List.map (fun (module M : Scheme.S) -> M.name) (Scheme.all ()) in
+  Alcotest.(check (list string))
+    "registration order"
+    [ "dynamatic"; "fast-lsq"; "prevv16"; "prevv64"; "oracle"; "serial" ]
+    names;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f ^ " family registered") true
+        (Scheme.lookup f <> None))
+    [ "dynamatic"; "fast-lsq"; "prevv"; "oracle"; "serial" ];
+  (* duplicate family keys are a programming error, refused loudly *)
+  match
+    Scheme.register
+      {
+        Scheme.f_name = "prevv";
+        f_doc = "dup";
+        f_parse = (fun _ -> None);
+        f_defaults = [];
+      }
+  with
+  | () -> Alcotest.fail "duplicate family registration accepted"
+  | exception Invalid_argument _ -> ()
+
+let descriptions () =
+  List.iter
+    (fun (module M : Scheme.S) ->
+      if String.length M.description < 10 then
+        Alcotest.failf "%s: description too short for the README table"
+          M.name)
+    (Scheme.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Grep enforcement: no backend match arms outside the adapter module   *)
+(* ------------------------------------------------------------------ *)
+
+(* Tests run under _build/default/test; walk up to the checkout root. *)
+let rec source_root dir =
+  if Sys.file_exists (Filename.concat dir "lib/core/scheme.ml") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else source_root parent
+
+let rec ml_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then ml_files path
+         else if
+           Filename.check_suffix entry ".ml"
+           || Filename.check_suffix entry ".mli"
+         then [ path ]
+         else [])
+
+let no_backend_match_outside_adapters () =
+  match source_root (Sys.getcwd ()) with
+  | None ->
+      (* outside a checkout (e.g. an installed test binary): nothing to scan *)
+      print_endline "source tree not found; skipping scan"
+  | Some root ->
+      let allow =
+        [ "lib/core/scheme.ml"; "lib/core/scheme.mli"; "lib/core/pipeline.mli" ]
+        |> List.map (Filename.concat root)
+      in
+      let constructors =
+        [ "Plain_lsq"; "Fast_lsq"; "Prevv"; "Oracle"; "Serial";
+          "backend_handle"; "Lsq_handle"; "Prevv_handle" ]
+      in
+      let offenders = ref [] in
+      List.iter
+        (fun sub ->
+          let dir = Filename.concat root sub in
+          if Sys.file_exists dir then
+            List.iter
+              (fun file ->
+                if not (List.mem file allow) then begin
+                  let ic = open_in file in
+                  let lineno = ref 0 in
+                  (try
+                     while true do
+                       let line = input_line ic in
+                       incr lineno;
+                       let t = String.trim line in
+                       (* a match arm: leading "|", naming a backend
+                          constructor; " of " exempts variant declarations
+                          (the re-exported type equation) *)
+                       if
+                         String.length t > 0
+                         && t.[0] = '|'
+                         && (not (contains ~needle:" of " t))
+                         && List.exists
+                              (fun c -> contains ~needle:c t)
+                              constructors
+                       then
+                         offenders :=
+                           Printf.sprintf "%s:%d: %s" file !lineno t
+                           :: !offenders
+                     done
+                   with End_of_file -> ());
+                  close_in ic
+                end)
+              (ml_files dir))
+        [ "lib"; "bin"; "bench"; "test"; "examples" ];
+      match !offenders with
+      | [] -> ()
+      | o ->
+          Alcotest.failf
+            "backend match arms outside the scheme adapter module:\n%s"
+            (String.concat "\n" (List.rev o))
+
+(* ------------------------------------------------------------------ *)
+(* Differential acceptance: the bound chain on every paper kernel       *)
+(* ------------------------------------------------------------------ *)
+
+let differential_paper_kernels () =
+  List.iter
+    (fun kernel ->
+      let r = Differential.run kernel in
+      if not (Differential.ok r) then
+        Alcotest.failf "differential harness failed:@\n%a" Differential.pp r)
+    (Pv_kernels.Defs.paper_benchmarks ())
+
+let () =
+  Alcotest.run "scheme"
+    [
+      ( "names",
+        [
+          QCheck_alcotest.to_alcotest roundtrip;
+          Alcotest.test_case "registry names round-trip" `Quick
+            registry_roundtrip;
+          Alcotest.test_case "bogus names rejected" `Quick bogus_names;
+          Alcotest.test_case "aliases" `Quick aliases;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "fingerprints distinct & stable" `Quick
+            fingerprints_distinct;
+          Alcotest.test_case "registration order & duplicates" `Quick
+            registry_shape;
+          Alcotest.test_case "descriptions usable" `Quick descriptions;
+        ] );
+      ( "encapsulation",
+        [
+          Alcotest.test_case "no match on backends outside adapters" `Quick
+            no_backend_match_outside_adapters;
+        ] );
+      ( "bound chain",
+        [
+          Alcotest.test_case "oracle <= prevv <= dynamatic <= serial" `Quick
+            differential_paper_kernels;
+        ] );
+    ]

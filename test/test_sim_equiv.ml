@@ -2,21 +2,19 @@
    to the exhaustive per-cycle scan — identical outcome, cycle count,
    per-node fire counts, generator traffic, backend statistics and final
    memory — while performing strictly fewer node evaluations.  Checked on
-   every paper kernel under every backend, on a few stress kernels, and on
-   fault-injected runs that exercise the squash wake-alls and the timed
-   stall wakes. *)
+   every paper kernel under every registered backend (the scheme registry,
+   so the oracle / serial bound backends ride along automatically), on a
+   few stress kernels, and on fault-injected runs that exercise the squash
+   wake-alls and the timed stall wakes. *)
 
 open Pv_core
 module Sim = Pv_dataflow.Sim
 module Fault = Pv_dataflow.Fault
 
+(* every registered scheme, registry order — not a hard-coded list, so a
+   newly registered backend is covered without touching this file *)
 let schemes =
-  [
-    ("dynamatic", Pipeline.plain_lsq);
-    ("fast-lsq", Pipeline.fast_lsq);
-    ("prevv16", Pipeline.prevv 16);
-    ("prevv64", Pipeline.prevv 64);
-  ]
+  List.map (fun (module M : Scheme.S) -> (M.name, M.config)) (Scheme.all ())
 
 let run ?(faults = []) engine compiled dis =
   let sim_cfg = { Sim.default_config with Sim.engine; faults } in
@@ -87,18 +85,24 @@ let test_faulted kernel () =
       { Fault.at_cycle = 29; action = Fault.Flip_replay { chan = 5; mask = 1 } };
     ]
   in
-  ignore (check_equiv (kernel.Pv_kernels.Ast.name ^ "/manual-faults") compiled
-            ~faults:manual (Pipeline.prevv 16));
-  (* ...plus seeded recoverable plans (stalls, drops, flips, squashes) *)
-  for fseed = 1 to 4 do
-    let faults =
-      Fault.random_recoverable ~n:4 ~seed:fseed ~n_chans ~max_seq:4 ~horizon ()
-    in
-    ignore
-      (check_equiv
-         (Printf.sprintf "%s/faults-seed%d" kernel.Pv_kernels.Ast.name fseed)
-         compiled ~faults (Pipeline.prevv 16))
-  done
+  (* ...applied under every registered scheme (the bound backends refuse
+     replay injection — the *-replay actions must then be no-ops for them),
+     plus seeded recoverable plans (stalls, drops, flips, squashes) *)
+  List.iter
+    (fun (sname, dis) ->
+      let tag = kernel.Pv_kernels.Ast.name ^ "/" ^ sname in
+      ignore (check_equiv (tag ^ "/manual-faults") compiled ~faults:manual dis);
+      for fseed = 1 to 4 do
+        let faults =
+          Fault.random_recoverable ~n:4 ~seed:fseed ~n_chans ~max_seq:4
+            ~horizon ()
+        in
+        ignore
+          (check_equiv
+             (Printf.sprintf "%s/faults-seed%d" tag fseed)
+             compiled ~faults dis)
+      done)
+    schemes
 
 let kernel_case k =
   Alcotest.test_case k.Pv_kernels.Ast.name `Quick (test_kernel k)
@@ -115,7 +119,7 @@ let () =
   in
   Alcotest.run "sim_equiv"
     [
-      ("paper kernels x 4 backends", List.map kernel_case paper);
+      ("paper kernels x registered backends", List.map kernel_case paper);
       ("stress kernels", List.map kernel_case stress);
       ( "under injected faults",
         [
