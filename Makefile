@@ -1,4 +1,4 @@
-.PHONY: all build test verify bench bench-tables bounds soak clean
+.PHONY: all build test verify bench bench-tables bounds soak fuzz-soak clean
 
 # worker domains for the grid-shaped benchmarks (make bench JOBS=N);
 # clamped to the machine's core count at runtime
@@ -34,8 +34,15 @@ bench-tables:
 bounds:
 	dune exec bin/prevv_cli.exe -- bounds
 
-# deeper differential-fuzz sweep (FUZZ_ITERS multiplies the qcheck counts)
+# service chaos soak: 10k requests through `prevv serve`'s engine with an
+# injected worker kill and a seeded fault-plan mix; exits non-zero unless
+# every phase ends with lost: 0 and the parallel output is byte-identical
+# to the serial replay
 soak:
+	dune exec bench/main.exe -- --jobs $(JOBS) soak
+
+# deeper differential-fuzz sweep (FUZZ_ITERS multiplies the qcheck counts)
+fuzz-soak:
 	FUZZ_ITERS=10 dune exec test/test_fuzz.exe
 
 clean:

@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --backend prevv64 --json
      dune exec bench/main.exe -- fig1 table1 table2 fig7 queue_states
                                   deadlock depth_sweep scalability
-                                  ablation bounds micro
+                                  ablation bounds micro soak
 
    Backend names (--backend, engine baselines of --json) are parsed by
    the scheme registry (Pv_core.Scheme.of_string), the same parser the
@@ -23,10 +23,11 @@
 
 open Pv_core
 
-(* wall clock (CLOCK_MONOTONIC, ns).  Sys.time is per-process CPU time:
-   under multiple domains it sums the busy time of every worker and is
-   inflated by their GC, so it is wrong for any multi-domain measurement. *)
-let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+(* wall clock (CLOCK_MONOTONIC via Pv_core.Clock).  Sys.time is
+   per-process CPU time: under multiple domains it sums the busy time of
+   every worker and is inflated by their GC, so it is wrong for any
+   multi-domain measurement. *)
+let now_s () = Clock.now_s ()
 
 let line = String.make 118 '-'
 
@@ -481,6 +482,140 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Chaos soak: the supervised service under load, kills and faults     *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic request stream over the paper grid: every (kernel,
+   backend) cell, ~1% low-budget requests whose simulation times out
+   deterministically (the "timeout fault plan"), and a seeded
+   recoverable-fault slice.  Ids and ordering are fixed, so two runs of
+   the same stream must produce byte-identical response streams. *)
+let soak_requests n =
+  let kernels =
+    Array.of_list
+      (List.map
+         (fun (k : Pv_kernels.Ast.kernel) -> k.Pv_kernels.Ast.name)
+         (Pv_kernels.Defs.paper_benchmarks ()))
+  in
+  let backends =
+    Array.of_list (List.map Pv_core.Scheme.to_string (Experiment.paper_configs ()))
+  in
+  List.init n (fun i ->
+      let kernel = kernels.(i * 7919 mod Array.length kernels) in
+      let backend = backends.((i * 104729 / 13) mod Array.length backends) in
+      let r =
+        Service.request ~id:(Printf.sprintf "r%05d" i) ~kernel ~backend ()
+      in
+      if i mod 97 = 3 then { r with Service.max_cycles = Some 50 }
+      else if i mod 131 = 7 then
+        { r with Service.fault_seed = Some (1 + (i mod 3)) }
+      else r)
+
+(* feed [requests] through the service and collect the response stream *)
+let run_soak ~jobs ~capacity ~kill_at requests =
+  let cache = Parallel.Cache.in_memory () in
+  let remaining = ref requests in
+  let out = Buffer.create 4096 in
+  let cfg =
+    {
+      Service.default_config with
+      Service.jobs;
+      Service.queue_capacity = capacity;
+      Service.cache = Some cache;
+      Service.kill_at;
+    }
+  in
+  let summary =
+    Service.run cfg
+      ~next:(fun () ->
+        match !remaining with
+        | [] -> None
+        | r :: tl ->
+            remaining := tl;
+            Some (Service.request_to_json r))
+      ~emit:(fun l ->
+        Buffer.add_string out l;
+        Buffer.add_char out '\n')
+  in
+  (summary, Buffer.contents out)
+
+let hit_rate (s : Service.summary) =
+  let total = s.Service.cache_hits + s.Service.cache_misses in
+  if total = 0 then 0.0
+  else float_of_int s.Service.cache_hits /. float_of_int total
+
+(* Returns the BENCH_sim.json "soak" object.  The main phase uses an
+   unoverflowable queue so the response stream is byte-comparable to the
+   serial replay (shedding depends on queue dynamics); the burst phase
+   then drives a tiny queue past capacity to exercise explicit
+   load-shedding. *)
+let soak ~jobs ~n () =
+  header
+    (Printf.sprintf
+       "chaos soak — %d requests through the supervised service (--jobs %d, \
+        one worker kill injected)"
+       n jobs);
+  (* the kill target gets a unique budget so it cannot dedupe against an
+     in-flight twin: it must reach a worker as its own queue item *)
+  let requests =
+    List.mapi
+      (fun i r ->
+        if i = n / 3 then { r with Service.max_cycles = Some 777 } else r)
+      (soak_requests n)
+  in
+  let kill_at = [ n / 3 ] in
+  let sp, out_parallel = run_soak ~jobs ~capacity:(2 * n) ~kill_at requests in
+  let ss, out_serial = run_soak ~jobs:1 ~capacity:(2 * n) ~kill_at:[] requests in
+  let identical = String.equal out_parallel out_serial in
+  Printf.printf
+    "parallel: %.1f req/s, p50 %.3f ms, p99 %.3f ms, cache hit rate %.3f, \
+     dedup %d, retries %d, kills %d, respawns %d, shed %d, lost: %d\n"
+    sp.Service.requests_per_s sp.Service.p50_ms sp.Service.p99_ms (hit_rate sp)
+    sp.Service.dedup_hits sp.Service.retries sp.Service.worker_kills
+    sp.Service.respawns sp.Service.shed sp.Service.lost;
+  Printf.printf "serial replay: %.1f req/s, lost: %d\n"
+    ss.Service.requests_per_s ss.Service.lost;
+  Printf.printf "byte-identical to serial replay: %b\n" identical;
+  (* overload burst: cold cache, distinct cells, a queue of 4 — every
+     request past capacity must get an explicit overloaded response *)
+  let burst =
+    List.init 64 (fun i ->
+        let r =
+          Service.request
+            ~id:(Printf.sprintf "b%03d" i)
+            ~kernel:"gaussian" ~backend:"prevv16" ()
+        in
+        { r with Service.max_cycles = Some (1000 + i) })
+  in
+  let sb, _ = run_soak ~jobs ~capacity:4 ~kill_at:[] burst in
+  Printf.printf "overload burst (queue=4): %d requests, shed %d, lost: %d\n"
+    sb.Service.received sb.Service.shed sb.Service.lost;
+  let ok =
+    sp.Service.lost = 0 && ss.Service.lost = 0 && sb.Service.lost = 0
+    && identical
+  in
+  if not ok then
+    Printf.eprintf "SOAK FAILURE: lost=%d/%d/%d identical=%b\n" sp.Service.lost
+      ss.Service.lost sb.Service.lost identical;
+  let json =
+    Printf.sprintf
+      "{ \"requests\": %d, \"jobs_requested\": %d, \"jobs_effective\": %d, \
+       \"wall_s\": %.6f, \"requests_per_s\": %.1f, \"p50_ms\": %.4f, \
+       \"p99_ms\": %.4f, \"cache_hit_rate\": %.4f, \"dedup_hits\": %d, \
+       \"retries\": %d, \"worker_kills\": %d, \"respawns\": %d, \"shed\": %d, \
+       \"lost\": %d, \"identical_to_serial_replay\": %b, \"overload\": { \
+       \"requests\": %d, \"shed\": %d, \"lost\": %d } }"
+      sp.Service.received jobs
+      (Parallel.effective_jobs jobs)
+      sp.Service.wall_s sp.Service.requests_per_s sp.Service.p50_ms
+      sp.Service.p99_ms (hit_rate sp) sp.Service.dedup_hits sp.Service.retries
+      sp.Service.worker_kills sp.Service.respawns sp.Service.shed
+      sp.Service.lost identical sb.Service.received sb.Service.shed
+      sb.Service.lost
+  in
+  (json, ok)
+
+(* ------------------------------------------------------------------ *)
 (* --json: machine-readable simulator baselines (BENCH_sim.json)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -490,8 +625,10 @@ let micro () =
    bracketing every ranked scheme), the serial-vs-parallel wall clock of
    the full Table I/II grid with the result-cache statistics, and each
    grid cell's metric snapshot (Pv_obs.Metrics — cycles, fires, backend
-   traffic, arbiter tallies), as a stable JSON document the CI archives
-   (schema prevv-bench-sim/v4). *)
+   traffic, arbiter tallies), plus the chaos-soak section (the supervised
+   service under 10k requests, one injected worker kill and an overload
+   burst), as a stable JSON document the CI archives
+   (schema prevv-bench-sim/v5). *)
 
 let bench_json ~path ~jobs ~cache ~backend () =
   let module Sim = Pv_dataflow.Sim in
@@ -519,7 +656,7 @@ let bench_json ~path ~jobs ~cache ~backend () =
     "scan ev" "ev/cyc" "time(s)" "event ev" "ev/cyc" "time(s)" "ratio" "equiv";
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v4\",\n";
+  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v5\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"backend\": %S,\n" (Pv_core.Scheme.to_string dis));
   Buffer.add_string buf
@@ -643,6 +780,16 @@ let bench_json ~path ~jobs ~cache ~backend () =
     wall_parallel
     (wall_serial /. max wall_parallel epsilon_float)
     identical;
+  (* an explicit request within [1, max_jobs] must be honoured exactly;
+     silent divergence is the clamp bug this harness exists to catch *)
+  let jobs_diverged =
+    jobs <= Parallel.max_jobs && Parallel.effective_jobs jobs <> jobs
+  in
+  if jobs_diverged then
+    Printf.eprintf
+      "WARNING: jobs_effective %d diverged from jobs_requested %d\n"
+      (Parallel.effective_jobs jobs)
+      jobs;
   if cache <> None then
     Printf.printf "cached pass: %.3fs, %d hits / %d misses, consistent %b\n"
       cached_wall hits misses cache_consistent;
@@ -664,16 +811,19 @@ let bench_json ~path ~jobs ~cache ~backend () =
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"grid\": { \"points\": %d, \"jobs\": %d, \"jobs_effective\": %d, \
+       "  \"grid\": { \"points\": %d, \"jobs\": %d, \"jobs_requested\": %d, \
+        \"jobs_effective\": %d, \
         \"wall_s_serial\": %.6f, \"wall_s_parallel\": %.6f, \
         \"parallel_speedup\": %.3f, \"identical_to_serial\": %b, \
         \"cache_hits\": %d, \"cache_misses\": %d, \"cache_consistent\": %b, \
-        \"wall_s_cached\": %.6f }\n"
-       n_points jobs
+        \"wall_s_cached\": %.6f },\n"
+       n_points jobs jobs
        (Parallel.effective_jobs jobs)
        wall_serial wall_parallel
        (wall_serial /. max wall_parallel epsilon_float)
        identical hits misses cache_consistent cached_wall);
+  let soak_json, soak_ok = soak ~jobs ~n:10_000 () in
+  Buffer.add_string buf (Printf.sprintf "  \"soak\": %s\n" soak_json);
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -681,7 +831,8 @@ let bench_json ~path ~jobs ~cache ~backend () =
   Printf.printf "geomean eval ratio %.3f, geomean time ratio %.3f -> wrote %s\n"
     (Experiment.geomean !eval_ratios)
     (Experiment.geomean !time_ratios)
-    path
+    path;
+  if jobs_diverged || not soak_ok then exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -749,7 +900,7 @@ let () =
   in
   let cache =
     if cache_on then
-      Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()))
+      Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()) ())
     else None
   in
   match !json with
@@ -781,5 +932,8 @@ let () =
           | "ablation" -> ablation ~jobs ()
           | "bounds" -> bounds_section ()
           | "micro" -> micro ()
+          | "soak" ->
+              let _, ok = soak ~jobs ~n:10_000 () in
+              if not ok then exit 1
           | s -> Printf.eprintf "unknown section %S\n" s)
         requested

@@ -430,7 +430,7 @@ let sweep_cmd =
     let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
     let cache =
       if no_cache then None
-      else Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()))
+      else Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()) ())
     in
     let cells =
       List.concat_map (fun k -> List.map (fun d -> (k, d)) schemes) kernels
@@ -640,6 +640,95 @@ let area_cmd =
     (Cmd.info "area" ~doc:"Hierarchical area breakdown of the netlist.")
     Term.(const run $ kernel_arg $ backend_arg $ depth_lvl_arg)
 
+(* --- serve -------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (0 = one per core, capped; 1 = serial \
+             reference).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Pending-request bound: beyond it requests are shed with an \
+             explicit $(b,overloaded) response instead of queueing.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Compute attempts per request before an error response.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-attempt cooperative deadline; an overrun cancels the \
+             simulation and retries the request.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Recompute every request instead of reusing the result cache.")
+  in
+  let run jobs queue attempts deadline no_cache metrics =
+    let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
+    let cache =
+      if no_cache then None
+      else Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()) ())
+    in
+    let cfg =
+      {
+        Service.default_config with
+        Service.jobs;
+        Service.queue_capacity = queue;
+        Service.cache;
+        Service.policy =
+          {
+            Supervisor.default_policy with
+            Supervisor.max_attempts = max 1 attempts;
+            Supervisor.deadline_s = deadline;
+          };
+      }
+    in
+    (* graceful drain: the first SIGINT stops intake, every accepted
+       request still gets its response line *)
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Service.drain_now ()))
+     with Invalid_argument _ -> ());
+    let m = Pv_obs.Metrics.create () in
+    let summary =
+      Service.run ~metrics:m cfg
+        ~next:(fun () -> In_channel.input_line stdin)
+        ~emit:(fun line ->
+          print_endline line;
+          flush stdout)
+    in
+    Printf.eprintf "%s\n"
+      (Pv_obs.Json.to_string (Service.summary_to_json summary));
+    if metrics then print_metrics m;
+    if summary.Service.lost > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve line-delimited JSON experiment requests from stdin: one \
+          response line per request, in order.  Request: {\"id\": \"r1\", \
+          \"kernel\": \"gaussian\", \"backend\": \"prevv16\"} with optional \
+          engine/max_cycles/fault_seed.  SIGINT drains gracefully.")
+    Term.(
+      const run $ jobs_arg $ queue_arg $ attempts_arg $ deadline_arg
+      $ no_cache_arg $ metrics_arg)
+
 (* --- utilisation -------------------------------------------------------------- *)
 
 let util_cmd =
@@ -671,5 +760,5 @@ let () =
           [
             list_cmd; backends_cmd; show_cmd; run_cmd; bounds_cmd; trace_cmd;
             report_cmd; sweep_cmd; emit_cmd; dot_cmd; profile_cmd; vcd_cmd;
-            util_cmd; area_cmd;
+            util_cmd; area_cmd; serve_cmd;
           ]))

@@ -9,13 +9,13 @@ let () =
     (fun k ->
       List.iter
         (fun dis ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = Clock.now_ns () in
           (match Pipeline.check k dis with
           | Ok r ->
               Printf.printf "%-12s %-10s OK  cycles=%6d  %s  (%.2fs)\n%!"
                 k.Pv_kernels.Ast.name (Pipeline.name_of dis) r.Pipeline.cycles
                 (Format.asprintf "%a" Pv_dataflow.Memif.pp_stats r.Pipeline.mem_stats)
-                (Unix.gettimeofday () -. t0)
-          | Error e -> Printf.printf "FAIL %s (%.2fs)\n%!" e (Unix.gettimeofday () -. t0)))
+                (Clock.elapsed_s t0)
+          | Error e -> Printf.printf "FAIL %s (%.2fs)\n%!" e (Clock.elapsed_s t0)))
         configs)
     kernels

@@ -1,0 +1,8 @@
+(** Monotonic wall-clock for the runner layer — see the .mli. *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+
+let sleep_s s = if s > 0.0 then Unix.sleepf s

@@ -1,0 +1,21 @@
+(** The one wall-clock for the runner layer.
+
+    Every latency, backoff, deadline and soak-percentile measurement in
+    [pv_core] goes through this module, which reads CLOCK_MONOTONIC (via
+    bechamel's stub).  [Sys.time] is per-process CPU time — under multiple
+    domains it sums the busy time of every worker and is inflated by their
+    GC — and [Unix.gettimeofday] can step backwards under NTP; neither is
+    acceptable for percentiles or timeout decisions, so neither appears on
+    the runner path (DESIGN.md §18 records the audit). *)
+
+(** Monotonic time in nanoseconds since an arbitrary origin. *)
+val now_ns : unit -> int64
+
+(** Monotonic time in seconds since an arbitrary origin. *)
+val now_s : unit -> float
+
+(** [elapsed_s t0] is the time in seconds since [t0 = now_ns ()]. *)
+val elapsed_s : int64 -> float
+
+(** Sleep the calling domain for [s] seconds (no-op for [s <= 0]). *)
+val sleep_s : float -> unit

@@ -127,6 +127,7 @@ let sweep ?sim_cfg ?cache ?metrics ?(jobs = 1) cells :
     match run_point ?sim_cfg ?cache cell with
     | p -> Ok p
     | exception Invalid_argument msg -> Error msg
+    | exception e -> Error (Printexc.to_string e)
   in
   (* same execution shape as Parallel.map, but over an explicit pool so
      the per-worker tallies survive for the telemetry below *)
@@ -166,6 +167,73 @@ let sweep ?sim_cfg ?cache ?metrics ?(jobs = 1) cells :
       | None -> ()));
   results
 
+(* ------------------------------------------------------------------ *)
+(* Supervised sweep                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** [run_checked] is {!run} with every failure mode folded into a
+    deterministic [Error] string instead of an exception. *)
+let run_checked ?sim_cfg ?init kernel dis : (point, string) result =
+  match run ?sim_cfg ?init kernel dis with
+  | p -> Ok p
+  | exception Invalid_argument msg -> Error msg
+  | exception Pv_dataflow.Sim.Cancelled { at_cycle } ->
+      Error (Printf.sprintf "cancelled at cycle %d" at_cycle)
+  | exception e -> Error (Printexc.to_string e)
+
+let cell_label (kernel, dis) =
+  kernel.Pv_kernels.Ast.name ^ "/" ^ Pipeline.name_of dis
+
+(** {!sweep} under {!Supervisor.run_tasks}: each cell runs with a fresh
+    cancellation token wired into the simulator's [cancel] hook, crashes
+    and deadline overruns are retried per [policy], and the exhausted
+    cells come back as structured {!Supervisor.task_error}s.  The token
+    never enters {!cache_key}, so supervised and bare sweeps share cache
+    entries. *)
+let sweep_supervised ?policy ?sim_cfg ?cache ?metrics ?(jobs = 1) cells :
+    (point, Supervisor.task_error) result list * Supervisor.stats =
+  let hits0, misses0 =
+    match cache with
+    | Some c -> (Parallel.Cache.hits c, Parallel.Cache.misses c)
+    | None -> (0, 0)
+  in
+  let base =
+    Option.value sim_cfg ~default:Pv_dataflow.Sim.default_config
+  in
+  let f ~token cell =
+    let sim_cfg =
+      {
+        base with
+        Pv_dataflow.Sim.cancel =
+          (fun () -> Supervisor.Token.cancelled token);
+      }
+    in
+    run_point ~sim_cfg ?cache cell
+  in
+  let results, stats =
+    Supervisor.run_tasks ?policy ?metrics ~metrics_prefix:"runner." ~jobs
+      ~label:cell_label f cells
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let module M = Pv_obs.Metrics in
+      List.iter
+        (function
+          | Ok p ->
+              M.incr m "runner.points";
+              M.observe m "runner.point_cycles" p.cycles;
+              M.absorb m p.metrics
+          | Error _ -> M.incr m "runner.errors")
+        results;
+      M.set_gauge_max m "runner.jobs_effective" (Parallel.effective_jobs jobs);
+      (match cache with
+      | Some c ->
+          M.add m "runner.cache_hits" (Parallel.Cache.hits c - hits0);
+          M.add m "runner.cache_misses" (Parallel.Cache.misses c - misses0)
+      | None -> ()));
+  (results, stats)
+
 (** The paper's four evaluated configurations, in table-column order. *)
 let paper_configs () =
   [ Pipeline.plain_lsq; Pipeline.fast_lsq; Pipeline.prevv 16; Pipeline.prevv 64 ]
@@ -174,16 +242,8 @@ let paper_configs () =
     optionally across [jobs] domains and through a result cache.  The
     returned rows are identical whatever the worker count: every point is
     deterministic and is computed from private state. *)
-let paper_grid ?sim_cfg ?cache ?(jobs = 1) () : point list list =
-  let configs = paper_configs () in
-  let kernels = Pv_kernels.Defs.paper_benchmarks () in
-  let cells =
-    List.concat_map (fun k -> List.map (fun d -> (k, d)) configs) kernels
-  in
-  let points =
-    Parallel.map ~jobs (fun cell -> run_point ?sim_cfg ?cache cell) cells
-  in
-  (* regroup the flat cell list into one row of |configs| per kernel *)
+(* regroup a flat cell list into rows of [width] per kernel *)
+let regroup width points =
   let rec rows = function
     | [] -> []
     | points ->
@@ -194,10 +254,35 @@ let paper_grid ?sim_cfg ?cache ?(jobs = 1) () : point list list =
             | [] -> invalid_arg "paper_grid: ragged grid"
             | p :: rest -> split (n - 1) (p :: acc) rest
         in
-        let row, rest = split (List.length configs) [] points in
+        let row, rest = split width [] points in
         row :: rows rest
   in
   rows points
+
+(** The full grid under supervision: one row per kernel, one
+    [(point, task_error) result] per configuration.  A cell that keeps
+    failing past the retry budget occupies its grid position as a
+    structured error; every other cell still completes. *)
+let paper_grid_supervised ?policy ?sim_cfg ?cache ?metrics ?(jobs = 1) () :
+    (point, Supervisor.task_error) result list list * Supervisor.stats =
+  let configs = paper_configs () in
+  let kernels = Pv_kernels.Defs.paper_benchmarks () in
+  let cells =
+    List.concat_map (fun k -> List.map (fun d -> (k, d)) configs) kernels
+  in
+  let results, stats =
+    sweep_supervised ?policy ?sim_cfg ?cache ?metrics ~jobs cells
+  in
+  (regroup (List.length configs) results, stats)
+
+let paper_grid ?sim_cfg ?cache ?(jobs = 1) () : point list list =
+  let rows, _stats = paper_grid_supervised ?sim_cfg ?cache ~jobs () in
+  List.map
+    (List.map (function
+      | Ok p -> p
+      | Error e ->
+          failwith (Format.asprintf "paper_grid: %a" Supervisor.pp_task_error e)))
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

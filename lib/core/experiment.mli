@@ -73,9 +73,52 @@ val sweep :
   (Pv_kernels.Ast.kernel * Pipeline.disambiguation) list ->
   (point, string) result list
 
+(** {!run} with every failure mode folded into a deterministic
+    [Error msg] — infeasible configuration, mid-run cancellation,
+    anything else the pipeline raises. *)
+val run_checked :
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?init:(string * int array) list ->
+  Pv_kernels.Ast.kernel ->
+  Pipeline.disambiguation ->
+  (point, string) result
+
+(** The supervision label of a cell: ["<kernel>/<config>"]. *)
+val cell_label : Pv_kernels.Ast.kernel * Pipeline.disambiguation -> string
+
+(** {!sweep} under {!Supervisor.run_tasks}: each cell runs with a fresh
+    cancellation token wired into [Sim.config.cancel], crashed or
+    deadline-overrun cells are retried with seed-deterministic backoff,
+    and cells that exhaust the budget come back as structured
+    {!Supervisor.task_error}s while the rest of the grid completes.
+    [metrics] gets the same aggregation as {!sweep} plus the
+    supervisor's [runner.retries] / [runner.respawns] /
+    [runner.task_errors] / [runner.deadline_hits] counters. *)
+val sweep_supervised :
+  ?policy:Supervisor.policy ->
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?cache:Parallel.Cache.t ->
+  ?metrics:Pv_obs.Metrics.t ->
+  ?jobs:int ->
+  (Pv_kernels.Ast.kernel * Pipeline.disambiguation) list ->
+  (point, Supervisor.task_error) result list * Supervisor.stats
+
 (** The paper's four evaluated configurations, in table-column order:
     [15], [8], PreVV16, PreVV64. *)
 val paper_configs : unit -> Pipeline.disambiguation list
+
+(** The full grid under supervision: one row per kernel, one result per
+    configuration.  A cell that keeps failing past the retry budget
+    occupies its grid position as a structured error instead of
+    poisoning the rest of the grid. *)
+val paper_grid_supervised :
+  ?policy:Supervisor.policy ->
+  ?sim_cfg:Pv_dataflow.Sim.config ->
+  ?cache:Parallel.Cache.t ->
+  ?metrics:Pv_obs.Metrics.t ->
+  ?jobs:int ->
+  unit ->
+  (point, Supervisor.task_error) result list list * Supervisor.stats
 
 (** The full grid for the paper's five kernels (Tables I & II): one row
     per kernel, one point per configuration.  [jobs] fans the cells across

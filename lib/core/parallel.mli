@@ -52,35 +52,46 @@ val shutdown : pool -> unit
     workers and returns the results in input order.  If any job raised,
     the exception of the smallest-index failing element is re-raised after
     all jobs have completed (unlike serial [List.map], later elements are
-    still evaluated). *)
-val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
+    still evaluated).  [batch] (default 1) submits that many consecutive
+    elements per queued job, amortising queue/lock traffic over cheap
+    task lists. *)
+val map_pool : ?batch:int -> pool -> ('a -> 'b) -> 'a list -> 'b list
 
-(** [effective_jobs jobs]: the worker count {!map} will actually use —
-    [jobs] clamped to [Domain.recommended_domain_count ()].  Domains
-    beyond the hardware's parallelism only add stop-the-world GC
-    synchronisation, so {!map} never oversubscribes; on a single-core
-    host every requested count degrades to the serial path. *)
+(** Upper bound on any worker-count request (64). *)
+val max_jobs : int
+
+(** [effective_jobs jobs]: the worker count {!map} (and the experiment
+    drivers) will actually use — the request itself, clamped to
+    [\[1, max_jobs\]].  An explicit request is honoured exactly: [--jobs 2]
+    runs 2 workers even where [Domain.recommended_domain_count ()] is 1
+    (the previous hardware clamp silently collapsed such requests to a
+    single worker).  Only {!default_jobs} adapts to the machine. *)
 val effective_jobs : int -> int
 
 (** [map ~jobs f xs]: {!map_pool} on a transient pool of
     [effective_jobs jobs] workers.  With an effective count of 1 (or
     fewer than two elements) this is exactly [List.map f xs] on the
     calling domain — the serial reference the determinism harness
-    compares against.  [jobs] defaults to {!default_jobs}.  To force an
-    exact worker count (e.g. an oversubscribed race-hunting stress), use
-    {!create} + {!map_pool}. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    compares against.  [jobs] defaults to {!default_jobs}; [batch] as in
+    {!map_pool}. *)
+val map : ?jobs:int -> ?batch:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** {1 Result cache} *)
 
 module Cache : sig
-  (** Content-addressed memoisation of experiment results.
+  (** Content-addressed memoisation of experiment results, safe under
+      concurrent writers from multiple processes.
 
-      Values are stored marshalled, in memory and (optionally) on disk as
-      [dir/<key>.bin], written atomically so concurrent processes can
-      share a directory.  A disk entry that fails to load for any reason
-      (truncated write, stale binary layout) is treated as a miss and
-      overwritten.
+      Values are stored marshalled, in memory and (optionally) on disk,
+      sharded by key prefix as [dir/<key\[0..1\]>/<key>.bin].  Each disk
+      entry is framed (magic + payload digest) and published by an
+      advisory-lock + atomic-rename protocol: writers stage a
+      per-(pid, domain)-unique temp file and rename it under a per-shard
+      advisory lock; readers take no lock because the frame digest rejects
+      every torn state.  A disk entry that fails any check — truncated
+      write, short read, garbage, stale binary layout — is treated as a
+      miss {e and repaired} (unlinked, recomputed, rewritten); leftover
+      temp files from crashed writers are swept on {!on_disk}.
 
       {b The key must determine the value's type as well as its contents}:
       [memo] unmarshals whatever the key maps to.  Callers achieve this by
@@ -89,11 +100,16 @@ module Cache : sig
 
   type t
 
-  (** Memory-only cache (per-process). *)
-  val in_memory : unit -> t
+  (** Memory-only cache (per-process).  [max_mem] caps the in-memory
+      entry count (default 65536); beyond it entries are evicted
+      oldest-insertion-first. *)
+  val in_memory : ?max_mem:int -> unit -> t
 
-  (** Disk-backed cache rooted at [dir] (created if missing). *)
-  val on_disk : dir:string -> t
+  (** Disk-backed cache rooted at [dir] (created if missing; stale temp
+      files from crashed writers are swept).  [max_mem] as in
+      {!in_memory} — eviction only drops the in-memory mirror, never the
+      disk entry. *)
+  val on_disk : ?max_mem:int -> dir:string -> unit -> t
 
   (** [$PREVV_CACHE_DIR] if set, else ["_prevv_cache"]. *)
   val default_dir : unit -> string
@@ -104,9 +120,22 @@ module Cache : sig
       nothing is stored. *)
   val memo : t -> key:string -> (unit -> 'a) -> 'a * [ `Hit | `Miss ]
 
-  (** Hit/miss counters since creation (or {!reset_stats}). *)
+  (** Hit/miss/repair/eviction counters since creation (or
+      {!reset_stats}). *)
   val hits : t -> int
 
   val misses : t -> int
+
+  (** Corrupt disk entries detected and unlinked by the read path. *)
+  val repairs : t -> int
+
+  (** In-memory entries dropped by the [max_mem] cap. *)
+  val evictions : t -> int
+
+  (** Add the four counters into a {!Pv_obs.Metrics} registry as
+      [cache.hits] / [cache.misses] / [cache.repairs] / [cache.evictions]
+      (totals since creation or {!reset_stats}). *)
+  val record_metrics : t -> Pv_obs.Metrics.t -> unit
+
   val reset_stats : t -> unit
 end

@@ -1,0 +1,572 @@
+(** LDJSON experiment service — see the .mli and DESIGN.md §18. *)
+
+module Json = Pv_obs.Json
+module Sim = Pv_dataflow.Sim
+
+type request = {
+  id : string;
+  kernel : string;
+  backend : string;
+  engine : Sim.engine;
+  max_cycles : int option;
+  fault_seed : int option;
+}
+
+let request ~id ~kernel ~backend ?(engine = Sim.Event) ?max_cycles ?fault_seed
+    () =
+  { id; kernel; backend; engine; max_cycles; fault_seed }
+
+let ( let* ) = Result.bind
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j ->
+      let str_field name =
+        match Json.member name j with
+        | Some (Json.Str s) -> Ok s
+        | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+        | None -> Error (Printf.sprintf "missing field %S" name)
+      in
+      let int_field name =
+        match Json.member name j with
+        | Some (Json.Int i) -> Ok (Some i)
+        | None | Some Json.Null -> Ok None
+        | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+      in
+      let* id = str_field "id" in
+      let* kernel = str_field "kernel" in
+      let* backend = str_field "backend" in
+      let* engine =
+        match Json.member "engine" j with
+        | None | Some Json.Null -> Ok Sim.Event
+        | Some (Json.Str s) -> (
+            match Sim.engine_of_string s with
+            | Some e -> Ok e
+            | None -> Error (Printf.sprintf "unknown engine %S" s))
+        | Some _ -> Error "field \"engine\" must be a string"
+      in
+      let* max_cycles = int_field "max_cycles" in
+      let* fault_seed = int_field "fault_seed" in
+      Ok { id; kernel; backend; engine; max_cycles; fault_seed }
+
+let request_to_json r =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", Json.Str r.id);
+          ("kernel", Json.Str r.kernel);
+          ("backend", Json.Str r.backend);
+          ("engine", Json.Str (Sim.string_of_engine r.engine));
+        ]
+       @ (match r.max_cycles with
+         | Some n -> [ ("max_cycles", Json.Int n) ]
+         | None -> [])
+       @
+       match r.fault_seed with
+       | Some n -> [ ("fault_seed", Json.Int n) ]
+       | None -> []))
+
+(* the id is deliberately excluded: two requests differing only in id are
+   the same computation and share one in-flight slot / cache entry *)
+let request_key r =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( "prevv-serve/v1",
+            r.kernel,
+            r.backend,
+            Sim.string_of_engine r.engine,
+            r.max_cycles,
+            r.fault_seed )
+          []))
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  jobs : int;
+  queue_capacity : int;
+  policy : Supervisor.policy;
+  cache : Parallel.Cache.t option;
+  kill_at : int list;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    queue_capacity = 256;
+    policy = Supervisor.default_policy;
+    cache = None;
+    kill_at = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Responses (deterministic: no timing, no attempt counts)             *)
+(* ------------------------------------------------------------------ *)
+
+let json_str s = Json.to_string (Json.Str s)
+
+let ok_line id body =
+  Printf.sprintf "{ \"id\": %s, \"status\": \"ok\", \"result\": %s }"
+    (json_str id) body
+
+let error_line id msg =
+  Printf.sprintf "{ \"id\": %s, \"status\": \"error\", \"error\": %s }"
+    (json_str id) (json_str msg)
+
+let overloaded_line id =
+  Printf.sprintf "{ \"id\": %s, \"status\": \"overloaded\" }" (json_str id)
+
+let bad_line msg =
+  Printf.sprintf "{ \"id\": null, \"status\": \"bad_request\", \"error\": %s }"
+    (json_str msg)
+
+(* ------------------------------------------------------------------ *)
+(* Compute                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let describe_exn = function
+  | Sim.Cancelled { at_cycle } ->
+      Printf.sprintf "deadline exceeded (cancelled at cycle %d)" at_cycle
+  | Invalid_argument m -> m
+  | e -> Printexc.to_string e
+
+(* one compute attempt; raises on failure *)
+let compute cfg ~token req =
+  let kernel = Pv_kernels.Defs.by_name req.kernel in
+  let dis =
+    match Scheme.of_string req.backend with
+    | Ok d -> d
+    | Error e -> invalid_arg e
+  in
+  let base = Sim.default_config in
+  let faults =
+    match req.fault_seed with
+    | None -> []
+    | Some seed ->
+        (* the seeded plan is sized to the kernel's instance count, which
+           needs the compiled circuit; requests without a fault_seed skip
+           this extra compile *)
+        let compiled = Pipeline.compile kernel in
+        let instances = Pv_frontend.Trace.length compiled.Pipeline.trace in
+        Pv_dataflow.Fault.random_recoverable ~seed
+          ~n_chans:(Pv_dataflow.Graph.n_chans compiled.Pipeline.graph)
+          ~max_seq:instances
+          ~horizon:(100 + (4 * instances))
+          ()
+  in
+  let sim_cfg =
+    {
+      base with
+      Sim.engine = req.engine;
+      Sim.max_cycles =
+        Option.value req.max_cycles ~default:base.Sim.max_cycles;
+      Sim.faults;
+      Sim.cancel = (fun () -> Supervisor.Token.cancelled token);
+    }
+  in
+  let point =
+    match cfg.cache with
+    | Some c -> fst (Experiment.run_cached ~sim_cfg ~cache:c kernel dis)
+    | None -> Experiment.run ~sim_cfg kernel dis
+  in
+  Experiment.point_to_json point
+
+type outcome = R_ok of string | R_err of string
+
+(* full retry loop for one request; returns (outcome, extra attempts) *)
+let compute_with_retries cfg req =
+  let p = cfg.policy in
+  let label = req.kernel ^ "/" ^ req.backend in
+  let rec go attempt =
+    let token = Supervisor.Token.create ?deadline_s:p.Supervisor.deadline_s () in
+    match compute cfg ~token req with
+    | body -> (R_ok body, attempt - 1)
+    | exception e ->
+        if attempt < p.Supervisor.max_attempts && p.Supervisor.retryable e then begin
+          Clock.sleep_s (Supervisor.backoff_delay p ~label ~attempt);
+          go (attempt + 1)
+        end
+        else (R_err (describe_exn e), attempt - 1)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Supervised request loop                                             *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  received : int;
+  responded : int;
+  ok : int;
+  errors : int;
+  bad_requests : int;
+  shed : int;
+  dedup_hits : int;
+  retries : int;
+  worker_kills : int;
+  respawns : int;
+  cache_hits : int;
+  cache_misses : int;
+  lost : int;
+  wall_s : float;
+  requests_per_s : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("received", Json.Int s.received);
+      ("responded", Json.Int s.responded);
+      ("ok", Json.Int s.ok);
+      ("errors", Json.Int s.errors);
+      ("bad_requests", Json.Int s.bad_requests);
+      ("shed", Json.Int s.shed);
+      ("dedup_hits", Json.Int s.dedup_hits);
+      ("retries", Json.Int s.retries);
+      ("worker_kills", Json.Int s.worker_kills);
+      ("respawns", Json.Int s.respawns);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("cache_misses", Json.Int s.cache_misses);
+      ("lost", Json.Int s.lost);
+      ("wall_s", Json.Float s.wall_s);
+      ("requests_per_s", Json.Float s.requests_per_s);
+      ("p50_ms", Json.Float s.p50_ms);
+      ("p99_ms", Json.Float s.p99_ms);
+    ]
+
+let drain_flag = Atomic.make false
+let drain_now () = Atomic.set drain_flag true
+
+type item = { t_seq : int; t_key : string; t_req : request }
+
+type state = {
+  cfg : config;
+  jobs_target : int;
+  lock : Mutex.t;
+  work : Condition.t;  (** workers: the queue may have work *)
+  progress : Condition.t;  (** main: a response landed or a worker died *)
+  queue : item Queue.t;
+  mutable draining : bool;
+  responses : (int, string) Hashtbl.t;  (** seq -> response line *)
+  mutable next_emit : int;
+  mutable next_seq : int;
+  mutable pending : int;  (** accepted, not yet responded *)
+  inflight : (string, (int * string) list ref) Hashtbl.t;
+      (** key -> waiting (seq, id) *)
+  t0s : (int, int64) Hashtbl.t;  (** seq -> submit instant *)
+  lats : float Queue.t;  (** latencies (ms) of computed responses *)
+  kill_pending : (int, unit) Hashtbl.t;
+  mutable live : int;
+  mutable domains : unit Domain.t list;
+  mutable n_received : int;
+  mutable n_ok : int;
+  mutable n_errors : int;
+  mutable n_bad : int;
+  mutable n_shed : int;
+  mutable n_dedup : int;
+  mutable n_retries : int;
+  mutable n_kills : int;
+  mutable n_respawns : int;
+}
+
+(* store the computed outcome for every waiter of the item's key;
+   lock held by caller *)
+let store_locked st item outcome retries =
+  let waiters =
+    match Hashtbl.find_opt st.inflight item.t_key with
+    | Some ws -> !ws
+    | None -> [ (item.t_seq, item.t_req.id) ]
+  in
+  Hashtbl.remove st.inflight item.t_key;
+  st.n_retries <- st.n_retries + retries;
+  List.iter
+    (fun (seq, id) ->
+      let line =
+        match outcome with
+        | R_ok body -> ok_line id body
+        | R_err msg -> error_line id msg
+      in
+      Hashtbl.replace st.responses seq line;
+      (match outcome with
+      | R_ok _ -> st.n_ok <- st.n_ok + 1
+      | R_err _ -> st.n_errors <- st.n_errors + 1);
+      (match Hashtbl.find_opt st.t0s seq with
+      | Some t0 -> Queue.push (Clock.elapsed_s t0 *. 1000.0) st.lats
+      | None -> ());
+      st.pending <- st.pending - 1)
+    waiters;
+  Condition.signal st.progress
+
+(* [`Done] = outcome stored; [`Killed] = the worker must die and the item
+   be requeued (caller handles both under the lock) *)
+let process st item =
+  Mutex.lock st.lock;
+  let kill = Hashtbl.mem st.kill_pending item.t_seq in
+  if kill then Hashtbl.remove st.kill_pending item.t_seq;
+  Mutex.unlock st.lock;
+  if kill then `Killed
+  else begin
+    let outcome, retries = compute_with_retries st.cfg item.t_req in
+    Mutex.lock st.lock;
+    store_locked st item outcome retries;
+    Mutex.unlock st.lock;
+    `Done
+  end
+
+let rec worker st =
+  Mutex.lock st.lock;
+  while Queue.is_empty st.queue && not st.draining do
+    Condition.wait st.work st.lock
+  done;
+  if Queue.is_empty st.queue then begin
+    (* draining and nothing left to pull: this worker retires *)
+    st.live <- st.live - 1;
+    Condition.signal st.progress;
+    Mutex.unlock st.lock
+  end
+  else begin
+    let item = Queue.pop st.queue in
+    Mutex.unlock st.lock;
+    match process st item with
+    | `Done -> worker st
+    | `Killed ->
+        (* die mid-task: requeue the in-flight request (zero lost) and
+           let the main loop respawn a replacement *)
+        Mutex.lock st.lock;
+        st.n_kills <- st.n_kills + 1;
+        st.live <- st.live - 1;
+        Queue.push item st.queue;
+        Condition.signal st.work;
+        Condition.signal st.progress;
+        Mutex.unlock st.lock
+  end
+
+(* lock held by caller *)
+let spawn_locked st =
+  st.live <- st.live + 1;
+  st.domains <- Domain.spawn (fun () -> worker st) :: st.domains
+
+let respawn_if_needed_locked st =
+  while st.live < st.jobs_target && not (Queue.is_empty st.queue) do
+    spawn_locked st;
+    st.n_respawns <- st.n_respawns + 1
+  done
+
+(* inline execution for jobs <= 1: the serial reference *)
+let drain_inline st =
+  let rec loop () =
+    Mutex.lock st.lock;
+    let item = if Queue.is_empty st.queue then None else Some (Queue.pop st.queue) in
+    Mutex.unlock st.lock;
+    match item with
+    | None -> ()
+    | Some item ->
+        (match process st item with
+        | `Done -> ()
+        | `Killed ->
+            (* no domain to kill serially: count it and recompute *)
+            Mutex.lock st.lock;
+            st.n_kills <- st.n_kills + 1;
+            Queue.push item st.queue;
+            Mutex.unlock st.lock);
+        loop ()
+  in
+  loop ()
+
+(* pop the contiguous ready prefix; lock held by caller *)
+let ready_locked st =
+  let out = ref [] in
+  let rec go () =
+    match Hashtbl.find_opt st.responses st.next_emit with
+    | Some line ->
+        Hashtbl.remove st.responses st.next_emit;
+        st.next_emit <- st.next_emit + 1;
+        out := line :: !out;
+        go ()
+    | None -> ()
+  in
+  go ();
+  List.rev !out
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) idx))
+
+let run ?metrics cfg ~next ~emit =
+  Atomic.set drain_flag false;
+  let jobs_target = Parallel.effective_jobs cfg.jobs in
+  let inline = jobs_target <= 1 in
+  let cache_hits0, cache_misses0 =
+    match cfg.cache with
+    | Some c -> (Parallel.Cache.hits c, Parallel.Cache.misses c)
+    | None -> (0, 0)
+  in
+  let st =
+    {
+      cfg;
+      jobs_target;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      progress = Condition.create ();
+      queue = Queue.create ();
+      draining = false;
+      responses = Hashtbl.create 64;
+      next_emit = 0;
+      next_seq = 0;
+      pending = 0;
+      inflight = Hashtbl.create 64;
+      t0s = Hashtbl.create 64;
+      lats = Queue.create ();
+      kill_pending = Hashtbl.create 4;
+      live = 0;
+      domains = [];
+      n_received = 0;
+      n_ok = 0;
+      n_errors = 0;
+      n_bad = 0;
+      n_shed = 0;
+      n_dedup = 0;
+      n_retries = 0;
+      n_kills = 0;
+      n_respawns = 0;
+    }
+  in
+  List.iter (fun seq -> Hashtbl.replace st.kill_pending seq ()) cfg.kill_at;
+  let capacity = max 1 cfg.queue_capacity in
+  let t_start = Clock.now_ns () in
+  Mutex.lock st.lock;
+  if not inline then
+    for _ = 1 to jobs_target do
+      spawn_locked st
+    done;
+  Mutex.unlock st.lock;
+  (* ---- intake ---- *)
+  let rec intake () =
+    if Atomic.get drain_flag then ()
+    else
+      match next () with
+      | None -> ()
+      | Some line ->
+          Mutex.lock st.lock;
+          st.n_received <- st.n_received + 1;
+          let seq = st.next_seq in
+          st.next_seq <- seq + 1;
+          (match parse_request line with
+          | Error msg ->
+              Hashtbl.replace st.responses seq (bad_line msg);
+              st.n_bad <- st.n_bad + 1
+          | Ok req ->
+              if st.pending >= capacity then begin
+                (* bounded queue: explicit shed, never a silent drop *)
+                Hashtbl.replace st.responses seq (overloaded_line req.id);
+                st.n_shed <- st.n_shed + 1
+              end
+              else begin
+                st.pending <- st.pending + 1;
+                Hashtbl.replace st.t0s seq (Clock.now_ns ());
+                let key = request_key req in
+                match Hashtbl.find_opt st.inflight key with
+                | Some ws ->
+                    (* identical request already in flight: wait on it *)
+                    ws := (seq, req.id) :: !ws;
+                    st.n_dedup <- st.n_dedup + 1
+                | None ->
+                    Hashtbl.add st.inflight key (ref [ (seq, req.id) ]);
+                    Queue.push { t_seq = seq; t_key = key; t_req = req }
+                      st.queue;
+                    Condition.signal st.work
+              end);
+          if not inline then respawn_if_needed_locked st;
+          let lines = ready_locked st in
+          Mutex.unlock st.lock;
+          if inline then drain_inline st;
+          List.iter emit lines;
+          if inline then begin
+            Mutex.lock st.lock;
+            let lines = ready_locked st in
+            Mutex.unlock st.lock;
+            List.iter emit lines
+          end;
+          intake ()
+  in
+  intake ();
+  (* ---- drain ---- *)
+  if inline then drain_inline st;
+  Mutex.lock st.lock;
+  st.draining <- true;
+  Condition.broadcast st.work;
+  while st.pending > 0 do
+    respawn_if_needed_locked st;
+    (match ready_locked st with
+    | [] -> Condition.wait st.progress st.lock
+    | lines ->
+        Mutex.unlock st.lock;
+        List.iter emit lines;
+        Mutex.lock st.lock)
+  done;
+  Condition.broadcast st.work;
+  while st.live > 0 do
+    Condition.wait st.progress st.lock
+  done;
+  let last = ready_locked st in
+  Mutex.unlock st.lock;
+  List.iter emit last;
+  List.iter Domain.join st.domains;
+  (* ---- summary ---- *)
+  let wall_s = Clock.elapsed_s t_start in
+  let lats = Array.of_seq (Queue.to_seq st.lats) in
+  Array.sort compare lats;
+  let responded = st.next_emit in
+  let cache_hits, cache_misses =
+    match cfg.cache with
+    | Some c ->
+        (Parallel.Cache.hits c - cache_hits0,
+         Parallel.Cache.misses c - cache_misses0)
+    | None -> (0, 0)
+  in
+  let summary =
+    {
+      received = st.n_received;
+      responded;
+      ok = st.n_ok;
+      errors = st.n_errors;
+      bad_requests = st.n_bad;
+      shed = st.n_shed;
+      dedup_hits = st.n_dedup;
+      retries = st.n_retries;
+      worker_kills = st.n_kills;
+      respawns = st.n_respawns;
+      cache_hits;
+      cache_misses;
+      lost = st.n_received - responded;
+      wall_s;
+      requests_per_s =
+        (if wall_s > 0.0 then float_of_int st.n_received /. wall_s else 0.0);
+      p50_ms = percentile lats 0.50;
+      p99_ms = percentile lats 0.99;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let module M = Pv_obs.Metrics in
+      M.add m "serve.received" summary.received;
+      M.add m "serve.ok" summary.ok;
+      M.add m "serve.errors" summary.errors;
+      M.add m "serve.bad_requests" summary.bad_requests;
+      M.add m "serve.shed" summary.shed;
+      M.add m "serve.dedup_hits" summary.dedup_hits;
+      M.add m "serve.retries" summary.retries;
+      M.add m "serve.worker_kills" summary.worker_kills;
+      M.add m "serve.respawns" summary.respawns;
+      M.add m "serve.lost" summary.lost;
+      Option.iter (fun c -> Parallel.Cache.record_metrics c m) cfg.cache);
+  summary

@@ -1,0 +1,123 @@
+(** Supervision layer over the {!Parallel} worker pool: crash isolation,
+    per-task deadlines, deterministic retry with exponential backoff, and
+    worker respawn.
+
+    The bare pool ({!Parallel.map_pool}) is exception-transparent: one
+    raising task re-raises after the batch, poisoning the whole grid, and
+    a task that escapes the wrapper kills its worker domain silently.
+    This module wraps every task so that
+
+    - an uncaught exception marks only that task failed;
+    - a per-attempt deadline (cooperative: the task polls its
+      {!Token}, the simulator raises {!Pv_dataflow.Sim.Cancelled}) turns a
+      runaway task into a retried one instead of a hung grid;
+    - a killed worker (a task raising {!Kill_worker}, the chaos-testing
+      stand-in for a dying domain) takes down only itself: the in-flight
+      task is marked failed-retryable and the supervisor respawns a
+      replacement worker so the pool never shrinks;
+    - failed tasks are retried with seed-deterministic exponential
+      backoff up to [max_attempts], then reported as a structured
+      {!task_error} — the caller always receives one result per task.
+
+    DESIGN.md §18 specifies the task lifecycle and policy semantics. *)
+
+(** {1 Cancellation tokens} *)
+
+module Token : sig
+  (** A cooperative cancellation token: a flag the owner may set, plus an
+      optional monotonic-clock deadline.  Tasks (and {!Pv_dataflow.Sim}
+      via its [config.cancel] hook) poll {!cancelled}. *)
+
+  type t
+
+  (** [create ?deadline_s ()] — [deadline_s] is seconds from now on the
+      monotonic clock ({!Clock}). *)
+  val create : ?deadline_s:float -> unit -> t
+
+  (** Set the flag (idempotent, thread-safe). *)
+  val cancel : t -> unit
+
+  (** True once {!cancel} was called or the deadline passed. *)
+  val cancelled : t -> bool
+end
+
+(** {1 Policy} *)
+
+type policy = {
+  max_attempts : int;  (** total tries per task (>= 1) *)
+  base_delay_s : float;  (** backoff after the first failure *)
+  max_delay_s : float;  (** backoff ceiling *)
+  deadline_s : float option;  (** per-attempt cooperative deadline *)
+  seed : int;  (** jitter seed: same seed => same schedule *)
+  retryable : exn -> bool;
+      (** which failures are worth retrying; {!default_policy} retries
+          everything except [Invalid_argument] (an infeasible
+          configuration never becomes feasible) *)
+}
+
+(** 3 attempts, 10 ms base, 500 ms ceiling, no deadline, seed 0. *)
+val default_policy : policy
+
+(** [backoff_delay policy ~label ~attempt] — the delay in seconds before
+    retry number [attempt] (the first retry is [attempt = 1]) of the task
+    named [label]: exponential ([base * 2^(attempt-1)], capped at
+    [max_delay_s]) with a deterministic jitter factor in [0.5, 1.5)
+    derived from [(seed, label, attempt)].  Pure: same policy, label and
+    attempt always give the same delay. *)
+val backoff_delay : policy -> label:string -> attempt:int -> float
+
+(** The full per-task schedule [backoff_delay ~attempt:1 .. max_attempts-1]
+    — what a task would sleep between its successive attempts. *)
+val backoff_schedule : policy -> label:string -> float list
+
+(** {1 Task outcomes} *)
+
+(** Raised by a task to simulate its worker domain dying mid-task — the
+    chaos-testing kill switch.  The supervisor marks the task
+    failed-retryable, lets the worker die, and respawns a replacement. *)
+exception Kill_worker
+
+type task_error = {
+  label : string;  (** e.g. ["gaussian/prevv16"] *)
+  attempts : int;  (** attempts actually made *)
+  last_error : string;  (** printed last exception / post-mortem *)
+  deadline_hit : bool;  (** the last failure was a deadline overrun *)
+  worker_kills : int;  (** attempts that died with {!Kill_worker} *)
+}
+
+val pp_task_error : Format.formatter -> task_error -> unit
+
+(** Deterministic JSON object for an errors section. *)
+val task_error_to_json : task_error -> Pv_obs.Json.t
+
+type stats = {
+  completed : int;  (** tasks that returned a value *)
+  failed : int;  (** tasks reported as {!task_error} *)
+  retries : int;  (** extra attempts beyond each task's first *)
+  respawns : int;  (** replacement workers spawned after kills *)
+  deadline_hits : int;  (** attempts cancelled by their deadline *)
+}
+
+(** {1 Running} *)
+
+(** [run_tasks ~jobs ~label f tasks] runs every task under supervision and
+    returns one result per task, in task order, plus the run's {!stats}.
+    [f] receives a fresh {!Token} per attempt (wire it into
+    [Sim.config.cancel] for cooperative deadlines).  [jobs <= 1] runs
+    serially on the calling domain — the deterministic reference.
+    [metrics] (optional) gets [<prefix>retries] / [<prefix>respawns] /
+    [<prefix>task_errors] / [<prefix>deadline_hits] counters
+    ([metrics_prefix] defaults to ["supervisor."]).
+
+    Tasks must not print; ordering and content of the returned list are
+    deterministic given a deterministic task function (wall-clock
+    deadlines excepted — see DESIGN.md §18). *)
+val run_tasks :
+  ?policy:policy ->
+  ?metrics:Pv_obs.Metrics.t ->
+  ?metrics_prefix:string ->
+  jobs:int ->
+  label:('a -> string) ->
+  (token:Token.t -> 'a -> 'b) ->
+  'a list ->
+  ('b, task_error) result list * stats

@@ -49,7 +49,14 @@ type config = {
           testing); empty for a fault-free simulation *)
   engine : engine;
       (** evaluation strategy; both engines are cycle-equivalent *)
+  cancel : unit -> bool;
+      (** cooperative cancellation token, polled by {!run} between cycles;
+          when it turns true the run raises {!Cancelled}.  Never affects a
+          completed result, so it is deliberately absent from result cache
+          fingerprints. *)
 }
+
+exception Cancelled of { at_cycle : int }
 
 (* Few, fat stages: the paper's circuits close at 7.2-9.2 ns, implying
    multi-level logic per stage; a 2-stage DSP multiplier and 3-stage
@@ -60,6 +67,8 @@ let default_latency = function
   | Div | Rem -> 3
   | _ -> 0
 
+let no_cancel () = false
+
 let default_config =
   {
     op_latency = default_latency;
@@ -67,6 +76,7 @@ let default_config =
     stall_limit = 4096;
     faults = [];
     engine = Event;
+    cancel = no_cancel;
   }
 
 (** Diagnosis attached to a non-[Finished] outcome: enough state to tell a
@@ -1134,6 +1144,10 @@ let run ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
     else if t.cycle - t.last_progress > cfg.stall_limit then
       Deadlock { at_cycle = t.cycle; post_mortem = post_mortem t }
     else begin
+      (* cooperative cancellation: polled every 64 cycles so a
+         deadline-checking token (a clock read) costs nothing measurable *)
+      if t.cycle land 63 = 0 && cfg.cancel () then
+        raise (Cancelled { at_cycle = t.cycle });
       step t;
       loop ()
     end

@@ -90,10 +90,10 @@ let test_cache_memo_in_memory () =
 
 let test_cache_shared_directory () =
   let dir = Filename.temp_dir "prevv_cache_test" "" in
-  let a = Parallel.Cache.on_disk ~dir in
+  let a = Parallel.Cache.on_disk ~dir () in
   let v1, s1 = Parallel.Cache.memo a ~key:"point" (fun () -> (42, [| 1; 2 |])) in
   (* a fresh instance over the same directory models a second process *)
-  let b = Parallel.Cache.on_disk ~dir in
+  let b = Parallel.Cache.on_disk ~dir () in
   let v2, s2 =
     Parallel.Cache.memo b ~key:"point" (fun () ->
         Alcotest.fail "hit expected, compute ran")
