@@ -619,94 +619,183 @@ let soak ~jobs ~n () =
 (* --json: machine-readable simulator baselines (BENCH_sim.json)       *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-kernel cycles, wall-clock time and node evaluations for both
-   simulator engines under the selected backend (default PreVV16), the
-   bound-chain curves of the differential harness (oracle / serial
-   bracketing every ranked scheme), the serial-vs-parallel wall clock of
-   the full Table I/II grid with the result-cache statistics, and each
-   grid cell's metric snapshot (Pv_obs.Metrics — cycles, fires, backend
-   traffic, arbiter tallies), plus the chaos-soak section (the supervised
-   service under 10k requests, one injected worker kill and an overload
-   burst), as a stable JSON document the CI archives
-   (schema prevv-bench-sim/v5). *)
+(* Per-kernel cycles, wall-clock time, throughput (cycles/s) and node
+   evaluations for both simulator engines across two activity regimes —
+   the selected backend (default PreVV16, streaming: nearly every node
+   busy every cycle, where the adaptive event engine runs dense and ties
+   the scan) and the serializing bound (sparse: long memory stalls, where
+   the sparse sweep skips most of the circuit) — plus each engine's
+   steady-state minor-heap allocation per cycle over the allocation-free
+   direct backend, the bound-chain curves of the differential harness
+   (oracle / serial bracketing every ranked scheme), the serial-vs-parallel
+   wall clock of the full Table I/II grid with the result-cache
+   statistics, each grid cell's metric snapshot (Pv_obs.Metrics — cycles,
+   fires, backend traffic, arbiter tallies), and the chaos-soak section
+   (the supervised service under 10k requests, one injected worker kill
+   and an overload burst), as a stable JSON document the CI archives and
+   diffs against the committed baseline (schema prevv-bench-sim/v6). *)
 
 let bench_json ~path ~jobs ~cache ~backend () =
   let module Sim = Pv_dataflow.Sim in
+  let module Memif = Pv_dataflow.Memif in
   let dis = backend in
-  let reps = 3 in
-  let measure compiled engine =
-    (* best-of-N on the monotonic wall clock to shed allocator/GC noise;
-       kept serial so worker contention never skews the timings *)
-    let sim_cfg = { Sim.default_config with Sim.engine } in
-    let best = ref infinity in
-    let result = ref None in
-    for _ = 1 to reps do
+  let reps = 5 in
+  let measure_pair compiled dis =
+    (* interleaved best-of-N on the monotonic wall clock: scan and event
+       alternate inside every rep so both engines sample the same
+       allocator / frequency / cache state, and the ratio is not polluted
+       by drift between two back-to-back measurement blocks *)
+    let run engine =
+      let sim_cfg = { Sim.default_config with Sim.engine } in
       let t0 = now_s () in
       let r = Pipeline.simulate ~sim_cfg compiled dis in
-      let dt = now_s () -. t0 in
-      if dt < !best then best := dt;
-      result := Some r
+      (r, now_s () -. t0)
+    in
+    let best_s = ref infinity and best_e = ref infinity in
+    let scan = ref None and event = ref None in
+    for _ = 1 to reps do
+      let r, dt = run Sim.Scan in
+      if dt < !best_s then best_s := dt;
+      scan := Some r;
+      let r, dt = run Sim.Event in
+      if dt < !best_e then best_e := dt;
+      event := Some r
     done;
-    (Option.get !result, !best)
+    ((Option.get !scan, !best_s), (Option.get !event, !best_e))
+  in
+  let allocs_per_cycle compiled engine =
+    (* steady-state minor words per cycle over the allocation-free direct
+       backend, so the slope isolates the simulator core; two windows of
+       different length cancel the probes' own constant boxing overhead
+       (same technique as test_sim_perf) *)
+    let mem =
+      Pv_memory.Layout.initial_memory compiled.Pipeline.layout
+        compiled.Pipeline.kernel ~init:[]
+    in
+    let sim =
+      Sim.create
+        ~cfg:{ Sim.default_config with Sim.engine }
+        compiled.Pipeline.graph
+        (Memif.direct ~latency:2 mem)
+    in
+    let window n =
+      let w0 = Gc.minor_words () in
+      for _ = 1 to n do
+        Sim.step sim
+      done;
+      Gc.minor_words () -. w0
+    in
+    for _ = 1 to 200 do
+      Sim.step sim
+    done;
+    let d_short = window 300 in
+    let d_long = window 1000 in
+    (d_long -. d_short) /. 700.0
+  in
+  (* the two activity regimes; when serial itself is selected there is
+     only one *)
+  let regimes =
+    if Pv_core.Scheme.to_string dis = Pv_core.Scheme.to_string Pv_core.Scheme.serial
+    then [ dis ]
+    else [ dis; Pv_core.Scheme.serial ]
   in
   header
-    (Printf.sprintf "engine baselines (scan vs event, %s)"
-       (Pv_core.Scheme.to_string dis));
-  Printf.printf "%-14s | %10s %10s %9s | %10s %10s %9s | %6s %5s\n" "kernel"
-    "scan ev" "ev/cyc" "time(s)" "event ev" "ev/cyc" "time(s)" "ratio" "equiv";
+    (Printf.sprintf "engine baselines (scan vs event; regimes: %s)"
+       (String.concat ", " (List.map Pv_core.Scheme.to_string regimes)));
+  Printf.printf "%-14s %-10s | %10s %9s | %10s %9s | %6s %6s %5s\n" "kernel"
+    "backend" "scan ev" "time(s)" "event ev" "time(s)" "evr" "tr" "equiv";
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v5\",\n";
+  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v6\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"backend\": %S,\n" (Pv_core.Scheme.to_string dis));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"regime_backends\": [ %s ],\n"
+       (String.concat ", "
+          (List.map
+             (fun d -> Printf.sprintf "%S" (Pv_core.Scheme.to_string d))
+             regimes)));
   Buffer.add_string buf
     (Printf.sprintf "  \"default_engine\": %S,\n"
        (Sim.string_of_engine Sim.default_config.Sim.engine));
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf "  \"kernels\": [\n";
   let eval_ratios = ref [] and time_ratios = ref [] in
+  let time_ratios_by_backend =
+    List.map (fun d -> (Pv_core.Scheme.to_string d, ref [])) regimes
+  in
   let kernels = Pv_kernels.Defs.paper_benchmarks () in
   let n_kernels = List.length kernels in
+  let n_regimes = List.length regimes in
   List.iteri
     (fun i kernel ->
       let name = kernel.Pv_kernels.Ast.name in
       let compiled = Pipeline.compile kernel in
-      let scan, scan_t = measure compiled Sim.Scan in
-      let event, event_t = measure compiled Sim.Event in
-      let epc (r : Pipeline.result) =
-        float_of_int r.Pipeline.run_stats.Sim.evals
-        /. float_of_int (max r.Pipeline.cycles 1)
+      let alloc_scan = allocs_per_cycle compiled Sim.Scan in
+      let alloc_event = allocs_per_cycle compiled Sim.Event in
+      let kernel_time_ratios = ref [] in
+      let cells =
+        List.mapi
+          (fun j regime ->
+            let bname = Pv_core.Scheme.to_string regime in
+            let (scan, scan_t), (event, event_t) =
+              measure_pair compiled regime
+            in
+            let epc (r : Pipeline.result) =
+              float_of_int r.Pipeline.run_stats.Sim.evals
+              /. float_of_int (max r.Pipeline.cycles 1)
+            in
+            let side (r : Pipeline.result) dt =
+              Printf.sprintf
+                "{ \"cycles\": %d, \"time_s\": %.6f, \"cycles_per_s\": %.0f, \
+                 \"evals\": %d, \"evals_per_cycle\": %.3f }"
+                r.Pipeline.cycles dt
+                (float_of_int r.Pipeline.cycles /. max dt epsilon_float)
+                r.Pipeline.run_stats.Sim.evals (epc r)
+            in
+            let equivalent =
+              scan.Pipeline.cycles = event.Pipeline.cycles
+              && scan.Pipeline.run_stats.Sim.node_fires
+                 = event.Pipeline.run_stats.Sim.node_fires
+              && scan.Pipeline.mem = event.Pipeline.mem
+            in
+            let eval_ratio =
+              float_of_int event.Pipeline.run_stats.Sim.evals
+              /. float_of_int (max scan.Pipeline.run_stats.Sim.evals 1)
+            in
+            let time_ratio = event_t /. max scan_t epsilon_float in
+            eval_ratios := eval_ratio :: !eval_ratios;
+            time_ratios := time_ratio :: !time_ratios;
+            kernel_time_ratios := time_ratio :: !kernel_time_ratios;
+            (List.assoc bname time_ratios_by_backend)
+            := time_ratio :: !(List.assoc bname time_ratios_by_backend);
+            Printf.printf
+              "%-14s %-10s | %10d %9.4f | %10d %9.4f | %6.3f %6.3f %5b\n"
+              (if j = 0 then name else "") bname
+              scan.Pipeline.run_stats.Sim.evals scan_t
+              event.Pipeline.run_stats.Sim.evals event_t eval_ratio time_ratio
+              equivalent;
+            Printf.sprintf
+              "        { \"backend\": %S,\n\
+              \          \"scan\": %s,\n\
+              \          \"event\": %s,\n\
+              \          \"equivalent\": %b,\n\
+              \          \"event_eval_ratio\": %.4f,\n\
+              \          \"event_time_ratio\": %.4f }%s"
+              bname (side scan scan_t) (side event event_t) equivalent
+              eval_ratio time_ratio
+              (if j = n_regimes - 1 then "" else ","))
+          regimes
       in
-      let side (r : Pipeline.result) dt =
-        Printf.sprintf
-          "{ \"cycles\": %d, \"time_s\": %.6f, \"evals\": %d, \
-           \"evals_per_cycle\": %.3f }"
-          r.Pipeline.cycles dt r.Pipeline.run_stats.Sim.evals (epc r)
-      in
-      let equivalent =
-        scan.Pipeline.cycles = event.Pipeline.cycles
-        && scan.Pipeline.run_stats.Sim.node_fires
-           = event.Pipeline.run_stats.Sim.node_fires
-        && scan.Pipeline.mem = event.Pipeline.mem
-      in
-      let ratio =
-        float_of_int event.Pipeline.run_stats.Sim.evals
-        /. float_of_int (max scan.Pipeline.run_stats.Sim.evals 1)
-      in
-      eval_ratios := ratio :: !eval_ratios;
-      time_ratios := (event_t /. max scan_t epsilon_float) :: !time_ratios;
-      Printf.printf
-        "%-14s | %10d %10.2f %9.4f | %10d %10.2f %9.4f | %6.3f %5b\n" name
-        scan.Pipeline.run_stats.Sim.evals (epc scan) scan_t
-        event.Pipeline.run_stats.Sim.evals (epc event) event_t ratio equivalent;
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"kernel\": %S,\n\
-           \      \"scan\": %s,\n\
-           \      \"event\": %s,\n\
-           \      \"equivalent\": %b,\n\
-           \      \"event_eval_ratio\": %.4f }%s\n"
-           name (side scan scan_t) (side event event_t) equivalent ratio
+           \      \"allocs_per_cycle\": { \"scan\": %.4f, \"event\": %.4f },\n\
+           \      \"event_time_ratio\": %.4f,\n\
+           \      \"regimes\": [\n%s\n      ] }%s\n"
+           name alloc_scan alloc_event
+           (Experiment.geomean !kernel_time_ratios)
+           (String.concat "\n" cells)
            (if i = n_kernels - 1 then "" else ",")))
     kernels;
   Buffer.add_string buf "  ],\n";
@@ -716,6 +805,13 @@ let bench_json ~path ~jobs ~cache ~backend () =
   Buffer.add_string buf
     (Printf.sprintf "  \"geomean_event_time_ratio\": %.4f,\n"
        (Experiment.geomean !time_ratios));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"geomean_event_time_ratio_by_backend\": { %s },\n"
+       (String.concat ", "
+          (List.map
+             (fun (bname, rs) ->
+               Printf.sprintf "%S: %.4f" bname (Experiment.geomean !rs))
+             time_ratios_by_backend)));
   (* bound curves: every registered scheme on every paper kernel, with the
      differential harness's agreement and ordering verdicts — the data
      behind the oracle/serial bracketing of Table II *)

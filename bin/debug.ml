@@ -42,7 +42,7 @@ let snapshot_lsq kernel cfg ncycles =
   for _ = 1 to ncycles do
     if not (Pv_dataflow.Sim.finished t) then Pv_dataflow.Sim.step t
   done;
-  Printf.printf "== LSQ snapshot at cycle %d:\n" t.Pv_dataflow.Sim.cycle;
+  Printf.printf "== LSQ snapshot at cycle %d:\n" (Pv_dataflow.Sim.cycle t);
   Format.printf "%a@." Pv_lsq.Lsq.dump lsq
 
 let deadlock_dump_lsq kernel cfg =
@@ -58,7 +58,7 @@ let deadlock_dump_lsq kernel cfg =
   let steps = ref 0 in
   while
     (not (Pv_dataflow.Sim.finished t))
-    && t.Pv_dataflow.Sim.cycle - t.Pv_dataflow.Sim.last_progress < 3000
+    && Pv_dataflow.Sim.cycle t - Pv_dataflow.Sim.last_progress t < 3000
     && !steps < 200000
   do
     Pv_dataflow.Sim.step t;
@@ -66,7 +66,7 @@ let deadlock_dump_lsq kernel cfg =
   done;
   if Pv_dataflow.Sim.finished t then Printf.printf "finished, no deadlock\n"
   else begin
-    Printf.printf "== LSQ state at deadlock (cycle %d):\n" t.Pv_dataflow.Sim.cycle;
+    Printf.printf "== LSQ state at deadlock (cycle %d):\n" (Pv_dataflow.Sim.cycle t);
     Format.printf "%a@." Pv_lsq.Lsq.dump lsq;
     Format.printf "portmap:@\n%a@." Pv_memory.Portmap.pp
       compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap
@@ -83,7 +83,7 @@ let deadlock_dump kernel dis =
   let steps = ref 0 in
   while
     (not (Pv_dataflow.Sim.finished t))
-    && t.Pv_dataflow.Sim.cycle - t.Pv_dataflow.Sim.last_progress < 3000
+    && Pv_dataflow.Sim.cycle t - Pv_dataflow.Sim.last_progress t < 3000
     && !steps < 200000
   do
     Pv_dataflow.Sim.step t;
@@ -92,22 +92,21 @@ let deadlock_dump kernel dis =
   if Pv_dataflow.Sim.finished t then Printf.printf "finished, no deadlock\n"
   else begin
     Printf.printf "== DEADLOCK %s/%s at cycle %d\n" kernel.Pv_kernels.Ast.name
-      (Pv_core.Pipeline.name_of dis) t.Pv_dataflow.Sim.cycle;
+      (Pv_core.Pipeline.name_of dis) (Pv_dataflow.Sim.cycle t);
     (* stuck tokens *)
     let g = compiled.Pv_core.Pipeline.graph in
-    Array.iteri
-      (fun cid tok ->
-        match tok with
-        | Some tk ->
-            let c = Pv_dataflow.Graph.chan g cid in
-            let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
-            let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
-            Printf.printf "  chan %d: %s#%d -> %s#%d  token %s\n" cid
-              src.Pv_dataflow.Graph.label src.Pv_dataflow.Graph.nid
-              dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
-              (Format.asprintf "%a" Pv_dataflow.Types.pp_token tk)
-        | None -> ())
-      t.Pv_dataflow.Sim.cur
+    for cid = 0 to Pv_dataflow.Graph.n_chans g - 1 do
+      match Pv_dataflow.Sim.chan_token t cid with
+      | Some tk ->
+          let c = Pv_dataflow.Graph.chan g cid in
+          let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
+          let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+          Printf.printf "  chan %d: %s#%d -> %s#%d  token %s\n" cid
+            src.Pv_dataflow.Graph.label src.Pv_dataflow.Graph.nid
+            dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
+            (Format.asprintf "%a" Pv_dataflow.Types.pp_token tk)
+      | None -> ()
+    done
   end
 
 let snapshot_prevv kernel cfg ncycles =
@@ -124,7 +123,7 @@ let snapshot_prevv kernel cfg ncycles =
   for _ = 1 to ncycles do
     if not (Pv_dataflow.Sim.finished t) then Pv_dataflow.Sim.step t
   done;
-  Printf.printf "== PreVV snapshot at cycle %d:\n" t.Pv_dataflow.Sim.cycle;
+  Printf.printf "== PreVV snapshot at cycle %d:\n" (Pv_dataflow.Sim.cycle t);
   Format.printf "%a@." Pv_prevv.Backend.dump pv
 
 let deadlock_dump_prevv kernel cfg =
@@ -141,7 +140,7 @@ let deadlock_dump_prevv kernel cfg =
   let steps = ref 0 in
   while
     (not (Pv_dataflow.Sim.finished t))
-    && t.Pv_dataflow.Sim.cycle - t.Pv_dataflow.Sim.last_progress < 3000
+    && Pv_dataflow.Sim.cycle t - Pv_dataflow.Sim.last_progress t < 3000
     && !steps < 400000
   do
     Pv_dataflow.Sim.step t;
@@ -149,24 +148,23 @@ let deadlock_dump_prevv kernel cfg =
   done;
   if Pv_dataflow.Sim.finished t then Printf.printf "finished, no deadlock\n"
   else begin
-    Printf.printf "== PreVV state at deadlock (cycle %d):\n" t.Pv_dataflow.Sim.cycle;
+    Printf.printf "== PreVV state at deadlock (cycle %d):\n" (Pv_dataflow.Sim.cycle t);
     Format.printf "%a@." Pv_prevv.Backend.dump pv;
     (* stuck tokens near ports *)
     let g = compiled.Pv_core.Pipeline.graph in
-    Array.iteri
-      (fun cid tok ->
-        match tok with
-        | Some tk ->
-            let c = Pv_dataflow.Graph.chan g cid in
-            let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
-            (match dst.Pv_dataflow.Graph.kind with
-            | Pv_dataflow.Types.Load _ | Pv_dataflow.Types.Store _ ->
-                Printf.printf "  waiting at %s#%d: token %s\n"
-                  dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
-                  (Format.asprintf "%a" Pv_dataflow.Types.pp_token tk)
-            | _ -> ())
-        | None -> ())
-      t.Pv_dataflow.Sim.cur;
+    for cid = 0 to Pv_dataflow.Graph.n_chans g - 1 do
+      match Pv_dataflow.Sim.chan_token t cid with
+      | Some tk ->
+          let c = Pv_dataflow.Graph.chan g cid in
+          let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
+          (match dst.Pv_dataflow.Graph.kind with
+          | Pv_dataflow.Types.Load _ | Pv_dataflow.Types.Store _ ->
+              Printf.printf "  waiting at %s#%d: token %s\n"
+                dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
+                (Format.asprintf "%a" Pv_dataflow.Types.pp_token tk)
+          | _ -> ())
+      | None -> ()
+    done;
     Format.printf "portmap:@\n%a@." Pv_memory.Portmap.pp
       compiled.Pv_core.Pipeline.info.Pv_frontend.Depend.portmap
   end
@@ -181,7 +179,7 @@ let probe () =
       (Types.Gen
          {
            Types.gen_arity = 1;
-           gen_next = (fun s -> if s < n then Some [| s |] else None);
+           gen_next = (fun s -> if s < n then [| s |] else [||]);
            gen_group = (fun _ -> 0);
          })
   in
@@ -260,18 +258,19 @@ let probe3 () =
   let backend = Pv_core.Pipeline.backend_of compiled mem dis in
   let t = Pv_dataflow.Sim.create g backend in
   let blocked = Array.make (Pv_dataflow.Graph.n_chans g) 0 in
-  while not (Pv_dataflow.Sim.finished t) && t.Pv_dataflow.Sim.cycle < 5000 do
+  while not (Pv_dataflow.Sim.finished t) && (Pv_dataflow.Sim.cycle t) < 5000 do
     Pv_dataflow.Sim.step t;
-    Array.iteri
-      (fun cid tok -> if tok <> None then blocked.(cid) <- blocked.(cid) + 1)
-      t.Pv_dataflow.Sim.cur
+    for cid = 0 to Array.length blocked - 1 do
+      if Pv_dataflow.Sim.chan_occupied t cid then
+        blocked.(cid) <- blocked.(cid) + 1
+    done
   done;
-  Printf.printf "cycles=%d\n" t.Pv_dataflow.Sim.cycle;
+  Printf.printf "cycles=%d\n" (Pv_dataflow.Sim.cycle t);
   let items = ref [] in
   Array.iteri (fun cid n -> items := (n, cid) :: !items) blocked;
   List.iter
     (fun (n, cid) ->
-      if n * 10 > 8 * t.Pv_dataflow.Sim.cycle then begin
+      if n * 10 > 8 * (Pv_dataflow.Sim.cycle t) then begin
         let c = Pv_dataflow.Graph.chan g cid in
         let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
         let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
@@ -314,13 +313,13 @@ let probe4 () =
       if is_mem dst || is_mem src then interesting := c.Pv_dataflow.Graph.cid :: !interesting)
     g;
   let show () =
-    Printf.printf "c%-4d " t.Pv_dataflow.Sim.cycle;
+    Printf.printf "c%-4d " (Pv_dataflow.Sim.cycle t);
     List.iter
       (fun cid ->
         let c = Pv_dataflow.Graph.chan g cid in
         let src = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.src.Pv_dataflow.Graph.node in
         let dst = Pv_dataflow.Graph.node g c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.node in
-        match t.Pv_dataflow.Sim.cur.(cid) with
+        match Pv_dataflow.Sim.chan_token t cid with
         | Some tk ->
             Printf.printf "[%s>%s s%d] " src.Pv_dataflow.Graph.label
               dst.Pv_dataflow.Graph.label tk.Pv_dataflow.Types.seq
@@ -354,7 +353,7 @@ let probe5 () =
   let t = Pv_dataflow.Sim.create g backend in
   for _ = 1 to 99 do Pv_dataflow.Sim.step t done;
   for _ = 1 to 4 do
-    Printf.printf "=== cycle %d\n" t.Pv_dataflow.Sim.cycle;
+    Printf.printf "=== cycle %d\n" (Pv_dataflow.Sim.cycle t);
     Pv_dataflow.Graph.iter_chans
       (fun c ->
         let cid = c.Pv_dataflow.Graph.cid in
@@ -364,21 +363,19 @@ let probe5 () =
           src.Pv_dataflow.Graph.label src.Pv_dataflow.Graph.nid
           dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
           c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.slot
-          (match t.Pv_dataflow.Sim.cur.(cid) with
+          (match Pv_dataflow.Sim.chan_token t cid with
           | Some tk -> Printf.sprintf "s%d v=%d" tk.Pv_dataflow.Types.seq tk.Pv_dataflow.Types.value
           | None -> "--");
         ())
       g;
     (* buffer states *)
-    Array.iteri
-      (fun nid st ->
-        match st with
-        | Pv_dataflow.Sim.S_buf (q, cap) ->
-            Printf.printf "  buf #%-2d (%s) %d/%d\n" nid
-              (Pv_dataflow.Graph.node g nid).Pv_dataflow.Graph.label
-              (Queue.length q) cap
-        | _ -> ())
-      t.Pv_dataflow.Sim.states;
+    for nid = 0 to Pv_dataflow.Graph.n_nodes g - 1 do
+      match Pv_dataflow.Sim.buf_occupancy t nid with
+      | Some (len, cap) ->
+          Printf.printf "  buf #%-2d (%s) %d/%d\n" nid
+            (Pv_dataflow.Graph.node g nid).Pv_dataflow.Graph.label len cap
+      | None -> ()
+    done;
     Pv_dataflow.Sim.step t
   done
 

@@ -184,19 +184,21 @@ let create_full ?(trace = Trace.null) cfg pm mem ~prescience =
               ~value:(read_vis t addr);
           true);
       load_poll =
-        (fun ~port ->
+        (fun ~port out ->
           match Hashtbl.find_opt t.resp port with
-          | None -> None
+          | None -> false
           | Some q -> (
-              if Queue.is_empty q then None
+              if Queue.is_empty q then false
               else
                 let seq, slot = Queue.peek q in
                 match !slot with
                 | Some (ready_at, value) when ready_at <= t.now ->
                     ignore (Queue.pop q);
                     t.outstanding <- t.outstanding - 1;
-                    Some (seq, value)
-                | _ -> None));
+                    out.Memif.ls_seq <- seq;
+                    out.Memif.ls_value <- value;
+                    true
+                | _ -> false));
       store_req =
         (fun ~port ~seq ~addr ~value ->
           t.stats.stores <- t.stats.stores + 1;

@@ -47,14 +47,15 @@ let wrap pm (inner : Memif.t) =
           end;
           ok);
       load_poll =
-        (fun ~port ->
-          match inner.Memif.load_poll ~port with
-          | Some (seq, v) as res ->
-              (match Hashtbl.find_opt r.load_addr (port, seq) with
-              | Some a -> Hashtbl.replace r.loadv (port, seq) (a, v)
-              | None -> ());
-              res
-          | None -> None);
+        (fun ~port out ->
+          inner.Memif.load_poll ~port out
+          && begin
+               let seq = out.Memif.ls_seq and v = out.Memif.ls_value in
+               (match Hashtbl.find_opt r.load_addr (port, seq) with
+               | Some a -> Hashtbl.replace r.loadv (port, seq) (a, v)
+               | None -> ());
+               true
+             end);
       store_req =
         (fun ~port ~seq ~addr ~value ->
           let ok = inner.Memif.store_req ~port ~seq ~addr ~value in

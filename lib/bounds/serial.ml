@@ -138,19 +138,21 @@ let create_full ?(trace = Trace.null) cfg pm mem =
           end
           else false);
       load_poll =
-        (fun ~port ->
+        (fun ~port out ->
           match Hashtbl.find_opt t.resp port with
-          | None -> None
+          | None -> false
           | Some q ->
-              if Queue.is_empty q then None
+              if Queue.is_empty q then false
               else
                 let ready_at, seq, value = Queue.peek q in
                 if ready_at <= t.now then begin
                   ignore (Queue.pop q);
                   t.pending <- t.pending - 1;
-                  Some (seq, value)
+                  out.Memif.ls_seq <- seq;
+                  out.Memif.ls_value <- value;
+                  true
                 end
-                else None);
+                else false);
       store_req =
         (fun ~port ~seq ~addr ~value ->
           if admit t ~ambiguous:(ambiguous port) ~port ~seq then begin

@@ -50,6 +50,14 @@ let pp_stats ppf s =
   if s.faults > 0 then Format.fprintf ppf " faults=%d" s.faults;
   if s.degraded > 0 then Format.fprintf ppf " DEGRADED(x%d)" s.degraded
 
+(** Out-parameter for {!t.load_poll}: the backend fills the slot instead
+    of allocating a [(seq, value)] pair per response, so polling a load
+    port every cycle costs no minor-heap traffic.  The simulator owns one
+    slot and reuses it across all ports. *)
+type load_slot = { mutable ls_seq : int; mutable ls_value : int }
+
+let fresh_slot () = { ls_seq = -1; ls_value = 0 }
+
 type t = {
   begin_instance : seq:int -> group:int -> bool;
       (** called by the generator before emitting body instance [seq];
@@ -61,8 +69,9 @@ type t = {
   load_req : port:int -> seq:int -> addr:int -> bool;
       (** a load port presents its address; accepted requests complete
           later and are retrieved with [load_poll] *)
-  load_poll : port:int -> (int * int) option;
-      (** completed load for this port, as [(seq, value)]; consuming *)
+  load_poll : port:int -> load_slot -> bool;
+      (** completed load for this port: [true] fills the slot with
+          [(seq, value)] and consumes the response *)
   store_req : port:int -> seq:int -> addr:int -> value:int -> bool;
   store_addr : port:int -> seq:int -> addr:int -> unit;
       (** early address announcement: the store port has computed its
@@ -83,33 +92,72 @@ type t = {
       (** human-readable snapshot of internal state for post-mortems *)
 }
 
+(** Allocating convenience over the slot-filling [load_poll], for tests
+    and debug probes that want the old option-returning shape. *)
+let poll (t : t) ~port : (int * int) option =
+  let slot = fresh_slot () in
+  if t.load_poll ~port slot then Some (slot.ls_seq, slot.ls_value) else None
+
 (** A trivially correct backend over a plain memory: loads and stores are
     served in arrival order with a fixed latency and no disambiguation.
     Only legal for kernels without ambiguous pairs; used in tests and as
-    the building block for real backends' committed storage. *)
+    the building block for real backends' committed storage.
+
+    State is three flat per-port arrays (ready cycle / seq / value, with
+    ready = -1 meaning idle), so a steady-state cycle allocates nothing —
+    which also makes this the reference backend the zero-allocation perf
+    assertions isolate the simulator core against. *)
 let direct ~latency (mem : int array) : t =
   let stats = fresh_stats () in
-  (* per-port in-flight load: countdown to completion, seq, value read at
-     request time (correct here because stores commit immediately) *)
-  let inflight : (int, int ref * int * int) Hashtbl.t = Hashtbl.create 16 in
+  (* per-port in-flight load: cycle the response becomes ready, seq, and
+     the value read at request time (correct here because stores commit
+     immediately); arrays grow on first sight of a port *)
+  let ready = ref (Array.make 8 (-1)) in
+  let seqs = ref (Array.make 8 0) in
+  let vals = ref (Array.make 8 0) in
+  let now = ref 0 in
+  let inflight = ref 0 in
+  let ensure port =
+    let n = Array.length !ready in
+    if port >= n then begin
+      let n' = max (port + 1) (n * 2) in
+      let grow a fill =
+        let b = Array.make n' fill in
+        Array.blit !a 0 b 0 n;
+        a := b
+      in
+      grow ready (-1);
+      grow seqs 0;
+      grow vals 0
+    end
+  in
   {
     begin_instance = (fun ~seq:_ ~group:_ -> true);
     alloc_group = (fun ~seq:_ ~group:_ -> true);
     load_req =
       (fun ~port ~seq ~addr ->
-        if Hashtbl.mem inflight port then false
+        ensure port;
+        if !ready.(port) >= 0 then false
         else begin
           stats.loads <- stats.loads + 1;
-          Hashtbl.replace inflight port (ref latency, seq, mem.(addr));
+          !ready.(port) <- !now + latency;
+          !seqs.(port) <- seq;
+          !vals.(port) <- mem.(addr);
+          inflight := !inflight + 1;
           true
         end);
     load_poll =
-      (fun ~port ->
-        match Hashtbl.find_opt inflight port with
-        | Some (cd, seq, v) when !cd <= 0 ->
-            Hashtbl.remove inflight port;
-            Some (seq, v)
-        | _ -> None);
+      (fun ~port slot ->
+        port < Array.length !ready
+        && !ready.(port) >= 0
+        && !ready.(port) <= !now
+        && begin
+             slot.ls_seq <- !seqs.(port);
+             slot.ls_value <- !vals.(port);
+             !ready.(port) <- -1;
+             inflight := !inflight - 1;
+             true
+           end);
     store_req =
       (fun ~port:_ ~seq:_ ~addr ~value ->
         stats.stores <- stats.stores + 1;
@@ -118,11 +166,9 @@ let direct ~latency (mem : int array) : t =
     store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
     op_skip = (fun ~port:_ ~seq:_ -> true);
     poll_squash = (fun () -> None);
-    clock =
-      (fun () -> Hashtbl.iter (fun _ (cd, _, _) -> if !cd > 0 then decr cd) inflight);
-    quiesced = (fun () -> Hashtbl.length inflight = 0);
+    clock = (fun () -> incr now);
+    quiesced = (fun () -> !inflight = 0);
     stats = (fun () -> stats);
     inject = (fun _ -> false);  (* nothing speculative to disturb *)
-    describe =
-      (fun () -> Printf.sprintf "direct: %d in-flight load(s)" (Hashtbl.length inflight));
+    describe = (fun () -> Printf.sprintf "direct: %d in-flight load(s)" !inflight);
   }

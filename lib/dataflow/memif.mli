@@ -28,6 +28,15 @@ type stats = {
 val fresh_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+(** Out-parameter for {!t.load_poll}: the backend fills the slot instead
+    of allocating a [(seq, value)] pair per response, so polling a load
+    port every cycle costs no minor-heap traffic.  The simulator owns one
+    slot and reuses it across all ports. *)
+type load_slot = { mutable ls_seq : int; mutable ls_value : int }
+
+(** A fresh slot ([ls_seq = -1]). *)
+val fresh_slot : unit -> load_slot
+
 (** The backend interface, as a record of closures over its private
     state. *)
 type t = {
@@ -41,10 +50,11 @@ type t = {
   load_req : port:int -> seq:int -> addr:int -> bool;
       (** a load port presents its address; accepted requests complete
           later and are retrieved with [load_poll] *)
-  load_poll : port:int -> (int * int) option;
-      (** completed load for this port, as [(seq, value)]; consuming.
-          Responses come back in request order per port — an elastic access
-          port is a tagless stream. *)
+  load_poll : port:int -> load_slot -> bool;
+      (** completed load for this port: [true] fills the slot with the
+          response's [(seq, value)] and consumes it.  Responses come back
+          in request order per port — an elastic access port is a tagless
+          stream. *)
   store_req : port:int -> seq:int -> addr:int -> value:int -> bool;
   store_addr : port:int -> seq:int -> addr:int -> unit;
       (** early address announcement: the store port has computed its
@@ -65,8 +75,14 @@ type t = {
       (** human-readable snapshot of internal state for post-mortems *)
 }
 
+(** Allocating convenience over the slot-filling [load_poll], for tests
+    and debug probes that want the old option-returning shape. *)
+val poll : t -> port:int -> (int * int) option
+
 (** A trivially correct backend over a plain memory: loads and stores are
     served in arrival order with a fixed latency and no disambiguation.
     Only legal for kernels without ambiguous pairs; used in tests and as
-    the building block for real backends' committed storage. *)
+    the building block for real backends' committed storage.  Implemented
+    over flat per-port arrays, so a steady-state cycle allocates nothing —
+    the reference backend for the zero-allocation perf assertions. *)
 val direct : latency:int -> int array -> t

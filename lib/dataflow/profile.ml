@@ -30,24 +30,24 @@ let run ?(cfg = Sim.default_config) (g : Graph.t) (mem : Memif.t) : t =
   let held = Array.make (Graph.n_chans g) 0 in
   let outcome =
     let rec loop () =
-      if Sim.finished sim then Sim.Finished { cycles = sim.Sim.cycle }
-      else if sim.Sim.cycle >= cfg.Sim.max_cycles then
+      if Sim.finished sim then Sim.Finished { cycles = Sim.cycle sim }
+      else if Sim.cycle sim >= cfg.Sim.max_cycles then
         Sim.Timeout
-          { at_cycle = sim.Sim.cycle; post_mortem = Sim.post_mortem sim }
-      else if sim.Sim.cycle - sim.Sim.last_progress > cfg.Sim.stall_limit then
+          { at_cycle = Sim.cycle sim; post_mortem = Sim.post_mortem sim }
+      else if Sim.cycle sim - Sim.last_progress sim > cfg.Sim.stall_limit then
         Sim.Deadlock
-          { at_cycle = sim.Sim.cycle; post_mortem = Sim.post_mortem sim }
+          { at_cycle = Sim.cycle sim; post_mortem = Sim.post_mortem sim }
       else begin
         Sim.step sim;
-        Array.iteri
-          (fun cid tok -> if tok <> None then held.(cid) <- held.(cid) + 1)
-          sim.Sim.cur;
+        for cid = 0 to Array.length held - 1 do
+          if Sim.chan_occupied sim cid then held.(cid) <- held.(cid) + 1
+        done;
         loop ()
       end
     in
     loop ()
   in
-  let cycles = max 1 sim.Sim.cycle in
+  let cycles = max 1 (Sim.cycle sim) in
   let nodes =
     let acc = ref [] in
     Graph.iter_nodes
@@ -59,9 +59,10 @@ let run ?(cfg = Sim.default_config) (g : Graph.t) (mem : Memif.t) : t =
               {
                 np_id = n.Graph.nid;
                 np_label = Printf.sprintf "%s#%d" n.Graph.label n.Graph.nid;
-                np_fires = sim.Sim.fires.(n.Graph.nid);
+                np_fires = (Sim.fires sim).(n.Graph.nid);
                 np_utilisation =
-                  float_of_int sim.Sim.fires.(n.Graph.nid) /. float_of_int cycles;
+                  float_of_int (Sim.fires sim).(n.Graph.nid)
+                  /. float_of_int cycles;
               }
               :: !acc)
       g;

@@ -20,6 +20,15 @@
     same wave when its turn is still to come, preserving the
     one-token-per-cycle streaming of the full scan.
 
+    Representation: the state is data-oriented.  Nodes are renumbered by
+    their evaluation-order position ("slot"); every per-node and per-channel
+    quantity lives in a flat int array indexed by slot or channel id, node
+    dispatch is a jump table over a dense opcode array built once at
+    {!create}, queue-shaped state (FU pipes, buffers, announced stores, load
+    responses) lives in int {!Ring}s, and the wake set / evaluation wave are
+    int bitsets.  A steady-state cycle touches no minor-heap word (asserted
+    by test/test_sim_perf.ml); see DESIGN.md §19.
+
     Squash/replay: when the backend reports a mis-speculation at [seq_err],
     the simulator bumps the global epoch, purges every in-flight token with
     [seq >= seq_err] (channels, buffers, functional-unit pipelines) and
@@ -151,34 +160,8 @@ type run_stats = {
   node_fires : int array;  (** per node id *)
   gen_instances : int;  (** body instances emitted, including replays *)
   evals : int;
-      (** total [eval_node] calls; under [Scan] this is nodes x cycles,
+      (** total node evaluations; under [Scan] this is nodes x cycles,
           under [Event] only the awake subset *)
-}
-
-(* --- internal node state ------------------------------------------------ *)
-
-type pipe_entry = { ready : int; tok : token }
-(* [ready] is the absolute cycle at which the entry may drain: pushed at
-   cycle [c] with latency [l], it drains at the first eval with
-   [cycle >= c + l] — identical to the old per-cycle countdown, without
-   touching every entry every cycle. *)
-
-type nstate =
-  | S_plain
-  | S_pipe of pipe_entry Queue.t * int (* queue, capacity *)
-  | S_buf of (token * int) Queue.t * int (* (token, arrival cycle), capacity *)
-  | S_gen of gen_state
-  | S_store of store_state
-
-and store_state = {
-  mutable announced : int;  (* last seq sent to store_addr *)
-  pending : (int * int) Queue.t;  (* announced (seq, addr) awaiting data *)
-}
-
-and gen_state = {
-  mutable g_seq : int;
-  mutable g_done : bool;
-  mutable g_emitted : int;
 }
 
 (** One armed fault event: fires at the first applicable cycle at or after
@@ -190,38 +173,101 @@ type fault_state = {
   mutable fs_note : string;
 }
 
+(* --- dense opcodes ------------------------------------------------------ *)
+
+(* One dispatch code per dynamic behaviour; [p1]/[p2] carry the static
+   per-node parameters (constant, operator code, arity, port, capacity).
+   A pipelined Binop (op_latency > 0) gets its own opcode so the hot match
+   never re-asks the latency question. *)
+let op_gen = 0
+let op_const = 1
+let op_unop = 2
+let op_binop = 3 (* combinational: p1 = binop code *)
+let op_pipe = 4 (* pipelined: p1 = binop code, p2 = latency, cap = p2 + 1 *)
+let op_fork = 5 (* p1 = n *)
+let op_join = 6 (* p1 = n *)
+let op_merge = 7 (* p1 = n *)
+let op_mux = 8 (* p1 = n *)
+let op_branch = 9
+let op_tbuf = 10 (* transparent buffer: p1 = slots *)
+let op_obuf = 11 (* opaque buffer: p1 = slots *)
+let op_sink = 12
+let op_load = 13 (* p1 = port *)
+let op_store = 14 (* p1 = port *)
+let op_skip = 15 (* p1 = port *)
+let op_galloc = 16 (* p1 = group *)
+
+(* Pending-store ring capacity per store port, as before the rewrite. *)
+let store_pending_cap = 16
+
 type t = {
   g : Graph.t;
   cfg : config;
   mem : Memif.t;
-  (* channel slots: the elastic register of each channel *)
-  cur : token option array;
-  staged : token option array;
+  n : int;  (* nodes *)
+  nc : int;  (* channels *)
+  (* channel registers, flat; seq = -1 means empty (all real seqs >= 0) *)
+  cur_seq : int array;
+  cur_epoch : int array;
+  cur_val : int array;
+  stg_seq : int array;  (* staged write, -1 = none *)
+  stg_epoch : int array;
+  stg_val : int array;
   consumed : bool array;
-  states : nstate array;
-  order : int array;  (* node evaluation order: consumers before producers *)
-  pos : int array;  (* node id -> index in [order] *)
-  chan_src : int array;  (* channel id -> producer node *)
-  chan_dst : int array;  (* channel id -> consumer node *)
-  fires : int array;
+  stall_until : int array;  (* per channel: consumption blocked below this *)
+  chan_src : int array;  (* channel id -> producer slot *)
+  chan_dst : int array;  (* channel id -> consumer slot *)
+  (* dense dispatch tables, slot-indexed (slot = eval-order position,
+     consumers before producers) — built once at [create] *)
+  nid_of : int array;  (* slot -> external node id *)
+  slot_of : int array;  (* node id -> slot *)
+  op : int array;
+  p1 : int array;
+  p2 : int array;
+  in_base : int array;  (* slot -> base into [ins] *)
+  in_n : int array;
+  out_base : int array;  (* slot -> base into [outs] *)
+  out_n : int array;
+  ins : int array;  (* flattened input channel ids *)
+  outs : int array;  (* flattened output channel ids *)
+  ring : Ring.t array;
+      (* per slot: FU pipe (stride 4: ready,seq,epoch,value), buffer
+         (stride 4: seq,epoch,value,arrival), announced stores (stride 2:
+         seq,addr) or load responses (stride 1: seq); a shared empty ring
+         for slots with none *)
+  gen_next_f : (int -> int array) array;
+  gen_group_f : (int -> int) array;
+  g_seq : int array;
+  g_done : bool array;
+  g_emitted : int array;
+  fires : int array;  (* per-node fire counts, node-id indexed *)
   faults : fault_state array;
-  stall_until : int array;  (* per channel: consumption blocked below this cycle *)
-  (* event engine: wake set for the next cycle, a position-indexed bitmap
-     for the wave being evaluated, timed wakes for stall expiries, per-Load
-     counts of outstanding responses, channels touched this cycle.  Stacks
-     are preallocated (dedup by flag bounds them) so the hot loop does not
-     allocate. *)
+  (* event engine: wake set for the next cycle and the wave being swept,
+     both bitsets over slots (32 bits per word); timed wakes (stall
+     expiries) in a cycle-bucketed wheel *)
   event : bool;
-  awake : bool array;
-  wake_stack : int array;
-  mutable wake_len : int;
-  mutable timed_wakes : (int * node_id) list;
-  wave : bool array;  (* indexed by [pos]: nodes to evaluate this cycle *)
-  mutable cur_pos : int;
-  load_resp : int Queue.t array;  (* per Load node: seqs of accepted requests *)
+  awake : int array;
+  wave : int array;
+  wheel : Wheel.t;
+  mutable wake_cb : int -> unit;  (* preallocated wheel-drain callback *)
+  mutable cur_slot : int;  (* slot being evaluated *)
+  (* adaptive density switch: when nearly every node fires anyway, the
+     wake-set bookkeeping (pulls, commit wakes, stay-awake tails) costs
+     more than the few skipped evaluations are worth, so the event engine
+     runs scan-shaped "dense" cycles with [bookkeep] off and returns to
+     the swept sparse mode when the fire rate drops (see [step]) *)
+  mutable dense : bool;
+  mutable bookkeep : bool;  (* event && not dense: maintain the wake set *)
+  mutable nfired : int;  (* node firings this cycle (mode hysteresis) *)
+  (* channels staged/consumed this cycle; stack preallocated *)
   touched : bool array;
   touch_stack : int array;
   mutable touch_len : int;
+  (* occupancy counters: [finished] in O(1) instead of scanning *)
+  mutable occupied : int;  (* channels holding a token *)
+  mutable held : int;  (* records in pipe/buffer/store rings *)
+  mutable gens_active : int;  (* generators not yet exhausted *)
+  lslot : Memif.load_slot;  (* reusable load_poll out-parameter *)
   mutable evals : int;
   mutable epoch : int;
   mutable cycle : int;
@@ -235,6 +281,46 @@ type t = {
   mutable epoch_start : int;
   mutable last_inflight : int;
 }
+
+(* --- bitsets over slots ------------------------------------------------- *)
+
+(* 32 bits per word: word = slot lsr 5, bit = slot land 31.  Lowest-set-bit
+   extraction uses the 32-bit de Bruijn multiply (the product is masked to
+   32 bits because OCaml ints are wider). *)
+
+let debruijn32 =
+  [|
+    0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13; 23;
+    21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9;
+  |]
+
+let[@inline] ctz32 lsb =
+  Array.unsafe_get debruijn32 ((lsb * 0x077CB531 land 0xFFFFFFFF) lsr 27)
+
+(* The hot paths below index flat arrays with internal invariants only
+   (slots < n, channel ids < nc, words < nwords — all established at
+   [create]), so they skip the bounds checks; every externally supplied
+   index (accessors, fault channels) stays on the checked operations. *)
+let[@inline] ag (a : int array) i = Array.unsafe_get a i
+let[@inline] aset (a : int array) i v = Array.unsafe_set a i v
+let[@inline] agb (a : bool array) i = Array.unsafe_get a i
+let[@inline] asetb (a : bool array) i v = Array.unsafe_set a i v
+
+let[@inline] bs_set (bs : int array) i =
+  let w = i lsr 5 in
+  aset bs w (ag bs w lor (1 lsl (i land 31)))
+
+(* --- wake set ----------------------------------------------------------- *)
+
+let[@inline] wake t slot = bs_set t.awake slot
+
+let wake_all t =
+  let nw = Array.length t.awake in
+  for w = 0 to nw - 1 do
+    t.awake.(w) <- 0xFFFFFFFF
+  done;
+  let r = t.n land 31 in
+  if r <> 0 then t.awake.(nw - 1) <- (1 lsl r) - 1
 
 (* Evaluation order: consumers strictly before producers, so a full register
    chain streams one token per cycle (a consumer frees its input register in
@@ -291,32 +377,8 @@ let eval_order (g : Graph.t) : int array =
     Array.of_list (List.rev !order)
   end
 
-let init_state cfg (node : Graph.node) : nstate =
-  match node.Graph.kind with
-  | Binop op when cfg.op_latency op > 0 ->
-      (* an entry occupies the pipe for latency+1 cycles (entering at the
-         eval of its acceptance, draining the eval its ready-cycle is
-         reached), so II=1 needs latency+1 slots *)
-      let l = cfg.op_latency op in
-      S_pipe (Queue.create (), l + 1)
-  | Buffer { slots; _ } -> S_buf (Queue.create (), slots)
-  | Gen _ -> S_gen { g_seq = 0; g_done = false; g_emitted = 0 }
-  | Store _ -> S_store { announced = -1; pending = Queue.create () }
-  | _ -> S_plain
-
-(* --- wake set ----------------------------------------------------------- *)
-
-let wake t nid =
-  if not t.awake.(nid) then begin
-    t.awake.(nid) <- true;
-    t.wake_stack.(t.wake_len) <- nid;
-    t.wake_len <- t.wake_len + 1
-  end
-
-let wake_all t =
-  for nid = 0 to Graph.n_nodes t.g - 1 do
-    wake t nid
-  done
+let dummy_gen_next (_ : int) : int array = [||]
+let dummy_gen_group (_ : int) = 0
 
 let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
     (mem : Memif.t) : t =
@@ -341,27 +403,142 @@ let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
       | Fault.Backend _ -> ())
     cfg.faults;
   let order = eval_order g in
-  let pos = Array.make n 0 in
-  Array.iteri (fun i nid -> pos.(nid) <- i) order;
-  let chan_src = Array.make nc 0 and chan_dst = Array.make nc 0 in
+  let slot_of = Array.make n 0 in
+  Array.iteri (fun slot nid -> slot_of.(nid) <- slot) order;
+  (* flatten the wiring *)
+  let total_in = ref 0 and total_out = ref 0 in
+  Graph.iter_nodes
+    (fun node ->
+      total_in := !total_in + Array.length node.Graph.inputs;
+      total_out := !total_out + Array.length node.Graph.outputs)
+    g;
+  let op = Array.make n 0
+  and p1 = Array.make n 0
+  and p2 = Array.make n 0
+  and in_base = Array.make n 0
+  and in_n = Array.make n 0
+  and out_base = Array.make n 0
+  and out_n = Array.make n 0
+  and ins = Array.make (max !total_in 1) (-1)
+  and outs = Array.make (max !total_out 1) (-1) in
+  let empty_ring = Ring.create ~stride:1 2 in
+  let ring = Array.make n empty_ring in
+  let gen_next_f = Array.make n dummy_gen_next in
+  let gen_group_f = Array.make n dummy_gen_group in
+  let g_done = Array.make n false in
+  let ib = ref 0 and ob = ref 0 in
+  let gens = ref 0 in
+  for slot = 0 to n - 1 do
+    let node = Graph.node g order.(slot) in
+    in_base.(slot) <- !ib;
+    in_n.(slot) <- Array.length node.Graph.inputs;
+    Array.iteri (fun k cid -> ins.(!ib + k) <- cid) node.Graph.inputs;
+    ib := !ib + in_n.(slot);
+    out_base.(slot) <- !ob;
+    out_n.(slot) <- Array.length node.Graph.outputs;
+    Array.iteri (fun k cid -> outs.(!ob + k) <- cid) node.Graph.outputs;
+    ob := !ob + out_n.(slot);
+    match node.Graph.kind with
+    | Gen spec ->
+        op.(slot) <- op_gen;
+        gen_next_f.(slot) <- spec.gen_next;
+        gen_group_f.(slot) <- spec.gen_group;
+        incr gens
+    | Const c ->
+        op.(slot) <- op_const;
+        p1.(slot) <- c
+    | Unop u ->
+        op.(slot) <- op_unop;
+        p1.(slot) <- unop_code u
+    | Binop b ->
+        let lat = cfg.op_latency b in
+        if lat > 0 then begin
+          (* an entry occupies the pipe for latency+1 cycles (entering at
+             the eval of its acceptance, draining the eval its ready cycle
+             is reached), so II=1 needs latency+1 records *)
+          op.(slot) <- op_pipe;
+          p1.(slot) <- binop_code b;
+          p2.(slot) <- lat;
+          ring.(slot) <- Ring.create ~stride:4 (lat + 1)
+        end
+        else begin
+          op.(slot) <- op_binop;
+          p1.(slot) <- binop_code b
+        end
+    | Fork k ->
+        op.(slot) <- op_fork;
+        p1.(slot) <- k
+    | Join k ->
+        op.(slot) <- op_join;
+        p1.(slot) <- k
+    | Merge k ->
+        op.(slot) <- op_merge;
+        p1.(slot) <- k
+    | Mux k ->
+        op.(slot) <- op_mux;
+        p1.(slot) <- k
+    | Branch -> op.(slot) <- op_branch
+    | Buffer { transparent; slots } ->
+        op.(slot) <- (if transparent then op_tbuf else op_obuf);
+        p1.(slot) <- slots;
+        ring.(slot) <- Ring.create ~stride:4 slots
+    | Sink -> op.(slot) <- op_sink
+    | Load { port } ->
+        op.(slot) <- op_load;
+        p1.(slot) <- port;
+        ring.(slot) <- Ring.create ~stride:1 8
+    | Store { port } ->
+        op.(slot) <- op_store;
+        p1.(slot) <- port;
+        ring.(slot) <- Ring.create ~stride:2 store_pending_cap
+    | Skip { port } ->
+        op.(slot) <- op_skip;
+        p1.(slot) <- port
+    | Galloc { group } ->
+        op.(slot) <- op_galloc;
+        p1.(slot) <- group
+  done;
+  let chan_src = Array.make (max nc 1) 0 and chan_dst = Array.make (max nc 1) 0 in
   for cid = 0 to nc - 1 do
     let c = Graph.chan g cid in
-    chan_src.(cid) <- c.Graph.src.Graph.node;
-    chan_dst.(cid) <- c.Graph.dst.Graph.node
+    chan_src.(cid) <- slot_of.(c.Graph.src.Graph.node);
+    chan_dst.(cid) <- slot_of.(c.Graph.dst.Graph.node)
   done;
+  let nwords = (n + 31) lsr 5 in
   let t =
     {
       g;
       cfg;
       mem;
-      cur = Array.make nc None;
-      staged = Array.make nc None;
-      consumed = Array.make nc false;
-      states = Array.init n (fun i -> init_state cfg (Graph.node g i));
-      order;
-      pos;
+      n;
+      nc;
+      cur_seq = Array.make (max nc 1) (-1);
+      cur_epoch = Array.make (max nc 1) 0;
+      cur_val = Array.make (max nc 1) 0;
+      stg_seq = Array.make (max nc 1) (-1);
+      stg_epoch = Array.make (max nc 1) 0;
+      stg_val = Array.make (max nc 1) 0;
+      consumed = Array.make (max nc 1) false;
+      stall_until = Array.make (max nc 1) 0;
       chan_src;
       chan_dst;
+      nid_of = order;
+      slot_of;
+      op;
+      p1;
+      p2;
+      in_base;
+      in_n;
+      out_base;
+      out_n;
+      ins;
+      outs;
+      ring;
+      gen_next_f;
+      gen_group_f;
+      g_seq = Array.make n 0;
+      g_done;
+      g_emitted = Array.make n 0;
       fires = Array.make n 0;
       faults =
         List.sort (fun (a : Fault.event) b -> compare a.Fault.at_cycle b.Fault.at_cycle)
@@ -369,18 +546,22 @@ let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
         |> List.map (fun e ->
                { fs_event = e; fs_fired = None; fs_dead = false; fs_note = "" })
         |> Array.of_list;
-      stall_until = Array.make nc 0;
       event = cfg.engine = Event;
-      awake = Array.make n false;
-      wake_stack = Array.make (max n 1) 0;
-      wake_len = 0;
-      timed_wakes = [];
-      wave = Array.make (max n 1) false;
-      cur_pos = -1;
-      load_resp = Array.init n (fun _ -> Queue.create ());
-      touched = Array.make nc false;
+      awake = Array.make (max nwords 1) 0;
+      wave = Array.make (max nwords 1) 0;
+      wheel = Wheel.create ();
+      wake_cb = ignore;
+      cur_slot = -1;
+      dense = false;
+      bookkeep = cfg.engine = Event;
+      nfired = 0;
+      touched = Array.make (max nc 1) false;
       touch_stack = Array.make (max nc 1) 0;
       touch_len = 0;
+      occupied = 0;
+      held = 0;
+      gens_active = !gens;
+      lslot = Memif.fresh_slot ();
       evals = 0;
       epoch = 0;
       cycle = 0;
@@ -391,392 +572,452 @@ let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
       last_inflight = -1;
     }
   in
+  t.wake_cb <- (fun slot -> wake t slot);
   wake_all t;
   t
 
 (* --- channel helpers ---------------------------------------------------- *)
 
-let touch t cid =
-  if not t.touched.(cid) then begin
-    t.touched.(cid) <- true;
-    t.touch_stack.(t.touch_len) <- cid;
+let[@inline] touch t cid =
+  if not (agb t.touched cid) then begin
+    asetb t.touched cid true;
+    aset t.touch_stack t.touch_len cid;
     t.touch_len <- t.touch_len + 1
   end
 
-let in_tok t (node : Graph.node) slot =
-  let cid = node.Graph.inputs.(slot) in
-  if t.consumed.(cid) || t.stall_until.(cid) > t.cycle then None else t.cur.(cid)
+(* A token is present and consumable this cycle. *)
+let[@inline] in_ready t cid =
+  ag t.cur_seq cid >= 0
+  && (not (agb t.consumed cid))
+  && ag t.stall_until cid <= t.cycle
 
-let take t (node : Graph.node) slot =
-  let cid = node.Graph.inputs.(slot) in
-  match t.cur.(cid) with
-  | Some tok when not t.consumed.(cid) ->
-      t.consumed.(cid) <- true;
-      touch t cid;
-      t.progress <- true;
-      if t.event then begin
-        (* the freed register is visible to its producer this very cycle
-           (consumers run first): pull the producer into the current wave
-           if its turn is still to come *)
-        let p = t.pos.(t.chan_src.(cid)) in
-        if p > t.cur_pos then t.wave.(p) <- true
-      end;
-      tok
-  | _ -> invalid_arg "take: empty channel"
+(* Consume the input token (caller checked [in_ready]; the token's fields
+   stay readable in [cur_*] until the clock edge). *)
+let take t cid =
+  asetb t.consumed cid true;
+  touch t cid;
+  t.progress <- true;
+  if t.bookkeep then begin
+    (* the freed register is visible to its producer this very cycle
+       (consumers run first): pull the producer into the current wave if
+       its turn is still to come *)
+    let p = ag t.chan_src cid in
+    if p > t.cur_slot then bs_set t.wave p
+  end
 
 (* An output register can accept a new token this cycle if it is empty (or
    its current token is being consumed this cycle) and nothing was staged
    on it yet. *)
-let out_free t (node : Graph.node) slot =
-  let cid = node.Graph.outputs.(slot) in
-  t.staged.(cid) = None && (t.cur.(cid) = None || t.consumed.(cid))
+let[@inline] out_free t cid =
+  ag t.stg_seq cid < 0 && (ag t.cur_seq cid < 0 || agb t.consumed cid)
 
-let put t (node : Graph.node) slot tok =
-  let cid = node.Graph.outputs.(slot) in
-  assert (t.staged.(cid) = None);
-  t.staged.(cid) <- Some tok;
+let put t cid ~seq ~epoch ~value =
+  assert (t.stg_seq.(cid) < 0);
+  aset t.stg_seq cid seq;
+  aset t.stg_epoch cid epoch;
+  aset t.stg_val cid value;
   touch t cid;
+  t.progress <- true
+
+(* Loop helpers as tail recursions: a [for] body cannot early-exit and a
+   [ref] accumulator would allocate, which the hot loop must not. *)
+let rec outs_free t b i n =
+  i >= n || (out_free t (ag t.outs (b + i)) && outs_free t b (i + 1) n)
+
+let rec ins_ready t b i n =
+  i >= n || (in_ready t (ag t.ins (b + i)) && ins_ready t b (i + 1) n)
+
+let rec first_ready t b i n =
+  if i >= n then -1
+  else if in_ready t (ag t.ins (b + i)) then i
+  else first_ready t b (i + 1) n
+
+let rec max_in_field t (arr : int array) b i n acc =
+  if i >= n then acc
+  else
+    let v = ag arr (ag t.ins (b + i)) in
+    max_in_field t arr b (i + 1) n (if v > acc then v else acc)
+
+let rec take_all t b i n =
+  if i < n then begin
+    take t (ag t.ins (b + i));
+    take_all t b (i + 1) n
+  end
+
+let[@inline] imax (a : int) (b : int) = if a >= b then a else b
+
+let[@inline] fire t slot =
+  let nid = ag t.nid_of slot in
+  aset t.fires nid (ag t.fires nid + 1);
+  t.nfired <- t.nfired + 1;
   t.progress <- true
 
 (* --- node evaluation ---------------------------------------------------- *)
 
-let eval_node t nid =
-  let node = Graph.node t.g nid in
-  let fired = ref false in
-  (match node.Graph.kind with
-  | Gen spec -> (
-      match t.states.(nid) with
-      | S_gen gs when not gs.g_done ->
-          let n_out = Array.length node.Graph.outputs in
-          let free = ref true in
-          for i = 0 to n_out - 1 do
-            if not (out_free t node i) then free := false
-          done;
-          if !free then begin
-            match spec.gen_next gs.g_seq with
-            | None -> gs.g_done <- true
-            | Some vals ->
-                if
-                  t.mem.Memif.begin_instance ~seq:gs.g_seq
-                    ~group:(spec.gen_group gs.g_seq)
-                then begin
-                  for i = 0 to n_out - 1 do
-                    put t node i (token ~epoch:t.epoch ~seq:gs.g_seq vals.(i))
-                  done;
-                  gs.g_seq <- gs.g_seq + 1;
-                  gs.g_emitted <- gs.g_emitted + 1;
-                  fired := true
-                end
-                else begin
-                  let s = t.mem.Memif.stats () in
-                  s.Memif.stall_alloc <- s.Memif.stall_alloc + 1
-                end
+(* Buffer emission: at most one per cycle; a transparent buffer may pass a
+   token accepted this very cycle (so it costs one stage like any other
+   node and only adds capacity), an opaque one holds it for a cycle (a
+   timing-breaking register). *)
+let buf_try_emit t r co ~transparent =
+  Ring.length r > 0
+  && (transparent || Ring.get r 0 3 < t.cycle)
+  && out_free t co
+  && begin
+       put t co ~seq:(Ring.get r 0 0) ~epoch:(Ring.get r 0 1)
+         ~value:(Ring.get r 0 2);
+       Ring.pop r;
+       t.held <- t.held - 1;
+       true
+     end
+
+(* Wake-set invariant (the [t.event && …] tails below): after its
+   evaluation, a node may sleep unless it still holds work that could fire
+   with NO further channel event — refused backend calls must be retried
+   (the refusal clears on a backend-internal transition the simulator
+   cannot observe), FU pipes and buffers become drainable by the mere
+   passage of time, an unexhausted generator races the backend for
+   allocation, and an outstanding load response must be polled.  Everything
+   else is re-woken by the channel commits, the same-cycle pull in [take],
+   squash wake-alls, or fault wakes.  The stay-awake decision is folded
+   into each dispatch arm so the sweep needs no second dispatch. *)
+let[@inline] pending_in t slot k =
+  let cid = ag t.ins (ag t.in_base slot + k) in
+  cid >= 0 && ag t.cur_seq cid >= 0 && not (agb t.consumed cid)
+
+let eval_slot t slot =
+  match ag t.op slot with
+  | 0 (* Gen *) ->
+      if not (agb t.g_done slot) then begin
+        let ob = ag t.out_base slot and on = ag t.out_n slot in
+        if outs_free t ob 0 on then begin
+          let seq = ag t.g_seq slot in
+          let row = t.gen_next_f.(slot) seq in
+          if Array.length row = 0 then begin
+            asetb t.g_done slot true;
+            t.gens_active <- t.gens_active - 1
           end
-      | _ -> ())
-  | Const c -> (
-      match in_tok t node 0 with
-      | Some tok when out_free t node 0 ->
-          ignore (take t node 0);
-          put t node 0 { tok with value = c };
-          fired := true
-      | _ -> ())
-  | Unop op -> (
-      match in_tok t node 0 with
-      | Some tok when out_free t node 0 ->
-          ignore (take t node 0);
-          put t node 0 { tok with value = eval_unop op tok.value };
-          fired := true
-      | _ -> ())
-  | Binop op -> (
-      match (in_tok t node 0, in_tok t node 1) with
-      | Some a, Some b -> (
-          let result =
-            {
-              seq = max a.seq b.seq;
-              epoch = max a.epoch b.epoch;
-              value = eval_binop op a.value b.value;
-            }
-          in
-          match t.states.(nid) with
-          | S_pipe (q, cap) ->
-              if Queue.length q < cap then begin
-                ignore (take t node 0);
-                ignore (take t node 1);
-                Queue.add { ready = t.cycle + t.cfg.op_latency op; tok = result } q;
-                fired := true
-              end
-          | _ ->
-              if out_free t node 0 then begin
-                ignore (take t node 0);
-                ignore (take t node 1);
-                put t node 0 result;
-                fired := true
-              end)
-      | _ -> ());
-      (* drain a completed pipelined result *)
-      (match t.states.(nid) with
-      | S_pipe (q, _) when not (Queue.is_empty q) ->
-          let head = Queue.peek q in
-          if head.ready <= t.cycle && out_free t node 0 then begin
-            ignore (Queue.pop q);
-            put t node 0 head.tok;
-            fired := true
-          end
-      | _ -> ())
-  | Fork n -> (
-      match in_tok t node 0 with
-      | Some tok ->
-          let free = ref true in
-          for i = 0 to n - 1 do
-            if not (out_free t node i) then free := false
-          done;
-          if !free then begin
-            ignore (take t node 0);
-            for i = 0 to n - 1 do
-              put t node i tok
+          else if
+            t.mem.Memif.begin_instance ~seq ~group:(t.gen_group_f.(slot) seq)
+          then begin
+            for i = 0 to on - 1 do
+              put t (ag t.outs (ob + i)) ~seq ~epoch:t.epoch ~value:row.(i)
             done;
-            fired := true
+            aset t.g_seq slot (seq + 1);
+            aset t.g_emitted slot (ag t.g_emitted slot + 1);
+            fire t slot
           end
-      | None -> ())
-  | Join n ->
-      let all = ref true in
-      for i = 0 to n - 1 do
-        if in_tok t node i = None then all := false
-      done;
-      if !all && out_free t node 0 then begin
-        let toks = Array.init n (fun i -> take t node i) in
-        let seq = Array.fold_left (fun acc (tk : token) -> max acc tk.seq) 0 toks in
-        let epoch =
-          Array.fold_left (fun acc (tk : token) -> max acc tk.epoch) 0 toks
-        in
-        put t node 0 { toks.(0) with seq; epoch };
-        fired := true
+          else begin
+            let s = t.mem.Memif.stats () in
+            s.Memif.stall_alloc <- s.Memif.stall_alloc + 1
+          end
+        end;
+        if t.bookkeep && not (agb t.g_done slot) then bs_set t.awake slot
       end
-  | Merge n ->
-      if out_free t node 0 then begin
-        let chosen = ref (-1) in
-        for i = n - 1 downto 0 do
-          if in_tok t node i <> None then chosen := i
-        done;
-        if !chosen >= 0 then begin
-          let tok = take t node !chosen in
-          put t node 0 tok;
-          fired := true
+  | 1 (* Const *) ->
+      let ci = ag t.ins (ag t.in_base slot) in
+      if in_ready t ci then begin
+        let co = ag t.outs (ag t.out_base slot) in
+        if out_free t co then begin
+          take t ci;
+          put t co ~seq:(ag t.cur_seq ci) ~epoch:(ag t.cur_epoch ci)
+            ~value:(ag t.p1 slot);
+          fire t slot
         end
       end
-  | Mux n -> (
-      match in_tok t node 0 with
-      | Some sel ->
-          let k = sel.value in
-          if k >= 0 && k < n then begin
-            match in_tok t node (1 + k) with
-            | Some data when out_free t node 0 ->
-                ignore (take t node 0);
-                ignore (take t node (1 + k));
-                put t node 0 data;
-                fired := true
-            | _ -> ()
-          end
-      | None -> ())
-  | Branch -> (
-      match (in_tok t node 0, in_tok t node 1) with
-      | Some _, Some cond ->
-          let out = if cond.value <> 0 then 0 else 1 in
-          if out_free t node out then begin
-            let data = take t node 0 in
-            ignore (take t node 1);
-            put t node out data;
-            fired := true
-          end
-      | _ -> ())
-  | Buffer { transparent; _ } -> (
-      match t.states.(nid) with
-      | S_buf (q, cap) ->
-          (* at most one emission per cycle; a transparent buffer may pass a
-             token accepted this very cycle (so it costs one stage like any
-             other node and only adds capacity), an opaque one holds it for
-             a cycle (a timing-breaking register) *)
-          let try_emit () =
-            if Queue.is_empty q then false
-            else begin
-              let tok, arrived = Queue.peek q in
-              if (transparent || arrived < t.cycle) && out_free t node 0 then begin
-                ignore (Queue.pop q);
-                put t node 0 tok;
-                true
-              end
-              else false
+  | 2 (* Unop *) ->
+      let ci = ag t.ins (ag t.in_base slot) in
+      if in_ready t ci then begin
+        let co = ag t.outs (ag t.out_base slot) in
+        if out_free t co then begin
+          take t ci;
+          put t co ~seq:(ag t.cur_seq ci) ~epoch:(ag t.cur_epoch ci)
+            ~value:(eval_unop_code (ag t.p1 slot) (ag t.cur_val ci));
+          fire t slot
+        end
+      end
+  | 3 (* Binop, combinational *) ->
+      let b = ag t.in_base slot in
+      let ca = ag t.ins b and cb = ag t.ins (b + 1) in
+      if in_ready t ca && in_ready t cb then begin
+        let co = ag t.outs (ag t.out_base slot) in
+        if out_free t co then begin
+          take t ca;
+          take t cb;
+          put t co
+            ~seq:(imax (ag t.cur_seq ca) (ag t.cur_seq cb))
+            ~epoch:(imax (ag t.cur_epoch ca) (ag t.cur_epoch cb))
+            ~value:
+              (eval_binop_code (ag t.p1 slot) (ag t.cur_val ca)
+                 (ag t.cur_val cb));
+          fire t slot
+        end
+      end
+  | 4 (* Binop, pipelined *) ->
+      let b = ag t.in_base slot in
+      let ca = ag t.ins b and cb = ag t.ins (b + 1) in
+      let r = t.ring.(slot) in
+      let accepted =
+        in_ready t ca
+        && in_ready t cb
+        && Ring.length r < ag t.p2 slot + 1
+        && begin
+             take t ca;
+             take t cb;
+             Ring.push4 r
+               (t.cycle + ag t.p2 slot)
+               (imax (ag t.cur_seq ca) (ag t.cur_seq cb))
+               (imax (ag t.cur_epoch ca) (ag t.cur_epoch cb))
+               (eval_binop_code (ag t.p1 slot) (ag t.cur_val ca)
+                  (ag t.cur_val cb));
+             t.held <- t.held + 1;
+             true
+           end
+      in
+      (* drain a completed pipelined result *)
+      let drained =
+        Ring.length r > 0
+        && Ring.get r 0 0 <= t.cycle
+        && begin
+             let co = ag t.outs (ag t.out_base slot) in
+             out_free t co
+             && begin
+                  put t co ~seq:(Ring.get r 0 1) ~epoch:(Ring.get r 0 2)
+                    ~value:(Ring.get r 0 3);
+                  Ring.pop r;
+                  t.held <- t.held - 1;
+                  true
+                end
+           end
+      in
+      if accepted || drained then fire t slot;
+      if t.bookkeep && Ring.length r > 0 then bs_set t.awake slot
+  | 5 (* Fork *) ->
+      let ci = ag t.ins (ag t.in_base slot) in
+      if in_ready t ci then begin
+        let ob = ag t.out_base slot and on = ag t.out_n slot in
+        if outs_free t ob 0 on then begin
+          take t ci;
+          let s = ag t.cur_seq ci
+          and e = ag t.cur_epoch ci
+          and v = ag t.cur_val ci in
+          for i = 0 to on - 1 do
+            put t (ag t.outs (ob + i)) ~seq:s ~epoch:e ~value:v
+          done;
+          fire t slot
+        end
+      end
+  | 6 (* Join *) ->
+      let b = ag t.in_base slot and n = ag t.in_n slot in
+      if ins_ready t b 0 n then begin
+        let co = ag t.outs (ag t.out_base slot) in
+        if out_free t co then begin
+          (* forwards input 0's value under the max seq/epoch *)
+          let v = ag t.cur_val (ag t.ins b) in
+          let s = max_in_field t t.cur_seq b 0 n 0 in
+          let e = max_in_field t t.cur_epoch b 0 n 0 in
+          take_all t b 0 n;
+          put t co ~seq:s ~epoch:e ~value:v;
+          fire t slot
+        end
+      end
+  | 7 (* Merge *) ->
+      let co = ag t.outs (ag t.out_base slot) in
+      if out_free t co then begin
+        let b = ag t.in_base slot in
+        let chosen = first_ready t b 0 (ag t.in_n slot) in
+        if chosen >= 0 then begin
+          let ci = ag t.ins (b + chosen) in
+          take t ci;
+          put t co ~seq:(ag t.cur_seq ci) ~epoch:(ag t.cur_epoch ci)
+            ~value:(ag t.cur_val ci);
+          fire t slot
+        end
+      end
+  | 8 (* Mux *) ->
+      let b = ag t.in_base slot in
+      let sel = ag t.ins b in
+      if in_ready t sel then begin
+        let k = ag t.cur_val sel in
+        if k >= 0 && k < ag t.p1 slot then begin
+          let d = ag t.ins (b + 1 + k) in
+          if in_ready t d then begin
+            let co = ag t.outs (ag t.out_base slot) in
+            if out_free t co then begin
+              take t sel;
+              take t d;
+              put t co ~seq:(ag t.cur_seq d) ~epoch:(ag t.cur_epoch d)
+                ~value:(ag t.cur_val d);
+              fire t slot
             end
-          in
-          let emitted = try_emit () in
-          (match in_tok t node 0 with
-          | Some _ when Queue.length q < cap ->
-              let tok = take t node 0 in
-              Queue.add (tok, t.cycle) q;
-              if (not emitted) && transparent then ignore (try_emit ());
-              fired := true
-          | _ -> ());
-          if emitted then fired := true
-      | _ -> assert false)
-  | Sink -> (
-      match in_tok t node 0 with
-      | Some _ ->
-          ignore (take t node 0);
-          fired := true
-      | None -> ())
-  | Load { port } ->
+          end
+        end
+      end
+  | 9 (* Branch *) ->
+      let b = ag t.in_base slot in
+      let d = ag t.ins b and c = ag t.ins (b + 1) in
+      if in_ready t d && in_ready t c then begin
+        let out = if ag t.cur_val c <> 0 then 0 else 1 in
+        let co = ag t.outs (ag t.out_base slot + out) in
+        if out_free t co then begin
+          take t d;
+          take t c;
+          put t co ~seq:(ag t.cur_seq d) ~epoch:(ag t.cur_epoch d)
+            ~value:(ag t.cur_val d);
+          fire t slot
+        end
+      end
+  | 10 | 11 (* Buffer (transparent | opaque) *) ->
+      let transparent = ag t.op slot = 10 in
+      let r = t.ring.(slot) in
+      let co = ag t.outs (ag t.out_base slot) in
+      let emitted = buf_try_emit t r co ~transparent in
+      let ci = ag t.ins (ag t.in_base slot) in
+      let accepted =
+        in_ready t ci
+        && Ring.length r < ag t.p1 slot
+        && begin
+             take t ci;
+             Ring.push4 r (ag t.cur_seq ci) (ag t.cur_epoch ci)
+               (ag t.cur_val ci) t.cycle;
+             t.held <- t.held + 1;
+             if (not emitted) && transparent then
+               ignore (buf_try_emit t r co ~transparent : bool);
+             true
+           end
+      in
+      if emitted || accepted then fire t slot;
+      if t.bookkeep && Ring.length r > 0 then bs_set t.awake slot
+  | 12 (* Sink *) ->
+      let ci = ag t.ins (ag t.in_base slot) in
+      if in_ready t ci then begin
+        take t ci;
+        fire t slot
+      end
+  | 13 (* Load *) ->
       (* deliver a completed response *)
-      (if out_free t node 0 then
-         match t.mem.Memif.load_poll ~port with
-         | Some (seq, v) ->
-             if not (Queue.is_empty t.load_resp.(nid)) then
-               ignore (Queue.pop t.load_resp.(nid));
-             put t node 0 (token ~epoch:t.epoch ~seq v);
-             fired := true
-         | None -> ());
+      let co = ag t.outs (ag t.out_base slot) in
+      let delivered =
+        out_free t co
+        && t.mem.Memif.load_poll ~port:(ag t.p1 slot) t.lslot
+        && begin
+             let r = t.ring.(slot) in
+             if Ring.length r > 0 then Ring.pop r;
+             put t co ~seq:t.lslot.Memif.ls_seq ~epoch:t.epoch
+               ~value:t.lslot.Memif.ls_value;
+             true
+           end
+      in
       (* present a new request *)
-      (match in_tok t node 0 with
-      | Some addr ->
-          if t.mem.Memif.load_req ~port ~seq:addr.seq ~addr:addr.value then begin
-            ignore (take t node 0);
-            Queue.add addr.seq t.load_resp.(nid);
-            fired := true
-          end
-      | None -> ())
-  | Store { port } -> (
-      match t.states.(nid) with
-      | S_store st ->
-          (* the address side is decoupled from the data side, as in a real
-             store port: addresses are consumed and announced to the backend
-             as soon as they are computed, letting the LSQ resolve ordering
-             without waiting for the data *)
-          (match in_tok t node 0 with
-          | Some addr when Queue.length st.pending < 16 ->
-              ignore (take t node 0);
-              t.mem.Memif.store_addr ~port ~seq:addr.seq ~addr:addr.value;
-              Queue.add (addr.seq, addr.value) st.pending;
-              fired := true
-          | _ -> ());
-          (match (in_tok t node 1, Queue.is_empty st.pending) with
-          | Some data, false ->
-              let seq, addr = Queue.peek st.pending in
-              if seq <> data.seq then
-                failwith
-                  (Printf.sprintf
-                     "store port %d: pending addr seq=%d but data seq=%d (cycle %d)"
-                     port seq data.seq t.cycle);
-              if t.mem.Memif.store_req ~port ~seq ~addr ~value:data.value then begin
-                ignore (Queue.pop st.pending);
-                ignore (take t node 1);
-                fired := true
-              end
-          | _ -> ())
-      | _ -> assert false)
-  | Skip { port } -> (
-      match in_tok t node 0 with
-      | Some tok ->
-          if t.mem.Memif.op_skip ~port ~seq:tok.seq then begin
-            ignore (take t node 0);
-            fired := true
-          end
-      | None -> ())
-  | Galloc { group } -> (
-      match in_tok t node 0 with
-      | Some tok ->
-          if t.mem.Memif.alloc_group ~seq:tok.seq ~group then begin
-            ignore (take t node 0);
-            fired := true
-          end
-      | None -> ()));
-  if !fired then begin
-    t.fires.(nid) <- t.fires.(nid) + 1;
-    t.progress <- true
-  end
-
-(* Wake-set invariant: after its evaluation, a node may sleep unless it
-   still holds work that could fire with NO further channel event — refused
-   backend calls must be retried (the refusal clears on a backend-internal
-   transition the simulator cannot observe), FU pipes and buffers become
-   drainable by the mere passage of time, an unexhausted generator races the
-   backend for allocation, and an outstanding load response must be polled.
-   Everything else is re-woken by the channel commits, the same-cycle pull
-   in [take], squash wake-alls, or fault wakes. *)
-let stays_awake t nid =
-  let node = Graph.node t.g nid in
-  let pending_in slot =
-    let cid = node.Graph.inputs.(slot) in
-    cid >= 0 && t.cur.(cid) <> None && not t.consumed.(cid)
-  in
-  match node.Graph.kind with
-  | Gen _ -> (
-      match t.states.(nid) with S_gen gs -> not gs.g_done | _ -> false)
-  | Load _ -> pending_in 0 || not (Queue.is_empty t.load_resp.(nid))
-  | Store _ -> pending_in 0 || pending_in 1
-  | Skip _ | Galloc _ -> pending_in 0
-  | Binop _ -> (
-      match t.states.(nid) with
-      | S_pipe (q, _) -> not (Queue.is_empty q)
-      | _ -> false)
-  | Buffer _ -> (
-      match t.states.(nid) with
-      | S_buf (q, _) -> not (Queue.is_empty q)
-      | _ -> false)
-  | _ -> false
+      let ci = ag t.ins (ag t.in_base slot) in
+      let requested =
+        in_ready t ci
+        && t.mem.Memif.load_req ~port:(ag t.p1 slot) ~seq:(ag t.cur_seq ci)
+             ~addr:(ag t.cur_val ci)
+        && begin
+             take t ci;
+             Ring.push1 t.ring.(slot) (ag t.cur_seq ci);
+             true
+           end
+      in
+      if delivered || requested then fire t slot;
+      if t.bookkeep && (pending_in t slot 0 || Ring.length t.ring.(slot) > 0)
+      then bs_set t.awake slot
+  | 14 (* Store *) ->
+      (* the address side is decoupled from the data side, as in a real
+         store port: addresses are consumed and announced to the backend as
+         soon as they are computed, letting the LSQ resolve ordering
+         without waiting for the data *)
+      let r = t.ring.(slot) in
+      let b = ag t.in_base slot in
+      let ca = ag t.ins b and cd = ag t.ins (b + 1) in
+      let addr_done =
+        in_ready t ca
+        && Ring.length r < store_pending_cap
+        && begin
+             take t ca;
+             t.mem.Memif.store_addr ~port:(ag t.p1 slot) ~seq:(ag t.cur_seq ca)
+               ~addr:(ag t.cur_val ca);
+             Ring.push2 r (ag t.cur_seq ca) (ag t.cur_val ca);
+             t.held <- t.held + 1;
+             true
+           end
+      in
+      let data_done =
+        in_ready t cd
+        && Ring.length r > 0
+        && begin
+             let seq = Ring.get r 0 0 and addr = Ring.get r 0 1 in
+             if seq <> ag t.cur_seq cd then
+               failwith
+                 (Printf.sprintf
+                    "store port %d: pending addr seq=%d but data seq=%d (cycle %d)"
+                    (ag t.p1 slot) seq (ag t.cur_seq cd) t.cycle);
+             t.mem.Memif.store_req ~port:(ag t.p1 slot) ~seq ~addr
+               ~value:(ag t.cur_val cd)
+             && begin
+                  Ring.pop r;
+                  t.held <- t.held - 1;
+                  take t cd;
+                  true
+                end
+           end
+      in
+      if addr_done || data_done then fire t slot;
+      if t.bookkeep && (pending_in t slot 0 || pending_in t slot 1) then
+        bs_set t.awake slot
+  | 15 (* Skip *) ->
+      let ci = ag t.ins (ag t.in_base slot) in
+      if
+        in_ready t ci
+        && t.mem.Memif.op_skip ~port:(ag t.p1 slot) ~seq:(ag t.cur_seq ci)
+      then begin
+        take t ci;
+        fire t slot
+      end;
+      if t.bookkeep && pending_in t slot 0 then bs_set t.awake slot
+  | _ (* Galloc *) ->
+      let ci = ag t.ins (ag t.in_base slot) in
+      if
+        in_ready t ci
+        && t.mem.Memif.alloc_group ~seq:(ag t.cur_seq ci) ~group:(ag t.p1 slot)
+      then begin
+        take t ci;
+        fire t slot
+      end;
+      if t.bookkeep && pending_in t slot 0 then bs_set t.awake slot
 
 (* --- squash ------------------------------------------------------------- *)
 
+(* Purge every in-flight token with [seq >= seq_err]: channel registers by
+   direct clear, ring-held records by in-place order-preserving compaction
+   ({!Ring.reject_ge}) — no scratch queue is ever allocated. *)
 let purge t ~seq_err =
   t.epoch <- t.epoch + 1;
-  Array.iteri
-    (fun i tok ->
-      match tok with Some tk when tk.seq >= seq_err -> t.cur.(i) <- None | _ -> ())
-    t.cur;
-  Array.iteri
-    (fun i tok ->
-      match tok with
-      | Some tk when tk.seq >= seq_err -> t.staged.(i) <- None
-      | _ -> ())
-    t.staged;
-  Array.iteri
-    (fun _ st ->
-      match st with
-      | S_pipe (q, _) ->
-          let keep = Queue.create () in
-          Queue.iter (fun e -> if e.tok.seq < seq_err then Queue.add e keep) q;
-          Queue.clear q;
-          Queue.transfer keep q
-      | S_buf (q, _) ->
-          let keep = Queue.create () in
-          Queue.iter
-            (fun ((tok, _) as e) -> if tok.seq < seq_err then Queue.add e keep)
-            q;
-          Queue.clear q;
-          Queue.transfer keep q
-      | S_gen gs ->
-          if gs.g_seq > seq_err then gs.g_seq <- seq_err;
-          gs.g_done <- false
-      | S_store st ->
-          if st.announced >= seq_err then st.announced <- -1;
-          let keep = Queue.create () in
-          Queue.iter
-            (fun ((s, _) as e) -> if s < seq_err then Queue.add e keep)
-            st.pending;
-          Queue.clear st.pending;
-          Queue.transfer keep st.pending
-      | S_plain -> ())
-    t.states;
-  (* the backend purges its response queues with the same cutoff
-     (see Memif.poll_squash): mirror it on the outstanding-response
-     counts so sleeping Loads never poll a dead response *)
-  Array.iter
-    (fun q ->
-      if not (Queue.is_empty q) then begin
-        let keep = Queue.create () in
-        Queue.iter (fun s -> if s < seq_err then Queue.add s keep) q;
-        Queue.clear q;
-        Queue.transfer keep q
-      end)
-    t.load_resp
+  for cid = 0 to t.nc - 1 do
+    if t.cur_seq.(cid) >= seq_err then begin
+      t.cur_seq.(cid) <- -1;
+      t.occupied <- t.occupied - 1
+    end;
+    if t.stg_seq.(cid) >= seq_err then t.stg_seq.(cid) <- -1
+  done;
+  for slot = 0 to t.n - 1 do
+    match t.op.(slot) with
+    | 0 (* Gen *) ->
+        if t.g_seq.(slot) > seq_err then t.g_seq.(slot) <- seq_err;
+        if t.g_done.(slot) then begin
+          t.g_done.(slot) <- false;
+          t.gens_active <- t.gens_active + 1
+        end
+    | 4 (* pipe: seq is field 1 *) ->
+        t.held <- t.held - Ring.reject_ge t.ring.(slot) ~field:1 ~cutoff:seq_err
+    | 10 | 11 | 14 (* buffers / pending stores: seq is field 0 *) ->
+        t.held <- t.held - Ring.reject_ge t.ring.(slot) ~field:0 ~cutoff:seq_err
+    | 13 (* load responses: mirrors the backend's own purge cutoff
+            (see Memif.poll_squash) so sleeping Loads never poll a dead
+            response; not counted in [held] *) ->
+        ignore (Ring.reject_ge t.ring.(slot) ~field:0 ~cutoff:seq_err : int)
+    | _ -> ()
+  done
 
 (* --- fault injection ---------------------------------------------------- *)
 
@@ -788,6 +1029,9 @@ let purge t ~seq_err =
    parity-checked elastic channel would give. *)
 let apply_faults t =
   let any_fired = ref false in
+  let tok_of chan =
+    { seq = t.cur_seq.(chan); epoch = t.cur_epoch.(chan); value = t.cur_val.(chan) }
+  in
   Array.iter
     (fun fs ->
       if fs.fs_fired = None && (not fs.fs_dead)
@@ -801,46 +1045,50 @@ let apply_faults t =
             ("fault: " ^ Fault.string_of_event fs.fs_event)
         in
         match fs.fs_event.Fault.action with
-        | Fault.Drop { chan } -> (
-            match t.cur.(chan) with
-            | Some tok ->
-                t.cur.(chan) <- None;
-                fired ~note:(Format.asprintf "lost %a" pp_token tok) ()
-            | None -> ())
-        | Fault.Drop_replay { chan } -> (
-            match t.cur.(chan) with
-            | Some tok ->
-                if t.mem.Memif.inject (Fault.B_squash { seq = tok.seq }) then begin
-                  t.cur.(chan) <- None;
-                  fired ~note:(Format.asprintf "lost %a, squash raised" pp_token tok) ()
-                end
-                (* a pre-commit-frontier remnant: retry on a younger token *)
-            | None -> ())
+        | Fault.Drop { chan } ->
+            if t.cur_seq.(chan) >= 0 then begin
+              let note = Format.asprintf "lost %a" pp_token (tok_of chan) in
+              t.cur_seq.(chan) <- -1;
+              t.occupied <- t.occupied - 1;
+              fired ~note ()
+            end
+        | Fault.Drop_replay { chan } ->
+            if t.cur_seq.(chan) >= 0
+               && t.mem.Memif.inject (Fault.B_squash { seq = t.cur_seq.(chan) })
+            then begin
+              (* else: a pre-commit-frontier remnant; retry on a younger
+                 token *)
+              let note =
+                Format.asprintf "lost %a, squash raised" pp_token (tok_of chan)
+              in
+              t.cur_seq.(chan) <- -1;
+              t.occupied <- t.occupied - 1;
+              fired ~note ()
+            end
         | Fault.Stall { chan; cycles } ->
-            t.stall_until.(chan) <- max t.stall_until.(chan) (t.cycle + cycles);
-            if t.event then begin
+            t.stall_until.(chan) <- imax t.stall_until.(chan) (t.cycle + cycles);
+            if t.event then
               (* the frozen token can only move again when the stall
                  expires — a timed event no channel commit announces *)
-              t.timed_wakes <-
-                (t.stall_until.(chan), t.chan_dst.(chan)) :: t.timed_wakes
-            end;
+              Wheel.add t.wheel ~at:t.stall_until.(chan) t.chan_dst.(chan);
             fired ()
-        | Fault.Flip { chan; mask } -> (
-            match t.cur.(chan) with
-            | Some tok ->
-                t.cur.(chan) <- Some { tok with value = tok.value lxor mask };
-                fired ~note:(Format.asprintf "corrupted %a" pp_token tok) ()
-            | None -> ())
-        | Fault.Flip_replay { chan; mask } -> (
-            match t.cur.(chan) with
-            | Some tok ->
-                if t.mem.Memif.inject (Fault.B_squash { seq = tok.seq }) then begin
-                  t.cur.(chan) <- Some { tok with value = tok.value lxor mask };
-                  fired
-                    ~note:(Format.asprintf "corrupted %a, squash raised" pp_token tok)
-                    ()
-                end
-            | None -> ())
+        | Fault.Flip { chan; mask } ->
+            if t.cur_seq.(chan) >= 0 then begin
+              let note = Format.asprintf "corrupted %a" pp_token (tok_of chan) in
+              t.cur_val.(chan) <- t.cur_val.(chan) lxor mask;
+              fired ~note ()
+            end
+        | Fault.Flip_replay { chan; mask } ->
+            if t.cur_seq.(chan) >= 0
+               && t.mem.Memif.inject (Fault.B_squash { seq = t.cur_seq.(chan) })
+            then begin
+              let note =
+                Format.asprintf "corrupted %a, squash raised" pp_token
+                  (tok_of chan)
+              in
+              t.cur_val.(chan) <- t.cur_val.(chan) lxor mask;
+              fired ~note ()
+            end
         | Fault.Backend b ->
             if t.mem.Memif.inject b then fired ()
             else (
@@ -879,15 +1127,20 @@ let cap_list n l =
 (** Snapshot the diagnosis state; attached to [Deadlock]/[Timeout] so a hung
     run explains itself without a debugger. *)
 let post_mortem t : post_mortem =
-  let nc = Array.length t.cur in
   let occupied = ref 0 in
   let tokens = ref [] in
-  for cid = nc - 1 downto 0 do
-    match t.cur.(cid) with
-    | Some tok ->
-        incr occupied;
-        tokens := (cid, tok) :: !tokens
-    | None -> ()
+  for cid = t.nc - 1 downto 0 do
+    if t.cur_seq.(cid) >= 0 then begin
+      incr occupied;
+      tokens :=
+        ( cid,
+          {
+            seq = t.cur_seq.(cid);
+            epoch = t.cur_epoch.(cid);
+            value = t.cur_val.(cid);
+          } )
+        :: !tokens
+    end
   done;
   let oldest = ref None in
   let note_seq s =
@@ -895,23 +1148,28 @@ let post_mortem t : post_mortem =
     | None -> oldest := Some s
     | Some o -> if s < o then oldest := Some s
   in
-  Array.iter (function Some (tk : token) -> note_seq tk.seq | None -> ()) t.cur;
-  Array.iter (function Some (tk : token) -> note_seq tk.seq | None -> ()) t.staged;
-  Array.iter
-    (function
-      | S_pipe (q, _) -> Queue.iter (fun e -> note_seq e.tok.seq) q
-      | S_buf (q, _) -> Queue.iter (fun ((tok : token), _) -> note_seq tok.seq) q
-      | S_store st -> Queue.iter (fun (s, _) -> note_seq s) st.pending
-      | _ -> ())
-    t.states;
+  for cid = 0 to t.nc - 1 do
+    if t.cur_seq.(cid) >= 0 then note_seq t.cur_seq.(cid);
+    if t.stg_seq.(cid) >= 0 then note_seq t.stg_seq.(cid)
+  done;
+  for slot = 0 to t.n - 1 do
+    let r = t.ring.(slot) in
+    match t.op.(slot) with
+    | 4 -> Ring.iter (fun i -> note_seq (Ring.get r i 1)) r
+    | 10 | 11 | 14 -> Ring.iter (fun i -> note_seq (Ring.get r i 0)) r
+    | _ -> ()
+  done;
   let stalled = ref [] in
   let gens = ref [] in
-  for nid = Graph.n_nodes t.g - 1 downto 0 do
+  for nid = t.n - 1 downto 0 do
     let node = Graph.node t.g nid in
+    let slot = t.slot_of.(nid) in
     let wired = Array.to_list node.Graph.inputs |> List.filter (fun c -> c >= 0) in
-    let any_in = List.exists (fun c -> t.cur.(c) <> None) wired in
+    let any_in = List.exists (fun c -> t.cur_seq.(c) >= 0) wired in
     let frozen =
-      List.filter (fun c -> t.cur.(c) <> None && t.stall_until.(c) > t.cycle) wired
+      List.filter
+        (fun c -> t.cur_seq.(c) >= 0 && t.stall_until.(c) > t.cycle)
+        wired
     in
     let missing =
       (* a Merge fires on any single input, so it is never input-starved *)
@@ -919,63 +1177,66 @@ let post_mortem t : post_mortem =
       | Merge _ -> []
       | _ ->
           Array.to_list node.Graph.inputs
-          |> List.mapi (fun slot c -> (slot, c))
-          |> List.filter (fun (_, c) -> c >= 0 && t.cur.(c) = None)
+          |> List.mapi (fun islot c -> (islot, c))
+          |> List.filter (fun (_, c) -> c >= 0 && t.cur_seq.(c) < 0)
     in
     let out_full =
       Array.to_list node.Graph.outputs
-      |> List.filter (fun c -> c >= 0 && t.cur.(c) <> None)
+      |> List.filter (fun c -> c >= 0 && t.cur_seq.(c) >= 0)
     in
     let add why = stalled := (nid, node.Graph.label, why) :: !stalled in
-    match t.states.(nid) with
-    | S_gen gs ->
-        gens := (nid, gs.g_seq, gs.g_done) :: !gens;
-        if not gs.g_done then
-          if out_full <> [] then
-            add
-              (Printf.sprintf "generator blocked: output chan %d occupied"
-                 (List.hd out_full))
-          else add "generator blocked: allocation refused by backend"
-    | st -> (
-        let internal =
-          match st with
-          | S_pipe (q, _) when not (Queue.is_empty q) ->
-              Some (Printf.sprintf "%d result(s) stuck in FU pipeline" (Queue.length q))
-          | S_buf (q, _) when not (Queue.is_empty q) ->
-              Some (Printf.sprintf "%d token(s) stuck in buffer" (Queue.length q))
-          | S_store ss when not (Queue.is_empty ss.pending) ->
-              let seq, addr = Queue.peek ss.pending in
-              Some
-                (Printf.sprintf
-                   "%d announced store(s) awaiting data (head: seq=%d addr=%d)"
-                   (Queue.length ss.pending) seq addr)
-          | _ -> None
+    if t.op.(slot) = op_gen then begin
+      gens := (nid, t.g_seq.(slot), t.g_done.(slot)) :: !gens;
+      if not t.g_done.(slot) then
+        if out_full <> [] then
+          add
+            (Printf.sprintf "generator blocked: output chan %d occupied"
+               (List.hd out_full))
+        else add "generator blocked: allocation refused by backend"
+    end
+    else begin
+      let opc = t.op.(slot) in
+      let r = t.ring.(slot) in
+      let internal =
+        if opc = op_pipe && Ring.length r > 0 then
+          Some
+            (Printf.sprintf "%d result(s) stuck in FU pipeline" (Ring.length r))
+        else if (opc = op_tbuf || opc = op_obuf) && Ring.length r > 0 then
+          Some (Printf.sprintf "%d token(s) stuck in buffer" (Ring.length r))
+        else if opc = op_store && Ring.length r > 0 then
+          Some
+            (Printf.sprintf
+               "%d announced store(s) awaiting data (head: seq=%d addr=%d)"
+               (Ring.length r) (Ring.get r 0 0) (Ring.get r 0 1))
+        else None
+      in
+      if any_in || internal <> None then begin
+        let why =
+          if frozen <> [] then
+            Printf.sprintf "input chan %d frozen by injected stall"
+              (List.hd frozen)
+          else
+            match internal with
+            | Some w -> w
+            | None -> (
+                if missing <> [] && any_in then
+                  let islot, c = List.hd missing in
+                  Printf.sprintf "starved: input slot %d (chan %d) empty" islot c
+                else if out_full <> [] then
+                  Printf.sprintf "backpressured: output chan %d occupied"
+                    (List.hd out_full)
+                else
+                  match node.Graph.kind with
+                  | Load _ | Store _ | Skip _ | Galloc _ ->
+                      "inputs ready but refused by memory backend"
+                  | _ -> "inputs ready, output free")
         in
-        if any_in || internal <> None then
-          let why =
-            if frozen <> [] then
-              Printf.sprintf "input chan %d frozen by injected stall"
-                (List.hd frozen)
-            else
-              match internal with
-              | Some w -> w
-              | None -> (
-                  if missing <> [] && any_in then
-                    let slot, c = List.hd missing in
-                    Printf.sprintf "starved: input slot %d (chan %d) empty" slot c
-                  else if out_full <> [] then
-                    Printf.sprintf "backpressured: output chan %d occupied"
-                      (List.hd out_full)
-                  else
-                    match node.Graph.kind with
-                    | Load _ | Store _ | Skip _ | Galloc _ ->
-                        "inputs ready but refused by memory backend"
-                    | _ -> "inputs ready, output free")
-          in
-          add why)
+        add why
+      end
+    end
   done;
   let fault_stalls = ref [] in
-  for cid = nc - 1 downto 0 do
+  for cid = t.nc - 1 downto 0 do
     if t.stall_until.(cid) > t.cycle then fault_stalls := cid :: !fault_stalls
   done;
   {
@@ -994,21 +1255,36 @@ let post_mortem t : post_mortem =
 
 (* --- main loop ---------------------------------------------------------- *)
 
-let all_empty t =
-  Array.for_all (fun c -> c = None) t.cur
-  && Array.for_all
-       (fun st ->
-         match st with
-         | S_pipe (q, _) -> Queue.is_empty q
-         | S_buf (q, _) -> Queue.is_empty q
-         | S_store st -> Queue.is_empty st.pending
-         | _ -> true)
-       t.states
+(* The occupancy counters make this O(1) where the old engine re-scanned
+   every channel and queue: a run is done when no generator can emit, no
+   channel register holds a token, no pipe/buffer/pending-store record is
+   in flight, and the backend has committed everything it accepted.
+   Outstanding load responses are intentionally NOT part of the circuit-side
+   condition — the backend's [quiesced] covers them, exactly as before. *)
+let finished t =
+  t.gens_active = 0 && t.occupied = 0 && t.held = 0 && t.mem.Memif.quiesced ()
 
-let gens_done t =
-  Array.for_all
-    (fun st -> match st with S_gen gs -> gs.g_done | _ -> true)
-    t.states
+(* Event-engine sweep: extract slots from the wave bitset in ascending order
+   and evaluate each.  Written as a tail recursion over the word index so
+   the hot loop allocates nothing (a [ref] cursor would be a heap cell).
+   The current word is re-read after every eval because [take] may pull a
+   producer with a slot later in the SAME word into the wave; keeping the
+   pending bits in the in-memory word also dedupes a pull that targets a
+   not-yet-evaluated slot. *)
+let rec sweep t nw w =
+  if w < nw then begin
+    let bits = ag t.wave w in
+    if bits = 0 then sweep t nw (w + 1)
+    else begin
+      let lsb = bits land -bits in
+      aset t.wave w (bits lxor lsb);
+      let slot = (w lsl 5) lor ctz32 lsb in
+      t.cur_slot <- slot;
+      t.evals <- t.evals + 1;
+      eval_slot t slot;
+      sweep t nw w
+    end
+  end
 
 let step t =
   t.progress <- false;
@@ -1032,68 +1308,108 @@ let step t =
       if t.event then wake_all t;
       t.progress <- true
   | None -> ());
-  (match t.cfg.engine with
-  | Scan ->
-      t.evals <- t.evals + Array.length t.order;
-      Array.iter (fun nid -> eval_node t nid) t.order
-  | Event ->
-      if t.timed_wakes <> [] then begin
-        let due, rest =
-          List.partition (fun (c, _) -> c <= t.cycle) t.timed_wakes
-        in
-        t.timed_wakes <- rest;
-        List.iter (fun (_, nid) -> wake t nid) due
-      end;
-      (* seed the wave with the wake set, then sweep it in [pos] order;
-         [take] may grow the wave downstream of the sweep cursor, and
-         wakes raised during the sweep land in the next cycle's set *)
-      for k = 0 to t.wake_len - 1 do
-        let nid = t.wake_stack.(k) in
-        t.awake.(nid) <- false;
-        t.wave.(t.pos.(nid)) <- true
+  if t.event then begin
+    if Wheel.pending t.wheel > 0 then Wheel.drain t.wheel ~now:t.cycle t.wake_cb;
+    if t.dense then begin
+      (* high-activity regime: a scan-shaped pass with [bookkeep] off; any
+         awake bits raised meanwhile (wheel, faults) linger harmlessly and
+         are subsumed by the wake_all on exit *)
+      t.evals <- t.evals + t.n;
+      for slot = 0 to t.n - 1 do
+        eval_slot t slot
+      done
+    end
+    else begin
+      (* seed the wave with the wake set (word-wise), then sweep; [take] may
+         grow the wave downstream of the sweep cursor, and wakes raised
+         during the sweep land in the next cycle's set *)
+      let nw = Array.length t.awake in
+      for w = 0 to nw - 1 do
+        aset t.wave w (ag t.wave w lor ag t.awake w);
+        aset t.awake w 0
       done;
-      t.wake_len <- 0;
-      let n = Array.length t.order in
-      t.cur_pos <- -1;
-      for i = 0 to n - 1 do
-        if t.wave.(i) then begin
-          t.wave.(i) <- false;
-          let nid = t.order.(i) in
-          t.cur_pos <- i;
-          t.evals <- t.evals + 1;
-          eval_node t nid;
-          if stays_awake t nid then wake t nid
-        end
-      done);
+      t.cur_slot <- -1;
+      sweep t nw 0
+    end
+  end
+  else begin
+    t.evals <- t.evals + t.n;
+    for slot = 0 to t.n - 1 do
+      eval_slot t slot
+    done
+  end;
   (* clock edge: commit only the channels touched this cycle (untouched
-     channels cannot have staged writes or consumption marks) *)
-  for k = 0 to t.touch_len - 1 do
-    let cid = t.touch_stack.(k) in
-    (match t.staged.(cid) with
-    | Some tok ->
-        t.cur.(cid) <- Some tok;
-        t.staged.(cid) <- None;
-        if t.event then wake t t.chan_dst.(cid)
-    | None ->
-        if t.consumed.(cid) then begin
-          t.cur.(cid) <- None;
-          if t.event then wake t t.chan_src.(cid)
-        end);
-    t.consumed.(cid) <- false;
-    t.touched.(cid) <- false
-  done;
+     channels cannot have staged writes or consumption marks); the loop is
+     duplicated to hoist the wake-bookkeeping test out of the per-channel
+     body *)
+  if t.bookkeep then
+    for k = 0 to t.touch_len - 1 do
+      let cid = ag t.touch_stack k in
+      if ag t.stg_seq cid >= 0 then begin
+        if ag t.cur_seq cid < 0 then t.occupied <- t.occupied + 1;
+        aset t.cur_seq cid (ag t.stg_seq cid);
+        aset t.cur_epoch cid (ag t.stg_epoch cid);
+        aset t.cur_val cid (ag t.stg_val cid);
+        aset t.stg_seq cid (-1);
+        bs_set t.awake (ag t.chan_dst cid)
+      end
+      else if agb t.consumed cid then begin
+        if ag t.cur_seq cid >= 0 then t.occupied <- t.occupied - 1;
+        aset t.cur_seq cid (-1);
+        bs_set t.awake (ag t.chan_src cid)
+      end;
+      asetb t.consumed cid false;
+      asetb t.touched cid false
+    done
+  else
+    for k = 0 to t.touch_len - 1 do
+      let cid = ag t.touch_stack k in
+      if ag t.stg_seq cid >= 0 then begin
+        if ag t.cur_seq cid < 0 then t.occupied <- t.occupied + 1;
+        aset t.cur_seq cid (ag t.stg_seq cid);
+        aset t.cur_epoch cid (ag t.stg_epoch cid);
+        aset t.cur_val cid (ag t.stg_val cid);
+        aset t.stg_seq cid (-1)
+      end
+      else if agb t.consumed cid then begin
+        if ag t.cur_seq cid >= 0 then t.occupied <- t.occupied - 1;
+        aset t.cur_seq cid (-1)
+      end;
+      asetb t.consumed cid false;
+      asetb t.touched cid false
+    done;
   t.touch_len <- 0;
+  (* density hysteresis: enter the dense regime when >= 1/2 of the nodes
+     fired this cycle, leave it when activity drops below 7/20.  An idle
+     evaluation costs a handful of ns while the sparse mode's per-active-
+     node bookkeeping (commit wakes, take pulls, sweep extraction) costs
+     several times that, so the measured crossover sits near 50% activity
+     — the sparse sweep must only run when most nodes are asleep.  The
+     exit rebuilds the wake set wholesale because none was maintained
+     while dense. *)
+  if t.event then begin
+    (if t.dense then begin
+       if t.nfired * 20 < 7 * t.n then begin
+         t.dense <- false;
+         t.bookkeep <- true;
+         wake_all t
+       end
+     end
+     else if t.nfired * 2 >= t.n then begin
+       t.dense <- true;
+       t.bookkeep <- false
+     end);
+    t.nfired <- 0
+  end;
   t.mem.Memif.clock ();
   if Pv_obs.Trace.enabled t.trace then begin
     (* in-flight token counter track, sampled on change only *)
-    let inflight = ref 0 in
-    Array.iter (function Some _ -> incr inflight | None -> ()) t.cur;
-    Array.iter
-      (function
-        | S_pipe (q, _) -> inflight := !inflight + Queue.length q
-        | S_buf (q, _) -> inflight := !inflight + Queue.length q
-        | _ -> ())
-      t.states;
+    let inflight = ref t.occupied in
+    for slot = 0 to t.n - 1 do
+      let opc = t.op.(slot) in
+      if opc = op_pipe || opc = op_tbuf || opc = op_obuf then
+        inflight := !inflight + Ring.length t.ring.(slot)
+    done;
     if !inflight <> t.last_inflight then begin
       Pv_obs.Trace.counter t.trace ~tid:Pv_obs.Trace.tid_sim ~ts:t.cycle
         "in_flight_tokens" !inflight;
@@ -1102,8 +1418,6 @@ let step t =
   end;
   if t.progress then t.last_progress <- t.cycle;
   t.cycle <- t.cycle + 1
-
-let finished t = gens_done t && all_empty t && t.mem.Memif.quiesced ()
 
 (* Close the observability story of a run: final epoch span, outcome
    instant, and (for a wedged run) one stall-reason instant per blocked
@@ -1154,15 +1468,37 @@ let run ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
   in
   let outcome = loop () in
   trace_outcome t outcome;
-  let gen_instances =
-    Array.fold_left
-      (fun acc st -> match st with S_gen gs -> acc + gs.g_emitted | _ -> acc)
-      0 t.states
-  in
+  let gen_instances = ref 0 in
+  for slot = 0 to t.n - 1 do
+    gen_instances := !gen_instances + t.g_emitted.(slot)
+  done;
   ( outcome,
     {
       cycles = t.cycle;
       node_fires = Array.copy t.fires;
-      gen_instances;
+      gen_instances = !gen_instances;
       evals = t.evals;
     } )
+
+(* --- read-only accessors (tools: profile, vcd, debug) ------------------- *)
+
+let graph t = t.g
+let cycle t = t.cycle
+let last_progress t = t.last_progress
+let epoch t = t.epoch
+let evals t = t.evals
+let fires t = t.fires
+
+let chan_occupied t cid = t.cur_seq.(cid) >= 0
+
+let chan_token t cid =
+  if t.cur_seq.(cid) < 0 then None
+  else
+    Some { seq = t.cur_seq.(cid); epoch = t.cur_epoch.(cid); value = t.cur_val.(cid) }
+
+let buf_occupancy t nid =
+  let slot = t.slot_of.(nid) in
+  let opc = t.op.(slot) in
+  if opc = op_tbuf || opc = op_obuf then
+    Some (Ring.length t.ring.(slot), t.p1.(slot))
+  else None

@@ -16,6 +16,14 @@
     the equivalence is enforced by test/test_sim_equiv.ml and a fuzz
     property.
 
+    Representation: the simulation state is data-oriented — flat int arrays
+    indexed by dense node/channel ids, a dense opcode dispatch table built
+    once at {!create}, int-bitset wake sets and ring-buffer queue state —
+    so a steady-state cycle performs zero minor-heap allocation
+    (test/test_sim_perf.ml asserts this; DESIGN.md §19 describes the
+    layout).  The state is consequently abstract; tools read it through the
+    {{!section:accessors} accessors} below.
+
     Squash/replay: when the backend reports a mis-speculation at [seq_err],
     the simulator bumps the global epoch, purges every in-flight token with
     [seq >= seq_err] (channels, buffers, functional-unit pipelines) and
@@ -96,89 +104,19 @@ type run_stats = {
   node_fires : int array;  (** per node id *)
   gen_instances : int;  (** body instances emitted, including replays *)
   evals : int;
-      (** total [eval_node] calls; under [Scan] this is nodes x cycles,
+      (** total node evaluations; under [Scan] this is nodes x cycles,
           under [Event] only the awake subset *)
 }
 
 (** {1 Stepping interface}
 
-    The internal state is exposed for tools (profilers, waveform dumpers,
-    debuggers) that drive the simulation cycle by cycle. *)
+    Tools (profilers, waveform dumpers, debuggers) drive the simulation
+    cycle by cycle with {!step} and read state through the accessors. *)
 
-type pipe_entry = { ready : int; tok : Types.token }
-(** [ready] is the absolute cycle at which the FU-pipeline entry may
-    drain (push cycle + op latency). *)
+type t
 
-type nstate =
-  | S_plain
-  | S_pipe of pipe_entry Queue.t * int  (** FU pipeline: queue, capacity *)
-  | S_buf of (Types.token * int) Queue.t * int
-      (** buffer: (token, arrival cycle), capacity *)
-  | S_gen of gen_state
-  | S_store of store_state
-
-and store_state = {
-  mutable announced : int;  (** last seq sent to [store_addr] *)
-  pending : (int * int) Queue.t;  (** announced (seq, addr) awaiting data *)
-}
-
-and gen_state = {
-  mutable g_seq : int;
-  mutable g_done : bool;
-  mutable g_emitted : int;
-}
-
-(** One armed fault event: fires at the first applicable cycle at or after
-    its [at_cycle], at most once. *)
-type fault_state = {
-  fs_event : Fault.event;
-  mutable fs_fired : int option;
-  mutable fs_dead : bool;  (** permanently inapplicable; stop retrying *)
-  mutable fs_note : string;
-}
-
-type t = {
-  g : Graph.t;
-  cfg : config;
-  mem : Memif.t;
-  cur : Types.token option array;  (** channel registers, by channel id *)
-  staged : Types.token option array;
-  consumed : bool array;
-  states : nstate array;
-  order : int array;  (** node evaluation order: consumers before producers *)
-  pos : int array;  (** node id -> index in [order] *)
-  chan_src : int array;  (** channel id -> producer node *)
-  chan_dst : int array;  (** channel id -> consumer node *)
-  fires : int array;  (** per-node fire counts *)
-  faults : fault_state array;
-  stall_until : int array;
-      (** per channel: consumption blocked below this cycle *)
-  event : bool;  (** running the event engine *)
-  awake : bool array;  (** wake set for the next cycle, by node id *)
-  wake_stack : int array;  (** the awake node ids, dense *)
-  mutable wake_len : int;
-  mutable timed_wakes : (int * Types.node_id) list;
-      (** (cycle, node): wake [node] at [cycle] (injected stall expiry) *)
-  wave : bool array;
-      (** indexed by [pos]: nodes to evaluate this cycle, swept in order *)
-  mutable cur_pos : int;  (** [pos] of the node being evaluated *)
-  load_resp : int Queue.t array;
-      (** per Load node: seqs of accepted, not-yet-delivered requests *)
-  touched : bool array;  (** channels staged/consumed this cycle *)
-  touch_stack : int array;  (** the touched channel ids, dense *)
-  mutable touch_len : int;
-  mutable evals : int;  (** total [eval_node] calls so far *)
-  mutable epoch : int;
-  mutable cycle : int;
-  mutable progress : bool;
-  mutable last_progress : int;
-  trace : Pv_obs.Trace.t;
-      (** event sink; {!Pv_obs.Trace.null} unless passed to [create] *)
-  mutable epoch_start : int;  (** cycle the open epoch span began *)
-  mutable last_inflight : int;  (** last emitted in-flight sample (-1 = none) *)
-}
-
-(** Validate the graph and build the initial state.  [trace] (default
+(** Validate the graph and build the initial state (evaluation order,
+    dispatch tables, flat channel arrays).  [trace] (default
     {!Pv_obs.Trace.null}) receives epoch spans, squash/fault instants and
     an in-flight-token counter track; the null sink reduces every emit
     site to one branch and provably leaves behaviour unchanged
@@ -192,8 +130,17 @@ val create : ?cfg:config -> ?trace:Pv_obs.Trace.t -> Graph.t -> Memif.t -> t
 val step : t -> unit
 
 (** True once the generator is exhausted, every channel/buffer/pipe is
-    empty, and the backend has quiesced. *)
+    empty, and the backend has quiesced.  O(1): maintained occupancy
+    counters, no state scan. *)
 val finished : t -> bool
+
+(** Purge every in-flight token with [seq >= seq_err] (channel registers,
+    buffers, FU pipelines, announced stores) and rewind the generators —
+    the squash recovery action.  Allocation-free: ring-held records are
+    compacted in place.  {!step} invokes it on a backend squash report and
+    then re-arms the event engine's wake set; direct callers stepping an
+    [Event]-engine simulation by hand should let [step] drive it. *)
+val purge : t -> seq_err:int -> unit
 
 (** Snapshot the diagnosis state of a (possibly wedged) simulation. *)
 val post_mortem : t -> post_mortem
@@ -209,3 +156,32 @@ val trace_outcome : t -> outcome -> unit
 (** Run to completion (or deadlock/timeout per [cfg]). *)
 val run :
   ?cfg:config -> ?trace:Pv_obs.Trace.t -> Graph.t -> Memif.t -> outcome * run_stats
+
+(** {1:accessors Read-only accessors} *)
+
+val graph : t -> Graph.t
+val cycle : t -> int
+
+(** Cycle of the last token movement. *)
+val last_progress : t -> int
+
+(** Squash epoch (number of squashes seen so far). *)
+val epoch : t -> int
+
+(** Total node evaluations so far. *)
+val evals : t -> int
+
+(** Per-node fire counts, indexed by node id.  The live array — do not
+    mutate; {!run_stats.node_fires} is the copying variant. *)
+val fires : t -> int array
+
+(** The channel register currently holds a token. *)
+val chan_occupied : t -> Types.chan_id -> bool
+
+(** The channel register's current token, if any.  Allocates; use
+    {!chan_occupied} in per-cycle loops that only need presence. *)
+val chan_token : t -> Types.chan_id -> Types.token option
+
+(** [(length, capacity)] of a Buffer node's queue; [None] if [nid] is not
+    a buffer. *)
+val buf_occupancy : t -> Types.node_id -> (int * int) option

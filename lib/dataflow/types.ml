@@ -79,6 +79,65 @@ let eval_binop op a b =
 let eval_unop op a =
   match op with Neg -> -a | Not -> (if a = 0 then 1 else 0) | Lnot -> lnot a
 
+(* Dense integer codes for the functional units.  The simulator's dispatch
+   tables store these instead of the variant constructors, so the hot loop
+   evaluates an operator with one jump-table dispatch on an immediate int
+   and never touches a boxed closure or constructor. *)
+
+let binop_code = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Mulc -> 3
+  | Div -> 4
+  | Rem -> 5
+  | And -> 6
+  | Or -> 7
+  | Xor -> 8
+  | Shl -> 9
+  | Shr -> 10
+  | Lt -> 11
+  | Le -> 12
+  | Gt -> 13
+  | Ge -> 14
+  | Eq -> 15
+  | Ne -> 16
+  | Min -> 17
+  | Max -> 18
+
+(* Must mirror [eval_binop] case for case (test_dataflow checks the whole
+   table against it). *)
+let eval_binop_code code a b =
+  match code with
+  | 0 -> a + b
+  | 1 -> a - b
+  | 2 | 3 -> a * b
+  | 4 -> if b = 0 then 0 else a / b
+  | 5 -> if b = 0 then 0 else a mod b
+  | 6 -> a land b
+  | 7 -> a lor b
+  | 8 -> a lxor b
+  | 9 -> a lsl (b land 62)
+  | 10 -> a asr (b land 62)
+  | 11 -> if a < b then 1 else 0
+  | 12 -> if a <= b then 1 else 0
+  | 13 -> if a > b then 1 else 0
+  | 14 -> if a >= b then 1 else 0
+  | 15 -> if a = b then 1 else 0
+  | 16 -> if a <> b then 1 else 0
+  | 17 -> if a <= b then a else b
+  | 18 -> if a >= b then a else b
+  | _ -> invalid_arg "eval_binop_code"
+
+let unop_code = function Neg -> 0 | Not -> 1 | Lnot -> 2
+
+let eval_unop_code code a =
+  match code with
+  | 0 -> -a
+  | 1 -> if a = 0 then 1 else 0
+  | 2 -> lnot a
+  | _ -> invalid_arg "eval_unop_code"
+
 (** A token flowing on an elastic channel.
 
     [seq] is the basic-block-instance sequence number assigned by the
@@ -98,9 +157,12 @@ let pp_token ppf t = Format.fprintf ppf "{seq=%d;ep=%d;v=%d}" t.seq t.epoch t.va
     resets it to re-emit instances from [seq_err]. *)
 type gen_spec = {
   gen_arity : int;  (** number of induction-variable outputs *)
-  gen_next : int -> int array option;
+  gen_next : int -> int array;
       (** [gen_next seq] = values of the induction variables for body
-          instance [seq], or [None] once the nest is exhausted *)
+          instance [seq], or [||] once the nest is exhausted.  Returning a
+          pre-tabulated row (rather than an option around it) keeps the
+          generator's steady-state emission allocation-free; [gen_arity]
+          is at least 1, so the empty array is unambiguous. *)
   gen_group : int -> int;  (** memory-port group of body instance [seq] *)
 }
 

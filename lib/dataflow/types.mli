@@ -43,6 +43,18 @@ val eval_binop : binop -> int -> int -> int
 
 val eval_unop : unop -> int -> int
 
+(** {2 Dense operator codes}
+
+    The simulator's dispatch tables store operators as immediate ints so
+    the hot loop dispatches with one jump table and no boxed state.
+    [eval_*_code (…_code op) = eval_* op] by construction (checked by
+    test/test_dataflow.ml). *)
+
+val binop_code : binop -> int
+val eval_binop_code : int -> int -> int -> int
+val unop_code : unop -> int
+val eval_unop_code : int -> int -> int
+
 (** A token flowing on an elastic channel.
 
     [seq] is the body-instance sequence number assigned by the loop-nest
@@ -61,9 +73,12 @@ val pp_token : Format.formatter -> token -> unit
     resets it to re-emit instances from [seq_err]. *)
 type gen_spec = {
   gen_arity : int;  (** number of induction-variable outputs *)
-  gen_next : int -> int array option;
+  gen_next : int -> int array;
       (** [gen_next seq] = values of the induction variables for body
-          instance [seq], or [None] once the nest is exhausted *)
+          instance [seq], or [||] once the nest is exhausted.  Returning a
+          pre-tabulated row (rather than an option around it) keeps the
+          generator's steady-state emission allocation-free; [gen_arity]
+          is at least 1, so the empty array is unambiguous. *)
   gen_group : int -> int;  (** memory-port group of body instance [seq] *)
 }
 

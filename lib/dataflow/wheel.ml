@@ -1,0 +1,64 @@
+(** Cycle-bucketed timer wheel for the simulator's timed wakes.
+
+    Replaces the [(cycle, node) list] that was linearly partitioned every
+    cycle: arming an expiry appends to the bucket of the target cycle
+    (modulo the wheel size), and draining inspects exactly one bucket.
+    Entries whose horizon exceeds the wheel size simply stay in their
+    bucket across laps — each carries its absolute expiry cycle and only
+    fires once [now] reaches it, which is correct because the simulator
+    drains every cycle while anything is pending.
+
+    Within a bucket, entries fire in insertion order (FIFO): equal-expiry
+    wakes are delivered in the order they were armed, fixing the
+    insertion-reversed ordering of the old list (pinned by
+    test/test_sim_perf.ml). *)
+
+type t = {
+  mask : int;  (* n_buckets - 1; n_buckets is a power of two *)
+  buckets : Ring.t array;  (* per bucket: (expiry, payload) records *)
+  mutable pending : int;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(buckets = 16) () =
+  let n = pow2 (max buckets 2) 2 in
+  {
+    mask = n - 1;
+    buckets = Array.init n (fun _ -> Ring.create ~stride:2 4);
+    pending = 0;
+  }
+
+let pending t = t.pending
+
+let add t ~at payload =
+  Ring.push2 t.buckets.(at land t.mask) at payload;
+  t.pending <- t.pending + 1
+
+(* Fire every entry of [now]'s bucket that is due, in insertion order.
+   Entries parked for a later lap keep their relative order: survivors are
+   compacted in place, exactly like a squash purge. *)
+let drain t ~now f =
+  if t.pending > 0 then begin
+    let b = t.buckets.(now land t.mask) in
+    let n = Ring.length b in
+    if n > 0 then begin
+      (* deliver due entries first (reading ahead of any compaction) ... *)
+      let fired = ref 0 in
+      for i = 0 to n - 1 do
+        if Ring.get b i 0 <= now then begin
+          f (Ring.get b i 1);
+          incr fired
+        end
+      done;
+      if !fired > 0 then begin
+        (* ... then drop them; expiries <= now are exactly the fired set *)
+        ignore (Ring.reject_lt b ~field:0 ~cutoff:(now + 1) : int);
+        t.pending <- t.pending - !fired
+      end
+    end
+  end
+
+let clear t =
+  Array.iter Ring.clear t.buckets;
+  t.pending <- 0

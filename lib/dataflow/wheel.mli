@@ -1,0 +1,28 @@
+(** Cycle-bucketed timer wheel: the simulator's timed-wake store
+    (injected-stall expiries), replacing a linearly scanned assoc list.
+
+    Arming appends to the target cycle's bucket; draining inspects one
+    bucket.  Entries beyond the wheel's span stay parked across laps
+    (each carries its absolute expiry) — correct because the simulator
+    drains every cycle while anything is pending.  Within a bucket,
+    equal-expiry entries fire strictly in insertion order (FIFO). *)
+
+type t
+
+(** [create ?buckets ()] — wheel with [buckets] cycle buckets (rounded up
+    to a power of two; default 16). *)
+val create : ?buckets:int -> unit -> t
+
+(** Armed entries not yet fired. *)
+val pending : t -> int
+
+(** [add t ~at payload] arms [payload] to fire at cycle [at]. *)
+val add : t -> at:int -> int -> unit
+
+(** [drain t ~now f] fires [f payload] for every entry due at or before
+    [now] in [now]'s bucket, in insertion order, and retires them.  Must
+    be called every cycle while [pending t > 0] (entries due in other
+    buckets are found at their own cycle). *)
+val drain : t -> now:int -> (int -> unit) -> unit
+
+val clear : t -> unit

@@ -64,7 +64,7 @@ let gen_spec (t : t) : Pv_dataflow.Types.gen_spec =
   {
     Pv_dataflow.Types.gen_arity = t.arity;
     gen_next =
-      (fun seq -> if seq < Array.length t.rows then Some t.rows.(seq) else None);
+      (fun seq -> if seq < Array.length t.rows then t.rows.(seq) else [||]);
     gen_group =
       (fun seq ->
         if seq < Array.length t.rows then t.rows.(seq).(0)

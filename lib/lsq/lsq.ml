@@ -433,16 +433,18 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
       | Some se -> se.s_addr <- Some addr
       | None -> ()
   in
-  let load_poll ~port =
+  let load_poll ~port out =
     match Hashtbl.find_opt t.resp port with
     | Some q when not (Queue.is_empty q) -> (
         let seq, slot = Queue.peek q in
         match !slot with
         | Some (ready_at, value) when ready_at <= t.now ->
             ignore (Queue.pop q);
-            Some (seq, value)
-        | _ -> None)
-    | _ -> None
+            out.Pv_dataflow.Memif.ls_seq <- seq;
+            out.Pv_dataflow.Memif.ls_value <- value;
+            true
+        | _ -> false)
+    | _ -> false
   in
   let quiesced () =
     t.lq = [] && t.sq = []

@@ -64,6 +64,14 @@ type inst = {
           and starve the others out of the queue. *)
   reserve_unused : int;  (** kept for reporting: max ops per iteration *)
   outstanding : (int, int ref) Hashtbl.t;  (** port -> live records *)
+  member_mask : int array;  (** group -> bitmask of member port ids *)
+  store_mask : int array;  (** group -> bitmask of member {e store} ports *)
+  stores_before : int array array;
+      (** group -> ROM position -> bitmask of member stores the ROM places
+          strictly before that position.  With arrivals likewise kept as a
+          port bitmask per iteration, every completeness question the
+          backend asks each cycle (all members in?  all stores in?  an
+          earlier store missing?) is one mask compare. *)
   mutable saf : int;
       (** store-arrival frontier: all member {e stores} of iterations
           below [saf] have reached the arbiter (or sent fake tokens).
@@ -71,7 +79,7 @@ type inst = {
           store that could have accused it has been validated against it
           (Eqs. 2-5), so it leaves the queue long before the commit
           frontier reaches it.  Stores retire at commit. *)
-  arrivals : (int, int list ref) Hashtbl.t;  (** seq -> arrived ports *)
+  arrivals : (int, int ref) Hashtbl.t;  (** seq -> arrived-port bitmask *)
 }
 
 type t = {
@@ -81,8 +89,8 @@ type t = {
   stats : Pv_dataflow.Memif.stats;
   insts : inst array;
   group_of : (int, int) Hashtbl.t;  (** seq -> group, set by the allocator *)
-  resp : (int, (int * int * int) Queue.t) Hashtbl.t;
-      (** port -> (ready_at, seq, value) *)
+  resp : (int, Pv_dataflow.Ring.t) Hashtbl.t;
+      (** port -> ring of (ready_at, seq, value) records, request order *)
   mutable now : int;
   mutable pending_squash : int option;
   mutable frontier : int;
@@ -105,6 +113,10 @@ type t = {
   (* per-array (per-BRAM) budgets: one read and one write per cycle *)
   reads : (string, int ref) Hashtbl.t;
   writes : (string, int ref) Hashtbl.t;
+  (* the same budget refs as flat arrays, so the per-cycle reset in [clock]
+     is two array sweeps instead of two hashtable iterations *)
+  mutable read_refs : int ref array;
+  mutable write_refs : int ref array;
   (* observability: arbiter decision tallies, event sink (Trace.null unless
      a sink was passed to [create_full]), last emitted counter samples *)
   arb_stats : Arbiter.stats;
@@ -133,13 +145,13 @@ let outstanding inst port =
 
 let mark_arrival inst ~seq ~port =
   match Hashtbl.find_opt inst.arrivals seq with
-  | Some l -> if not (List.mem port !l) then l := port :: !l
-  | None -> Hashtbl.replace inst.arrivals seq (ref [ port ])
+  | Some m -> m := !m lor (1 lsl port)
+  | None -> Hashtbl.replace inst.arrivals seq (ref (1 lsl port))
 
-let arrived inst ~seq ~port =
-  match Hashtbl.find_opt inst.arrivals seq with
-  | Some l -> List.mem port !l
-  | None -> false
+let[@inline] arrival_mask inst ~seq =
+  match Hashtbl.find_opt inst.arrivals seq with Some m -> !m | None -> 0
+
+let rec popcount x acc = if x = 0 then acc else popcount (x land (x - 1)) (acc + 1)
 
 (* A speculative read with an address derived from a mis-speculated load
    can point anywhere; real hardware would return whatever the RAM drives
@@ -153,11 +165,11 @@ let respond t ~port ~ready_at ~seq ~value =
     match Hashtbl.find_opt t.resp port with
     | Some q -> q
     | None ->
-        let q = Queue.create () in
+        let q = Pv_dataflow.Ring.create ~stride:3 8 in
         Hashtbl.replace t.resp port q;
         q
   in
-  Queue.add (ready_at, seq, value) q
+  Pv_dataflow.Ring.push3 q ready_at seq value
 
 let note_occupancy t =
   let o =
@@ -177,26 +189,18 @@ let raise_squash t seq_err =
     | Some s -> Some (min s seq_err)
     | None -> Some seq_err)
 
-(* Expected member ports of [inst] for body instance [seq]; [None] until
-   the instance has been announced by the generator. *)
-let expected t inst ~seq =
-  match Hashtbl.find_opt t.group_of seq with
-  | None -> None
-  | Some g -> Some t.pm.Portmap.rom.(inst.id).(g)
-
 (* Slots that must stay available for the oldest iteration to complete:
    exactly its not-yet-arrived member operations.  Their ports always have
    zero outstanding records (anything older retired at the store-arrival
    or commit frontier), so reserving this many slots for frontier-age
    records makes admission deadlock-free. *)
 let frontier_reserve t inst =
-  match expected t inst ~seq:t.frontier with
+  match Hashtbl.find_opt t.group_of t.frontier with
   | None -> 0
-  | Some ports ->
-      Array.fold_left
-        (fun acc pid ->
-          if arrived inst ~seq:t.frontier ~port:pid then acc else acc + 1)
-        0 ports
+  | Some g ->
+      popcount
+        (inst.member_mask.(g) land lnot (arrival_mask inst ~seq:t.frontier))
+        0
 
 (* Queue admission: frontier-instance operations may use the reserved
    slots; younger records must respect both the per-port quota and the
@@ -211,19 +215,11 @@ let has_room t inst ~port ~seq =
 (* Is some store of the same body instance, placed before [pos] by the
    ROM, still missing from the arbiter? *)
 let same_seq_store_pending t inst ~seq ~pos =
-  match expected t inst ~seq with
+  match Hashtbl.find_opt t.group_of seq with
   | None -> false
-  | Some ports ->
-      Array.exists
-        (fun pid ->
-          (Portmap.port t.pm pid).Portmap.kind = Portmap.OStore
-          && (match Portmap.rom_pos t.pm ~inst:inst.id
-                      ~group:(Hashtbl.find t.group_of seq) ~port:pid
-              with
-             | Some p -> p < pos
-             | None -> false)
-          && not (arrived inst ~seq ~port:pid))
-        ports
+  | Some g ->
+      let before = inst.stores_before.(g).(pos) in
+      before <> 0 && before land lnot (arrival_mask inst ~seq) <> 0
 
 (* Strict re-issue after a squash: a load of the squashed instance may only
    read once every same-instance store that the ROM places before it has
@@ -258,17 +254,13 @@ let release t inst (retired : Premature_queue.entry list) =
 let validate_loads t inst =
   let continue = ref true in
   while !continue do
-    match expected t inst ~seq:inst.saf with
+    match Hashtbl.find_opt t.group_of inst.saf with
     | None -> continue := false
-    | Some ports ->
-        let stores_arrived =
-          Array.for_all
-            (fun pid ->
-              (Portmap.port t.pm pid).Portmap.kind <> Portmap.OStore
-              || arrived inst ~seq:inst.saf ~port:pid)
-            ports
-        in
-        if stores_arrived then inst.saf <- inst.saf + 1 else continue := false
+    | Some g ->
+        let sm = inst.store_mask.(g) in
+        if arrival_mask inst ~seq:inst.saf land sm = sm then
+          inst.saf <- inst.saf + 1
+        else continue := false
   done;
   let retired =
     Premature_queue.retire_if inst.q (fun (e : Premature_queue.entry) ->
@@ -297,14 +289,12 @@ let advance_frontier t =
     if !continue then
       match Hashtbl.find_opt t.group_of s with
       | None -> continue := false
-      | Some _ ->
+      | Some g ->
           let complete =
             Array.for_all
               (fun inst ->
-                match expected t inst ~seq:s with
-                | None -> false
-                | Some ports ->
-                    Array.for_all (fun pid -> arrived inst ~seq:s ~port:pid) ports)
+                let mm = inst.member_mask.(g) in
+                arrival_mask inst ~seq:s land mm = mm)
               t.insts
           in
           if not complete then continue := false
@@ -326,17 +316,24 @@ let advance_frontier t =
                 (List.rev !stores)
             in
             let bw_ok =
-              (* every store of the instance needs a write port this cycle *)
-              let needed = Hashtbl.create 4 in
-              List.iter
+              (* every store of the instance needs a write port this cycle;
+                 the store list is a handful of entries, so per-array demand
+                 is counted by rescanning it rather than building a map *)
+              List.for_all
                 (fun (e : Premature_queue.entry) ->
                   let a = (Portmap.port t.pm e.e_port).Portmap.array in
-                  Hashtbl.replace needed a
-                    (1 + Option.value ~default:0 (Hashtbl.find_opt needed a)))
-                stores;
-              Hashtbl.fold
-                (fun a n ok -> ok && peek_budget t.writes a >= n)
-                needed true
+                  let n =
+                    List.fold_left
+                      (fun acc (e2 : Premature_queue.entry) ->
+                        if
+                          String.equal
+                            (Portmap.port t.pm e2.e_port).Portmap.array a
+                        then acc + 1
+                        else acc)
+                      0 stores
+                  in
+                  peek_budget t.writes a >= n)
+                stores
             in
             if stores <> [] && (!budget = 0 || not bw_ok) then continue := false
             else begin
@@ -365,6 +362,11 @@ let advance_frontier t =
 
 let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
     (mem : int array) : t * Pv_dataflow.Memif.t =
+  if Array.length pm.Portmap.ports > 62 then
+    invalid_arg
+      (Printf.sprintf
+         "PreVV: %d ports exceed the 62-port arrival-bitmask limit"
+         (Array.length pm.Portmap.ports));
   let t =
     {
       cfg;
@@ -404,6 +406,27 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
                   0 pm.Portmap.ports
               in
               let n_loads = max 1 (member_ports - n_stores) in
+              let rom = pm.Portmap.rom.(id) in
+              let n_groups = Array.length rom in
+              let member_mask = Array.make n_groups 0 in
+              let store_mask = Array.make n_groups 0 in
+              let stores_before =
+                Array.init n_groups (fun g ->
+                    let ports = rom.(g) in
+                    let sb = Array.make (Array.length ports) 0 in
+                    let acc = ref 0 in
+                    Array.iteri
+                      (fun p pid ->
+                        member_mask.(g) <- member_mask.(g) lor (1 lsl pid);
+                        sb.(p) <- !acc;
+                        if (Portmap.port pm pid).Portmap.kind = Portmap.OStore
+                        then begin
+                          store_mask.(g) <- store_mask.(g) lor (1 lsl pid);
+                          acc := !acc lor (1 lsl pid)
+                        end)
+                      ports;
+                    sb)
+              in
               {
                 id;
                 q = Premature_queue.create ~collapse:cfg.collapse_queue cfg.depth_q;
@@ -415,6 +438,9 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
                           /. float_of_int n_loads)));
                 reserve_unused = max_ops;
                 outstanding = Hashtbl.create 8;
+                member_mask;
+                store_mask;
+                stores_before;
                 saf = 0;
                 arrivals = Hashtbl.create 64;
               }
@@ -432,6 +458,8 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
       degraded_at = None;
       reads = Hashtbl.create 8;
       writes = Hashtbl.create 8;
+      read_refs = [||];
+      write_refs = [||];
       arb_stats = Arbiter.fresh_stats ();
       trace;
       last_occ = -1;
@@ -440,9 +468,15 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
   in
   Array.iter
     (fun p ->
-      Hashtbl.replace t.reads p.Portmap.array (ref 2);
-      Hashtbl.replace t.writes p.Portmap.array (ref 1))
+      if not (Hashtbl.mem t.reads p.Portmap.array) then begin
+        Hashtbl.replace t.reads p.Portmap.array (ref 2);
+        Hashtbl.replace t.writes p.Portmap.array (ref 1)
+      end)
     pm.Portmap.ports;
+  t.read_refs <-
+    Array.of_list (Hashtbl.fold (fun _ r acc -> r :: acc) t.reads []);
+  t.write_refs <-
+    Array.of_list (Hashtbl.fold (fun _ r acc -> r :: acc) t.writes []);
   let inst_of_port port =
     match (Portmap.port pm port).Portmap.instance with
     | Some i -> Some t.insts.(i)
@@ -684,12 +718,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
           t.insts;
         Hashtbl.iter
           (fun _ q ->
-            let keep = Queue.create () in
-            Queue.iter
-              (fun ((_, seq, _) as r) -> if seq < err then Queue.add r keep)
-              q;
-            Queue.clear q;
-            Queue.transfer keep q)
+            ignore (Pv_dataflow.Ring.reject_ge q ~field:1 ~cutoff:err : int))
           t.resp;
         t.replay_until <- t.max_arrived;
         Some err
@@ -706,24 +735,25 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
         t.last_frontier <- t.frontier
       end
     end;
-    Hashtbl.iter (fun _ r -> r := 2) t.reads;
-    Hashtbl.iter (fun _ r -> r := 1) t.writes;
+    Array.iter (fun r -> r := 2) t.read_refs;
+    Array.iter (fun r -> r := 1) t.write_refs;
     t.now <- t.now + 1
   in
-  let load_poll ~port =
+  let load_poll ~port out =
     match Hashtbl.find_opt t.resp port with
-    | Some q when not (Queue.is_empty q) ->
-        let ready_at, seq, value = Queue.peek q in
-        if ready_at <= t.now then begin
-          ignore (Queue.pop q);
-          Some (seq, value)
-        end
-        else None
-    | _ -> None
+    | Some q when not (Pv_dataflow.Ring.is_empty q) ->
+        Pv_dataflow.Ring.get q 0 0 <= t.now
+        && begin
+             out.Pv_dataflow.Memif.ls_seq <- Pv_dataflow.Ring.get q 0 1;
+             out.Pv_dataflow.Memif.ls_value <- Pv_dataflow.Ring.get q 0 2;
+             Pv_dataflow.Ring.pop q;
+             true
+           end
+    | _ -> false
   in
   let quiesced () =
     Array.for_all (fun inst -> Premature_queue.is_empty inst.q) t.insts
-    && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) t.resp true
+    && Hashtbl.fold (fun _ q acc -> acc && Pv_dataflow.Ring.is_empty q) t.resp true
     && t.pending_squash = None
   in
   let inject (b : Pv_dataflow.Fault.backend_action) =
@@ -763,8 +793,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
                    — the hang this causes must be diagnosed, not silent *)
                 release t i [ e ];
                 (match Hashtbl.find_opt i.arrivals e.Premature_queue.e_seq with
-                | Some l ->
-                    l := List.filter (fun p -> p <> e.Premature_queue.e_port) !l
+                | Some m -> m := !m land lnot (1 lsl e.Premature_queue.e_port)
                 | None -> ());
                 if i.saf > e.Premature_queue.e_seq then
                   i.saf <- e.Premature_queue.e_seq;
@@ -845,9 +874,10 @@ let dump ppf t =
         | Some g ->
             let exp = t.pm.Portmap.rom.(inst.id).(g) in
             let got =
-              match Hashtbl.find_opt inst.arrivals s with
-              | Some l -> !l
-              | None -> []
+              let m = arrival_mask inst ~seq:s in
+              List.filter
+                (fun p -> m land (1 lsl p) <> 0)
+                (Array.to_list exp)
             in
             if Array.length exp > 0 then
               Format.fprintf ppf "  seq %d group %d: expect [%s] got [%s]@\n" s g

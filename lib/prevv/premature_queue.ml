@@ -28,11 +28,16 @@ type t = {
   mutable head : int;
   mutable tail : int;
   mutable count : int;  (** occupied slots, including invalidated ones *)
+  mutable dead : int;
+      (** invalidated entries still occupying slots; lets {!compact} — which
+          the backend calls every cycle — exit in O(1) on the common
+          nothing-retired cycle *)
 }
 
 let create ?(collapse = true) depth =
   if depth <= 0 then invalid_arg "Premature_queue.create: depth must be > 0";
-  { buf = Array.make depth None; depth; collapse; head = 0; tail = 0; count = 0 }
+  { buf = Array.make depth None; depth; collapse; head = 0; tail = 0;
+    count = 0; dead = 0 }
 
 let is_full t = t.count = t.depth
 let is_empty t = t.count = 0
@@ -55,7 +60,7 @@ let push_exn t ~seq ~pos ~port ~kind ~index ~value =
       e_value = value; e_valid = true }
   in
   t.buf.(t.tail) <- Some e;
-  t.tail <- (t.tail + 1) mod t.depth;
+  t.tail <- (if t.tail + 1 = t.depth then 0 else t.tail + 1);
   t.count <- t.count + 1;
   e
 
@@ -71,41 +76,59 @@ let push_opt t ~seq ~pos ~port ~kind ~index ~value =
     wedges the oldest instance out of the queue and deadlocks the
     pipeline. *)
 let compact t =
-  (* the head pointer advances circularly past retired entries, as in
-     Fig. 4 ... *)
-  let continue = ref true in
-  while !continue && t.count > 0 do
-    match t.buf.(t.head) with
-    | Some e when e.e_valid -> continue := false
-    | _ ->
-        t.buf.(t.head) <- None;
-        t.head <- (t.head + 1) mod t.depth;
-        t.count <- t.count - 1
-  done;
-  (* ... and interior gaps collapse towards the head *)
-  if t.collapse then begin
-  let live = ref [] in
-  for k = t.count - 1 downto 0 do
-    match t.buf.((t.head + k) mod t.depth) with
-    | Some e when e.e_valid -> live := e :: !live
-    | _ -> ()
-  done;
-  let n = List.length !live in
-  List.iteri (fun k e -> t.buf.((t.head + k) mod t.depth) <- Some e) !live;
-  for k = n to t.count - 1 do
-    t.buf.((t.head + k) mod t.depth) <- None
-  done;
-  t.count <- n;
-  t.tail <- (t.head + n) mod t.depth
+  if t.dead > 0 then begin
+    (* the head pointer advances circularly past retired entries, as in
+       Fig. 4 ... *)
+    let continue = ref true in
+    while !continue && t.count > 0 do
+      match t.buf.(t.head) with
+      | Some e when e.e_valid -> continue := false
+      | _ ->
+          t.buf.(t.head) <- None;
+          t.head <- (if t.head + 1 = t.depth then 0 else t.head + 1);
+          t.count <- t.count - 1;
+          t.dead <- t.dead - 1
+    done;
+    (* ... and interior gaps collapse towards the head.  Option cells move
+       whole (no re-boxing), and survivors ahead of the first gap stay
+       put — the common path writes nothing. *)
+    if t.collapse && t.dead > 0 then begin
+      let wrap i = if i >= t.depth then i - t.depth else i in
+      let r = ref t.head and w = ref t.head and live = ref 0 in
+      for _ = 1 to t.count do
+        (match t.buf.(!r) with
+        | Some e when e.e_valid ->
+            if !w <> !r then t.buf.(!w) <- t.buf.(!r);
+            incr live;
+            w := wrap (!w + 1)
+        | _ -> ());
+        r := wrap (!r + 1)
+      done;
+      let n_clear = t.count - !live in
+      let c = ref !w in
+      for _ = 1 to n_clear do
+        t.buf.(!c) <- None;
+        c := wrap (!c + 1)
+      done;
+      t.count <- !live;
+      t.tail <- !w;
+      t.dead <- 0
+    end
   end
 
 (** Iterate over valid entries from head to tail (arrival order), exactly
     the arbiter's search direction. *)
 let iter f t =
-  for k = 0 to t.count - 1 do
-    match t.buf.((t.head + k) mod t.depth) with
+  (* wrapping cursor instead of [mod]: the queue is scanned by the arbiter
+     on every premature operation, and a non-constant [mod] is a hardware
+     divide per visited slot *)
+  let i = ref t.head in
+  for _ = 1 to t.count do
+    (match t.buf.(!i) with
     | Some e when e.e_valid -> f e
-    | _ -> ()
+    | _ -> ());
+    incr i;
+    if !i = t.depth then i := 0
   done
 
 let fold f acc t =
@@ -124,6 +147,7 @@ let retire_if t p =
     (fun e ->
       if p e then begin
         e.e_valid <- false;
+        t.dead <- t.dead + 1;
         retired := e :: !retired
       end)
     t;
@@ -186,6 +210,7 @@ let drop t ~slot =
       match t.buf.(i) with
       | Some e ->
           e.e_valid <- false;
+          t.dead <- t.dead + 1;
           compact t;
           Some e
       | None -> None)

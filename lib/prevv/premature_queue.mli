@@ -28,6 +28,9 @@ type t = private {
   mutable head : int;
   mutable tail : int;
   mutable count : int;  (** occupied slots, including invalidated ones *)
+  mutable dead : int;
+      (** invalidated entries still occupying slots; compaction is skipped
+          entirely while it is zero *)
 }
 
 (** @raise Invalid_argument when [depth <= 0]. *)

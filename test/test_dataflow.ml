@@ -10,7 +10,7 @@ let counter_gen n =
   Types.Gen
     {
       Types.gen_arity = 1;
-      gen_next = (fun s -> if s < n then Some [| s |] else None);
+      gen_next = (fun s -> if s < n then [| s |] else [||]);
       gen_group = (fun _ -> 0);
     }
 
@@ -224,7 +224,7 @@ let test_deadlock_detection () =
       (Types.Gen
          {
            Types.gen_arity = 1;
-           gen_next = (fun _ -> None);  (* never emits *)
+           gen_next = (fun _ -> [||]);  (* never emits *)
            gen_group = (fun _ -> 0);
          })
   in
@@ -249,7 +249,7 @@ let test_merge () =
       (Types.Gen
          {
            Types.gen_arity = 1;
-           gen_next = (fun _ -> None);
+           gen_next = (fun _ -> [||]);
            gen_group = (fun _ -> 0);
          })
   in

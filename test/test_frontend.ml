@@ -95,7 +95,7 @@ let test_trace_rows () =
   Alcotest.(check (array int)) "first row" [| 0; 0; 0; 0 |] t.Trace.rows.(0);
   Alcotest.(check (array int)) "last row" [| 1; 1; 1; 1 |] t.Trace.rows.(15);
   let spec = Trace.gen_spec t in
-  Alcotest.(check bool) "exhausted" true (spec.Pv_dataflow.Types.gen_next 16 = None);
+  Alcotest.(check bool) "exhausted" true (spec.Pv_dataflow.Types.gen_next 16 = [||]);
   Alcotest.(check int) "group of 8" 1 (spec.Pv_dataflow.Types.gen_group 8)
 
 let test_trace_data_dependent_bound () =

@@ -40,7 +40,7 @@ let fresh ?(cfg = quick_cfg) () =
 let step (b : MI.t) = b.MI.clock ()
 
 let rec poll_until ?(limit = 20) (b : MI.t) ~port =
-  match b.MI.load_poll ~port with
+  match MI.poll b ~port with
   | Some r -> r
   | None ->
       if limit = 0 then Alcotest.fail "no response within limit";
@@ -74,7 +74,7 @@ let test_load_waits_for_store_address () =
   step b;
   step b;
   Alcotest.(check bool) "no response while ordering unknown" true
-    (b.MI.load_poll ~port:0 = None);
+    (MI.poll b ~port:0 = None);
   (* resolve the older load and store of seq 0 at a different address *)
   ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:9);
   b.MI.store_addr ~port:1 ~seq:0 ~addr:7;
@@ -147,7 +147,7 @@ let test_alloc_delay_gates_issue () =
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
   ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:5);
   for _ = 1 to 4 do step b done;
-  Alcotest.(check bool) "not usable yet" true (b.MI.load_poll ~port:0 = None);
+  Alcotest.(check bool) "not usable yet" true (MI.poll b ~port:0 = None);
   let _, v = poll_until b ~port:0 in
   Alcotest.(check int) "eventually served" 105 v
 

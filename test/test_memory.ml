@@ -101,12 +101,12 @@ let test_direct_backend_latency () =
   let mem = Array.make 4 7 in
   let b = Pv_dataflow.Memif.direct ~latency:3 mem in
   Alcotest.(check bool) "accepts" true (b.Pv_dataflow.Memif.load_req ~port:0 ~seq:0 ~addr:2);
-  Alcotest.(check bool) "no early response" true (b.Pv_dataflow.Memif.load_poll ~port:0 = None);
+  Alcotest.(check bool) "no early response" true (Pv_dataflow.Memif.poll b ~port:0 = None);
   b.Pv_dataflow.Memif.clock ();
   b.Pv_dataflow.Memif.clock ();
-  Alcotest.(check bool) "still pending" true (b.Pv_dataflow.Memif.load_poll ~port:0 = None);
+  Alcotest.(check bool) "still pending" true (Pv_dataflow.Memif.poll b ~port:0 = None);
   b.Pv_dataflow.Memif.clock ();
-  (match b.Pv_dataflow.Memif.load_poll ~port:0 with
+  (match Pv_dataflow.Memif.poll b ~port:0 with
   | Some (0, 7) -> ()
   | _ -> Alcotest.fail "expected (0,7) after 3 cycles");
   Alcotest.(check bool) "quiesced" true (b.Pv_dataflow.Memif.quiesced ())

@@ -46,7 +46,7 @@ let fresh ?(depth = 8) ?(pm = portmap ()) () =
 let step (b : MI.t) = b.MI.clock ()
 
 let rec poll_until ?(limit = 20) (b : MI.t) ~port =
-  match b.MI.load_poll ~port with
+  match MI.poll b ~port with
   | Some r -> r
   | None ->
       if limit = 0 then Alcotest.fail "no response within limit";

@@ -1,0 +1,163 @@
+(* Performance-contract tests for the data-oriented simulator core:
+   a steady-state cycle of the event engine performs zero minor-heap
+   allocation, the squash purge path allocates nothing, the event engine
+   never does more node evaluations than the scan, and the timer wheel
+   fires equal-expiry wakes in FIFO order.
+
+   Allocation is asserted as a slope, not an absolute: each measurement
+   window carries a small constant overhead (the float boxes of the
+   [Gc.minor_words] probes themselves), so two windows of different
+   lengths are compared — any per-cycle allocation would make the longer
+   window's delta strictly larger. *)
+
+open Pv_core
+module Sim = Pv_dataflow.Sim
+module Memif = Pv_dataflow.Memif
+module Wheel = Pv_dataflow.Wheel
+
+let kernels = Pv_kernels.Defs.paper_benchmarks ()
+
+let schemes =
+  List.map (fun (module M : Scheme.S) -> (M.name, M.config)) (Scheme.all ())
+
+(* An event-engine simulation of [kernel] over the allocation-free direct
+   backend, so the measurement isolates the simulator core. *)
+let direct_sim kernel =
+  let compiled = Pipeline.compile kernel in
+  let mem =
+    Pv_memory.Layout.initial_memory compiled.Pipeline.layout
+      compiled.Pipeline.kernel ~init:[]
+  in
+  let backend = Memif.direct ~latency:2 mem in
+  Sim.create
+    ~cfg:{ Sim.default_config with Sim.engine = Sim.Event }
+    compiled.Pipeline.graph backend
+
+let minor_delta f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let steps sim n =
+  for _ = 1 to n do
+    Sim.step sim
+  done
+
+(* (a) zero allocation per steady-state cycle, each paper kernel. *)
+let test_zero_alloc_steady () =
+  List.iter
+    (fun kernel ->
+      let name = kernel.Pv_kernels.Ast.name in
+      let sim = direct_sim kernel in
+      (* warm up: ring capacities, response arrays, wake plumbing *)
+      steps sim 200;
+      let d_short = minor_delta (fun () -> steps sim 300) in
+      let d_long = minor_delta (fun () -> steps sim 1000) in
+      Alcotest.(check bool)
+        (name ^ ": still streaming through the measurement window")
+        false (Sim.finished sim);
+      Alcotest.(check (float 0.0))
+        (name ^ ": minor words per cycle")
+        0.0
+        ((d_long -. d_short) /. 700.0))
+    kernels
+
+(* (b) the event engine never evaluates more nodes than the scan, on any
+   kernel x scheme cell. *)
+let test_evals_bounded () =
+  List.iter
+    (fun kernel ->
+      let compiled = Pipeline.compile kernel in
+      List.iter
+        (fun (sname, dis) ->
+          let run engine =
+            let sim_cfg = { Sim.default_config with Sim.engine } in
+            (Pipeline.simulate ~sim_cfg compiled dis).Pipeline.run_stats
+              .Sim.evals
+          in
+          let scan = run Sim.Scan and event = run Sim.Event in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: event evals (%d) <= scan evals (%d)"
+               kernel.Pv_kernels.Ast.name sname event scan)
+            true (event <= scan))
+        schemes)
+    kernels
+
+(* (c) squash recovery allocates nothing: the purge compacts ring-held
+   state in place (the retired allocate-a-scratch-queue-per-squash pattern
+   would show up as a per-purge slope here).  The gaussian premise check
+   documents that the squash path is actually exercised by a paper
+   kernel. *)
+let test_purge_no_alloc () =
+  let gaussian =
+    List.find (fun k -> k.Pv_kernels.Ast.name = "gaussian") kernels
+  in
+  let compiled = Pipeline.compile gaussian in
+  let prevv16 =
+    match
+      List.find_opt (fun (n, _) -> n = "prevv16") schemes
+    with
+    | Some (_, dis) -> dis
+    | None -> Alcotest.fail "prevv16 not registered"
+  in
+  let r = Pipeline.simulate compiled prevv16 in
+  Alcotest.(check bool)
+    "gaussian under prevv16 is squash-heavy" true
+    (r.Pipeline.mem_stats.Memif.squashes > 0);
+  let sim = direct_sim gaussian in
+  steps sim 150;
+  (* first purge does the real in-place compaction work (tokens are in
+     flight); later ones sweep already-empty state — neither may allocate *)
+  let purges n =
+    minor_delta (fun () ->
+        for _ = 1 to n do
+          Sim.purge sim ~seq_err:0
+        done)
+  in
+  let d_short = purges 10 in
+  let d_long = purges 100 in
+  Alcotest.(check (float 0.0))
+    "minor words per purge" 0.0
+    ((d_long -. d_short) /. 90.0)
+
+(* (d) wheel ordering: equal-expiry entries fire in insertion order, and
+   an entry a full lap ahead stays parked in the shared bucket. *)
+let test_wheel_fifo () =
+  let w = Wheel.create ~buckets:16 () in
+  Wheel.add w ~at:5 1;
+  Wheel.add w ~at:5 2;
+  Wheel.add w ~at:21 9;  (* same bucket as cycle 5, one lap later *)
+  Wheel.add w ~at:5 3;
+  let fired = ref [] in
+  let drain_at now = Wheel.drain w ~now (fun p -> fired := p :: !fired) in
+  drain_at 5;
+  Alcotest.(check (list int)) "cycle 5 fires FIFO" [ 1; 2; 3 ]
+    (List.rev !fired);
+  Alcotest.(check int) "lap-ahead entry still parked" 1 (Wheel.pending w);
+  fired := [];
+  for now = 6 to 20 do
+    drain_at now
+  done;
+  Alcotest.(check (list int)) "nothing due before its lap" [] (List.rev !fired);
+  drain_at 21;
+  Alcotest.(check (list int)) "parked entry fires on its own lap" [ 9 ]
+    (List.rev !fired)
+
+let () =
+  Alcotest.run "sim_perf"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "steady-state cycles allocate nothing" `Quick
+            test_zero_alloc_steady;
+          Alcotest.test_case "purge allocates nothing" `Quick
+            test_purge_no_alloc;
+        ] );
+      ( "evals",
+        [
+          Alcotest.test_case "event <= scan on every kernel x scheme" `Slow
+            test_evals_bounded;
+        ] );
+      ( "wheel",
+        [ Alcotest.test_case "FIFO within a bucket" `Quick test_wheel_fifo ] );
+    ]
