@@ -568,11 +568,13 @@ let soak ~jobs ~n () =
   let ss, out_serial = run_soak ~jobs:1 ~capacity:(2 * n) ~kill_at:[] requests in
   let identical = String.equal out_parallel out_serial in
   Printf.printf
-    "parallel: %.1f req/s, p50 %.3f ms, p99 %.3f ms, cache hit rate %.3f, \
-     dedup %d, retries %d, kills %d, respawns %d, shed %d, lost: %d\n"
-    sp.Service.requests_per_s sp.Service.p50_ms sp.Service.p99_ms (hit_rate sp)
-    sp.Service.dedup_hits sp.Service.retries sp.Service.worker_kills
-    sp.Service.respawns sp.Service.shed sp.Service.lost;
+    "parallel: %.1f req/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, cache hit \
+     rate %.3f, dedup %d, retries %d, kills %d, respawns %d, shed %d, lost: \
+     %d\n"
+    sp.Service.requests_per_s sp.Service.p50_ms sp.Service.p95_ms
+    sp.Service.p99_ms (hit_rate sp) sp.Service.dedup_hits sp.Service.retries
+    sp.Service.worker_kills sp.Service.respawns sp.Service.shed
+    sp.Service.lost;
   Printf.printf "serial replay: %.1f req/s, lost: %d\n"
     ss.Service.requests_per_s ss.Service.lost;
   Printf.printf "byte-identical to serial replay: %b\n" identical;
@@ -601,14 +603,16 @@ let soak ~jobs ~n () =
     Printf.sprintf
       "{ \"requests\": %d, \"jobs_requested\": %d, \"jobs_effective\": %d, \
        \"wall_s\": %.6f, \"requests_per_s\": %.1f, \"p50_ms\": %.4f, \
-       \"p99_ms\": %.4f, \"cache_hit_rate\": %.4f, \"dedup_hits\": %d, \
+       \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"cache_hit_rate\": %.4f, \
+       \"dedup_hits\": %d, \
        \"retries\": %d, \"worker_kills\": %d, \"respawns\": %d, \"shed\": %d, \
        \"lost\": %d, \"identical_to_serial_replay\": %b, \"overload\": { \
        \"requests\": %d, \"shed\": %d, \"lost\": %d } }"
       sp.Service.received jobs
       (Parallel.effective_jobs jobs)
       sp.Service.wall_s sp.Service.requests_per_s sp.Service.p50_ms
-      sp.Service.p99_ms (hit_rate sp) sp.Service.dedup_hits sp.Service.retries
+      sp.Service.p95_ms sp.Service.p99_ms (hit_rate sp) sp.Service.dedup_hits
+      sp.Service.retries
       sp.Service.worker_kills sp.Service.respawns sp.Service.shed
       sp.Service.lost identical sb.Service.received sb.Service.shed
       sb.Service.lost

@@ -575,6 +575,82 @@ let profile_cmd =
        ~doc:"Simulate and report per-component utilisation and backpressure.")
     Term.(const run $ kernel_arg $ backend_arg $ engine_arg $ json_arg)
 
+(* --- hotspots ----------------------------------------------------------------- *)
+
+let hotspots_cmd =
+  let kernels_arg =
+    let doc = "Kernels to profile (default: the five paper benchmarks)." in
+    Arg.(value & pos_all kernel_conv [] & info [] ~docv:"KERNEL" ~doc)
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Hot-node table size.")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write folded-stack lines for every profiled kernel to $(docv) \
+             (flamegraph.pl / speedscope input).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON report object per kernel (LDJSON).")
+  in
+  let run kernels dis engine top folded json =
+    let kernels =
+      match kernels with
+      | [] -> Pv_kernels.Defs.paper_benchmarks ()
+      | ks -> ks
+    in
+    let folded_buf = Buffer.create 1024 in
+    List.iter
+      (fun kernel ->
+        let name = kernel.Pv_kernels.Ast.name in
+        let compiled = Pipeline.compile kernel in
+        let prof = Pv_obs.Prof.create () in
+        let sim_cfg =
+          { Pv_dataflow.Sim.default_config with Pv_dataflow.Sim.engine }
+        in
+        let r = Pipeline.simulate ~sim_cfg ~prof compiled dis in
+        (match r.Pipeline.outcome with
+        | Pv_dataflow.Sim.Finished _ -> ()
+        | o ->
+            Format.eprintf "warning: %s/%s did not finish: %a@." name
+              (Scheme.to_string dis) Pv_dataflow.Sim.pp_outcome o);
+        Buffer.add_string folded_buf (Pv_obs.Prof.folded prof ~kernel:name);
+        if json then
+          print_endline
+            (Pv_obs.Json.to_string (Pv_obs.Prof.to_json ~top prof ~kernel:name))
+        else begin
+          Format.printf "=== %s / %s (%d cycles) ===@." name
+            (Scheme.to_string dis) r.Pipeline.cycles;
+          Format.printf "%a@." (Pv_obs.Prof.pp ~top) prof
+        end)
+      kernels;
+    match folded with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Buffer.contents folded_buf));
+        Format.eprintf "wrote folded stacks to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "hotspots"
+       ~doc:
+         "Simulate with the cycle-attribution profiler on and report where \
+          the work goes: per-phase budget (circuit sweep, arbiter scan, \
+          value validation, LSQ CAM, memory service), top-N hot nodes with \
+          stall breakdowns, optional folded stacks for flamegraphs.")
+    Term.(
+      const run $ kernels_arg $ backend_arg $ engine_arg $ top_arg
+      $ folded_arg $ json_arg)
+
 (* --- vcd --------------------------------------------------------------------- *)
 
 let vcd_cmd =
@@ -679,11 +755,50 @@ let serve_cmd =
       & info [ "no-cache" ]
           ~doc:"Recompute every request instead of reusing the result cache.")
   in
-  let run jobs queue attempts deadline no_cache metrics =
+  let stats_interval_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stats-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Emit a {\"type\": \"stats\", ...} telemetry frame at least \
+             $(docv) apart (checked between requests).  An {\"op\": \
+             \"stats\"} input line requests one on demand regardless.")
+  in
+  let log_level_arg =
+    let level_conv =
+      Arg.conv
+        ( (fun s ->
+            match Pv_obs.Log.level_of_string s with
+            | Some l -> Ok l
+            | None -> Error (`Msg (Printf.sprintf "unknown log level %S" s))),
+          fun ppf l -> Format.pp_print_string ppf (Pv_obs.Log.level_name l) )
+    in
+    Arg.(
+      value
+      & opt level_conv Pv_obs.Log.Info
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold on stderr (debug, info, warn, error): \
+             sheds, worker kills, drain and the final summary as one LDJSON \
+             line each.")
+  in
+  let run jobs queue attempts deadline no_cache stats_interval log_level
+      metrics =
     let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
+    let t0 = Clock.now_ns () in
+    let log =
+      Pv_obs.Log.create ~level:log_level
+        ~now_ms:(fun () -> Clock.elapsed_s t0 *. 1000.0)
+        (fun line ->
+          output_string stderr line;
+          flush stderr)
+    in
     let cache =
       if no_cache then None
-      else Some (Parallel.Cache.on_disk ~dir:(Parallel.Cache.default_dir ()) ())
+      else
+        Some
+          (Parallel.Cache.on_disk ~log ~dir:(Parallel.Cache.default_dir ()) ())
     in
     let cfg =
       {
@@ -697,6 +812,8 @@ let serve_cmd =
             Supervisor.max_attempts = max 1 attempts;
             Supervisor.deadline_s = deadline;
           };
+        Service.stats_interval;
+        Service.log = log;
       }
     in
     (* graceful drain: the first SIGINT stops intake, every accepted
@@ -727,7 +844,7 @@ let serve_cmd =
           engine/max_cycles/fault_seed.  SIGINT drains gracefully.")
     Term.(
       const run $ jobs_arg $ queue_arg $ attempts_arg $ deadline_arg
-      $ no_cache_arg $ metrics_arg)
+      $ no_cache_arg $ stats_interval_arg $ log_level_arg $ metrics_arg)
 
 (* --- utilisation -------------------------------------------------------------- *)
 
@@ -759,6 +876,6 @@ let () =
        (Cmd.group (Cmd.info "prevv" ~version:"1.0.0" ~doc)
           [
             list_cmd; backends_cmd; show_cmd; run_cmd; bounds_cmd; trace_cmd;
-            report_cmd; sweep_cmd; emit_cmd; dot_cmd; profile_cmd; vcd_cmd;
-            util_cmd; area_cmd; serve_cmd;
+            report_cmd; sweep_cmd; emit_cmd; dot_cmd; profile_cmd;
+            hotspots_cmd; vcd_cmd; util_cmd; area_cmd; serve_cmd;
           ]))

@@ -163,6 +163,7 @@ module Cache = struct
     mutable n_misses : int;
     mutable n_repairs : int;
     mutable n_evictions : int;
+    log : Pv_obs.Log.t;  (** repair events become one Warn line each *)
   }
 
   let default_dir () =
@@ -245,7 +246,7 @@ module Cache = struct
                     files)
           entries
 
-  let make ?(max_mem = 65_536) dir =
+  let make ?(max_mem = 65_536) ?(log = Pv_obs.Log.null) dir =
     {
       dir;
       mem = Hashtbl.create 64;
@@ -256,14 +257,15 @@ module Cache = struct
       n_misses = 0;
       n_repairs = 0;
       n_evictions = 0;
+      log;
     }
 
-  let in_memory ?max_mem () = make ?max_mem None
+  let in_memory ?max_mem ?log () = make ?max_mem ?log None
 
-  let on_disk ?max_mem ~dir () =
+  let on_disk ?max_mem ?log ~dir () =
     mkdir_p dir;
     sweep_stale_tmps dir;
-    make ?max_mem (Some dir)
+    make ?max_mem ?log (Some dir)
 
   let path t key =
     match t.dir with
@@ -334,6 +336,8 @@ module Cache = struct
     Mutex.lock t.lock;
     t.n_repairs <- t.n_repairs + 1;
     Mutex.unlock t.lock;
+    Pv_obs.Log.warn t.log "cache_repair"
+      ~fields:[ ("path", Pv_obs.Json.Str p) ];
     try Sys.remove p with Sys_error _ -> ()
 
   (* returns the *payload* (unframed); any framing violation on disk is a

@@ -102,14 +102,15 @@ module Cache : sig
 
   (** Memory-only cache (per-process).  [max_mem] caps the in-memory
       entry count (default 65536); beyond it entries are evicted
-      oldest-insertion-first. *)
-  val in_memory : ?max_mem:int -> unit -> t
+      oldest-insertion-first.  [log] (default {!Pv_obs.Log.null}) gets one
+      [cache_repair] Warn line per corrupt entry repaired. *)
+  val in_memory : ?max_mem:int -> ?log:Pv_obs.Log.t -> unit -> t
 
   (** Disk-backed cache rooted at [dir] (created if missing; stale temp
-      files from crashed writers are swept).  [max_mem] as in
+      files from crashed writers are swept).  [max_mem] and [log] as in
       {!in_memory} — eviction only drops the in-memory mirror, never the
       disk entry. *)
-  val on_disk : ?max_mem:int -> dir:string -> unit -> t
+  val on_disk : ?max_mem:int -> ?log:Pv_obs.Log.t -> dir:string -> unit -> t
 
   (** [$PREVV_CACHE_DIR] if set, else ["_prevv_cache"]. *)
   val default_dir : unit -> string

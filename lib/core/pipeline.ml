@@ -48,10 +48,11 @@ type result = {
   run_stats : Pv_dataflow.Sim.run_stats;
 }
 
-let backend_full ?trace (compiled : compiled) mem dis : Scheme.instance =
+let backend_full ?trace ?prof (compiled : compiled) mem dis : Scheme.instance =
   let env =
-    Scheme.make_env ?trace ~portmap:compiled.info.Pv_frontend.Depend.portmap
-      ~graph:compiled.graph mem
+    Scheme.make_env ?trace ?prof
+      ~portmap:compiled.info.Pv_frontend.Depend.portmap ~graph:compiled.graph
+      mem
   in
   let (module M : Scheme.S) = Scheme.of_disambiguation dis in
   M.make env
@@ -93,18 +94,19 @@ let record_metrics m (r : result) =
 
 let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
     ?(init : (string * int array) list option)
-    ?(obs_trace = Pv_obs.Trace.null) ?metrics (compiled : compiled)
-    (dis : disambiguation) : result =
+    ?(obs_trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null) ?metrics
+    (compiled : compiled) (dis : disambiguation) : result =
   let init =
     match init with
     | Some i -> i
     | None -> Pv_kernels.Workload.default_init compiled.kernel
   in
   let mem = Pv_memory.Layout.initial_memory compiled.layout compiled.kernel ~init in
-  let inst = backend_full ~trace:obs_trace compiled mem dis in
+  let inst = backend_full ~trace:obs_trace ~prof compiled mem dis in
   let backend = inst.Scheme.memif in
   let outcome, run_stats =
-    Pv_dataflow.Sim.run ~cfg:sim_cfg ~trace:obs_trace compiled.graph backend
+    Pv_dataflow.Sim.run ~cfg:sim_cfg ~trace:obs_trace ~prof compiled.graph
+      backend
   in
   let cycles =
     match outcome with
@@ -125,6 +127,11 @@ let simulate ?(sim_cfg = Pv_dataflow.Sim.default_config)
   (match metrics with
   | Some m ->
       record_metrics m result;
+      (* trace truncation is an observability defect worth surfacing even
+         when nobody reads the Chrome export *)
+      if Pv_obs.Trace.enabled obs_trace then
+        Pv_obs.Metrics.add m "trace.dropped_events"
+          (Pv_obs.Trace.dropped obs_trace);
       inst.Scheme.record_metrics m
   | None -> ());
   result

@@ -53,10 +53,11 @@ type result = {
 
 (** Instantiate the chosen scheme over a flat memory via the registry,
     returning the live {!Scheme.instance} (simulator interface + metric
-    hook).  [trace] is threaded to the backend's instrumentation
-    (default: the null sink). *)
+    hook).  [trace] and [prof] are threaded to the backend's
+    instrumentation (defaults: the null sinks). *)
 val backend_full :
   ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
   compiled ->
   int array ->
   disambiguation ->
@@ -73,16 +74,24 @@ val post_mortem : result -> Pv_dataflow.Sim.post_mortem option
 
     [obs_trace] (default {!Pv_obs.Trace.null}) is threaded through the
     simulator and the backend: epoch spans, squash/validation/fake-token
-    instants, occupancy and in-flight counter tracks.  [metrics] is filled
-    post-run from the engine-invariant result (cycles, fires, backend
-    traffic — never the engine-dependent eval count) plus the scheme's own
-    [scheme.<name>.*] counters, so snapshots are deterministic across
-    engines and worker counts, and recording can never perturb the
-    simulation. *)
+    instants, occupancy and in-flight counter tracks.  [prof] (default
+    {!Pv_obs.Prof.null}) is likewise threaded to both and, when enabled,
+    attributes every unit of simulated work to a phase
+    ([circuit_sweep]/[arbiter_scan]/[pq_validate]/[lsq_cam]/[mem_service])
+    and per-node counters — the engine behind [prevv hotspots].
+    [metrics] is filled post-run from the engine-invariant result (cycles,
+    fires, backend traffic — never the engine-dependent eval count) plus
+    the scheme's own [scheme.<name>.*] counters, so snapshots are
+    deterministic across engines and worker counts, and recording can
+    never perturb the simulation.  When an enabled [obs_trace] is given
+    alongside [metrics], the snapshot also records
+    [trace.dropped_events] — non-zero means the Chrome export is
+    truncated and its ring limit should be raised. *)
 val simulate :
   ?sim_cfg:Pv_dataflow.Sim.config ->
   ?init:(string * int array) list ->
   ?obs_trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
   ?metrics:Pv_obs.Metrics.t ->
   compiled ->
   disambiguation ->

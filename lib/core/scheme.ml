@@ -29,10 +29,12 @@ type env = {
   portmap : Pv_memory.Portmap.t;
   mem : int array;
   trace : Pv_obs.Trace.t;
+  prof : Pv_obs.Prof.t;
   prescience : Prescience.t Lazy.t;
 }
 
-let make_env ?(trace = Pv_obs.Trace.null) ~portmap ~graph mem =
+let make_env ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null) ~portmap
+    ~graph mem =
   (* copy eagerly: by the time the oracle forces the recording, [mem] has
      been mutated by the run in progress *)
   let pristine = Array.copy mem in
@@ -48,7 +50,7 @@ let make_env ?(trace = Pv_obs.Trace.null) ~portmap ~graph mem =
        in
        Prescience.finish ~complete recorder)
   in
-  { portmap; mem; trace; prescience }
+  { portmap; mem; trace; prof; prescience }
 
 type instance = {
   memif : Pv_dataflow.Memif.t;
@@ -114,11 +116,14 @@ let elaboration_of = function
 let make_backend dis env =
   match dis with
   | Plain_lsq cfg | Fast_lsq cfg ->
-      let _, memif = Lsq.create_full ~trace:env.trace cfg env.portmap env.mem in
+      let _, memif =
+        Lsq.create_full ~trace:env.trace ~prof:env.prof cfg env.portmap env.mem
+      in
       { memif; record_metrics = (fun _ -> ()) }
   | Prevv cfg ->
       let t, memif =
-        Backend.create_full ~trace:env.trace cfg env.portmap env.mem
+        Backend.create_full ~trace:env.trace ~prof:env.prof cfg env.portmap
+          env.mem
       in
       {
         memif;

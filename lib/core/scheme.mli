@@ -38,6 +38,10 @@ type env = {
   portmap : Pv_memory.Portmap.t;
   mem : int array;
   trace : Pv_obs.Trace.t;
+  prof : Pv_obs.Prof.t;
+      (** cycle-attribution profiler; the PreVV and LSQ backends feed
+          their inner-loop phases ([arbiter_scan], [pq_validate],
+          [lsq_cam], [mem_service]) into it when enabled *)
   prescience : Pv_bounds.Prescience.t Lazy.t;
 }
 
@@ -45,6 +49,7 @@ type env = {
     run executes (with a fast LSQ, fault-free, default sim config). *)
 val make_env :
   ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
   portmap:Pv_memory.Portmap.t ->
   graph:Pv_dataflow.Graph.t ->
   int array ->

@@ -91,6 +91,10 @@ type config = {
   policy : Supervisor.policy;
   cache : Parallel.Cache.t option;
   kill_at : int list;
+  stats_interval : float option;
+      (** emit a {"type":"stats",...} frame at least this many seconds
+          apart (checked between requests); [None] = never *)
+  log : Pv_obs.Log.t;  (** structured operational log (sheds, kills, drain) *)
 }
 
 let default_config =
@@ -100,6 +104,8 @@ let default_config =
     policy = Supervisor.default_policy;
     cache = None;
     kill_at = [];
+    stats_interval = None;
+    log = Pv_obs.Log.null;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -116,8 +122,10 @@ let error_line id msg =
   Printf.sprintf "{ \"id\": %s, \"status\": \"error\", \"error\": %s }"
     (json_str id) (json_str msg)
 
-let overloaded_line id =
-  Printf.sprintf "{ \"id\": %s, \"status\": \"overloaded\" }" (json_str id)
+let overloaded_line id ~retry_after_ms =
+  Printf.sprintf
+    "{ \"id\": %s, \"status\": \"overloaded\", \"retry_after_ms\": %d }"
+    (json_str id) retry_after_ms
 
 let bad_line msg =
   Printf.sprintf "{ \"id\": null, \"status\": \"bad_request\", \"error\": %s }"
@@ -214,6 +222,7 @@ type summary = {
   wall_s : float;
   requests_per_s : float;
   p50_ms : float;
+  p95_ms : float;
   p99_ms : float;
 }
 
@@ -236,6 +245,7 @@ let summary_to_json s =
       ("wall_s", Json.Float s.wall_s);
       ("requests_per_s", Json.Float s.requests_per_s);
       ("p50_ms", Json.Float s.p50_ms);
+      ("p95_ms", Json.Float s.p95_ms);
       ("p99_ms", Json.Float s.p99_ms);
     ]
 
@@ -272,6 +282,10 @@ type state = {
   mutable n_retries : int;
   mutable n_kills : int;
   mutable n_respawns : int;
+  mutable ewma_ms : float;
+      (** exponentially weighted recent service latency; 0.0 until the
+          first computed response lands *)
+  mutable max_pending : int;  (** queue-depth high water *)
 }
 
 (* store the computed outcome for every waiter of the item's key;
@@ -296,7 +310,13 @@ let store_locked st item outcome retries =
       | R_ok _ -> st.n_ok <- st.n_ok + 1
       | R_err _ -> st.n_errors <- st.n_errors + 1);
       (match Hashtbl.find_opt st.t0s seq with
-      | Some t0 -> Queue.push (Clock.elapsed_s t0 *. 1000.0) st.lats
+      | Some t0 ->
+          let ms = Clock.elapsed_s t0 *. 1000.0 in
+          Queue.push ms st.lats;
+          st.ewma_ms <-
+            (if st.ewma_ms > 0.0 then (0.8 *. st.ewma_ms) +. (0.2 *. ms)
+             else ms);
+          Hashtbl.remove st.t0s seq
       | None -> ());
       st.pending <- st.pending - 1)
     waiters;
@@ -343,7 +363,13 @@ let rec worker st =
         Queue.push item st.queue;
         Condition.signal st.work;
         Condition.signal st.progress;
-        Mutex.unlock st.lock
+        Mutex.unlock st.lock;
+        Pv_obs.Log.warn st.cfg.log "worker_killed"
+          ~fields:
+            [
+              ("seq", Pv_obs.Json.Int item.t_seq);
+              ("id", Pv_obs.Json.Str item.t_req.id);
+            ]
   end
 
 (* lock held by caller *)
@@ -373,7 +399,13 @@ let drain_inline st =
             Mutex.lock st.lock;
             st.n_kills <- st.n_kills + 1;
             Queue.push item st.queue;
-            Mutex.unlock st.lock);
+            Mutex.unlock st.lock;
+            Pv_obs.Log.warn st.cfg.log "worker_killed"
+              ~fields:
+                [
+                  ("seq", Pv_obs.Json.Int item.t_seq);
+                  ("id", Pv_obs.Json.Str item.t_req.id);
+                ]);
         loop ()
   in
   loop ()
@@ -399,6 +431,54 @@ let percentile sorted p =
   else
     let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
     sorted.(max 0 (min (n - 1) idx))
+
+(* backoff hint for a shed client: the backlog ahead of it, in units of
+   the recent per-request service latency, spread over the worker pool.
+   Before any response has completed the EWMA is 0 and the hint degrades
+   to the 1 ms minimum.  Lock held by caller. *)
+let retry_after_ms_locked st =
+  let per_req = Float.max st.ewma_ms 0.0 in
+  let jobs = float_of_int (max 1 st.jobs_target) in
+  let hint = per_req *. float_of_int (st.pending + 1) /. jobs in
+  max 1 (int_of_float (Float.ceil hint))
+
+(* one {"type":"stats",...} frame from the live counters; lock held by
+   caller.  The gauge identity [received = responded + shed + errors +
+   in_flight] holds exactly at every emission: each received request is,
+   at any instant, in exactly one of those four states (bad requests
+   count as responded — they got a response line). *)
+let stats_json_locked st =
+  let lats = Array.of_seq (Queue.to_seq st.lats) in
+  Array.sort compare lats;
+  Json.Obj
+    [
+      ("type", Json.Str "stats");
+      ("received", Json.Int st.n_received);
+      ("responded", Json.Int (st.n_ok + st.n_bad));
+      ("shed", Json.Int st.n_shed);
+      ("errors", Json.Int st.n_errors);
+      ("in_flight", Json.Int st.pending);
+      ("queue_depth", Json.Int (Queue.length st.queue));
+      ("queue_depth_max", Json.Int st.max_pending);
+      ("dedup_hits", Json.Int st.n_dedup);
+      ("retries", Json.Int st.n_retries);
+      ("worker_kills", Json.Int st.n_kills);
+      ("respawns", Json.Int st.n_respawns);
+      ("ewma_ms", Json.Float st.ewma_ms);
+      ("p50_ms", Json.Float (percentile lats 0.50));
+      ("p95_ms", Json.Float (percentile lats 0.95));
+      ("p99_ms", Json.Float (percentile lats 0.99));
+    ]
+
+(* an {"op":"stats"} control line: answered out-of-band, never counted as
+   a request *)
+let is_stats_request line =
+  match Json.parse line with
+  | Error _ -> false
+  | Ok j -> (
+      match Json.member "op" j with
+      | Some (Json.Str "stats") -> true
+      | _ -> false)
 
 let run ?metrics cfg ~next ~emit =
   Atomic.set drain_flag false;
@@ -437,6 +517,8 @@ let run ?metrics cfg ~next ~emit =
       n_retries = 0;
       n_kills = 0;
       n_respawns = 0;
+      ewma_ms = 0.0;
+      max_pending = 0;
     }
   in
   List.iter (fun seq -> Hashtbl.replace st.kill_pending seq ()) cfg.kill_at;
@@ -449,11 +531,22 @@ let run ?metrics cfg ~next ~emit =
     done;
   Mutex.unlock st.lock;
   (* ---- intake ---- *)
+  let last_stats = ref t_start in
+  let emit_stats_frame () =
+    Mutex.lock st.lock;
+    let frame = Json.to_string (stats_json_locked st) in
+    Mutex.unlock st.lock;
+    emit frame
+  in
   let rec intake () =
     if Atomic.get drain_flag then ()
     else
       match next () with
       | None -> ()
+      | Some line when is_stats_request line ->
+          (* control line: answer out-of-band, unsequenced and uncounted *)
+          emit_stats_frame ();
+          intake ()
       | Some line ->
           Mutex.lock st.lock;
           st.n_received <- st.n_received + 1;
@@ -465,12 +558,24 @@ let run ?metrics cfg ~next ~emit =
               st.n_bad <- st.n_bad + 1
           | Ok req ->
               if st.pending >= capacity then begin
-                (* bounded queue: explicit shed, never a silent drop *)
-                Hashtbl.replace st.responses seq (overloaded_line req.id);
-                st.n_shed <- st.n_shed + 1
+                (* bounded queue: explicit shed, never a silent drop; the
+                   hint tells the client when capacity should free up *)
+                let retry_after_ms = retry_after_ms_locked st in
+                Hashtbl.replace st.responses seq
+                  (overloaded_line req.id ~retry_after_ms);
+                st.n_shed <- st.n_shed + 1;
+                Pv_obs.Log.warn st.cfg.log "shed"
+                  ~fields:
+                    [
+                      ("id", Pv_obs.Json.Str req.id);
+                      ("pending", Pv_obs.Json.Int st.pending);
+                      ("retry_after_ms", Pv_obs.Json.Int retry_after_ms);
+                    ]
               end
               else begin
                 st.pending <- st.pending + 1;
+                if st.pending > st.max_pending then
+                  st.max_pending <- st.pending;
                 Hashtbl.replace st.t0s seq (Clock.now_ns ());
                 let key = request_key req in
                 match Hashtbl.find_opt st.inflight key with
@@ -495,10 +600,17 @@ let run ?metrics cfg ~next ~emit =
             Mutex.unlock st.lock;
             List.iter emit lines
           end;
+          (match cfg.stats_interval with
+          | Some iv when Clock.elapsed_s !last_stats >= iv ->
+              last_stats := Clock.now_ns ();
+              emit_stats_frame ()
+          | _ -> ());
           intake ()
   in
   intake ();
   (* ---- drain ---- *)
+  Pv_obs.Log.info cfg.log "drain"
+    ~fields:[ ("pending", Pv_obs.Json.Int st.pending) ];
   if inline then drain_inline st;
   Mutex.lock st.lock;
   st.draining <- true;
@@ -551,6 +663,7 @@ let run ?metrics cfg ~next ~emit =
       requests_per_s =
         (if wall_s > 0.0 then float_of_int st.n_received /. wall_s else 0.0);
       p50_ms = percentile lats 0.50;
+      p95_ms = percentile lats 0.95;
       p99_ms = percentile lats 0.99;
     }
   in
@@ -568,5 +681,18 @@ let run ?metrics cfg ~next ~emit =
       M.add m "serve.worker_kills" summary.worker_kills;
       M.add m "serve.respawns" summary.respawns;
       M.add m "serve.lost" summary.lost;
+      M.add m "serve.p50_ms" (int_of_float (Float.round summary.p50_ms));
+      M.add m "serve.p95_ms" (int_of_float (Float.round summary.p95_ms));
+      M.add m "serve.p99_ms" (int_of_float (Float.round summary.p99_ms));
+      M.set_gauge_max m "serve.queue_depth_max" st.max_pending;
       Option.iter (fun c -> Parallel.Cache.record_metrics c m) cfg.cache);
+  Pv_obs.Log.info cfg.log "serve_done"
+    ~fields:
+      [
+        ("received", Pv_obs.Json.Int summary.received);
+        ("ok", Pv_obs.Json.Int summary.ok);
+        ("errors", Pv_obs.Json.Int summary.errors);
+        ("shed", Pv_obs.Json.Int summary.shed);
+        ("worker_kills", Pv_obs.Json.Int summary.worker_kills);
+      ];
   summary

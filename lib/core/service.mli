@@ -14,9 +14,16 @@
     Responses are deterministic: bodies carry no timing or attempt
     counts, so a run at any worker count is byte-identical to the serial
     ([jobs <= 1]) replay of the same request stream (sheds excepted —
-    shedding depends on queue dynamics, so byte-comparisons must use a
-    capacity the stream cannot overflow).  DESIGN.md §18 specifies the
-    protocol. *)
+    shedding depends on queue dynamics {e and} stamps a timing-derived
+    [retry_after_ms] hint, so byte-comparisons must use a capacity the
+    stream cannot overflow).  DESIGN.md §18 specifies the protocol.
+
+    Telemetry: an [{"op": "stats"}] control line (and, with
+    {!config.stats_interval}, a between-requests timer) emits a
+    [{"type": "stats", ...}] frame with live gauges satisfying
+    [received = responded + shed + errors + in_flight], queue depths and
+    latency percentiles; {!config.log} receives structured LDJSON lines
+    for sheds, worker kills, drain and the final summary. *)
 
 (** {1 Requests} *)
 
@@ -67,10 +74,18 @@ type config = {
   kill_at : int list;
       (** chaos injection: arrival sequence numbers whose first compute
           attempt kills its worker domain (respawned, request requeued) *)
+  stats_interval : float option;
+      (** emit a [{"type": "stats", ...}] frame at least this many seconds
+          apart, checked between requests (the intake loop never wakes just
+          to report); [None] (default) = on demand only *)
+  log : Pv_obs.Log.t;
+      (** structured operational log (default {!Pv_obs.Log.null}): [shed]
+          and [worker_killed] at Warn, [drain] and [serve_done] at Info.
+          Point it at stderr — response lines own stdout. *)
 }
 
 (** 1 job, capacity 256, {!Supervisor.default_policy}, no cache, no
-    kills. *)
+    kills, no periodic stats, null log. *)
 val default_config : config
 
 (** {1 Running} *)
@@ -92,6 +107,7 @@ type summary = {
   wall_s : float;
   requests_per_s : float;
   p50_ms : float;  (** submit-to-response latency percentiles *)
+  p95_ms : float;
   p99_ms : float;
 }
 
@@ -102,8 +118,16 @@ val summary_to_json : summary -> Pv_obs.Json.t
     supervised pool, calls [emit] with exactly one response line per
     received line {e in arrival order}, drains, and returns the
     {!summary}.  [next] and [emit] are only ever called from the calling
-    domain.  [metrics] (optional) receives [serve.*] counters and the
-    cache's [cache.*] counters. *)
+    domain.  [metrics] (optional) receives [serve.*] counters (including
+    latency percentiles and the [serve.queue_depth_max] gauge) and the
+    cache's [cache.*] counters.
+
+    A shed ([{"status": "overloaded"}]) response carries
+    [retry_after_ms]: the backlog ahead of the client in units of
+    the EWMA service latency, spread over the worker pool — a backoff
+    hint, not a promise.  An [{"op": "stats"}] line is answered with a
+    stats frame out-of-band: it takes no sequence number, gets no
+    per-request response and does not count toward [received]. *)
 val run :
   ?metrics:Pv_obs.Metrics.t ->
   config ->

@@ -264,7 +264,8 @@ let run_pool ~jobs policy f (slots : _ slot array) tasks =
 (* ------------------------------------------------------------------ *)
 
 let run_tasks ?(policy = default_policy) ?metrics
-    ?(metrics_prefix = "supervisor.") ~jobs ~label f tasks =
+    ?(metrics_prefix = "supervisor.") ?(log = Pv_obs.Log.null) ~jobs ~label f
+    tasks =
   if policy.max_attempts < 1 then
     invalid_arg "Supervisor.run_tasks: max_attempts < 1";
   let tasks = Array.of_list tasks in
@@ -313,4 +314,49 @@ let run_tasks ?(policy = default_policy) ?metrics
       M.add m (metrics_prefix ^ "respawns") stats.respawns;
       M.add m (metrics_prefix ^ "task_errors") stats.failed;
       M.add m (metrics_prefix ^ "deadline_hits") stats.deadline_hits);
+  (* structured post-run logging: per-task anomalies (retries, kills,
+     deadline overruns, final failures) plus one pool summary.  Emitted
+     from the calling domain only, after the workers have joined, so the
+     sink never sees concurrent writes. *)
+  (let module L = Pv_obs.Log in
+   let module J = Pv_obs.Json in
+   if L.enabled log Warn then begin
+     Array.iter
+       (fun s ->
+         if s.s_value = None then
+           L.error log "task_failed"
+             ~fields:
+               [
+                 ("task", J.Str s.s_label);
+                 ("attempts", J.Int s.s_attempts);
+                 ("worker_kills", J.Int s.s_kills);
+                 ("deadline_hit", J.Bool s.s_deadline_hit);
+                 ("error", J.Str s.s_last_error);
+               ]
+         else if s.s_attempts > 1 || s.s_kills > 0 || s.s_deadline_count > 0
+         then
+           L.warn log "task_retried"
+             ~fields:
+               [
+                 ("task", J.Str s.s_label);
+                 ("attempts", J.Int s.s_attempts);
+                 ("worker_kills", J.Int s.s_kills);
+                 ("deadline_hits", J.Int s.s_deadline_count);
+               ])
+       slots;
+     if
+       stats.retries > 0 || stats.respawns > 0 || stats.failed > 0
+       || stats.deadline_hits > 0
+     then
+       L.warn log "pool_summary"
+         ~fields:
+           [
+             ("jobs", J.Int jobs);
+             ("completed", J.Int stats.completed);
+             ("failed", J.Int stats.failed);
+             ("retries", J.Int stats.retries);
+             ("respawns", J.Int stats.respawns);
+             ("deadline_hits", J.Int stats.deadline_hits);
+           ]
+   end);
   (results, stats)

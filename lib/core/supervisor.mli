@@ -107,7 +107,11 @@ type stats = {
     serially on the calling domain — the deterministic reference.
     [metrics] (optional) gets [<prefix>retries] / [<prefix>respawns] /
     [<prefix>task_errors] / [<prefix>deadline_hits] counters
-    ([metrics_prefix] defaults to ["supervisor."]).
+    ([metrics_prefix] defaults to ["supervisor."]).  [log] (default
+    {!Pv_obs.Log.null}) receives one structured line per anomalous task
+    ([task_retried] at Warn, [task_failed] at Error) and a [pool_summary]
+    line when any retry/kill/failure occurred — emitted post-run from the
+    calling domain, so a single-writer sink suffices.
 
     Tasks must not print; ordering and content of the returned list are
     deterministic given a deterministic task function (wall-clock
@@ -116,6 +120,7 @@ val run_tasks :
   ?policy:policy ->
   ?metrics:Pv_obs.Metrics.t ->
   ?metrics_prefix:string ->
+  ?log:Pv_obs.Log.t ->
   jobs:int ->
   label:('a -> string) ->
   (token:Token.t -> 'a -> 'b) ->

@@ -280,6 +280,11 @@ type t = {
   trace : Pv_obs.Trace.t;
   mutable epoch_start : int;
   mutable last_inflight : int;
+  (* cycle-attribution profiler: [prof_on] caches [Prof.enabled prof] so
+     each eval site pays one load + branch when profiling is off (the
+     zero-allocation contract of test_sim_perf.ml covers this path) *)
+  prof : Pv_obs.Prof.t;
+  prof_on : bool;
 }
 
 (* --- bitsets over slots ------------------------------------------------- *)
@@ -380,8 +385,25 @@ let eval_order (g : Graph.t) : int array =
 let dummy_gen_next (_ : int) : int array = [||]
 let dummy_gen_group (_ : int) = 0
 
-let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
-    (mem : Memif.t) : t =
+let kind_name : Types.kind -> string = function
+  | Gen _ -> "gen"
+  | Const _ -> "const"
+  | Unop _ -> "unop"
+  | Binop _ -> "binop"
+  | Fork _ -> "fork"
+  | Join _ -> "join"
+  | Merge _ -> "merge"
+  | Mux _ -> "mux"
+  | Branch -> "branch"
+  | Buffer _ -> "buf"
+  | Sink -> "sink"
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Skip _ -> "skip"
+  | Galloc _ -> "galloc"
+
+let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null)
+    ?(prof = Pv_obs.Prof.null) (g : Graph.t) (mem : Memif.t) : t =
   Check.validate_exn g;
   let nc = Graph.n_chans g in
   let n = Graph.n_nodes g in
@@ -570,8 +592,15 @@ let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
       trace;
       epoch_start = 0;
       last_inflight = -1;
+      prof;
+      prof_on = Pv_obs.Prof.enabled prof;
     }
   in
+  if t.prof_on then
+    Pv_obs.Prof.set_nodes prof
+      (Array.init n (fun nid ->
+           let node = Graph.node g nid in
+           (kind_name node.Graph.kind, node.Graph.label)));
   t.wake_cb <- (fun slot -> wake t slot);
   wake_all t;
   t
@@ -1264,6 +1293,71 @@ let post_mortem t : post_mortem =
 let finished t =
   t.gens_active = 0 && t.occupied = 0 && t.held = 0 && t.mem.Memif.quiesced ()
 
+(* --- profiled evaluation ------------------------------------------------ *)
+
+(* Allocation-free mirror of the post-mortem stall classification, reduced
+   to a reason code: called (only when profiling) after an evaluation that
+   did not fire, so hot nodes can be split into fired vs. blocked-and-why.
+   Returns -1 when the node simply has no work (an idle wake, not a
+   stall). *)
+
+let rec any_pending_in t slot k n =
+  k < n && (pending_in t slot k || any_pending_in t slot (k + 1) n)
+
+let rec any_frozen_in t slot k n =
+  if k >= n then false
+  else
+    let cid = ag t.ins (ag t.in_base slot + k) in
+    (cid >= 0 && ag t.cur_seq cid >= 0 && ag t.stall_until cid > t.cycle)
+    || any_frozen_in t slot (k + 1) n
+
+let rec any_empty_in t slot k n =
+  if k >= n then false
+  else
+    let cid = ag t.ins (ag t.in_base slot + k) in
+    (cid >= 0 && ag t.cur_seq cid < 0) || any_empty_in t slot (k + 1) n
+
+let stall_reason t slot =
+  let opc = ag t.op slot in
+  if opc = op_gen then
+    if agb t.g_done slot then -1
+    else if not (outs_free t (ag t.out_base slot) 0 (ag t.out_n slot)) then
+      Pv_obs.Prof.reason_backpressured
+    else Pv_obs.Prof.reason_refused
+  else begin
+    let n_in = ag t.in_n slot in
+    let internal =
+      (opc = op_pipe || opc = op_tbuf || opc = op_obuf || opc = op_store)
+      && Ring.length t.ring.(slot) > 0
+    in
+    let any_in = any_pending_in t slot 0 n_in in
+    if not (any_in || internal) then -1
+    else if any_frozen_in t slot 0 n_in then Pv_obs.Prof.reason_frozen
+    else if internal then Pv_obs.Prof.reason_internal
+    else if opc <> op_merge && any_empty_in t slot 0 n_in then
+      Pv_obs.Prof.reason_starved
+    else if not (outs_free t (ag t.out_base slot) 0 (ag t.out_n slot)) then
+      Pv_obs.Prof.reason_backpressured
+    else if
+      opc = op_load || opc = op_store || opc = op_skip || opc = op_galloc
+    then Pv_obs.Prof.reason_refused
+    else Pv_obs.Prof.reason_other
+  end
+
+(* Profiled evaluation: read-only around [eval_slot], so cycles, evals and
+   fires are bit-identical with profiling on or off.  The fired-or-not
+   verdict comes from the per-cycle [nfired] counter, which both engines
+   advance on every fire. *)
+let eval_profiled t slot =
+  let before = t.nfired in
+  eval_slot t slot;
+  let nid = ag t.nid_of slot in
+  Pv_obs.Prof.node_eval t.prof nid;
+  if t.nfired = before then begin
+    let r = stall_reason t slot in
+    if r >= 0 then Pv_obs.Prof.stall t.prof nid ~reason:r
+  end
+
 (* Event-engine sweep: extract slots from the wave bitset in ascending order
    and evaluate each.  Written as a tail recursion over the word index so
    the hot loop allocates nothing (a [ref] cursor would be a heap cell).
@@ -1281,7 +1375,7 @@ let rec sweep t nw w =
       let slot = (w lsl 5) lor ctz32 lsb in
       t.cur_slot <- slot;
       t.evals <- t.evals + 1;
-      eval_slot t slot;
+      if t.prof_on then eval_profiled t slot else eval_slot t slot;
       sweep t nw w
     end
   end
@@ -1315,9 +1409,14 @@ let step t =
          awake bits raised meanwhile (wheel, faults) linger harmlessly and
          are subsumed by the wake_all on exit *)
       t.evals <- t.evals + t.n;
-      for slot = 0 to t.n - 1 do
-        eval_slot t slot
-      done
+      if t.prof_on then
+        for slot = 0 to t.n - 1 do
+          eval_profiled t slot
+        done
+      else
+        for slot = 0 to t.n - 1 do
+          eval_slot t slot
+        done
     end
     else begin
       (* seed the wave with the wake set (word-wise), then sweep; [take] may
@@ -1334,9 +1433,14 @@ let step t =
   end
   else begin
     t.evals <- t.evals + t.n;
-    for slot = 0 to t.n - 1 do
-      eval_slot t slot
-    done
+    if t.prof_on then
+      for slot = 0 to t.n - 1 do
+        eval_profiled t slot
+      done
+    else
+      for slot = 0 to t.n - 1 do
+        eval_slot t slot
+      done
   end;
   (* clock edge: commit only the channels touched this cycle (untouched
      channels cannot have staged writes or consumption marks); the loop is
@@ -1448,9 +1552,10 @@ let trace_outcome t outcome =
           pm.pm_stalled
   end
 
-let run ?(cfg = default_config) ?(trace = Pv_obs.Trace.null) (g : Graph.t)
-    (mem : Memif.t) : outcome * run_stats =
-  let t = create ~cfg ~trace g mem in
+let run ?(cfg = default_config) ?(trace = Pv_obs.Trace.null)
+    ?(prof = Pv_obs.Prof.null) (g : Graph.t) (mem : Memif.t) :
+    outcome * run_stats =
+  let t = create ~cfg ~trace ~prof g mem in
   let rec loop () =
     if finished t then Finished { cycles = t.cycle }
     else if t.cycle >= cfg.max_cycles then

@@ -120,9 +120,20 @@ type t
     {!Pv_obs.Trace.null}) receives epoch spans, squash/fault instants and
     an in-flight-token counter track; the null sink reduces every emit
     site to one branch and provably leaves behaviour unchanged
-    (test/test_obs.ml).
+    (test/test_obs.ml).  [prof] (default {!Pv_obs.Prof.null}) receives
+    per-node evaluation counts (the [circuit_sweep] phase) and stall-reason
+    tallies mirroring the post-mortem classification; profiling is
+    read-only — cycles, evals and fires are identical with it on or off —
+    and the disabled profiler costs one cached branch per evaluation, so
+    the zero-allocation contract holds unchanged (test/test_sim_perf.ml).
     @raise Check.Invalid on a structurally invalid graph. *)
-val create : ?cfg:config -> ?trace:Pv_obs.Trace.t -> Graph.t -> Memif.t -> t
+val create :
+  ?cfg:config ->
+  ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
+  Graph.t ->
+  Memif.t ->
+  t
 
 (** Advance one cycle: poll squashes, evaluate nodes (all of them under
     [Scan], the wake set under [Event]), commit the touched channel writes,
@@ -153,9 +164,15 @@ val fault_log : t -> Fault.application list
     deadlock/timeout.  No-op on a disabled trace; [run] calls it itself. *)
 val trace_outcome : t -> outcome -> unit
 
-(** Run to completion (or deadlock/timeout per [cfg]). *)
+(** Run to completion (or deadlock/timeout per [cfg]).  [prof] as in
+    {!create}. *)
 val run :
-  ?cfg:config -> ?trace:Pv_obs.Trace.t -> Graph.t -> Memif.t -> outcome * run_stats
+  ?cfg:config ->
+  ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
+  Graph.t ->
+  Memif.t ->
+  outcome * run_stats
 
 (** {1:accessors Read-only accessors} *)
 

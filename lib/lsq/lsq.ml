@@ -90,6 +90,7 @@ type t = {
   (* observability: event sink (Trace.null unless passed to [create_full])
      and the last emitted occupancy sample *)
   trace : Pv_obs.Trace.t;
+  prof : Pv_obs.Prof.t;
   mutable last_occ : int;
 }
 
@@ -159,6 +160,10 @@ let try_issue_load t (le : lentry) : bool =
   | Some addr ->
       if le.l_usable_at > t.now then false
       else begin
+        (* the issue check CAM-scans the whole store queue *)
+        if Pv_obs.Prof.enabled t.prof then
+          Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_lsq_cam
+            (List.length t.sq);
         let older =
           List.filter
             (fun se ->
@@ -215,12 +220,19 @@ let can_commit t (se : sentry) =
   se.s_usable_at <= t.now
   && se.s_addr <> None
   && se.s_value <> None
-  && not
-       (List.exists
-          (fun le ->
-            order_lt (le.l_seq, le.l_pos) (se.s_seq, se.s_pos)
-            && (le.l_addr = None || le.l_addr = se.s_addr))
-          t.lq)
+  && begin
+       (* the WAR guard CAM-scans the whole load queue; attributed only
+          when the earlier conjuncts did not short-circuit *)
+       if Pv_obs.Prof.enabled t.prof then
+         Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_lsq_cam
+           (List.length t.lq);
+       not
+         (List.exists
+            (fun le ->
+              order_lt (le.l_seq, le.l_pos) (se.s_seq, se.s_pos)
+              && (le.l_addr = None || le.l_addr = se.s_addr))
+            t.lq)
+     end
 
 let clock t =
   (* issue loads, oldest first *)
@@ -263,8 +275,9 @@ let clock t =
   Hashtbl.iter (fun _ r -> r := 1) t.writes;
   t.now <- t.now + 1
 
-let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
-    (mem : int array) : t * Pv_dataflow.Memif.t =
+let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
+    (cfg : config) (pm : Portmap.t) (mem : int array) : t * Pv_dataflow.Memif.t
+    =
   let t =
     {
       cfg;
@@ -279,6 +292,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
       reads = Hashtbl.create 8;
       writes = Hashtbl.create 8;
       trace;
+      prof;
       last_occ = -1;
     }
   in
@@ -363,11 +377,13 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
           le.l_addr <- Some addr;
           ignore (open_slot t ~port ~seq);
           t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
+          Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
           true
       | None -> false
     end
     else if take_budget t.reads (array_of t port) then begin
       t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
+      Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
       let slot = open_slot t ~port ~seq in
       slot := Some (t.now + cfg.mem_latency, t.mem.(addr));
       true
@@ -388,11 +404,13 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
           se.s_addr <- Some addr;
           se.s_value <- Some value;
           t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
+          Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
           true
       | None -> false
     end
     else if take_budget t.writes (array_of t port) then begin
       t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
+      Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
       t.mem.(addr) <- value;
       true
     end
@@ -472,7 +490,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
             (List.length t.sq));
     } )
 
-let create ?trace cfg pm mem = snd (create_full ?trace cfg pm mem)
+let create ?trace ?prof cfg pm mem = snd (create_full ?trace ?prof cfg pm mem)
 
 (* Runtime stat accessor, symmetric with Backend.stats. *)
 let stats t = t.stats

@@ -45,9 +45,15 @@ type t
     {!stats}).  [trace] (default {!Pv_obs.Trace.null}) receives
     allocation/commit instants on the backend track and an
     [lsq_occupancy] counter track; the null sink makes every emit site one
-    branch and leaves behaviour unchanged. *)
+    branch and leaves behaviour unchanged.  [prof] (default
+    {!Pv_obs.Prof.null}) receives the LSQ's attribution phases: one
+    [lsq_cam] unit per queue entry walked by the load-issue check (store
+    queue) and the store-commit WAR guard (load queue), and one
+    [mem_service] unit per load/store accepted (so [mem_service] equals
+    the {!stats} loads + stores exactly). *)
 val create_full :
   ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
   config ->
   Pv_memory.Portmap.t ->
   int array ->
@@ -55,6 +61,7 @@ val create_full :
 
 val create :
   ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
   config ->
   Pv_memory.Portmap.t ->
   int array ->

@@ -1,0 +1,78 @@
+(* Structured LDJSON logger.  Lines are rendered via Json so escaping is
+   exactly the library's, and each event is one sink call (no partial
+   lines even when several domains share a sink that appends atomically,
+   e.g. stderr). *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type t = {
+  on : bool;
+  min_rank : int;
+  now_ms : unit -> float;
+  sink : string -> unit;
+  rid : string option;
+}
+
+let null =
+  {
+    on = false;
+    min_rank = max_int;
+    now_ms = (fun () -> 0.0);
+    sink = ignore;
+    rid = None;
+  }
+
+let create ?(level = Info) ?now_ms sink =
+  let now_ms =
+    match now_ms with
+    | Some f -> f
+    | None ->
+        (* deterministic fallback: a per-logger event counter, so lines
+           are ordered without pulling a clock dependency into pv_obs *)
+        let n = ref 0 in
+        fun () ->
+          incr n;
+          float_of_int !n
+  in
+  { on = true; min_rank = level_rank level; now_ms; sink; rid = None }
+
+let enabled t level = t.on && level_rank level >= t.min_rank
+let with_rid t rid = if t.on then { t with rid = Some rid } else t
+
+let msg t level event ~fields =
+  if enabled t level then begin
+    let base =
+      [
+        ("ts_ms", Json.Float (t.now_ms ()));
+        ("level", Json.Str (level_name level));
+        ("msg", Json.Str event);
+      ]
+    in
+    let base =
+      match t.rid with
+      | None -> base
+      | Some rid -> base @ [ ("rid", Json.Str rid) ]
+    in
+    t.sink (Json.to_string (Json.Obj (base @ fields)) ^ "\n")
+  end
+
+let debug t event ~fields = msg t Debug event ~fields
+let info t event ~fields = msg t Info event ~fields
+let warn t event ~fields = msg t Warn event ~fields
+let error t event ~fields = msg t Error event ~fields

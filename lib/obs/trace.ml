@@ -114,11 +114,24 @@ let to_json ?(process = "prevv") t =
       ("displayTimeUnit", Json.Str "ns");
       ( "otherData",
         Json.Obj
-          [
-            ("tool", Json.Str "prevv_cli");
-            ("ts_unit", Json.Str "cycle");
-            ("dropped_events", Json.Int t.dropped);
-          ] );
+          ([
+             ("tool", Json.Str "prevv_cli");
+             ("ts_unit", Json.Str "cycle");
+             ("dropped_events", Json.Int t.dropped);
+           ]
+          @
+          (* truncation is loud: a capped buffer used to drop silently *)
+          if t.dropped = 0 then []
+          else
+            [
+              ("truncated", Json.Bool true);
+              ( "warning",
+                Json.Str
+                  (Printf.sprintf
+                     "trace buffer full: %d event(s) past the %d-event cap \
+                      were dropped; raise the Trace.create ~limit"
+                     t.dropped t.limit) );
+            ]) );
     ]
 
 let write ?process t path =

@@ -121,6 +121,7 @@ type t = {
      a sink was passed to [create_full]), last emitted counter samples *)
   arb_stats : Arbiter.stats;
   trace : Pv_obs.Trace.t;
+  prof : Pv_obs.Prof.t;  (* cycle-attribution phases; Prof.null unless passed *)
   mutable last_occ : int;
   mutable last_frontier : int;
 }
@@ -252,6 +253,11 @@ let release t inst (retired : Premature_queue.entry list) =
    accuse the load, so its record leaves the queue.  Stores stay until the
    commit frontier writes them back. *)
 let validate_loads t inst =
+  (* the retirement pass below walks the whole queue: premature-value
+     validation work, attributed per record scanned *)
+  if Pv_obs.Prof.enabled t.prof then
+    Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_pq_validate
+      (Premature_queue.occupancy inst.q);
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt t.group_of inst.saf with
@@ -360,8 +366,9 @@ let advance_frontier t =
           end
   done
 
-let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
-    (mem : int array) : t * Pv_dataflow.Memif.t =
+let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
+    (cfg : config) (pm : Portmap.t) (mem : int array) :
+    t * Pv_dataflow.Memif.t =
   if Array.length pm.Portmap.ports > 62 then
     invalid_arg
       (Printf.sprintf
@@ -462,6 +469,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
       write_refs = [||];
       arb_stats = Arbiter.fresh_stats ();
       trace;
+      prof;
       last_occ = -1;
       last_frontier = -1;
     }
@@ -506,6 +514,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
     | None ->
         if take_budget t.reads (Portmap.port t.pm port).Portmap.array then begin
           t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
+          Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
           respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~seq
             ~value:(read_mem t addr);
           true
@@ -517,6 +526,10 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
         end
     | Some inst -> (
         let pos = pos_of ~inst:inst.id ~seq ~port in
+        (* the gate folds over every queue record: one scan unit each *)
+        if Pv_obs.Prof.enabled prof then
+          Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_arbiter_scan
+            (Premature_queue.occupancy inst.q);
         match Arbiter.load_gate ~stats:t.arb_stats inst.q ~seq ~pos ~index:addr with
         | Arbiter.Wait ->
             t.stats.Pv_dataflow.Memif.stall_order <-
@@ -553,6 +566,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
                     t.stats.Pv_dataflow.Memif.forwarded + 1;
                   t.stats.Pv_dataflow.Memif.loads <-
                     t.stats.Pv_dataflow.Memif.loads + 1;
+                  Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
                   note_occupancy t;
                   true
             end
@@ -594,6 +608,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
                     ~value:v;
                   t.stats.Pv_dataflow.Memif.loads <-
                     t.stats.Pv_dataflow.Memif.loads + 1;
+                  Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
                   note_occupancy t;
                   true
             end)
@@ -604,6 +619,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
         if take_budget t.writes (Portmap.port t.pm port).Portmap.array then begin
           t.stats.Pv_dataflow.Memif.stores <-
             t.stats.Pv_dataflow.Memif.stores + 1;
+          Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
           if addr >= 0 && addr < Array.length t.mem then t.mem.(addr) <- value;
           true
         end
@@ -620,6 +636,10 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
         end
         else begin
           let pos = pos_of ~inst:inst.id ~seq ~port in
+          (* violation checking folds over every queue record *)
+          if Pv_obs.Prof.enabled prof then
+            Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_pq_validate
+              (Premature_queue.occupancy inst.q);
           let violation =
             Arbiter.store_violation ~value_validation:t.cfg.value_validation
               ~stats:t.arb_stats inst.q ~seq ~pos ~index:addr ~value
@@ -653,6 +673,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
               note_arrival seq;
               t.stats.Pv_dataflow.Memif.stores <-
                 t.stats.Pv_dataflow.Memif.stores + 1;
+              Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
               note_occupancy t;
               true
         end
@@ -836,7 +857,7 @@ let create_full ?(trace = Pv_obs.Trace.null) (cfg : config) (pm : Portmap.t)
       describe;
     } )
 
-let create ?trace cfg pm mem = snd (create_full ?trace cfg pm mem)
+let create ?trace ?prof cfg pm mem = snd (create_full ?trace ?prof cfg pm mem)
 let degraded_at t = t.degraded_at
 
 (* Runtime stat accessors — the metric sources of the observability layer,

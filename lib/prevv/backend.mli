@@ -57,11 +57,18 @@ type t
     receives validation/violation instants on the arbiter track,
     fake-token/squash/degraded instants on the backend track, and
     [pq_occupancy]/[commit_frontier] counter tracks; the null sink makes
-    every emit site one branch and leaves behaviour unchanged.
+    every emit site one branch and leaves behaviour unchanged.  [prof]
+    (default {!Pv_obs.Prof.null}) receives the backend's attribution
+    phases: one [arbiter_scan] unit per queue record the load gate walks,
+    one [pq_validate] unit per record walked by store-violation checking
+    and the per-cycle load-retirement pass, and one [mem_service] unit per
+    load/store serviced (so [mem_service] equals the {!stats} loads +
+    stores exactly).
     @raise Invalid_argument when [depth_q] cannot hold one body instance
     of some disambiguation instance. *)
 val create_full :
   ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
   config ->
   Pv_memory.Portmap.t ->
   int array ->
@@ -69,6 +76,7 @@ val create_full :
 
 val create :
   ?trace:Pv_obs.Trace.t ->
+  ?prof:Pv_obs.Prof.t ->
   config ->
   Pv_memory.Portmap.t ->
   int array ->

@@ -120,6 +120,133 @@ let test_trace_limit () =
   Alcotest.(check int) "capped" 3 (Trace.event_count t);
   Alcotest.(check int) "overflow counted" 2 (Trace.dropped t)
 
+(* a truncated export says so in its footer; an untruncated one carries
+   the zero so downstream tooling can assert on it unconditionally *)
+let test_trace_truncation_footer () =
+  let other t =
+    match Json.member "otherData" (Trace.to_json ~process:"p" t) with
+    | Some o -> o
+    | None -> Alcotest.fail "otherData missing"
+  in
+  let t = Trace.create ~limit:3 () in
+  for i = 1 to 5 do
+    Trace.instant t ~tid:Trace.tid_sim ~ts:i "e"
+  done;
+  let o = other t in
+  Alcotest.(check (option int))
+    "dropped_events" (Some 2)
+    (Option.bind (Json.member "dropped_events" o) Json.to_int_opt);
+  Alcotest.(check bool)
+    "truncated flag" true
+    (Json.member "truncated" o = Some (Json.Bool true));
+  (match Option.bind (Json.member "warning" o) Json.to_string_opt with
+  | Some w -> Alcotest.(check bool) "warning is non-empty" true (w <> "")
+  | None -> Alcotest.fail "truncated trace has no warning");
+  let clean = Trace.create ~limit:10 () in
+  Trace.instant clean ~tid:Trace.tid_sim ~ts:1 "e";
+  let o = other clean in
+  Alcotest.(check (option int))
+    "clean export still carries the zero" (Some 0)
+    (Option.bind (Json.member "dropped_events" o) Json.to_int_opt);
+  Alcotest.(check bool)
+    "no warning when nothing dropped" true
+    (Json.member "warning" o = None)
+
+(* a run that overflows its trace buffer surfaces the loss as a metric *)
+let test_trace_dropped_metric () =
+  let kernel = Pv_kernels.Defs.polyn_mult () in
+  let compiled = Pipeline.compile kernel in
+  let m = Metrics.create () in
+  let tr = Trace.create ~limit:5 () in
+  ignore (Pipeline.simulate ~obs_trace:tr ~metrics:m compiled (Pipeline.prevv 16));
+  let snap = Metrics.snapshot m in
+  let dropped =
+    match List.assoc_opt "trace.dropped_events" snap with
+    | Some (Metrics.S_counter n) -> n
+    | _ -> Alcotest.fail "trace.dropped_events not recorded"
+  in
+  Alcotest.(check bool) "drops counted" true (dropped > 0);
+  Alcotest.(check int) "metric mirrors the trace" (Trace.dropped tr) dropped
+
+(* ------------------------------------------------------------------ *)
+(* Structured logger                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Log = Pv_obs.Log
+
+let collect_log ?level ?now_ms () =
+  let buf = Buffer.create 256 in
+  (Log.create ?level ?now_ms (Buffer.add_string buf), buf)
+
+let log_lines buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+let test_log_ldjson () =
+  let log, buf = collect_log () in
+  Log.info log "started" ~fields:[ ("jobs", Json.Int 4) ];
+  Log.warn log "shed" ~fields:[ ("id", Json.Str "r\"1\"") ];
+  let lines = log_lines buf in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error e -> Alcotest.failf "log line is not JSON (%s): %s" e line
+      | Ok j ->
+          Alcotest.(check bool)
+            "has ts_ms" true
+            (Json.member "ts_ms" j <> None);
+          Alcotest.(check bool)
+            "has level" true
+            (Json.member "level" j <> None);
+          Alcotest.(check bool) "has msg" true (Json.member "msg" j <> None))
+    lines;
+  (* default timestamps are the event counter: ordered and deterministic *)
+  let ts line =
+    match Json.parse line with
+    | Ok j -> (
+        match Json.member "ts_ms" j with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> Alcotest.fail "ts_ms missing")
+    | Error e -> Alcotest.failf "bad line: %s" e
+  in
+  Alcotest.(check bool)
+    "counter timestamps increase" true
+    (ts (List.nth lines 0) < ts (List.nth lines 1))
+
+let test_log_levels () =
+  let log, buf = collect_log ~level:Log.Warn () in
+  Alcotest.(check bool) "debug disabled" false (Log.enabled log Log.Debug);
+  Alcotest.(check bool) "error enabled" true (Log.enabled log Log.Error);
+  Log.debug log "dropped" ~fields:[];
+  Log.info log "dropped too" ~fields:[];
+  Log.warn log "kept" ~fields:[];
+  Log.error log "kept too" ~fields:[];
+  Alcotest.(check int) "below-threshold suppressed" 2
+    (List.length (log_lines buf));
+  (* the null logger is inert *)
+  Log.error Log.null "nothing" ~fields:[];
+  Alcotest.(check bool) "null disabled" false (Log.enabled Log.null Log.Error)
+
+let test_log_rid () =
+  let log, buf = collect_log () in
+  let scoped = Log.with_rid log "req-7" in
+  Log.info scoped "handled" ~fields:[];
+  Log.info log "unscoped" ~fields:[];
+  match log_lines buf with
+  | [ scoped_line; plain_line ] ->
+      (match Json.parse scoped_line with
+      | Ok j ->
+          Alcotest.(check (option string))
+            "rid stamped" (Some "req-7")
+            (Option.bind (Json.member "rid" j) Json.to_string_opt)
+      | Error e -> Alcotest.failf "bad line: %s" e);
+      (match Json.parse plain_line with
+      | Ok j -> Alcotest.(check bool) "no rid" true (Json.member "rid" j = None)
+      | Error e -> Alcotest.failf "bad line: %s" e)
+  | lines -> Alcotest.failf "expected 2 lines, got %d" (List.length lines)
+
 let result_sig (r : Pipeline.result) =
   let outcome =
     match r.Pipeline.outcome with
@@ -511,6 +638,10 @@ let () =
         [
           Alcotest.test_case "null sink is a no-op" `Quick test_null_sink_noop;
           Alcotest.test_case "event limit" `Quick test_trace_limit;
+          Alcotest.test_case "truncation footer" `Quick
+            test_trace_truncation_footer;
+          Alcotest.test_case "dropped-events metric" `Quick
+            test_trace_dropped_metric;
           Alcotest.test_case "tracing does not perturb" `Quick
             test_tracing_does_not_perturb;
           Alcotest.test_case "chrome schema" `Quick test_trace_schema;
@@ -531,6 +662,12 @@ let () =
         [
           Alcotest.test_case "engine-invariant" `Quick
             test_profile_engine_invariant;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "lines are LDJSON" `Quick test_log_ldjson;
+          Alcotest.test_case "level threshold" `Quick test_log_levels;
+          Alcotest.test_case "request-scoped ids" `Quick test_log_rid;
         ] );
       ( "vcd",
         [

@@ -148,7 +148,22 @@ let test_overload_sheds_explicitly () =
       (String.split_on_char '\n' out)
   in
   Alcotest.(check int) "every shed visible as a response line"
-    s.Service.shed (List.length shed_lines)
+    s.Service.shed (List.length shed_lines);
+  (* every shed carries backoff advice derived from the live queue *)
+  List.iter
+    (fun l ->
+      match Pv_obs.Json.parse l with
+      | Ok j -> (
+          match
+            Option.bind
+              (Pv_obs.Json.member "retry_after_ms" j)
+              Pv_obs.Json.to_int_opt
+          with
+          | Some ms ->
+              Alcotest.(check bool) "retry_after_ms is positive" true (ms >= 1)
+          | None -> Alcotest.failf "shed line lacks retry_after_ms: %s" l)
+      | Error e -> Alcotest.failf "shed line unparseable: %s" e)
+    shed_lines
 
 let test_dedup_in_flight () =
   (* identical requests (same key, different ids) share one computation;
@@ -242,6 +257,76 @@ let test_error_and_bad_lines () =
   Alcotest.(check (list string)) "statuses in arrival order"
     [ "ok"; "error"; "bad_request" ] statuses
 
+let test_stats_frames () =
+  (* [{"op":"stats"}] control lines are answered out-of-band with a
+     stats frame and never counted as requests; each frame satisfies the
+     conservation identity received = responded + shed + errors +
+     in_flight (every received request is in exactly one state) *)
+  let reqs = List.map Service.request_to_json (cold_requests 6) in
+  let stats_line = {|{"op":"stats"}|} in
+  let remaining =
+    ref ((stats_line :: List.concat_map (fun r -> [ r; stats_line ]) reqs))
+  in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+        remaining := rest;
+        Some l
+  in
+  let out = Buffer.create 4096 in
+  let s =
+    Service.run
+      {
+        Service.default_config with
+        Service.jobs = 2;
+        Service.queue_capacity = 16;
+        Service.policy = quick_policy;
+      }
+      ~next
+      ~emit:(fun l -> Buffer.add_string out l; Buffer.add_char out '\n')
+  in
+  Alcotest.(check int) "stats lines not counted as requests" 6
+    s.Service.received;
+  Alcotest.(check int) "zero lost" 0 s.Service.lost;
+  let frames =
+    List.filter_map
+      (fun l ->
+        if l = "" then None
+        else
+          match Pv_obs.Json.parse l with
+          | Ok j
+            when Option.bind (Pv_obs.Json.member "type" j)
+                   Pv_obs.Json.to_string_opt
+                 = Some "stats" ->
+              Some j
+          | _ -> None)
+      (String.split_on_char '\n' (Buffer.contents out))
+  in
+  Alcotest.(check int) "one frame per control line" 7 (List.length frames);
+  List.iteri
+    (fun i j ->
+      let field name =
+        match
+          Option.bind (Pv_obs.Json.member name j) Pv_obs.Json.to_int_opt
+        with
+        | Some v -> v
+        | None -> Alcotest.failf "frame %d lacks %s" i name
+      in
+      Alcotest.(check int)
+        (Printf.sprintf
+           "frame %d: received = responded + shed + errors + in_flight" i)
+        (field "received")
+        (field "responded" + field "shed" + field "errors"
+        + field "in_flight"))
+    frames;
+  match List.rev frames with
+  | last :: _ ->
+      Alcotest.(check (option int)) "final frame saw every request" (Some 6)
+        (Option.bind (Pv_obs.Json.member "received" last)
+           Pv_obs.Json.to_int_opt)
+  | [] -> Alcotest.fail "no stats frames"
+
 let test_summary_json_well_formed () =
   let _, s =
     run_requests
@@ -277,5 +362,10 @@ let () =
           Alcotest.test_case "error and bad lines answered" `Quick
             test_error_and_bad_lines;
           Alcotest.test_case "summary json" `Quick test_summary_json_well_formed;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stats frames conserve request states" `Quick
+            test_stats_frames;
         ] );
     ]

@@ -21,15 +21,17 @@ let schemes =
   List.map (fun (module M : Scheme.S) -> (M.name, M.config)) (Scheme.all ())
 
 (* An event-engine simulation of [kernel] over the allocation-free direct
-   backend, so the measurement isolates the simulator core. *)
-let direct_sim kernel =
+   backend, so the measurement isolates the simulator core.  [prof]
+   defaults to the disabled profiler — the configuration whose zero-alloc
+   contract test (a) asserts. *)
+let direct_sim ?prof kernel =
   let compiled = Pipeline.compile kernel in
   let mem =
     Pv_memory.Layout.initial_memory compiled.Pipeline.layout
       compiled.Pipeline.kernel ~init:[]
   in
   let backend = Memif.direct ~latency:2 mem in
-  Sim.create
+  Sim.create ?prof
     ~cfg:{ Sim.default_config with Sim.engine = Sim.Event }
     compiled.Pipeline.graph backend
 
@@ -120,6 +122,52 @@ let test_purge_no_alloc () =
     "minor words per purge" 0.0
     ((d_long -. d_short) /. 90.0)
 
+(* (e) the enabled profiler stays on the zero-allocation budget too: it
+   only increments preallocated flat arrays, so a profiled steady-state
+   cycle allocates exactly as much as an unprofiled one — nothing. *)
+let test_zero_alloc_profiled () =
+  List.iter
+    (fun kernel ->
+      let name = kernel.Pv_kernels.Ast.name in
+      let sim = direct_sim ~prof:(Pv_obs.Prof.create ()) kernel in
+      steps sim 200;
+      let d_short = minor_delta (fun () -> steps sim 300) in
+      let d_long = minor_delta (fun () -> steps sim 1000) in
+      Alcotest.(check (float 0.0))
+        (name ^ ": minor words per profiled cycle")
+        0.0
+        ((d_long -. d_short) /. 700.0))
+    kernels
+
+(* (f) profiling is read-only: cycles, evals and per-node fires are
+   identical with the profiler on or off, on every paper kernel under
+   both instrumented backends. *)
+let test_prof_non_perturbing () =
+  List.iter
+    (fun kernel ->
+      let compiled = Pipeline.compile kernel in
+      List.iter
+        (fun (sname, dis) ->
+          let name = kernel.Pv_kernels.Ast.name ^ "/" ^ sname in
+          let base = Pipeline.simulate compiled dis in
+          let profiled =
+            Pipeline.simulate ~prof:(Pv_obs.Prof.create ()) compiled dis
+          in
+          Alcotest.(check int)
+            (name ^ ": cycles unchanged")
+            base.Pipeline.cycles profiled.Pipeline.cycles;
+          Alcotest.(check int)
+            (name ^ ": evals unchanged")
+            base.Pipeline.run_stats.Sim.evals
+            profiled.Pipeline.run_stats.Sim.evals;
+          Alcotest.(check bool)
+            (name ^ ": per-node fires unchanged")
+            true
+            (base.Pipeline.run_stats.Sim.node_fires
+            = profiled.Pipeline.run_stats.Sim.node_fires))
+        [ ("prevv16", Pipeline.prevv 16); ("fast-lsq", Pipeline.fast_lsq) ])
+    kernels
+
 (* (d) wheel ordering: equal-expiry entries fire in insertion order, and
    an entry a full lap ahead stays parked in the shared bucket. *)
 let test_wheel_fifo () =
@@ -152,6 +200,13 @@ let () =
             test_zero_alloc_steady;
           Alcotest.test_case "purge allocates nothing" `Quick
             test_purge_no_alloc;
+          Alcotest.test_case "profiled cycles allocate nothing" `Quick
+            test_zero_alloc_profiled;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "profiling does not perturb" `Quick
+            test_prof_non_perturbing;
         ] );
       ( "evals",
         [
