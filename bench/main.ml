@@ -637,7 +637,10 @@ let soak ~jobs ~n () =
    fires, backend traffic, arbiter tallies), and the chaos-soak section
    (the supervised service under 10k requests, one injected worker kill
    and an overload burst), as a stable JSON document the CI archives and
-   diffs against the committed baseline (schema prevv-bench-sim/v6). *)
+   diffs against the committed baseline (schema prevv-bench-sim/v7; v7
+   adds each kernel cell's arbiter_scan / pq_validate attribution shares
+   from a profiled pass, the regression surface of the incremental
+   arbiter-validation work). *)
 
 let bench_json ~path ~jobs ~cache ~backend () =
   let module Sim = Pv_dataflow.Sim in
@@ -710,7 +713,7 @@ let bench_json ~path ~jobs ~cache ~backend () =
     "backend" "scan ev" "time(s)" "event ev" "time(s)" "evr" "tr" "equiv";
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v6\",\n";
+  Buffer.add_string buf "  \"schema\": \"prevv-bench-sim/v7\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"backend\": %S,\n" (Pv_core.Scheme.to_string dis));
   Buffer.add_string buf
@@ -737,6 +740,17 @@ let bench_json ~path ~jobs ~cache ~backend () =
       let compiled = Pipeline.compile kernel in
       let alloc_scan = allocs_per_cycle compiled Sim.Scan in
       let alloc_event = allocs_per_cycle compiled Sim.Event in
+      (* attribution shares of the disambiguation hot loops under the
+         selected backend, from one profiled pass (the gate for the
+         incremental-validation / CAM-view regression surface) *)
+      let arb_share, pqv_share =
+        let prof = Pv_obs.Prof.create () in
+        ignore (Pipeline.simulate ~prof compiled dis);
+        let tot = float_of_int (max (Pv_obs.Prof.total prof) 1) in
+        let ph = Pv_obs.Prof.phase_totals prof in
+        ( float_of_int ph.(Pv_obs.Prof.phase_arbiter_scan) /. tot,
+          float_of_int ph.(Pv_obs.Prof.phase_pq_validate) /. tot )
+      in
       let kernel_time_ratios = ref [] in
       let cells =
         List.mapi
@@ -795,9 +809,11 @@ let bench_json ~path ~jobs ~cache ~backend () =
         (Printf.sprintf
            "    { \"kernel\": %S,\n\
            \      \"allocs_per_cycle\": { \"scan\": %.4f, \"event\": %.4f },\n\
+           \      \"arbiter_scan_share\": %.4f,\n\
+           \      \"pq_validate_share\": %.4f,\n\
            \      \"event_time_ratio\": %.4f,\n\
            \      \"regimes\": [\n%s\n      ] }%s\n"
-           name alloc_scan alloc_event
+           name alloc_scan alloc_event arb_share pqv_share
            (Experiment.geomean !kernel_time_ratios)
            (String.concat "\n" cells)
            (if i = n_kernels - 1 then "" else ",")))

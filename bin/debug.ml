@@ -322,7 +322,7 @@ let probe4 () =
         match Pv_dataflow.Sim.chan_token t cid with
         | Some tk ->
             Printf.printf "[%s>%s s%d] " src.Pv_dataflow.Graph.label
-              dst.Pv_dataflow.Graph.label tk.Pv_dataflow.Types.seq
+              dst.Pv_dataflow.Graph.label (Pv_dataflow.Types.Token.seq (fst tk))
         | None ->
             Printf.printf "[%s>%s --] " src.Pv_dataflow.Graph.label
               dst.Pv_dataflow.Graph.label)
@@ -364,7 +364,10 @@ let probe5 () =
           dst.Pv_dataflow.Graph.label dst.Pv_dataflow.Graph.nid
           c.Pv_dataflow.Graph.dst.Pv_dataflow.Graph.slot
           (match Pv_dataflow.Sim.chan_token t cid with
-          | Some tk -> Printf.sprintf "s%d v=%d" tk.Pv_dataflow.Types.seq tk.Pv_dataflow.Types.value
+          | Some tk ->
+              Printf.sprintf "s%d v=%d"
+                (Pv_dataflow.Types.Token.seq (fst tk))
+                (Pv_dataflow.Types.Token.value tk)
           | None -> "--");
         ())
       g;

@@ -27,7 +27,7 @@ type t = {
      (seq, port) program-order key of the store currently backing mem *)
   vis_owner : (int, int * int) Hashtbl.t;
   arrived : (int * int, unit) Hashtbl.t;  (* (port, seq) of arrived stores *)
-  resp : (int, (int * (int * int) option ref) Queue.t) Hashtbl.t;
+  resp : (int, (Types.Token.t * (int * int) option ref) Queue.t) Hashtbl.t;
   mutable waiting : waiter list;
   mutable broken : bool;
   mutable now : int;
@@ -63,16 +63,16 @@ let queue_of t port =
       Hashtbl.replace t.resp port q;
       q
 
-let open_slot t ~port ~seq =
+let open_slot t ~port ~key =
   let slot = ref None in
-  Queue.add (seq, slot) (queue_of t port);
+  Queue.add (key, slot) (queue_of t port);
   t.outstanding <- t.outstanding + 1;
   if t.outstanding > t.stats.max_occupancy then
     t.stats.max_occupancy <- t.outstanding;
   slot
 
-let respond t ~port ~seq ~ready_at ~value =
-  let slot = open_slot t ~port ~seq in
+let respond t ~port ~key ~ready_at ~value =
+  let slot = open_slot t ~port ~key in
   slot := Some (ready_at, value)
 
 let degrade t =
@@ -94,9 +94,10 @@ let release_waiters t key =
     rel;
   t.waiting <- keep
 
-let serve_ambiguous_load t ~port ~seq ~addr =
+let serve_ambiguous_load t ~port ~key ~addr =
+  let seq = Types.Token.seq key in
   let fallback () =
-    respond t ~port ~seq ~ready_at:(t.now + t.cfg.mem_latency)
+    respond t ~port ~key ~ready_at:(t.now + t.cfg.mem_latency)
       ~value:(read_vis t addr)
   in
   if t.broken then fallback ()
@@ -115,20 +116,20 @@ let serve_ambiguous_load t ~port ~seq ~addr =
       | Some v_correct -> (
           match Prescience.youngest_older_store presc ~addr ~seq ~port with
           | None ->
-              respond t ~port ~seq ~ready_at:(t.now + t.cfg.mem_latency)
+              respond t ~port ~key ~ready_at:(t.now + t.cfg.mem_latency)
                 ~value:v_correct
           | Some st ->
               if Hashtbl.mem t.arrived (st.Prescience.st_port, st.st_seq) then begin
                 t.n_forwards <- t.n_forwards + 1;
                 t.stats.forwarded <- t.stats.forwarded + 1;
-                respond t ~port ~seq ~ready_at:(t.now + t.cfg.forward_latency)
+                respond t ~port ~key ~ready_at:(t.now + t.cfg.forward_latency)
                   ~value:v_correct
               end
               else if read_vis t addr = v_correct then begin
                 (* value coincidence: PreVV would speculate and survive
                    validation (Eq. 5), so the lower bound must not wait *)
                 t.n_coincidences <- t.n_coincidences + 1;
-                respond t ~port ~seq ~ready_at:(t.now + t.cfg.mem_latency)
+                respond t ~port ~key ~ready_at:(t.now + t.cfg.mem_latency)
                   ~value:v_correct
               end
               else begin
@@ -138,7 +139,7 @@ let serve_ambiguous_load t ~port ~seq ~addr =
                   "oracle_wait"
                   ~args:
                     [ ("port", port); ("seq", seq); ("store_seq", st.st_seq) ];
-                let slot = open_slot t ~port ~seq in
+                let slot = open_slot t ~port ~key in
                 t.waiting <-
                   {
                     w_store = (st.st_port, st.st_seq);
@@ -174,13 +175,13 @@ let create_full ?(trace = Trace.null) cfg pm mem ~prescience =
   let mif =
     {
       Memif.begin_instance = (fun ~seq:_ ~group:_ -> true);
-      alloc_group = (fun ~seq:_ ~group:_ -> true);
+      alloc_group = (fun ~key:_ ~group:_ -> true);
       load_req =
-        (fun ~port ~seq ~addr ->
+        (fun ~port ~key ~addr ->
           t.stats.loads <- t.stats.loads + 1;
-          if ambiguous port then serve_ambiguous_load t ~port ~seq ~addr
+          if ambiguous port then serve_ambiguous_load t ~port ~key ~addr
           else
-            respond t ~port ~seq ~ready_at:(t.now + cfg.mem_latency)
+            respond t ~port ~key ~ready_at:(t.now + cfg.mem_latency)
               ~value:(read_vis t addr);
           true);
       load_poll =
@@ -190,17 +191,18 @@ let create_full ?(trace = Trace.null) cfg pm mem ~prescience =
           | Some q -> (
               if Queue.is_empty q then false
               else
-                let seq, slot = Queue.peek q in
+                let key, slot = Queue.peek q in
                 match !slot with
                 | Some (ready_at, value) when ready_at <= t.now ->
                     ignore (Queue.pop q);
                     t.outstanding <- t.outstanding - 1;
-                    out.Memif.ls_seq <- seq;
+                    out.Memif.ls_key <- key;
                     out.Memif.ls_value <- value;
                     true
                 | _ -> false));
       store_req =
-        (fun ~port ~seq ~addr ~value ->
+        (fun ~port ~key ~addr ~value ->
+          let seq = Types.Token.seq key in
           t.stats.stores <- t.stats.stores + 1;
           if ambiguous port && not t.broken then begin
             let presc = Lazy.force t.prescience in
@@ -212,9 +214,10 @@ let create_full ?(trace = Trace.null) cfg pm mem ~prescience =
           write_vis t ~port ~seq ~addr ~value;
           release_waiters t (port, seq);
           true);
-      store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
+      store_addr = (fun ~port:_ ~key:_ ~addr:_ -> ());
       op_skip =
-        (fun ~port ~seq ->
+        (fun ~port ~key ->
+          let seq = Types.Token.seq key in
           t.stats.fake_tokens <- t.stats.fake_tokens + 1;
           if ambiguous port && not t.broken then begin
             let presc = Lazy.force t.prescience in

@@ -39,10 +39,10 @@ let wrap pm (inner : Memif.t) =
     {
       inner with
       Memif.load_req =
-        (fun ~port ~seq ~addr ->
-          let ok = inner.Memif.load_req ~port ~seq ~addr in
+        (fun ~port ~key ~addr ->
+          let ok = inner.Memif.load_req ~port ~key ~addr in
           if ok then begin
-            Hashtbl.replace r.load_addr (port, seq) addr;
+            Hashtbl.replace r.load_addr (port, Types.Token.seq key) addr;
             r.ops <- r.ops + 1
           end;
           ok);
@@ -50,24 +50,25 @@ let wrap pm (inner : Memif.t) =
         (fun ~port out ->
           inner.Memif.load_poll ~port out
           && begin
-               let seq = out.Memif.ls_seq and v = out.Memif.ls_value in
+               let seq = Types.Token.seq out.Memif.ls_key
+               and v = out.Memif.ls_value in
                (match Hashtbl.find_opt r.load_addr (port, seq) with
                | Some a -> Hashtbl.replace r.loadv (port, seq) (a, v)
                | None -> ());
                true
              end);
       store_req =
-        (fun ~port ~seq ~addr ~value ->
-          let ok = inner.Memif.store_req ~port ~seq ~addr ~value in
+        (fun ~port ~key ~addr ~value ->
+          let ok = inner.Memif.store_req ~port ~key ~addr ~value in
           if ok then begin
-            Hashtbl.replace r.storev (port, seq) (addr, value);
+            Hashtbl.replace r.storev (port, Types.Token.seq key) (addr, value);
             r.ops <- r.ops + 1
           end;
           ok);
       op_skip =
-        (fun ~port ~seq ->
-          let ok = inner.Memif.op_skip ~port ~seq in
-          if ok then Hashtbl.replace r.skipt (port, seq) ();
+        (fun ~port ~key ->
+          let ok = inner.Memif.op_skip ~port ~key in
+          if ok then Hashtbl.replace r.skipt (port, Types.Token.seq key) ();
           ok);
     }
   in

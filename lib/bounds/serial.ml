@@ -14,8 +14,8 @@ type t = {
   gports : int array array;  (* group -> ambiguous ports, program order *)
   group_of : (int, int) Hashtbl.t;  (* seq -> group *)
   done_ : (int * int, unit) Hashtbl.t;  (* (seq, port) completed/skipped *)
-  resp : (int, (int * int * int) Queue.t) Hashtbl.t;
-      (* port -> (ready_at, seq, value) *)
+  resp : (int, (int * Types.Token.t * int) Queue.t) Hashtbl.t;
+      (* port -> (ready_at, token key, value) *)
   mutable head_seq : int;
   mutable head_idx : int;
   mutable busy_until : int;  (* the single memory channel *)
@@ -122,15 +122,16 @@ let create_full ?(trace = Trace.null) cfg pm mem =
           Hashtbl.replace t.group_of seq group;
           true);
       alloc_group =
-        (fun ~seq ~group ->
-          Hashtbl.replace t.group_of seq group;
+        (fun ~key ~group ->
+          Hashtbl.replace t.group_of (Types.Token.seq key) group;
           true);
       load_req =
-        (fun ~port ~seq ~addr ->
+        (fun ~port ~key ~addr ->
+          let seq = Types.Token.seq key in
           if admit t ~ambiguous:(ambiguous port) ~port ~seq then begin
             t.stats.loads <- t.stats.loads + 1;
             Queue.add
-              (t.now + cfg.mem_latency, seq, read_mem t addr)
+              (t.now + cfg.mem_latency, key, read_mem t addr)
               (queue_of t port);
             t.pending <- t.pending + 1;
             occupy t;
@@ -144,30 +145,31 @@ let create_full ?(trace = Trace.null) cfg pm mem =
           | Some q ->
               if Queue.is_empty q then false
               else
-                let ready_at, seq, value = Queue.peek q in
+                let ready_at, key, value = Queue.peek q in
                 if ready_at <= t.now then begin
                   ignore (Queue.pop q);
                   t.pending <- t.pending - 1;
-                  out.Memif.ls_seq <- seq;
+                  out.Memif.ls_key <- key;
                   out.Memif.ls_value <- value;
                   true
                 end
                 else false);
       store_req =
-        (fun ~port ~seq ~addr ~value ->
-          if admit t ~ambiguous:(ambiguous port) ~port ~seq then begin
+        (fun ~port ~key ~addr ~value ->
+          if admit t ~ambiguous:(ambiguous port) ~port ~seq:(Types.Token.seq key)
+          then begin
             t.stats.stores <- t.stats.stores + 1;
             write_mem t addr value;
             occupy t;
             true
           end
           else false);
-      store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
+      store_addr = (fun ~port:_ ~key:_ ~addr:_ -> ());
       op_skip =
-        (fun ~port ~seq ->
+        (fun ~port ~key ->
           t.stats.fake_tokens <- t.stats.fake_tokens + 1;
           if ambiguous port then begin
-            Hashtbl.replace t.done_ (seq, port) ();
+            Hashtbl.replace t.done_ (Types.Token.seq key, port) ();
             advance t
           end;
           true);

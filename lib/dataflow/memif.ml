@@ -51,33 +51,35 @@ let pp_stats ppf s =
   if s.degraded > 0 then Format.fprintf ppf " DEGRADED(x%d)" s.degraded
 
 (** Out-parameter for {!t.load_poll}: the backend fills the slot instead
-    of allocating a [(seq, value)] pair per response, so polling a load
+    of allocating a [(key, value)] pair per response, so polling a load
     port every cycle costs no minor-heap traffic.  The simulator owns one
-    slot and reuses it across all ports. *)
-type load_slot = { mutable ls_seq : int; mutable ls_value : int }
+    slot and reuses it across all ports.  [ls_key] is the packed
+    {!Types.Token.t} of the request (the simulator re-stamps the epoch
+    field on delivery). *)
+type load_slot = { mutable ls_key : Types.Token.t; mutable ls_value : int }
 
-let fresh_slot () = { ls_seq = -1; ls_value = 0 }
+let fresh_slot () = { ls_key = Types.Token.none; ls_value = 0 }
 
 type t = {
   begin_instance : seq:int -> group:int -> bool;
-      (** called by the generator before emitting body instance [seq];
-          refusing stalls the whole front of the pipeline (allocation
-          backpressure) *)
-  alloc_group : seq:int -> group:int -> bool;
+      (** called by the generator before emitting body instance [seq] (no
+          token exists yet, so this one takes the raw counter); refusing
+          stalls the whole front of the pipeline (allocation backpressure) *)
+  alloc_group : key:Types.Token.t -> group:int -> bool;
       (** late allocation for a conditional group, from a {!Types.Galloc}
           node once the branch outcome is known *)
-  load_req : port:int -> seq:int -> addr:int -> bool;
+  load_req : port:int -> key:Types.Token.t -> addr:int -> bool;
       (** a load port presents its address; accepted requests complete
           later and are retrieved with [load_poll] *)
   load_poll : port:int -> load_slot -> bool;
       (** completed load for this port: [true] fills the slot with
-          [(seq, value)] and consumes the response *)
-  store_req : port:int -> seq:int -> addr:int -> value:int -> bool;
-  store_addr : port:int -> seq:int -> addr:int -> unit;
+          [(key, value)] and consumes the response *)
+  store_req : port:int -> key:Types.Token.t -> addr:int -> value:int -> bool;
+  store_addr : port:int -> key:Types.Token.t -> addr:int -> unit;
       (** early address announcement: the store port has computed its
           address but not yet its data (lets an LSQ resolve ordering) *)
-  op_skip : port:int -> seq:int -> bool;
-      (** the op of [port] does not occur for instance [seq] (fake token) *)
+  op_skip : port:int -> key:Types.Token.t -> bool;
+      (** the op of [port] does not occur for this instance (fake token) *)
   poll_squash : unit -> int option;
       (** pending pipeline squash: [Some seq_err] purges all in-flight
           tokens with [seq >= seq_err] and rewinds the generator *)
@@ -93,10 +95,10 @@ type t = {
 }
 
 (** Allocating convenience over the slot-filling [load_poll], for tests
-    and debug probes that want the old option-returning shape. *)
-let poll (t : t) ~port : (int * int) option =
+    and debug probes that want an option-returning shape. *)
+let poll (t : t) ~port : (Types.Token.t * int) option =
   let slot = fresh_slot () in
-  if t.load_poll ~port slot then Some (slot.ls_seq, slot.ls_value) else None
+  if t.load_poll ~port slot then Some (slot.ls_key, slot.ls_value) else None
 
 (** A trivially correct backend over a plain memory: loads and stores are
     served in arrival order with a fixed latency and no disambiguation.
@@ -109,11 +111,11 @@ let poll (t : t) ~port : (int * int) option =
     assertions isolate the simulator core against. *)
 let direct ~latency (mem : int array) : t =
   let stats = fresh_stats () in
-  (* per-port in-flight load: cycle the response becomes ready, seq, and
-     the value read at request time (correct here because stores commit
-     immediately); arrays grow on first sight of a port *)
+  (* per-port in-flight load: cycle the response becomes ready, packed
+     token key, and the value read at request time (correct here because
+     stores commit immediately); arrays grow on first sight of a port *)
   let ready = ref (Array.make 8 (-1)) in
-  let seqs = ref (Array.make 8 0) in
+  let keys = ref (Array.make 8 0) in
   let vals = ref (Array.make 8 0) in
   let now = ref 0 in
   let inflight = ref 0 in
@@ -127,21 +129,21 @@ let direct ~latency (mem : int array) : t =
         a := b
       in
       grow ready (-1);
-      grow seqs 0;
+      grow keys 0;
       grow vals 0
     end
   in
   {
     begin_instance = (fun ~seq:_ ~group:_ -> true);
-    alloc_group = (fun ~seq:_ ~group:_ -> true);
+    alloc_group = (fun ~key:_ ~group:_ -> true);
     load_req =
-      (fun ~port ~seq ~addr ->
+      (fun ~port ~key ~addr ->
         ensure port;
         if !ready.(port) >= 0 then false
         else begin
           stats.loads <- stats.loads + 1;
           !ready.(port) <- !now + latency;
-          !seqs.(port) <- seq;
+          !keys.(port) <- key;
           !vals.(port) <- mem.(addr);
           inflight := !inflight + 1;
           true
@@ -152,19 +154,19 @@ let direct ~latency (mem : int array) : t =
         && !ready.(port) >= 0
         && !ready.(port) <= !now
         && begin
-             slot.ls_seq <- !seqs.(port);
+             slot.ls_key <- !keys.(port);
              slot.ls_value <- !vals.(port);
              !ready.(port) <- -1;
              inflight := !inflight - 1;
              true
            end);
     store_req =
-      (fun ~port:_ ~seq:_ ~addr ~value ->
+      (fun ~port:_ ~key:_ ~addr ~value ->
         stats.stores <- stats.stores + 1;
         mem.(addr) <- value;
         true);
-    store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
-    op_skip = (fun ~port:_ ~seq:_ -> true);
+    store_addr = (fun ~port:_ ~key:_ ~addr:_ -> ());
+    op_skip = (fun ~port:_ ~key:_ -> true);
     poll_squash = (fun () -> None);
     clock = (fun () -> incr now);
     quiesced = (fun () -> !inflight = 0);

@@ -29,38 +29,42 @@ val fresh_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
 (** Out-parameter for {!t.load_poll}: the backend fills the slot instead
-    of allocating a [(seq, value)] pair per response, so polling a load
+    of allocating a [(key, value)] pair per response, so polling a load
     port every cycle costs no minor-heap traffic.  The simulator owns one
-    slot and reuses it across all ports. *)
-type load_slot = { mutable ls_seq : int; mutable ls_value : int }
+    slot and reuses it across all ports.  [ls_key] is the packed
+    {!Types.Token.t} of the request (the simulator re-stamps the epoch
+    field on delivery). *)
+type load_slot = { mutable ls_key : Types.Token.t; mutable ls_value : int }
 
-(** A fresh slot ([ls_seq = -1]). *)
+(** A fresh slot ([ls_key = Token.none]). *)
 val fresh_slot : unit -> load_slot
 
 (** The backend interface, as a record of closures over its private
-    state. *)
+    state.  Memory operations carry the packed {!Types.Token.t} of the
+    requesting token; backends that only care about program order unpack
+    it with {!Types.Token.seq}. *)
 type t = {
   begin_instance : seq:int -> group:int -> bool;
-      (** called by the generator before emitting body instance [seq];
-          refusing stalls the whole front of the pipeline (allocation
-          backpressure) *)
-  alloc_group : seq:int -> group:int -> bool;
+      (** called by the generator before emitting body instance [seq] (no
+          token exists yet, so this one takes the raw counter); refusing
+          stalls the whole front of the pipeline (allocation backpressure) *)
+  alloc_group : key:Types.Token.t -> group:int -> bool;
       (** late allocation for a conditional group, from a {!Types.Galloc}
           node once the branch outcome is known *)
-  load_req : port:int -> seq:int -> addr:int -> bool;
+  load_req : port:int -> key:Types.Token.t -> addr:int -> bool;
       (** a load port presents its address; accepted requests complete
           later and are retrieved with [load_poll] *)
   load_poll : port:int -> load_slot -> bool;
       (** completed load for this port: [true] fills the slot with the
-          response's [(seq, value)] and consumes it.  Responses come back
+          response's [(key, value)] and consumes it.  Responses come back
           in request order per port — an elastic access port is a tagless
           stream. *)
-  store_req : port:int -> seq:int -> addr:int -> value:int -> bool;
-  store_addr : port:int -> seq:int -> addr:int -> unit;
+  store_req : port:int -> key:Types.Token.t -> addr:int -> value:int -> bool;
+  store_addr : port:int -> key:Types.Token.t -> addr:int -> unit;
       (** early address announcement: the store port has computed its
           address but not yet its data (lets an LSQ resolve ordering) *)
-  op_skip : port:int -> seq:int -> bool;
-      (** the op of [port] does not occur for instance [seq] (fake token) *)
+  op_skip : port:int -> key:Types.Token.t -> bool;
+      (** the op of [port] does not occur for this instance (fake token) *)
   poll_squash : unit -> int option;
       (** pending pipeline squash: [Some seq_err] purges all in-flight
           tokens with [seq >= seq_err] and rewinds the generator *)
@@ -76,8 +80,8 @@ type t = {
 }
 
 (** Allocating convenience over the slot-filling [load_poll], for tests
-    and debug probes that want the old option-returning shape. *)
-val poll : t -> port:int -> (int * int) option
+    and debug probes that want an option-returning shape. *)
+val poll : t -> port:int -> (Types.Token.t * int) option
 
 (** A trivially correct backend over a plain memory: loads and stores are
     served in arrival order with a fixed latency and no disambiguation.

@@ -206,12 +206,14 @@ type t = {
   mem : Memif.t;
   n : int;  (* nodes *)
   nc : int;  (* channels *)
-  (* channel registers, flat; seq = -1 means empty (all real seqs >= 0) *)
-  cur_seq : int array;
-  cur_epoch : int array;
+  (* channel registers, flat; a register holds a packed token key
+     ({!Types.Token.t}: seq in the high bits, epoch in the low 20) plus the
+     raw value word.  key < 0 means empty (all real keys >= 0), and because
+     key order extends seq order, squash cutoffs compare keys directly
+     against [Token.first ~seq:seq_err]. *)
+  cur_key : int array;
   cur_val : int array;
-  stg_seq : int array;  (* staged write, -1 = none *)
-  stg_epoch : int array;
+  stg_key : int array;  (* staged write, -1 = none *)
   stg_val : int array;
   consumed : bool array;
   stall_until : int array;  (* per channel: consumption blocked below this *)
@@ -231,10 +233,11 @@ type t = {
   ins : int array;  (* flattened input channel ids *)
   outs : int array;  (* flattened output channel ids *)
   ring : Ring.t array;
-      (* per slot: FU pipe (stride 4: ready,seq,epoch,value), buffer
-         (stride 4: seq,epoch,value,arrival), announced stores (stride 2:
-         seq,addr) or load responses (stride 1: seq); a shared empty ring
-         for slots with none *)
+      (* per slot: FU pipe (stride 3: ready,key,value), buffer (stride 3:
+         key,value,arrival), announced stores (stride 2: key,addr) or load
+         responses (stride 1: key); a shared empty ring for slots with
+         none — one lane narrower per record than the boxed-token era,
+         since the packed key carries seq and epoch together *)
   gen_next_f : (int -> int array) array;
   gen_group_f : (int -> int) array;
   g_seq : int array;
@@ -481,7 +484,7 @@ let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null)
           op.(slot) <- op_pipe;
           p1.(slot) <- binop_code b;
           p2.(slot) <- lat;
-          ring.(slot) <- Ring.create ~stride:4 (lat + 1)
+          ring.(slot) <- Ring.create ~stride:3 (lat + 1)
         end
         else begin
           op.(slot) <- op_binop;
@@ -503,7 +506,7 @@ let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null)
     | Buffer { transparent; slots } ->
         op.(slot) <- (if transparent then op_tbuf else op_obuf);
         p1.(slot) <- slots;
-        ring.(slot) <- Ring.create ~stride:4 slots
+        ring.(slot) <- Ring.create ~stride:3 slots
     | Sink -> op.(slot) <- op_sink
     | Load { port } ->
         op.(slot) <- op_load;
@@ -534,11 +537,9 @@ let create ?(cfg = default_config) ?(trace = Pv_obs.Trace.null)
       mem;
       n;
       nc;
-      cur_seq = Array.make (max nc 1) (-1);
-      cur_epoch = Array.make (max nc 1) 0;
+      cur_key = Array.make (max nc 1) Token.none;
       cur_val = Array.make (max nc 1) 0;
-      stg_seq = Array.make (max nc 1) (-1);
-      stg_epoch = Array.make (max nc 1) 0;
+      stg_key = Array.make (max nc 1) Token.none;
       stg_val = Array.make (max nc 1) 0;
       consumed = Array.make (max nc 1) false;
       stall_until = Array.make (max nc 1) 0;
@@ -616,7 +617,7 @@ let[@inline] touch t cid =
 
 (* A token is present and consumable this cycle. *)
 let[@inline] in_ready t cid =
-  ag t.cur_seq cid >= 0
+  ag t.cur_key cid >= 0
   && (not (agb t.consumed cid))
   && ag t.stall_until cid <= t.cycle
 
@@ -638,12 +639,11 @@ let take t cid =
    its current token is being consumed this cycle) and nothing was staged
    on it yet. *)
 let[@inline] out_free t cid =
-  ag t.stg_seq cid < 0 && (ag t.cur_seq cid < 0 || agb t.consumed cid)
+  ag t.stg_key cid < 0 && (ag t.cur_key cid < 0 || agb t.consumed cid)
 
-let put t cid ~seq ~epoch ~value =
-  assert (t.stg_seq.(cid) < 0);
-  aset t.stg_seq cid seq;
-  aset t.stg_epoch cid epoch;
+let put t cid ~key ~value =
+  assert (t.stg_key.(cid) < 0);
+  aset t.stg_key cid key;
   aset t.stg_val cid value;
   touch t cid;
   t.progress <- true
@@ -689,11 +689,10 @@ let[@inline] fire t slot =
    timing-breaking register). *)
 let buf_try_emit t r co ~transparent =
   Ring.length r > 0
-  && (transparent || Ring.get r 0 3 < t.cycle)
+  && (transparent || Ring.get r 0 2 < t.cycle)
   && out_free t co
   && begin
-       put t co ~seq:(Ring.get r 0 0) ~epoch:(Ring.get r 0 1)
-         ~value:(Ring.get r 0 2);
+       put t co ~key:(Ring.get r 0 0) ~value:(Ring.get r 0 1);
        Ring.pop r;
        t.held <- t.held - 1;
        true
@@ -711,7 +710,7 @@ let buf_try_emit t r co ~transparent =
    into each dispatch arm so the sweep needs no second dispatch. *)
 let[@inline] pending_in t slot k =
   let cid = ag t.ins (ag t.in_base slot + k) in
-  cid >= 0 && ag t.cur_seq cid >= 0 && not (agb t.consumed cid)
+  cid >= 0 && ag t.cur_key cid >= 0 && not (agb t.consumed cid)
 
 let eval_slot t slot =
   match ag t.op slot with
@@ -728,8 +727,9 @@ let eval_slot t slot =
           else if
             t.mem.Memif.begin_instance ~seq ~group:(t.gen_group_f.(slot) seq)
           then begin
+            let key = Token.unsafe ~seq ~epoch:t.epoch in
             for i = 0 to on - 1 do
-              put t (ag t.outs (ob + i)) ~seq ~epoch:t.epoch ~value:row.(i)
+              put t (ag t.outs (ob + i)) ~key ~value:row.(i)
             done;
             aset t.g_seq slot (seq + 1);
             aset t.g_emitted slot (ag t.g_emitted slot + 1);
@@ -748,8 +748,7 @@ let eval_slot t slot =
         let co = ag t.outs (ag t.out_base slot) in
         if out_free t co then begin
           take t ci;
-          put t co ~seq:(ag t.cur_seq ci) ~epoch:(ag t.cur_epoch ci)
-            ~value:(ag t.p1 slot);
+          put t co ~key:(ag t.cur_key ci) ~value:(ag t.p1 slot);
           fire t slot
         end
       end
@@ -759,7 +758,7 @@ let eval_slot t slot =
         let co = ag t.outs (ag t.out_base slot) in
         if out_free t co then begin
           take t ci;
-          put t co ~seq:(ag t.cur_seq ci) ~epoch:(ag t.cur_epoch ci)
+          put t co ~key:(ag t.cur_key ci)
             ~value:(eval_unop_code (ag t.p1 slot) (ag t.cur_val ci));
           fire t slot
         end
@@ -772,9 +771,10 @@ let eval_slot t slot =
         if out_free t co then begin
           take t ca;
           take t cb;
+          (* packed keys order lexicographically by (seq, epoch), so one
+             int max replaces the two per-field maxes of the boxed era *)
           put t co
-            ~seq:(imax (ag t.cur_seq ca) (ag t.cur_seq cb))
-            ~epoch:(imax (ag t.cur_epoch ca) (ag t.cur_epoch cb))
+            ~key:(imax (ag t.cur_key ca) (ag t.cur_key cb))
             ~value:
               (eval_binop_code (ag t.p1 slot) (ag t.cur_val ca)
                  (ag t.cur_val cb));
@@ -792,10 +792,9 @@ let eval_slot t slot =
         && begin
              take t ca;
              take t cb;
-             Ring.push4 r
+             Ring.push3 r
                (t.cycle + ag t.p2 slot)
-               (imax (ag t.cur_seq ca) (ag t.cur_seq cb))
-               (imax (ag t.cur_epoch ca) (ag t.cur_epoch cb))
+               (imax (ag t.cur_key ca) (ag t.cur_key cb))
                (eval_binop_code (ag t.p1 slot) (ag t.cur_val ca)
                   (ag t.cur_val cb));
              t.held <- t.held + 1;
@@ -810,8 +809,7 @@ let eval_slot t slot =
              let co = ag t.outs (ag t.out_base slot) in
              out_free t co
              && begin
-                  put t co ~seq:(Ring.get r 0 1) ~epoch:(Ring.get r 0 2)
-                    ~value:(Ring.get r 0 3);
+                  put t co ~key:(Ring.get r 0 1) ~value:(Ring.get r 0 2);
                   Ring.pop r;
                   t.held <- t.held - 1;
                   true
@@ -826,11 +824,9 @@ let eval_slot t slot =
         let ob = ag t.out_base slot and on = ag t.out_n slot in
         if outs_free t ob 0 on then begin
           take t ci;
-          let s = ag t.cur_seq ci
-          and e = ag t.cur_epoch ci
-          and v = ag t.cur_val ci in
+          let k = ag t.cur_key ci and v = ag t.cur_val ci in
           for i = 0 to on - 1 do
-            put t (ag t.outs (ob + i)) ~seq:s ~epoch:e ~value:v
+            put t (ag t.outs (ob + i)) ~key:k ~value:v
           done;
           fire t slot
         end
@@ -840,12 +836,11 @@ let eval_slot t slot =
       if ins_ready t b 0 n then begin
         let co = ag t.outs (ag t.out_base slot) in
         if out_free t co then begin
-          (* forwards input 0's value under the max seq/epoch *)
+          (* forwards input 0's value under the max packed key *)
           let v = ag t.cur_val (ag t.ins b) in
-          let s = max_in_field t t.cur_seq b 0 n 0 in
-          let e = max_in_field t t.cur_epoch b 0 n 0 in
+          let k = max_in_field t t.cur_key b 0 n 0 in
           take_all t b 0 n;
-          put t co ~seq:s ~epoch:e ~value:v;
+          put t co ~key:k ~value:v;
           fire t slot
         end
       end
@@ -857,8 +852,7 @@ let eval_slot t slot =
         if chosen >= 0 then begin
           let ci = ag t.ins (b + chosen) in
           take t ci;
-          put t co ~seq:(ag t.cur_seq ci) ~epoch:(ag t.cur_epoch ci)
-            ~value:(ag t.cur_val ci);
+          put t co ~key:(ag t.cur_key ci) ~value:(ag t.cur_val ci);
           fire t slot
         end
       end
@@ -874,8 +868,7 @@ let eval_slot t slot =
             if out_free t co then begin
               take t sel;
               take t d;
-              put t co ~seq:(ag t.cur_seq d) ~epoch:(ag t.cur_epoch d)
-                ~value:(ag t.cur_val d);
+              put t co ~key:(ag t.cur_key d) ~value:(ag t.cur_val d);
               fire t slot
             end
           end
@@ -890,8 +883,7 @@ let eval_slot t slot =
         if out_free t co then begin
           take t d;
           take t c;
-          put t co ~seq:(ag t.cur_seq d) ~epoch:(ag t.cur_epoch d)
-            ~value:(ag t.cur_val d);
+          put t co ~key:(ag t.cur_key d) ~value:(ag t.cur_val d);
           fire t slot
         end
       end
@@ -906,8 +898,7 @@ let eval_slot t slot =
         && Ring.length r < ag t.p1 slot
         && begin
              take t ci;
-             Ring.push4 r (ag t.cur_seq ci) (ag t.cur_epoch ci)
-               (ag t.cur_val ci) t.cycle;
+             Ring.push3 r (ag t.cur_key ci) (ag t.cur_val ci) t.cycle;
              t.held <- t.held + 1;
              if (not emitted) && transparent then
                ignore (buf_try_emit t r co ~transparent : bool);
@@ -931,7 +922,11 @@ let eval_slot t slot =
         && begin
              let r = t.ring.(slot) in
              if Ring.length r > 0 then Ring.pop r;
-             put t co ~seq:t.lslot.Memif.ls_seq ~epoch:t.epoch
+             (* re-stamp the delivery epoch: the response carries the
+                request's key, but the token enters the circuit under the
+                CURRENT epoch, as the boxed representation did *)
+             put t co
+               ~key:(Token.with_epoch t.lslot.Memif.ls_key ~epoch:t.epoch)
                ~value:t.lslot.Memif.ls_value;
              true
            end
@@ -940,11 +935,11 @@ let eval_slot t slot =
       let ci = ag t.ins (ag t.in_base slot) in
       let requested =
         in_ready t ci
-        && t.mem.Memif.load_req ~port:(ag t.p1 slot) ~seq:(ag t.cur_seq ci)
+        && t.mem.Memif.load_req ~port:(ag t.p1 slot) ~key:(ag t.cur_key ci)
              ~addr:(ag t.cur_val ci)
         && begin
              take t ci;
-             Ring.push1 t.ring.(slot) (ag t.cur_seq ci);
+             Ring.push1 t.ring.(slot) (ag t.cur_key ci);
              true
            end
       in
@@ -964,9 +959,9 @@ let eval_slot t slot =
         && Ring.length r < store_pending_cap
         && begin
              take t ca;
-             t.mem.Memif.store_addr ~port:(ag t.p1 slot) ~seq:(ag t.cur_seq ca)
+             t.mem.Memif.store_addr ~port:(ag t.p1 slot) ~key:(ag t.cur_key ca)
                ~addr:(ag t.cur_val ca);
-             Ring.push2 r (ag t.cur_seq ca) (ag t.cur_val ca);
+             Ring.push2 r (ag t.cur_key ca) (ag t.cur_val ca);
              t.held <- t.held + 1;
              true
            end
@@ -975,13 +970,17 @@ let eval_slot t slot =
         in_ready t cd
         && Ring.length r > 0
         && begin
-             let seq = Ring.get r 0 0 and addr = Ring.get r 0 1 in
-             if seq <> ag t.cur_seq cd then
+             let key = Ring.get r 0 0 and addr = Ring.get r 0 1 in
+             (* compare seqs, not whole keys: the addr and data tokens of
+                one instance may legitimately carry different epochs *)
+             if Token.seq key <> Token.seq (ag t.cur_key cd) then
                failwith
                  (Printf.sprintf
                     "store port %d: pending addr seq=%d but data seq=%d (cycle %d)"
-                    (ag t.p1 slot) seq (ag t.cur_seq cd) t.cycle);
-             t.mem.Memif.store_req ~port:(ag t.p1 slot) ~seq ~addr
+                    (ag t.p1 slot) (Token.seq key)
+                    (Token.seq (ag t.cur_key cd))
+                    t.cycle);
+             t.mem.Memif.store_req ~port:(ag t.p1 slot) ~key ~addr
                ~value:(ag t.cur_val cd)
              && begin
                   Ring.pop r;
@@ -998,7 +997,7 @@ let eval_slot t slot =
       let ci = ag t.ins (ag t.in_base slot) in
       if
         in_ready t ci
-        && t.mem.Memif.op_skip ~port:(ag t.p1 slot) ~seq:(ag t.cur_seq ci)
+        && t.mem.Memif.op_skip ~port:(ag t.p1 slot) ~key:(ag t.cur_key ci)
       then begin
         take t ci;
         fire t slot
@@ -1008,7 +1007,7 @@ let eval_slot t slot =
       let ci = ag t.ins (ag t.in_base slot) in
       if
         in_ready t ci
-        && t.mem.Memif.alloc_group ~seq:(ag t.cur_seq ci) ~group:(ag t.p1 slot)
+        && t.mem.Memif.alloc_group ~key:(ag t.cur_key ci) ~group:(ag t.p1 slot)
       then begin
         take t ci;
         fire t slot
@@ -1019,15 +1018,18 @@ let eval_slot t slot =
 
 (* Purge every in-flight token with [seq >= seq_err]: channel registers by
    direct clear, ring-held records by in-place order-preserving compaction
-   ({!Ring.reject_ge}) — no scratch queue is ever allocated. *)
+   ({!Ring.reject_ge}) — no scratch queue is ever allocated.  The cutoff is
+   a packed key: [key >= Token.first ~seq:seq_err] iff [seq key >= seq_err]
+   for every real key, and the empty-register sentinel (-1) never clears. *)
 let purge t ~seq_err =
   t.epoch <- t.epoch + 1;
+  let cut = Token.first ~seq:seq_err in
   for cid = 0 to t.nc - 1 do
-    if t.cur_seq.(cid) >= seq_err then begin
-      t.cur_seq.(cid) <- -1;
+    if t.cur_key.(cid) >= cut then begin
+      t.cur_key.(cid) <- Token.none;
       t.occupied <- t.occupied - 1
     end;
-    if t.stg_seq.(cid) >= seq_err then t.stg_seq.(cid) <- -1
+    if t.stg_key.(cid) >= cut then t.stg_key.(cid) <- Token.none
   done;
   for slot = 0 to t.n - 1 do
     match t.op.(slot) with
@@ -1037,14 +1039,14 @@ let purge t ~seq_err =
           t.g_done.(slot) <- false;
           t.gens_active <- t.gens_active + 1
         end
-    | 4 (* pipe: seq is field 1 *) ->
-        t.held <- t.held - Ring.reject_ge t.ring.(slot) ~field:1 ~cutoff:seq_err
-    | 10 | 11 | 14 (* buffers / pending stores: seq is field 0 *) ->
-        t.held <- t.held - Ring.reject_ge t.ring.(slot) ~field:0 ~cutoff:seq_err
+    | 4 (* pipe: key is field 1 *) ->
+        t.held <- t.held - Ring.reject_ge t.ring.(slot) ~field:1 ~cutoff:cut
+    | 10 | 11 | 14 (* buffers / pending stores: key is field 0 *) ->
+        t.held <- t.held - Ring.reject_ge t.ring.(slot) ~field:0 ~cutoff:cut
     | 13 (* load responses: mirrors the backend's own purge cutoff
             (see Memif.poll_squash) so sleeping Loads never poll a dead
             response; not counted in [held] *) ->
-        ignore (Ring.reject_ge t.ring.(slot) ~field:0 ~cutoff:seq_err : int)
+        ignore (Ring.reject_ge t.ring.(slot) ~field:0 ~cutoff:cut : int)
     | _ -> ()
   done
 
@@ -1058,9 +1060,7 @@ let purge t ~seq_err =
    parity-checked elastic channel would give. *)
 let apply_faults t =
   let any_fired = ref false in
-  let tok_of chan =
-    { seq = t.cur_seq.(chan); epoch = t.cur_epoch.(chan); value = t.cur_val.(chan) }
-  in
+  let tok_of chan : token = (t.cur_key.(chan), t.cur_val.(chan)) in
   Array.iter
     (fun fs ->
       if fs.fs_fired = None && (not fs.fs_dead)
@@ -1075,22 +1075,23 @@ let apply_faults t =
         in
         match fs.fs_event.Fault.action with
         | Fault.Drop { chan } ->
-            if t.cur_seq.(chan) >= 0 then begin
+            if t.cur_key.(chan) >= 0 then begin
               let note = Format.asprintf "lost %a" pp_token (tok_of chan) in
-              t.cur_seq.(chan) <- -1;
+              t.cur_key.(chan) <- Token.none;
               t.occupied <- t.occupied - 1;
               fired ~note ()
             end
         | Fault.Drop_replay { chan } ->
-            if t.cur_seq.(chan) >= 0
-               && t.mem.Memif.inject (Fault.B_squash { seq = t.cur_seq.(chan) })
+            if t.cur_key.(chan) >= 0
+               && t.mem.Memif.inject
+                    (Fault.B_squash { seq = Token.seq t.cur_key.(chan) })
             then begin
               (* else: a pre-commit-frontier remnant; retry on a younger
                  token *)
               let note =
                 Format.asprintf "lost %a, squash raised" pp_token (tok_of chan)
               in
-              t.cur_seq.(chan) <- -1;
+              t.cur_key.(chan) <- Token.none;
               t.occupied <- t.occupied - 1;
               fired ~note ()
             end
@@ -1102,14 +1103,15 @@ let apply_faults t =
               Wheel.add t.wheel ~at:t.stall_until.(chan) t.chan_dst.(chan);
             fired ()
         | Fault.Flip { chan; mask } ->
-            if t.cur_seq.(chan) >= 0 then begin
+            if t.cur_key.(chan) >= 0 then begin
               let note = Format.asprintf "corrupted %a" pp_token (tok_of chan) in
               t.cur_val.(chan) <- t.cur_val.(chan) lxor mask;
               fired ~note ()
             end
         | Fault.Flip_replay { chan; mask } ->
-            if t.cur_seq.(chan) >= 0
-               && t.mem.Memif.inject (Fault.B_squash { seq = t.cur_seq.(chan) })
+            if t.cur_key.(chan) >= 0
+               && t.mem.Memif.inject
+                    (Fault.B_squash { seq = Token.seq t.cur_key.(chan) })
             then begin
               let note =
                 Format.asprintf "corrupted %a, squash raised" pp_token
@@ -1159,16 +1161,9 @@ let post_mortem t : post_mortem =
   let occupied = ref 0 in
   let tokens = ref [] in
   for cid = t.nc - 1 downto 0 do
-    if t.cur_seq.(cid) >= 0 then begin
+    if t.cur_key.(cid) >= 0 then begin
       incr occupied;
-      tokens :=
-        ( cid,
-          {
-            seq = t.cur_seq.(cid);
-            epoch = t.cur_epoch.(cid);
-            value = t.cur_val.(cid);
-          } )
-        :: !tokens
+      tokens := ((cid, (t.cur_key.(cid), t.cur_val.(cid))) : chan_id * token) :: !tokens
     end
   done;
   let oldest = ref None in
@@ -1178,14 +1173,14 @@ let post_mortem t : post_mortem =
     | Some o -> if s < o then oldest := Some s
   in
   for cid = 0 to t.nc - 1 do
-    if t.cur_seq.(cid) >= 0 then note_seq t.cur_seq.(cid);
-    if t.stg_seq.(cid) >= 0 then note_seq t.stg_seq.(cid)
+    if t.cur_key.(cid) >= 0 then note_seq (Token.seq t.cur_key.(cid));
+    if t.stg_key.(cid) >= 0 then note_seq (Token.seq t.stg_key.(cid))
   done;
   for slot = 0 to t.n - 1 do
     let r = t.ring.(slot) in
     match t.op.(slot) with
-    | 4 -> Ring.iter (fun i -> note_seq (Ring.get r i 1)) r
-    | 10 | 11 | 14 -> Ring.iter (fun i -> note_seq (Ring.get r i 0)) r
+    | 4 -> Ring.iter (fun i -> note_seq (Token.seq (Ring.get r i 1))) r
+    | 10 | 11 | 14 -> Ring.iter (fun i -> note_seq (Token.seq (Ring.get r i 0))) r
     | _ -> ()
   done;
   let stalled = ref [] in
@@ -1194,10 +1189,10 @@ let post_mortem t : post_mortem =
     let node = Graph.node t.g nid in
     let slot = t.slot_of.(nid) in
     let wired = Array.to_list node.Graph.inputs |> List.filter (fun c -> c >= 0) in
-    let any_in = List.exists (fun c -> t.cur_seq.(c) >= 0) wired in
+    let any_in = List.exists (fun c -> t.cur_key.(c) >= 0) wired in
     let frozen =
       List.filter
-        (fun c -> t.cur_seq.(c) >= 0 && t.stall_until.(c) > t.cycle)
+        (fun c -> t.cur_key.(c) >= 0 && t.stall_until.(c) > t.cycle)
         wired
     in
     let missing =
@@ -1207,11 +1202,11 @@ let post_mortem t : post_mortem =
       | _ ->
           Array.to_list node.Graph.inputs
           |> List.mapi (fun islot c -> (islot, c))
-          |> List.filter (fun (_, c) -> c >= 0 && t.cur_seq.(c) < 0)
+          |> List.filter (fun (_, c) -> c >= 0 && t.cur_key.(c) < 0)
     in
     let out_full =
       Array.to_list node.Graph.outputs
-      |> List.filter (fun c -> c >= 0 && t.cur_seq.(c) >= 0)
+      |> List.filter (fun c -> c >= 0 && t.cur_key.(c) >= 0)
     in
     let add why = stalled := (nid, node.Graph.label, why) :: !stalled in
     if t.op.(slot) = op_gen then begin
@@ -1236,7 +1231,9 @@ let post_mortem t : post_mortem =
           Some
             (Printf.sprintf
                "%d announced store(s) awaiting data (head: seq=%d addr=%d)"
-               (Ring.length r) (Ring.get r 0 0) (Ring.get r 0 1))
+               (Ring.length r)
+               (Token.seq (Ring.get r 0 0))
+               (Ring.get r 0 1))
         else None
       in
       if any_in || internal <> None then begin
@@ -1308,14 +1305,14 @@ let rec any_frozen_in t slot k n =
   if k >= n then false
   else
     let cid = ag t.ins (ag t.in_base slot + k) in
-    (cid >= 0 && ag t.cur_seq cid >= 0 && ag t.stall_until cid > t.cycle)
+    (cid >= 0 && ag t.cur_key cid >= 0 && ag t.stall_until cid > t.cycle)
     || any_frozen_in t slot (k + 1) n
 
 let rec any_empty_in t slot k n =
   if k >= n then false
   else
     let cid = ag t.ins (ag t.in_base slot + k) in
-    (cid >= 0 && ag t.cur_seq cid < 0) || any_empty_in t slot (k + 1) n
+    (cid >= 0 && ag t.cur_key cid < 0) || any_empty_in t slot (k + 1) n
 
 let stall_reason t slot =
   let opc = ag t.op slot in
@@ -1449,17 +1446,16 @@ let step t =
   if t.bookkeep then
     for k = 0 to t.touch_len - 1 do
       let cid = ag t.touch_stack k in
-      if ag t.stg_seq cid >= 0 then begin
-        if ag t.cur_seq cid < 0 then t.occupied <- t.occupied + 1;
-        aset t.cur_seq cid (ag t.stg_seq cid);
-        aset t.cur_epoch cid (ag t.stg_epoch cid);
+      if ag t.stg_key cid >= 0 then begin
+        if ag t.cur_key cid < 0 then t.occupied <- t.occupied + 1;
+        aset t.cur_key cid (ag t.stg_key cid);
         aset t.cur_val cid (ag t.stg_val cid);
-        aset t.stg_seq cid (-1);
+        aset t.stg_key cid (-1);
         bs_set t.awake (ag t.chan_dst cid)
       end
       else if agb t.consumed cid then begin
-        if ag t.cur_seq cid >= 0 then t.occupied <- t.occupied - 1;
-        aset t.cur_seq cid (-1);
+        if ag t.cur_key cid >= 0 then t.occupied <- t.occupied - 1;
+        aset t.cur_key cid (-1);
         bs_set t.awake (ag t.chan_src cid)
       end;
       asetb t.consumed cid false;
@@ -1468,16 +1464,15 @@ let step t =
   else
     for k = 0 to t.touch_len - 1 do
       let cid = ag t.touch_stack k in
-      if ag t.stg_seq cid >= 0 then begin
-        if ag t.cur_seq cid < 0 then t.occupied <- t.occupied + 1;
-        aset t.cur_seq cid (ag t.stg_seq cid);
-        aset t.cur_epoch cid (ag t.stg_epoch cid);
+      if ag t.stg_key cid >= 0 then begin
+        if ag t.cur_key cid < 0 then t.occupied <- t.occupied + 1;
+        aset t.cur_key cid (ag t.stg_key cid);
         aset t.cur_val cid (ag t.stg_val cid);
-        aset t.stg_seq cid (-1)
+        aset t.stg_key cid (-1)
       end
       else if agb t.consumed cid then begin
-        if ag t.cur_seq cid >= 0 then t.occupied <- t.occupied - 1;
-        aset t.cur_seq cid (-1)
+        if ag t.cur_key cid >= 0 then t.occupied <- t.occupied - 1;
+        aset t.cur_key cid (-1)
       end;
       asetb t.consumed cid false;
       asetb t.touched cid false
@@ -1594,12 +1589,11 @@ let epoch t = t.epoch
 let evals t = t.evals
 let fires t = t.fires
 
-let chan_occupied t cid = t.cur_seq.(cid) >= 0
+let chan_occupied t cid = t.cur_key.(cid) >= 0
 
-let chan_token t cid =
-  if t.cur_seq.(cid) < 0 then None
-  else
-    Some { seq = t.cur_seq.(cid); epoch = t.cur_epoch.(cid); value = t.cur_val.(cid) }
+let chan_token t cid : token option =
+  if t.cur_key.(cid) < 0 then None
+  else Some (t.cur_key.(cid), t.cur_val.(cid))
 
 let buf_occupancy t nid =
   let slot = t.slot_of.(nid) in

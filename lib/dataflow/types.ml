@@ -138,17 +138,68 @@ let eval_unop_code code a =
   | 2 -> lnot a
   | _ -> invalid_arg "eval_unop_code"
 
-(** A token flowing on an elastic channel.
+(** A token flowing on an elastic channel, packed into unboxed words.
 
     [seq] is the basic-block-instance sequence number assigned by the
     loop-nest generator; all tokens derived from the same body instance share
-    it. [epoch] is bumped on every pipeline squash; stale-epoch tokens whose
-    [seq] is at or beyond the squash point are purged by the simulator. *)
-type token = { seq : int; epoch : int; value : int }
+    it. [epoch] is bumped on every pipeline squash; stale tokens whose
+    [seq] is at or beyond the squash point are purged by the simulator.
 
-let token ?(epoch = 0) ~seq value = { seq; epoch; value }
+    The datapath value must keep full native-int width (shifts and the fuzz
+    kernels produce arbitrary 63-bit patterns), so a token travels as TWO
+    immediate ints: a packed [key] carrying [(seq, epoch)] and the raw
+    [value].  The key layout puts [seq] in the high bits so that the orders
+    agree: [k1 < k2] iff [(seq k1, epoch k1) < (seq k2, epoch k2)]
+    lexicographically, and [k >= first ~seq:s] iff [seq k >= s] — purge
+    cutoffs and join maxima are single int comparisons. *)
+module Token = struct
+  type t = int
 
-let pp_token ppf t = Format.fprintf ppf "{seq=%d;ep=%d;v=%d}" t.seq t.epoch t.value
+  let epoch_bits = 20
+  let max_epoch = (1 lsl epoch_bits) - 1
+  let max_seq = (1 lsl (62 - epoch_bits)) - 1
+
+  (** The absent token: negative, so [k >= 0] is the presence test. *)
+  let none = -1
+
+  let make ~seq ~epoch =
+    if seq < 0 || seq > max_seq then
+      invalid_arg (Printf.sprintf "Token.make: seq %d out of [0, %d]" seq max_seq);
+    if epoch < 0 || epoch > max_epoch then
+      invalid_arg
+        (Printf.sprintf "Token.make: epoch %d out of [0, %d]" epoch max_epoch);
+    (seq lsl epoch_bits) lor epoch
+
+  (** Hot-path packer: no bounds check; the epoch wraps modulo 2^20 (it is
+      observational only — VCD, traces, post-mortems — never consulted by
+      control decisions, which purge by [seq] alone). *)
+  let unsafe ~seq ~epoch = (seq lsl epoch_bits) lor (epoch land max_epoch)
+
+  let seq k = k asr epoch_bits
+  let epoch k = k land max_epoch
+
+  (** Least key of body instance [seq]: the squash cutoff.  For any valid
+      key [k], [k >= first ~seq:s] iff [seq k >= s]. *)
+  let first ~seq = seq lsl epoch_bits
+
+  let with_epoch k ~epoch = (k land lnot max_epoch) lor (epoch land max_epoch)
+
+  (** The two-word token [(key, value)].  [value]/[with_value] complete the
+      accessor set over the pair form; the value word is untouched by
+      packing. *)
+  let value (_, v) = v
+  let with_value (k, _) v = (k, v)
+
+  let pp ppf (k, v) =
+    Format.fprintf ppf "{seq=%d;ep=%d;v=%d}" (seq k) (epoch k) v
+end
+
+(** A materialised token is its packed [(seq, epoch)] key plus the raw
+    value word. *)
+type token = Token.t * int
+
+let token ?(epoch = 0) ~seq value = (Token.make ~seq ~epoch, value)
+let pp_token = Token.pp
 
 (** Specification of a loop-nest generator node.  The generator walks the
     kernel's control-flow in program order, emitting one token per output

@@ -55,13 +55,54 @@ val eval_binop_code : int -> int -> int -> int
 val unop_code : unop -> int
 val eval_unop_code : int -> int -> int
 
-(** A token flowing on an elastic channel.
+(** A token flowing on an elastic channel, packed into unboxed words.
 
     [seq] is the body-instance sequence number assigned by the loop-nest
     generator; all tokens derived from the same body instance share it.
-    [epoch] is bumped on every pipeline squash; the simulator purges
-    stale-epoch tokens whose [seq] is at or beyond the squash point. *)
-type token = { seq : int; epoch : int; value : int }
+    [epoch] is bumped on every pipeline squash; the simulator purges stale
+    tokens whose [seq] is at or beyond the squash point.
+
+    The datapath value keeps full native-int width, so a token travels as
+    TWO immediate ints: a packed [(seq, epoch)] key and the raw value.
+    Key order is lexicographic [(seq, epoch)] order, so joins take a plain
+    [max] and squash cutoffs are one comparison against {!Token.first}. *)
+module Token : sig
+  type t = int
+
+  val epoch_bits : int  (** 20: epochs live in the low 20 bits *)
+
+  val max_epoch : int  (** 2^20 - 1 *)
+
+  val max_seq : int  (** 2^42 - 1: seqs live in bits 62..20 *)
+
+  val none : t  (** the absent token (negative; [k >= 0] = presence) *)
+
+  (** Overflow-checked packer: raises [Invalid_argument] when [seq] or
+      [epoch] falls outside its field. *)
+  val make : seq:int -> epoch:int -> t
+
+  (** Hot-path packer: no bounds check, epoch wraps modulo 2^20 (the epoch
+      is observational only; control purges by [seq] alone). *)
+  val unsafe : seq:int -> epoch:int -> t
+
+  val seq : t -> int
+  val epoch : t -> int
+
+  (** Least key of body instance [seq]; for valid keys,
+      [k >= first ~seq:s] iff [seq k >= s]. *)
+  val first : seq:int -> t
+
+  val with_epoch : t -> epoch:int -> t
+
+  (** Accessors over the two-word [(key, value)] pair form. *)
+  val value : t * int -> int
+
+  val with_value : t * int -> int -> t * int
+  val pp : Format.formatter -> t * int -> unit
+end
+
+(** A materialised token: packed key plus raw value word. *)
+type token = Token.t * int
 
 val token : ?epoch:int -> seq:int -> int -> token
 val pp_token : Format.formatter -> token -> unit

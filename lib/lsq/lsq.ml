@@ -12,9 +12,20 @@
       the circuit's control network before entries become usable
       ([alloc_delay] cycles) and only one group can be allocated per cycle.
     - {!fast} ([8], fast token delivery): allocation is immediate and off
-      the critical path. *)
+      the critical path.
+
+    Queues are dense flat arrays in program order (a shift/collapse
+    structure, as the hardware is), with packed [(seq, ROM pos)] order
+    keys, so the CAM loops compare one int per entry and can early-exit:
+    the load-issue ordering check is an O(1) compare against the minimum
+    order key among stores with unknown addresses, forwarding is a
+    backward scan that stops at the first (= youngest older) address
+    match, and the commit-side WAR guard stops at the first entry at or
+    beyond the committing store's key. *)
 
 open Pv_memory
+module Token = Pv_dataflow.Types.Token
+module Ring = Pv_dataflow.Ring
 
 type config = {
   lq_depth : int;
@@ -51,22 +62,42 @@ let plain =
 
 let fast = { plain with alloc_delay = 0; alloc_per_cycle = 2 }
 
-type lentry = {
-  l_seq : int;
-  l_port : int;
-  l_pos : int;  (** ROM position inside the group: program-order tie-break *)
-  l_usable_at : int;
-  mutable l_addr : int option;
+(* packed program-order key, the same (seq lsl 6) lor pos layout as the
+   premature queue's: Eq.-style strictly-older tests are one compare *)
+let pos_bits = 6
+let max_pos = (1 lsl pos_bits) - 1
+let[@inline] okey ~seq ~pos = (seq lsl pos_bits) lor pos
+let[@inline] okey_seq k = k asr pos_bits
+let[@inline] okey_pos k = k land max_pos
+
+(* Dense program-ordered load queue: parallel arrays, shift-collapse on
+   removal (entries leave out of order as loads issue).  [l_addr] is the
+   packed address array the CAM loops scan; -1 = not yet announced.
+   [l_tok] is the packed token key of the pending request, delivered back
+   with the response. *)
+type lq = {
+  lk : int array;
+  l_port : int array;
+  l_usable : int array;
+  l_addr : int array;
+  l_tok : int array;
+  mutable ln : int;
 }
 
-type sentry = {
-  s_seq : int;
-  s_port : int;
-  s_pos : int;
-  s_usable_at : int;
-  mutable s_addr : int option;
-  mutable s_value : int option;
-  mutable s_skipped : bool;
+(* Dense program-ordered store queue.  [s_flags] bit 0 = value known,
+   bit 1 = skipped (fake token).  [min_unk] caches the minimum order key
+   among non-skipped stores whose address is unknown (max_int when none):
+   the load-issue ordering check of the CAM loop collapses to one compare
+   against it. *)
+type sq = {
+  sk : int array;
+  s_port : int array;
+  s_usable : int array;
+  s_addr : int array;
+  s_val : int array;
+  s_flags : int array;
+  mutable sn : int;
+  mutable min_unk : int;
 }
 
 type t = {
@@ -75,14 +106,16 @@ type t = {
   mem : int array;
   stats : Pv_dataflow.Memif.stats;
   mutable now : int;
-  mutable lq : lentry list;  (** program order *)
-  mutable sq : sentry list;  (** program order *)
+  lq : lq;
+  sq : sq;
   mutable allocs_this_cycle : int;
-  resp : (int, (int * (int * int) option ref) Queue.t) Hashtbl.t;
-      (** port -> FIFO of (seq, completion); responses are delivered in
-          request order per port — an elastic access port is a tagless
-          stream, so a younger load must never overtake an older one of
-          the same port even though the LSQ issues them out of order *)
+  resp : (int, Ring.t) Hashtbl.t;
+      (** port -> ring of (token key, ready_at, value) slots in request
+          order; ready_at = -1 marks a slot whose load has not issued yet.
+          Responses are delivered in request order per port — an elastic
+          access port is a tagless stream, so a younger load must never
+          overtake an older one of the same port even though the LSQ
+          issues them out of order *)
   (* per-array (per-BRAM) port budgets: one read and one write per cycle,
      dual-port block RAM; store-to-load forwarding bypasses the RAM *)
   reads : (string, int ref) Hashtbl.t;
@@ -112,35 +145,31 @@ let take_budget tbl array =
 
 let array_of t port = (Portmap.port t.pm port).Portmap.array
 
-let order_lt (s1, p1) (s2, p2) = s1 < s2 || (s1 = s2 && p1 < p2)
-
-let port_queue t port =
+let port_ring t port =
   match Hashtbl.find_opt t.resp port with
   | Some q -> q
   | None ->
-      let q = Queue.create () in
+      let q = Ring.create ~stride:3 8 in
       Hashtbl.replace t.resp port q;
       q
 
 (* Register a request slot in port order; completion fills it later. *)
-let open_slot t ~port ~seq =
-  let slot = ref None in
-  Queue.add (seq, slot) (port_queue t port);
-  slot
+let open_slot t ~port ~tok = Ring.push3 (port_ring t port) tok (-1) 0
 
-let fill_slot t ~port ~seq ~ready_at ~value =
-  let q = port_queue t port in
-  let found = ref false in
-  Queue.iter
-    (fun (s, slot) ->
-      if (not !found) && s = seq && !slot = None then begin
-        slot := Some (ready_at, value);
-        found := true
-      end)
-    q;
-  assert !found
+let fill_slot t ~port ~tok ~ready_at ~value =
+  let q = port_ring t port in
+  let n = Ring.length q in
+  let rec go i =
+    if i >= n then assert false
+    else if Ring.get q i 0 = tok && Ring.get q i 1 < 0 then begin
+      Ring.set q i 1 ready_at;
+      Ring.set q i 2 value
+    end
+    else go (i + 1)
+  in
+  go 0
 
-let occupancy t = List.length t.lq + List.length t.sq
+let occupancy t = t.lq.ln + t.sq.sn
 
 let note_occupancy t =
   let o = occupancy t in
@@ -152,123 +181,157 @@ let note_occupancy t =
     t.last_occ <- o
   end
 
+(* shift-collapse removal; program order is preserved by construction *)
+let lq_remove (q : lq) i =
+  let m = q.ln - 1 - i in
+  Array.blit q.lk (i + 1) q.lk i m;
+  Array.blit q.l_port (i + 1) q.l_port i m;
+  Array.blit q.l_usable (i + 1) q.l_usable i m;
+  Array.blit q.l_addr (i + 1) q.l_addr i m;
+  Array.blit q.l_tok (i + 1) q.l_tok i m;
+  q.ln <- q.ln - 1
+
+let sq_recompute_min (q : sq) =
+  let m = ref max_int in
+  for i = 0 to q.sn - 1 do
+    if q.s_flags.(i) land 2 = 0 && q.s_addr.(i) < 0 && q.sk.(i) < !m then
+      m := q.sk.(i)
+  done;
+  q.min_unk <- !m
+
+let sq_remove_head (q : sq) =
+  let k = q.sk.(0) in
+  let m = q.sn - 1 in
+  Array.blit q.sk 1 q.sk 0 m;
+  Array.blit q.s_port 1 q.s_port 0 m;
+  Array.blit q.s_usable 1 q.s_usable 0 m;
+  Array.blit q.s_addr 1 q.s_addr 0 m;
+  Array.blit q.s_val 1 q.s_val 0 m;
+  Array.blit q.s_flags 1 q.s_flags 0 m;
+  q.sn <- m;
+  if k = q.min_unk then sq_recompute_min q
+
 (* A load may issue when all older stores have known addresses; it forwards
-   from the youngest older store with a matching address, if any. *)
-let try_issue_load t (le : lentry) : bool =
-  match le.l_addr with
-  | None -> false
-  | Some addr ->
-      if le.l_usable_at > t.now then false
-      else begin
-        (* the issue check CAM-scans the whole store queue *)
-        if Pv_obs.Prof.enabled t.prof then
-          Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_lsq_cam
-            (List.length t.sq);
-        let older =
-          List.filter
-            (fun se ->
-              (not se.s_skipped) && order_lt (se.s_seq, se.s_pos) (le.l_seq, le.l_pos))
-            t.sq
-        in
-        if List.exists (fun se -> se.s_addr = None) older then begin
+   from the youngest older store with a matching address, if any.  The
+   ordering precondition is the O(1) [min_unk] compare; the forwarding
+   match is a backward scan (youngest first) that exits at the first
+   address hit.  CAM work is attributed per record actually scanned. *)
+let try_issue_load t i : bool =
+  let lq = t.lq in
+  let addr = lq.l_addr.(i) in
+  if addr < 0 then false
+  else if lq.l_usable.(i) > t.now then false
+  else begin
+    let k = lq.lk.(i) in
+    let sq = t.sq in
+    if sq.min_unk < k then begin
+      (* some older store's address is still unknown: one compare, no scan *)
+      t.stats.Pv_dataflow.Memif.stall_order <-
+        t.stats.Pv_dataflow.Memif.stall_order + 1;
+      false
+    end
+    else begin
+      let scanned = ref 0 in
+      let j = ref (sq.sn - 1) in
+      while !j >= 0 && sq.sk.(!j) >= k do
+        incr scanned;
+        decr j
+      done;
+      let found = ref (-1) in
+      while !j >= 0 && !found < 0 do
+        incr scanned;
+        if sq.s_flags.(!j) land 2 = 0 && sq.s_addr.(!j) = addr then found := !j;
+        decr j
+      done;
+      if Pv_obs.Prof.enabled t.prof then
+        Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_lsq_cam !scanned;
+      if !found >= 0 then begin
+        let f = !found in
+        if sq.s_flags.(f) land 1 = 1 && t.cfg.forwarding then begin
+          fill_slot t ~port:lq.l_port.(i) ~tok:lq.l_tok.(i)
+            ~ready_at:(t.now + 1) ~value:sq.s_val.(f);
+          t.stats.Pv_dataflow.Memif.forwarded <-
+            t.stats.Pv_dataflow.Memif.forwarded + 1;
+          true
+        end
+        else begin
+          (* value unknown, or forwarding disabled: wait for the commit *)
           t.stats.Pv_dataflow.Memif.stall_order <-
             t.stats.Pv_dataflow.Memif.stall_order + 1;
           false
         end
-        else
-          (* youngest older store to the same address *)
-          let matching =
-            List.filter (fun se -> se.s_addr = Some addr) older
-            |> List.sort (fun a b ->
-                   compare (b.s_seq, b.s_pos) (a.s_seq, a.s_pos))
-          in
-          match matching with
-          | se :: _ -> (
-              match se.s_value with
-              | Some v when t.cfg.forwarding ->
-                  fill_slot t ~port:le.l_port ~seq:le.l_seq ~ready_at:(t.now + 1)
-                    ~value:v;
-                  t.stats.Pv_dataflow.Memif.forwarded <-
-                    t.stats.Pv_dataflow.Memif.forwarded + 1;
-                  true
-              | Some _ ->
-                  (* forwarding disabled: wait for the commit *)
-                  t.stats.Pv_dataflow.Memif.stall_order <-
-                    t.stats.Pv_dataflow.Memif.stall_order + 1;
-                  false
-              | None ->
-                  t.stats.Pv_dataflow.Memif.stall_order <-
-                    t.stats.Pv_dataflow.Memif.stall_order + 1;
-                  false)
-          | [] ->
-              if take_budget t.reads (array_of t le.l_port) then begin
-                fill_slot t ~port:le.l_port ~seq:le.l_seq
-                  ~ready_at:(t.now + t.cfg.mem_latency) ~value:t.mem.(addr);
-                true
-              end
-              else begin
-                t.stats.Pv_dataflow.Memif.stall_bw <-
-                  t.stats.Pv_dataflow.Memif.stall_bw + 1;
-                false
-              end
       end
+      else if take_budget t.reads (array_of t lq.l_port.(i)) then begin
+        fill_slot t ~port:lq.l_port.(i) ~tok:lq.l_tok.(i)
+          ~ready_at:(t.now + t.cfg.mem_latency) ~value:t.mem.(addr);
+        true
+      end
+      else begin
+        t.stats.Pv_dataflow.Memif.stall_bw <-
+          t.stats.Pv_dataflow.Memif.stall_bw + 1;
+        false
+      end
+    end
+  end
 
 (* The store at the head of program order commits when its address and data
    are known and every older load that could alias has issued (WAR guard:
-   a commit must not overtake an older load of the same address). *)
-let can_commit t (se : sentry) =
-  se.s_usable_at <= t.now
-  && se.s_addr <> None
-  && se.s_value <> None
+   a commit must not overtake an older load of the same address).  The
+   load queue is program-ordered, so the guard stops at the first entry at
+   or beyond the store's key. *)
+let can_commit t =
+  let sq = t.sq in
+  sq.s_usable.(0) <= t.now
+  && sq.s_addr.(0) >= 0
+  && sq.s_flags.(0) land 1 = 1
   && begin
-       (* the WAR guard CAM-scans the whole load queue; attributed only
-          when the earlier conjuncts did not short-circuit *)
+       let k = sq.sk.(0) and a = sq.s_addr.(0) in
+       let lq = t.lq in
+       let scanned = ref 0 in
+       let blocked = ref false in
+       let i = ref 0 in
+       while (not !blocked) && !i < lq.ln && lq.lk.(!i) < k do
+         incr scanned;
+         if lq.l_addr.(!i) < 0 || lq.l_addr.(!i) = a then blocked := true;
+         incr i
+       done;
        if Pv_obs.Prof.enabled t.prof then
-         Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_lsq_cam
-           (List.length t.lq);
-       not
-         (List.exists
-            (fun le ->
-              order_lt (le.l_seq, le.l_pos) (se.s_seq, se.s_pos)
-              && (le.l_addr = None || le.l_addr = se.s_addr))
-            t.lq)
+         Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_lsq_cam !scanned;
+       not !blocked
      end
 
 let clock t =
-  (* issue loads, oldest first *)
+  (* issue loads, oldest first; issued entries shift-collapse out *)
   let issued = ref 0 in
-  let remaining = ref [] in
-  List.iter
-    (fun le ->
-      if !issued < t.cfg.issues_per_cycle && try_issue_load t le then
-        incr issued
-      else remaining := le :: !remaining)
-    t.lq;
-  t.lq <- List.rev !remaining;
+  let i = ref 0 in
+  while !i < t.lq.ln do
+    if !issued < t.cfg.issues_per_cycle && try_issue_load t !i then begin
+      incr issued;
+      lq_remove t.lq !i
+    end
+    else incr i
+  done;
   (* drop skipped stores at the head, then commit in order *)
   let committed = ref 0 in
-  let rec commit_head () =
-    match t.sq with
-    | se :: rest when se.s_skipped ->
-        t.sq <- rest;
-        commit_head ()
-    | se :: rest
-      when !committed < t.cfg.commits_per_cycle
-           && can_commit t se
-           && take_budget t.writes (array_of t se.s_port) ->
-        (match (se.s_addr, se.s_value) with
-        | Some a, Some v ->
-            t.mem.(a) <- v;
-            Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
-              ~args:[ ("seq", se.s_seq); ("addr", a) ]
-              "lsq_commit"
-        | _ -> assert false);
-        t.sq <- rest;
-        incr committed;
-        commit_head ()
-    | _ -> ()
-  in
-  commit_head ();
+  let continue = ref true in
+  while !continue do
+    let sq = t.sq in
+    if sq.sn = 0 then continue := false
+    else if sq.s_flags.(0) land 2 = 2 then sq_remove_head sq
+    else if
+      !committed < t.cfg.commits_per_cycle
+      && can_commit t
+      && take_budget t.writes (array_of t sq.s_port.(0))
+    then begin
+      t.mem.(sq.s_addr.(0)) <- sq.s_val.(0);
+      Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
+        ~args:[ ("seq", okey_seq sq.sk.(0)); ("addr", sq.s_addr.(0)) ]
+        "lsq_commit";
+      sq_remove_head sq;
+      incr committed
+    end
+    else continue := false
+  done;
   if Pv_obs.Trace.enabled t.trace then note_occupancy t;
   t.allocs_this_cycle <- 0;
   Hashtbl.iter (fun _ r -> r := 2) t.reads;
@@ -285,8 +348,26 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
       mem;
       stats = Pv_dataflow.Memif.fresh_stats ();
       now = 0;
-      lq = [];
-      sq = [];
+      lq =
+        {
+          lk = Array.make cfg.lq_depth 0;
+          l_port = Array.make cfg.lq_depth 0;
+          l_usable = Array.make cfg.lq_depth 0;
+          l_addr = Array.make cfg.lq_depth (-1);
+          l_tok = Array.make cfg.lq_depth (-1);
+          ln = 0;
+        };
+      sq =
+        {
+          sk = Array.make cfg.sq_depth 0;
+          s_port = Array.make cfg.sq_depth 0;
+          s_usable = Array.make cfg.sq_depth 0;
+          s_addr = Array.make cfg.sq_depth (-1);
+          s_val = Array.make cfg.sq_depth 0;
+          s_flags = Array.make cfg.sq_depth 0;
+          sn = 0;
+          min_unk = max_int;
+        };
       allocs_this_cycle = 0;
       resp = Hashtbl.create 16;
       reads = Hashtbl.create 8;
@@ -318,8 +399,8 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
       in
       if
         t.allocs_this_cycle >= cfg.alloc_per_cycle
-        || List.length t.lq + n_loads > cfg.lq_depth
-        || List.length t.sq + n_stores > cfg.sq_depth
+        || t.lq.ln + n_loads > cfg.lq_depth
+        || t.sq.sn + n_stores > cfg.sq_depth
       then begin
         t.stats.Pv_dataflow.Memif.stall_full <-
           t.stats.Pv_dataflow.Memif.stall_full + 1;
@@ -330,33 +411,30 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
         let usable = t.now + cfg.alloc_delay in
         List.iteri
           (fun pos pid ->
+            if pos > max_pos then
+              invalid_arg "Lsq: ROM position exceeds the 6-bit pack field";
+            let k = okey ~seq ~pos in
             match (Portmap.port pm pid).Portmap.kind with
             | Portmap.OLoad ->
-                t.lq <-
-                  t.lq
-                  @ [
-                      {
-                        l_seq = seq;
-                        l_port = pid;
-                        l_pos = pos;
-                        l_usable_at = usable;
-                        l_addr = None;
-                      };
-                    ]
+                let q = t.lq in
+                let i = q.ln in
+                q.lk.(i) <- k;
+                q.l_port.(i) <- pid;
+                q.l_usable.(i) <- usable;
+                q.l_addr.(i) <- -1;
+                q.l_tok.(i) <- -1;
+                q.ln <- i + 1
             | Portmap.OStore ->
-                t.sq <-
-                  t.sq
-                  @ [
-                      {
-                        s_seq = seq;
-                        s_port = pid;
-                        s_pos = pos;
-                        s_usable_at = usable;
-                        s_addr = None;
-                        s_value = None;
-                        s_skipped = false;
-                      };
-                    ])
+                let q = t.sq in
+                let i = q.sn in
+                q.sk.(i) <- k;
+                q.s_port.(i) <- pid;
+                q.s_usable.(i) <- usable;
+                q.s_addr.(i) <- -1;
+                q.s_val.(i) <- 0;
+                q.s_flags.(i) <- 0;
+                if k < q.min_unk then q.min_unk <- k;
+                q.sn <- i + 1)
           ports;
         Pv_obs.Trace.instant t.trace ~tid:Pv_obs.Trace.tid_backend ~ts:t.now
           ~args:[ ("seq", seq); ("loads", n_loads); ("stores", n_stores) ]
@@ -366,26 +444,44 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
       end
     end
   in
-  let load_req ~port ~seq ~addr =
+  (* first live entry of [port]/[seq] matching [pred] over the queue *)
+  let find_load ~seq ~port =
+    let q = t.lq in
+    let rec go i =
+      if i >= q.ln then -1
+      else if okey_seq q.lk.(i) = seq && q.l_port.(i) = port && q.l_addr.(i) < 0
+      then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let find_store ~seq ~port ~f =
+    let q = t.sq in
+    let rec go i =
+      if i >= q.sn then -1
+      else if okey_seq q.sk.(i) = seq && q.s_port.(i) = port && f q.s_flags.(i) q.s_addr.(i)
+      then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let load_req ~port ~key ~addr =
+    let seq = Token.seq key in
     if Portmap.is_ambiguous pm port then begin
-      match
-        List.find_opt
-          (fun le -> le.l_seq = seq && le.l_port = port && le.l_addr = None)
-          t.lq
-      with
-      | Some le ->
-          le.l_addr <- Some addr;
-          ignore (open_slot t ~port ~seq);
+      match find_load ~seq ~port with
+      | -1 -> false
+      | i ->
+          t.lq.l_addr.(i) <- addr;
+          t.lq.l_tok.(i) <- key;
+          open_slot t ~port ~tok:key;
           t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
           Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
           true
-      | None -> false
     end
     else if take_budget t.reads (array_of t port) then begin
       t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
       Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
-      let slot = open_slot t ~port ~seq in
-      slot := Some (t.now + cfg.mem_latency, t.mem.(addr));
+      Ring.push3 (port_ring t port) key (t.now + cfg.mem_latency) t.mem.(addr);
       true
     end
     else begin
@@ -393,20 +489,22 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
       false
     end
   in
-  let store_req ~port ~seq ~addr ~value =
+  let store_req ~port ~key ~addr ~value =
+    let seq = Token.seq key in
     if Portmap.is_ambiguous pm port then begin
-      match
-        List.find_opt
-          (fun se -> se.s_seq = seq && se.s_port = port && se.s_value = None)
-          t.sq
-      with
-      | Some se ->
-          se.s_addr <- Some addr;
-          se.s_value <- Some value;
+      match find_store ~seq ~port ~f:(fun flags _ -> flags land 1 = 0) with
+      | -1 -> false
+      | i ->
+          let q = t.sq in
+          let had_addr = q.s_addr.(i) >= 0 in
+          let k = q.sk.(i) in
+          q.s_addr.(i) <- addr;
+          q.s_val.(i) <- value;
+          q.s_flags.(i) <- q.s_flags.(i) lor 1;
+          if (not had_addr) && k = q.min_unk then sq_recompute_min q;
           t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
           Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
           true
-      | None -> false
     end
     else if take_budget t.writes (array_of t port) then begin
       t.stats.Pv_dataflow.Memif.stores <- t.stats.Pv_dataflow.Memif.stores + 1;
@@ -419,59 +517,60 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
       false
     end
   in
-  let op_skip ~port ~seq =
+  let op_skip ~port ~key =
+    let seq = Token.seq key in
     if not (Portmap.is_ambiguous pm port) then true
     else begin
       t.stats.Pv_dataflow.Memif.fake_tokens <-
         t.stats.Pv_dataflow.Memif.fake_tokens + 1;
       (match (Portmap.port pm port).Portmap.kind with
       | Portmap.OStore -> (
-          match
-            List.find_opt
-              (fun se -> se.s_seq = seq && se.s_port = port && se.s_addr = None)
-              t.sq
-          with
-          | Some se -> se.s_skipped <- true
-          | None -> ())
-      | Portmap.OLoad ->
-          t.lq <-
-            List.filter
-              (fun le -> not (le.l_seq = seq && le.l_port = port && le.l_addr = None))
-              t.lq);
+          match find_store ~seq ~port ~f:(fun _ addr -> addr < 0) with
+          | -1 -> ()
+          | i ->
+              let q = t.sq in
+              q.s_flags.(i) <- q.s_flags.(i) lor 2;
+              if q.sk.(i) = q.min_unk then sq_recompute_min q)
+      | Portmap.OLoad -> (
+          match find_load ~seq ~port with
+          | -1 -> ()
+          | i -> lq_remove t.lq i));
       true
     end
   in
-  let store_addr ~port ~seq ~addr =
+  let store_addr ~port ~key ~addr =
+    let seq = Token.seq key in
     if Portmap.is_ambiguous pm port then
-      match
-        List.find_opt
-          (fun se -> se.s_seq = seq && se.s_port = port && se.s_addr = None)
-          t.sq
-      with
-      | Some se -> se.s_addr <- Some addr
-      | None -> ()
+      match find_store ~seq ~port ~f:(fun _ a -> a < 0) with
+      | -1 -> ()
+      | i ->
+          let q = t.sq in
+          let k = q.sk.(i) in
+          q.s_addr.(i) <- addr;
+          if k = q.min_unk then sq_recompute_min q
   in
   let load_poll ~port out =
     match Hashtbl.find_opt t.resp port with
-    | Some q when not (Queue.is_empty q) -> (
-        let seq, slot = Queue.peek q in
-        match !slot with
-        | Some (ready_at, value) when ready_at <= t.now ->
-            ignore (Queue.pop q);
-            out.Pv_dataflow.Memif.ls_seq <- seq;
-            out.Pv_dataflow.Memif.ls_value <- value;
-            true
-        | _ -> false)
+    | Some q when not (Ring.is_empty q) ->
+        let ready = Ring.get q 0 1 in
+        ready >= 0
+        && ready <= t.now
+        && begin
+             out.Pv_dataflow.Memif.ls_key <- Ring.get q 0 0;
+             out.Pv_dataflow.Memif.ls_value <- Ring.get q 0 2;
+             Ring.pop q;
+             true
+           end
     | _ -> false
   in
   let quiesced () =
-    t.lq = [] && t.sq = []
-    && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) t.resp true
+    t.lq.ln = 0 && t.sq.sn = 0
+    && Hashtbl.fold (fun _ q acc -> acc && Ring.is_empty q) t.resp true
   in
   ( t,
     {
       Pv_dataflow.Memif.begin_instance;
-      alloc_group = (fun ~seq:_ ~group:_ -> true);
+      alloc_group = (fun ~key:_ ~group:_ -> true);
       load_req;
       load_poll;
       store_req;
@@ -484,10 +583,7 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
       (* the LSQ never speculates, so there is no squash/replay machinery
          to drive: backend-level faults are not applicable *)
       inject = (fun _ -> false);
-      describe =
-        (fun () ->
-          Printf.sprintf "lsq: LQ=%d SQ=%d" (List.length t.lq)
-            (List.length t.sq));
+      describe = (fun () -> Printf.sprintf "lsq: LQ=%d SQ=%d" t.lq.ln t.sq.sn);
     } )
 
 let create ?trace ?prof cfg pm mem = snd (create_full ?trace ?prof cfg pm mem)
@@ -497,21 +593,21 @@ let stats t = t.stats
 
 (** Debug dump of queue contents. *)
 let dump ppf t =
-  Format.fprintf ppf "LQ (%d):@\n" (List.length t.lq);
-  List.iter
-    (fun le ->
-      Format.fprintf ppf "  seq=%d pos=%d port=%d addr=%s usable=%d@\n" le.l_seq
-        le.l_pos le.l_port
-        (match le.l_addr with Some a -> string_of_int a | None -> "?")
-        le.l_usable_at)
-    t.lq;
-  Format.fprintf ppf "SQ (%d):@\n" (List.length t.sq);
-  List.iter
-    (fun se ->
-      Format.fprintf ppf "  seq=%d pos=%d port=%d addr=%s val=%s%s usable=%d@\n"
-        se.s_seq se.s_pos se.s_port
-        (match se.s_addr with Some a -> string_of_int a | None -> "?")
-        (match se.s_value with Some v -> string_of_int v | None -> "?")
-        (if se.s_skipped then " SKIP" else "")
-        se.s_usable_at)
-    t.sq
+  Format.fprintf ppf "LQ (%d):@\n" t.lq.ln;
+  for i = 0 to t.lq.ln - 1 do
+    let q = t.lq in
+    Format.fprintf ppf "  seq=%d pos=%d port=%d addr=%s usable=%d@\n"
+      (okey_seq q.lk.(i)) (okey_pos q.lk.(i)) q.l_port.(i)
+      (if q.l_addr.(i) >= 0 then string_of_int q.l_addr.(i) else "?")
+      q.l_usable.(i)
+  done;
+  Format.fprintf ppf "SQ (%d):@\n" t.sq.sn;
+  for i = 0 to t.sq.sn - 1 do
+    let q = t.sq in
+    Format.fprintf ppf "  seq=%d pos=%d port=%d addr=%s val=%s%s usable=%d@\n"
+      (okey_seq q.sk.(i)) (okey_pos q.sk.(i)) q.s_port.(i)
+      (if q.s_addr.(i) >= 0 then string_of_int q.s_addr.(i) else "?")
+      (if q.s_flags.(i) land 1 = 1 then string_of_int q.s_val.(i) else "?")
+      (if q.s_flags.(i) land 2 = 2 then " SKIP" else "")
+      q.s_usable.(i)
+  done

@@ -10,9 +10,18 @@
     (an older same-address store still sitting in the queue makes the load
     wait, or forwards within the same iteration), which closes the
     symmetric race without any additional search hardware — the gate reuses
-    the arbiter's comparators. *)
+    the arbiter's comparators.
+
+    Eq. 3 (opposite type) is resolved structurally: the queue keeps dense
+    views of its valid loads and valid stores (the CAM banks), so
+    {!store_violation} scans only load records and {!load_gate} only store
+    records.  Eq. 2 collapses to one integer compare on the queue's packed
+    [(seq, pos)] keys.  The [_ref] variants below fold over the whole
+    queue exactly as the paper's prose describes — the executable
+    specification the property tests hold the fast paths to. *)
 
 open Pv_memory.Portmap
+module PQ = Premature_queue
 
 (** Program-order comparison: (seq, ROM position). *)
 let older (s1, p1) (s2, p2) = s1 < s2 || (s1 = s2 && p1 < p2)
@@ -31,6 +40,13 @@ type stats = {
 let fresh_stats () =
   { checks = 0; violations = 0; gate_clear = 0; gate_forward = 0; gate_wait = 0 }
 
+let note_check stats verdict =
+  match stats with
+  | Some s ->
+      s.checks <- s.checks + 1;
+      if verdict <> None then s.violations <- s.violations + 1
+  | None -> ()
+
 (** Eqs. 2–5: a store [P_m] arriving at the arbiter detects an erroneous
     premature load [C_n] if some valid queue entry is younger (Eq. 2, with
     the ROM tie-break for equal iterations), of opposite type (Eq. 3), on
@@ -42,11 +58,85 @@ let fresh_stats () =
     conflict squashes even when the store rewrites the value the load
     already observed — address-only disambiguation, the behaviour PreVV's
     value check improves on. *)
-let store_violation ?(value_validation = true) ?stats q ~seq ~pos ~index ~value :
-    int option =
+let store_violation ?(value_validation = true) ?stats (q : PQ.t) ~seq ~pos
+    ~index ~value : int option =
+  let skey = PQ.okey ~seq ~pos in
+  (* min erring iteration over the load view; [max_int] = none found.  A
+     plain downto loop over an unboxed local — a [let rec scan] here would
+     allocate its closure on every store arrival *)
+  let worst = ref max_int in
+  for i = q.PQ.n_load - 1 downto 0 do
+    let s = Array.unsafe_get q.PQ.v_load i in
+    if
+      Array.unsafe_get q.PQ.key s > skey
+      && Array.unsafe_get q.PQ.index s = index
+      && ((not value_validation) || Array.unsafe_get q.PQ.value s <> value)
+    then worst := min !worst (PQ.okey_seq (Array.unsafe_get q.PQ.key s))
+  done;
+  let w = !worst in
+  let verdict = if w = max_int then None else Some w in
+  note_check stats verdict;
+  verdict
+
+type load_gate =
+  | Clear  (** no older store to this address is pending: read memory *)
+  | Forward of int  (** same-iteration earlier store: take its value *)
+  | Wait  (** an older uncommitted store targets this address: stall *)
+
+let note_gate stats verdict =
+  match stats with
+  | Some s -> (
+      match verdict with
+      | Clear -> s.gate_clear <- s.gate_clear + 1
+      | Forward _ -> s.gate_forward <- s.gate_forward + 1
+      | Wait -> s.gate_wait <- s.gate_wait + 1)
+  | None -> ()
+
+(** Gating of an arriving premature load against the queue.  [Wait] is the
+    no-speculation path taken after replays (the older store is already
+    queued, so speculating again would deterministically squash again);
+    [Forward] resolves an intra-iteration store→load dependence dictated
+    by the ROM order. *)
+let load_gate ?stats (q : PQ.t) ~seq ~pos ~index : load_gate =
+  let lkey = PQ.okey ~seq ~pos in
+  (* among the qualifying stores, forwarding must take the YOUNGEST one
+     still older than the load — the last write the load may observe in
+     program order (the max packed key below [lkey]); view order carries
+     no meaning, so the whole store view is scanned with early index
+     rejection (an unboxed-local loop: this runs on every premature
+     load, so it may not allocate) *)
+  let best = ref (-1) in
+  for i = q.PQ.n_store - 1 downto 0 do
+    let s = Array.unsafe_get q.PQ.v_store i in
+    let k = Array.unsafe_get q.PQ.key s in
+    if
+      k < lkey
+      && Array.unsafe_get q.PQ.index s = index
+      && (!best < 0 || k > Array.unsafe_get q.PQ.key !best)
+    then best := s
+  done;
+  let b = !best in
   let verdict =
-    Premature_queue.fold
-      (fun worst (e : Premature_queue.entry) ->
+    if b < 0 then Clear
+    else if PQ.okey_seq q.PQ.key.(b) = seq then Forward q.PQ.value.(b)
+    else Wait
+  in
+  note_gate stats verdict;
+  verdict
+
+(** {1 Reference implementations}
+
+    Whole-queue folds over materialised entries, shaped exactly like the
+    paper's prose (and this module's pre-CAM revision).  The property
+    tests check the view-scanning fast paths above against these on random
+    queue contents; they also serve fault-analysis scripts that want the
+    obviously-correct form. *)
+
+let store_violation_ref ?(value_validation = true) ?stats q ~seq ~pos ~index
+    ~value : int option =
+  let verdict =
+    PQ.fold
+      (fun worst (e : PQ.entry) ->
         if
           e.e_kind = OLoad
           && older (seq, pos) (e.e_seq, e.e_pos)
@@ -59,30 +149,13 @@ let store_violation ?(value_validation = true) ?stats q ~seq ~pos ~index ~value 
         else worst)
       None q
   in
-  (match stats with
-  | Some s ->
-      s.checks <- s.checks + 1;
-      if verdict <> None then s.violations <- s.violations + 1
-  | None -> ());
+  note_check stats verdict;
   verdict
 
-type load_gate =
-  | Clear  (** no older store to this address is pending: read memory *)
-  | Forward of int  (** same-iteration earlier store: take its value *)
-  | Wait  (** an older uncommitted store targets this address: stall *)
-
-(** Gating of an arriving premature load against the queue.  [Wait] is the
-    no-speculation path taken after replays (the older store is already
-    queued, so speculating again would deterministically squash again);
-    [Forward] resolves an intra-iteration store→load dependence dictated
-    by the ROM order. *)
-let load_gate ?stats q ~seq ~pos ~index : load_gate =
-  (* among the qualifying stores, forwarding must take the YOUNGEST one
-     still older than the load — the last write the load may observe in
-     program order; queue arrival order carries no meaning here *)
+let load_gate_ref ?stats q ~seq ~pos ~index : load_gate =
   let best =
-    Premature_queue.fold
-      (fun acc (e : Premature_queue.entry) ->
+    PQ.fold
+      (fun acc (e : PQ.entry) ->
         if
           e.e_kind = OStore && e.e_index = index
           && older (e.e_seq, e.e_pos) (seq, pos)
@@ -101,11 +174,40 @@ let load_gate ?stats q ~seq ~pos ~index : load_gate =
     | None -> Clear
     | Some (bs, _, v) -> if bs = seq then Forward v else Wait
   in
-  (match stats with
-  | Some s -> (
-      match verdict with
-      | Clear -> s.gate_clear <- s.gate_clear + 1
-      | Forward _ -> s.gate_forward <- s.gate_forward + 1
-      | Wait -> s.gate_wait <- s.gate_wait + 1)
-  | None -> ());
+  note_gate stats verdict;
   verdict
+
+(** {1 Incremental validation watermark}
+
+    The store-arrival frontier sweep (backend [validate_loads]) retires
+    every load record of an iteration the frontier has passed.  Scanning
+    the queue for them every cycle is wasted work on the many cycles where
+    nothing changed; the watermark records the frontier value the last
+    sweep ran at, so a sweep is due only when the frontier moved past it
+    — or when a {e late} load arrived behind the current frontier
+    ([dirty]), or after a squash rewound the frontier ({!wm_rewind} drags
+    the watermark down with it; without the rewind, loads admitted between
+    the squash and the frontier's re-advance would never be swept). *)
+
+type watermark = {
+  mutable wm_saf : int;  (** frontier value of the last completed sweep *)
+  mutable wm_dirty : bool;  (** a load arrived behind the swept frontier *)
+}
+
+let fresh_watermark () = { wm_saf = 0; wm_dirty = false }
+
+(** Note an admitted load: arriving behind the already-swept frontier
+    makes it immediately retirable, which a pure frontier-compare would
+    miss. *)
+let wm_note_load wm ~seq ~saf = if seq < saf then wm.wm_dirty <- true
+
+(** Squash (or record-drop fault) rewound the frontier to [saf]. *)
+let wm_rewind wm ~saf = if saf < wm.wm_saf then wm.wm_saf <- saf
+
+(** Is a retirement sweep due at frontier [saf]? *)
+let wm_pending wm ~saf = wm.wm_dirty || saf > wm.wm_saf
+
+(** A sweep at frontier [saf] completed. *)
+let wm_mark wm ~saf =
+  wm.wm_saf <- saf;
+  wm.wm_dirty <- false

@@ -1,5 +1,12 @@
 (** The arbiter's validation logic (Sec. III, Eqs. 2–5, and Sec. IV-C) as
-    pure functions over the premature queue. *)
+    pure functions over the premature queue.
+
+    Eq. 3 (opposite type) is resolved structurally: {!store_violation}
+    scans only the queue's load view and {!load_gate} only its store view
+    (the CAM banks); Eq. 2 is one integer compare on packed [(seq, pos)]
+    keys.  The [_ref] variants fold over the whole queue exactly as the
+    paper's prose describes — the executable specification the property
+    tests hold the fast paths to. *)
 
 (** Program-order comparison on (iteration, ROM position). *)
 val older : int * int -> int * int -> bool
@@ -50,3 +57,51 @@ type load_gate =
     intra-iteration store-to-load dependence dictated by the ROM order. *)
 val load_gate :
   ?stats:stats -> Premature_queue.t -> seq:int -> pos:int -> index:int -> load_gate
+
+(** {1 Reference implementations}
+
+    Whole-queue folds over materialised entries — the executable
+    specification; the property tests check the view-scanning fast paths
+    against these on random queue contents. *)
+
+val store_violation_ref :
+  ?value_validation:bool ->
+  ?stats:stats ->
+  Premature_queue.t ->
+  seq:int ->
+  pos:int ->
+  index:int ->
+  value:int ->
+  int option
+
+val load_gate_ref :
+  ?stats:stats -> Premature_queue.t -> seq:int -> pos:int -> index:int -> load_gate
+
+(** {1 Incremental validation watermark}
+
+    Bookkeeping that lets the backend's per-cycle load-retirement sweep
+    run only when it can retire something: when the store-arrival frontier
+    moved past the last swept value, when a late load arrived behind it,
+    or after a squash rewound it (the rewind drags the watermark down, so
+    the frontier's re-advance is seen as fresh progress). *)
+
+type watermark = {
+  mutable wm_saf : int;  (** frontier value of the last completed sweep *)
+  mutable wm_dirty : bool;  (** a load arrived behind the swept frontier *)
+}
+
+val fresh_watermark : unit -> watermark
+
+(** Note an admitted load: arriving behind the already-swept frontier
+    makes it immediately retirable, which a pure frontier compare would
+    miss. *)
+val wm_note_load : watermark -> seq:int -> saf:int -> unit
+
+(** A squash (or record-drop fault) rewound the frontier to [saf]. *)
+val wm_rewind : watermark -> saf:int -> unit
+
+(** Is a retirement sweep due at frontier [saf]? *)
+val wm_pending : watermark -> saf:int -> bool
+
+(** A sweep at frontier [saf] completed. *)
+val wm_mark : watermark -> saf:int -> unit

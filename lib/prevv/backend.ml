@@ -12,6 +12,7 @@
     reproduces the deadlock of Fig. 6. *)
 
 open Pv_memory
+module Token = Pv_dataflow.Types.Token
 
 type config = {
   depth_q : int;  (** premature queue depth ([Depth_q] of Sec. IV-B) *)
@@ -63,7 +64,10 @@ type inst = {
           outstanding records than its quota, so no port can race ahead
           and starve the others out of the queue. *)
   reserve_unused : int;  (** kept for reporting: max ops per iteration *)
-  outstanding : (int, int ref) Hashtbl.t;  (** port -> live records *)
+  out_cnt : int array;  (** port -> live (outstanding) records *)
+  pos_tbl : int array array;
+      (** group -> port -> ROM position, [-1] for non-members: the per-op
+          [pos_of] lookup with no hashing and no [rom_pos] scan *)
   member_mask : int array;  (** group -> bitmask of member port ids *)
   store_mask : int array;  (** group -> bitmask of member {e store} ports *)
   stores_before : int array array;
@@ -80,6 +84,13 @@ type inst = {
           (Eqs. 2-5), so it leaves the queue long before the commit
           frontier reaches it.  Stores retire at commit. *)
   arrivals : (int, int ref) Hashtbl.t;  (** seq -> arrived-port bitmask *)
+  wm : Arbiter.watermark;
+      (** incremental-validation watermark: the retirement sweep of
+          [validate_loads] runs only when [saf] moved past it, a late load
+          arrived behind it, or a squash rewound it *)
+  release_port : int -> unit;
+      (** pre-allocated per-port credit release, handed to the queue's
+          retirement sweeps so the per-cycle paths build no entry lists *)
 }
 
 type t = {
@@ -89,8 +100,9 @@ type t = {
   stats : Pv_dataflow.Memif.stats;
   insts : inst array;
   group_of : (int, int) Hashtbl.t;  (** seq -> group, set by the allocator *)
-  resp : (int, Pv_dataflow.Ring.t) Hashtbl.t;
-      (** port -> ring of (ready_at, seq, value) records, request order *)
+  resp : Pv_dataflow.Ring.t array;
+      (** port -> ring of (ready_at, packed token key, value) records,
+          request order *)
   mutable now : int;
   mutable pending_squash : int option;
   mutable frontier : int;
@@ -117,6 +129,16 @@ type t = {
      is two array sweeps instead of two hashtable iterations *)
   mutable read_refs : int ref array;
   mutable write_refs : int ref array;
+  (* port -> its array's budget ref, plus dense array ids and commit-path
+     scratch: the per-op budget checks and the per-commit store collection
+     run with no string hashing and no boxed entries *)
+  mutable port_read : int ref array;
+  mutable port_write : int ref array;
+  mutable port_aid : int array;  (* port -> dense array id *)
+  mutable aid_write : int ref array;  (* array id -> write budget ref *)
+  mutable aid_need : int array;  (* scratch: per-array write demand *)
+  mutable c_inst : int array;  (* scratch: instance of collected store *)
+  mutable c_slot : int array;  (* scratch: queue slot of collected store *)
   (* observability: arbiter decision tallies, event sink (Trace.null unless
      a sink was passed to [create_full]), last emitted counter samples *)
   arb_stats : Arbiter.stats;
@@ -126,23 +148,12 @@ type t = {
   mutable last_frontier : int;
 }
 
-let take_budget tbl array =
-  match Hashtbl.find_opt tbl array with
-  | Some r when !r > 0 ->
-      decr r;
-      true
-  | _ -> false
-
-let peek_budget tbl array =
-  match Hashtbl.find_opt tbl array with Some r -> !r | None -> 0
-
-let outstanding inst port =
-  match Hashtbl.find_opt inst.outstanding port with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.replace inst.outstanding port r;
-      r
+let take_ref r =
+  if !r > 0 then begin
+    decr r;
+    true
+  end
+  else false
 
 let mark_arrival inst ~seq ~port =
   match Hashtbl.find_opt inst.arrivals seq with
@@ -161,16 +172,8 @@ let rec popcount x acc = if x = 0 then acc else popcount (x land (x - 1)) (acc +
 let read_mem t addr =
   if addr >= 0 && addr < Array.length t.mem then t.mem.(addr) else 0
 
-let respond t ~port ~ready_at ~seq ~value =
-  let q =
-    match Hashtbl.find_opt t.resp port with
-    | Some q -> q
-    | None ->
-        let q = Pv_dataflow.Ring.create ~stride:3 8 in
-        Hashtbl.replace t.resp port q;
-        q
-  in
-  Pv_dataflow.Ring.push3 q ready_at seq value
+let respond t ~port ~ready_at ~key ~value =
+  Pv_dataflow.Ring.push3 t.resp.(port) ready_at key value
 
 let note_occupancy t =
   let o =
@@ -209,7 +212,7 @@ let frontier_reserve t inst =
 let has_room t inst ~port ~seq =
   if seq <= t.frontier then not (Premature_queue.is_full inst.q)
   else
-    !(outstanding inst port) < inst.quota
+    inst.out_cnt.(port) < inst.quota
     && Premature_queue.occupancy inst.q
        < t.cfg.depth_q - frontier_reserve t inst
 
@@ -242,9 +245,8 @@ let release t inst (retired : Premature_queue.entry list) =
   ignore t;
   List.iter
     (fun (e : Premature_queue.entry) ->
-      match Hashtbl.find_opt inst.outstanding e.Premature_queue.e_port with
-      | Some r -> decr r
-      | None -> ())
+      let p = e.Premature_queue.e_port in
+      if inst.out_cnt.(p) > 0 then inst.out_cnt.(p) <- inst.out_cnt.(p) - 1)
     retired
 
 (* Advance the store-arrival frontier and retire validated load records:
@@ -253,11 +255,6 @@ let release t inst (retired : Premature_queue.entry list) =
    accuse the load, so its record leaves the queue.  Stores stay until the
    commit frontier writes them back. *)
 let validate_loads t inst =
-  (* the retirement pass below walks the whole queue: premature-value
-     validation work, attributed per record scanned *)
-  if Pv_obs.Prof.enabled t.prof then
-    Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_pq_validate
-      (Premature_queue.occupancy inst.q);
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt t.group_of inst.saf with
@@ -268,15 +265,34 @@ let validate_loads t inst =
           inst.saf <- inst.saf + 1
         else continue := false
   done;
-  let retired =
-    Premature_queue.retire_if inst.q (fun (e : Premature_queue.entry) ->
-        e.Premature_queue.e_kind = Portmap.OLoad
-        && e.Premature_queue.e_seq < inst.saf
-        && not
-             (same_seq_store_pending t inst ~seq:e.Premature_queue.e_seq
-                ~pos:e.Premature_queue.e_pos))
-  in
-  release t inst retired
+  (* Retire every load record the frontier has passed.  Once [saf] is
+     beyond an iteration, all of its member stores have arrived, so no
+     same-iteration earlier store can still be missing — the sweep
+     predicate is one key compare.  The watermark skips the sweep on the
+     (common) cycles where the frontier sat still and no late load
+     arrived; cost is attributed per record actually scanned, so the
+     pq_validate phase now measures real validation work rather than
+     queue-polling overhead. *)
+  if Arbiter.wm_pending inst.wm ~saf:inst.saf then begin
+    if Pv_obs.Prof.enabled t.prof then
+      Pv_obs.Prof.add t.prof ~phase:Pv_obs.Prof.phase_pq_validate
+        inst.q.Premature_queue.n_load;
+    ignore
+      (Premature_queue.retire_loads_below inst.q ~seq:inst.saf
+         ~on_port:inst.release_port
+        : int);
+    Arbiter.wm_mark inst.wm ~saf:inst.saf
+  end
+
+(* commit-path scratch accessors: ROM position / port of the [a]-th
+   collected store record *)
+let c_pos t a =
+  Premature_queue.okey_pos
+    t.insts.(t.c_inst.(a)).q.Premature_queue.key.(t.c_slot.(a))
+
+let c_port t a =
+  Premature_queue.m_port
+    t.insts.(t.c_inst.(a)).q.Premature_queue.meta.(t.c_slot.(a))
 
 (* Advance the global commit frontier: a body instance retires when every
    disambiguation instance has seen all of its member operations (arrivals
@@ -305,61 +321,68 @@ let advance_frontier t =
           in
           if not complete then continue := false
           else begin
-            (* collect all store records of this body instance, ROM order
-               within each disambiguation instance *)
-            let stores = ref [] in
-            Array.iter
-              (fun inst ->
-                Premature_queue.iter
-                  (fun (e : Premature_queue.entry) ->
-                    if e.e_seq = s && e.e_kind = Portmap.OStore then
-                      stores := e :: !stores)
-                  inst.q)
-              t.insts;
-            let stores =
-              List.sort
-                (fun (a : Premature_queue.entry) b -> compare a.e_pos b.e_pos)
-                (List.rev !stores)
-            in
-            let bw_ok =
-              (* every store of the instance needs a write port this cycle;
-                 the store list is a handful of entries, so per-array demand
-                 is counted by rescanning it rather than building a map *)
-              List.for_all
-                (fun (e : Premature_queue.entry) ->
-                  let a = (Portmap.port t.pm e.e_port).Portmap.array in
-                  let n =
-                    List.fold_left
-                      (fun acc (e2 : Premature_queue.entry) ->
-                        if
-                          String.equal
-                            (Portmap.port t.pm e2.e_port).Portmap.array a
-                        then acc + 1
-                        else acc)
-                      0 stores
-                  in
-                  peek_budget t.writes a >= n)
-                stores
-            in
-            if stores <> [] && (!budget = 0 || not bw_ok) then continue := false
+            (* collect the body instance's store records straight from the
+               packed store views into preallocated scratch (slot numbers,
+               no boxed entries), then insertion-sort by ROM position *)
+            let k = ref 0 in
+            for ii = 0 to Array.length t.insts - 1 do
+              let q = t.insts.(ii).q in
+              for vi = 0 to q.Premature_queue.n_store - 1 do
+                let slot = q.Premature_queue.v_store.(vi) in
+                if Premature_queue.okey_seq q.Premature_queue.key.(slot) = s
+                then begin
+                  t.c_inst.(!k) <- ii;
+                  t.c_slot.(!k) <- slot;
+                  incr k
+                end
+              done
+            done;
+            let k = !k in
+            for a = 1 to k - 1 do
+              let ci = t.c_inst.(a) and cs = t.c_slot.(a) in
+              let p =
+                Premature_queue.okey_pos t.insts.(ci).q.Premature_queue.key.(cs)
+              in
+              let b = ref (a - 1) in
+              while !b >= 0 && c_pos t !b > p do
+                t.c_inst.(!b + 1) <- t.c_inst.(!b);
+                t.c_slot.(!b + 1) <- t.c_slot.(!b);
+                decr b
+              done;
+              t.c_inst.(!b + 1) <- ci;
+              t.c_slot.(!b + 1) <- cs
+            done;
+            (* every store of the instance needs a write port this cycle:
+               tally the per-array demand and compare against the budgets *)
+            let bw_ok = ref true in
+            if k > 0 then begin
+              Array.fill t.aid_need 0 (Array.length t.aid_need) 0;
+              for a = 0 to k - 1 do
+                let aid = t.port_aid.(c_port t a) in
+                t.aid_need.(aid) <- t.aid_need.(aid) + 1
+              done;
+              for aid = 0 to Array.length t.aid_need - 1 do
+                if t.aid_need.(aid) > !(t.aid_write.(aid)) then bw_ok := false
+              done
+            end;
+            if k > 0 && (!budget = 0 || not !bw_ok) then continue := false
             else begin
-              List.iter
-                (fun (e : Premature_queue.entry) ->
-                  ignore
-                    (take_budget t.writes (Portmap.port t.pm e.e_port).Portmap.array);
-                  t.mem.(e.e_index) <- e.e_value)
-                stores;
-              if stores <> [] then decr budget;
-              Array.iter
-                (fun inst ->
-                  let retired =
-                    Premature_queue.retire_if inst.q
-                      (fun (e : Premature_queue.entry) ->
-                        e.Premature_queue.e_seq = s)
-                  in
-                  release t inst retired;
-                  Hashtbl.remove inst.arrivals s)
-                t.insts;
+              for a = 0 to k - 1 do
+                let q = t.insts.(t.c_inst.(a)).q in
+                let slot = t.c_slot.(a) in
+                decr t.port_write.(c_port t a);
+                t.mem.(q.Premature_queue.index.(slot)) <-
+                  q.Premature_queue.value.(slot)
+              done;
+              if k > 0 then decr budget;
+              for ii = 0 to Array.length t.insts - 1 do
+                let inst = t.insts.(ii) in
+                ignore
+                  (Premature_queue.retire_eq inst.q ~seq:s
+                     ~on_port:inst.release_port
+                    : int);
+                Hashtbl.remove inst.arrivals s
+              done;
               t.frontier <- s + 1;
               if t.strict_seq < t.frontier then t.strict_seq <- -1
             end
@@ -434,6 +457,13 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
                       ports;
                     sb)
               in
+              let out_cnt = Array.make (Array.length pm.Portmap.ports) 0 in
+              let pos_tbl =
+                Array.init n_groups (fun g ->
+                    let tbl = Array.make (Array.length pm.Portmap.ports) (-1) in
+                    Array.iteri (fun p pid -> tbl.(pid) <- p) rom.(g);
+                    tbl)
+              in
               {
                 id;
                 q = Premature_queue.create ~collapse:cfg.collapse_queue cfg.depth_q;
@@ -444,16 +474,24 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
                           (float_of_int (cfg.depth_q - n_stores)
                           /. float_of_int n_loads)));
                 reserve_unused = max_ops;
-                outstanding = Hashtbl.create 8;
+                out_cnt;
+                pos_tbl;
                 member_mask;
                 store_mask;
                 stores_before;
                 saf = 0;
                 arrivals = Hashtbl.create 64;
+                wm = Arbiter.fresh_watermark ();
+                release_port =
+                  (fun port ->
+                    if out_cnt.(port) > 0 then
+                      out_cnt.(port) <- out_cnt.(port) - 1);
               }
             end);
       group_of = Hashtbl.create 1024;
-      resp = Hashtbl.create 16;
+      resp =
+        Array.init (Array.length pm.Portmap.ports) (fun _ ->
+            Pv_dataflow.Ring.create ~stride:3 8);
       now = 0;
       pending_squash = None;
       frontier = 0;
@@ -467,6 +505,13 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
       writes = Hashtbl.create 8;
       read_refs = [||];
       write_refs = [||];
+      port_read = [||];
+      port_write = [||];
+      port_aid = [||];
+      aid_write = [||];
+      aid_need = [||];
+      c_inst = [||];
+      c_slot = [||];
       arb_stats = Arbiter.fresh_stats ();
       trace;
       prof;
@@ -485,6 +530,38 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
     Array.of_list (Hashtbl.fold (fun _ r acc -> r :: acc) t.reads []);
   t.write_refs <-
     Array.of_list (Hashtbl.fold (fun _ r acc -> r :: acc) t.writes []);
+  (* port -> budget ref and dense array-id tables, plus commit scratch:
+     assign each distinct array a dense id in first-port order *)
+  let n_ports = Array.length pm.Portmap.ports in
+  let aid_of = Hashtbl.create 8 in
+  let aids = ref [] in
+  Array.iter
+    (fun (p : Portmap.port) ->
+      if not (Hashtbl.mem aid_of p.Portmap.array) then begin
+        Hashtbl.replace aid_of p.Portmap.array (Hashtbl.length aid_of);
+        aids := p.Portmap.array :: !aids
+      end)
+    pm.Portmap.ports;
+  let n_arrays = Hashtbl.length aid_of in
+  t.port_read <-
+    Array.init n_ports (fun p ->
+        Hashtbl.find t.reads (Portmap.port pm p).Portmap.array);
+  t.port_write <-
+    Array.init n_ports (fun p ->
+        Hashtbl.find t.writes (Portmap.port pm p).Portmap.array);
+  t.port_aid <-
+    Array.init n_ports (fun p ->
+        Hashtbl.find aid_of (Portmap.port pm p).Portmap.array);
+  t.aid_write <-
+    (let by_aid = Array.make (max n_arrays 1) (ref 0) in
+     List.iter
+       (fun name ->
+         by_aid.(Hashtbl.find aid_of name) <- Hashtbl.find t.writes name)
+       !aids;
+     by_aid);
+  t.aid_need <- Array.make (max n_arrays 1) 0;
+  t.c_inst <- Array.make (max n_ports 1) 0;
+  t.c_slot <- Array.make (max n_ports 1) 0;
   let inst_of_port port =
     match (Portmap.port pm port).Portmap.instance with
     | Some i -> Some t.insts.(i)
@@ -492,12 +569,12 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
   in
   let pos_of ~inst ~seq ~port =
     let group = Hashtbl.find t.group_of seq in
-    match Portmap.rom_pos pm ~inst ~group ~port with
-    | Some p -> p
-    | None ->
-        invalid_arg
-          (Printf.sprintf "PreVV: port %d not in ROM of instance %d group %d"
-             port inst group)
+    let p = t.insts.(inst).pos_tbl.(group).(port) in
+    if p >= 0 then p
+    else
+      invalid_arg
+        (Printf.sprintf "PreVV: port %d not in ROM of instance %d group %d"
+           port inst group)
   in
   let note_arrival seq =
     if seq <= t.replay_until then
@@ -509,13 +586,14 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
     Hashtbl.replace t.group_of seq group;
     true
   in
-  let load_req ~port ~seq ~addr =
+  let load_req ~port ~key ~addr =
+    let seq = Token.seq key in
     match inst_of_port port with
     | None ->
-        if take_budget t.reads (Portmap.port t.pm port).Portmap.array then begin
+        if take_ref t.port_read.(port) then begin
           t.stats.Pv_dataflow.Memif.loads <- t.stats.Pv_dataflow.Memif.loads + 1;
           Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
-          respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~seq
+          respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~key
             ~value:(read_mem t addr);
           true
         end
@@ -526,10 +604,11 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
         end
     | Some inst -> (
         let pos = pos_of ~inst:inst.id ~seq ~port in
-        (* the gate folds over every queue record: one scan unit each *)
+        (* the gate scans the store view only (Eq. 3 resolved
+           structurally): one scan unit per record actually compared *)
         if Pv_obs.Prof.enabled prof then
           Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_arbiter_scan
-            (Premature_queue.occupancy inst.q);
+            inst.q.Premature_queue.n_store;
         match Arbiter.load_gate ~stats:t.arb_stats inst.q ~seq ~pos ~index:addr with
         | Arbiter.Wait ->
             t.stats.Pv_dataflow.Memif.stall_order <-
@@ -548,27 +627,28 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
                 t.stats.Pv_dataflow.Memif.stall_full + 1;
               false
             end
+            else if
+              not
+                (Premature_queue.record inst.q ~seq ~pos ~port
+                   ~kind:Portmap.OLoad ~index:addr ~value:v)
+            then begin
+              t.stats.Pv_dataflow.Memif.stall_full <-
+                t.stats.Pv_dataflow.Memif.stall_full + 1;
+              false
+            end
             else begin
-              match
-                Premature_queue.push_opt inst.q ~seq ~pos ~port
-                  ~kind:Portmap.OLoad ~index:addr ~value:v
-              with
-              | None ->
-                  t.stats.Pv_dataflow.Memif.stall_full <-
-                    t.stats.Pv_dataflow.Memif.stall_full + 1;
-                  false
-              | Some _ ->
-                  incr (outstanding inst port);
-                  mark_arrival inst ~seq ~port;
-                  note_arrival seq;
-                  respond t ~port ~ready_at:(t.now + 1) ~seq ~value:v;
-                  t.stats.Pv_dataflow.Memif.forwarded <-
-                    t.stats.Pv_dataflow.Memif.forwarded + 1;
-                  t.stats.Pv_dataflow.Memif.loads <-
-                    t.stats.Pv_dataflow.Memif.loads + 1;
-                  Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
-                  note_occupancy t;
-                  true
+              Arbiter.wm_note_load inst.wm ~seq ~saf:inst.saf;
+              inst.out_cnt.(port) <- inst.out_cnt.(port) + 1;
+              mark_arrival inst ~seq ~port;
+              note_arrival seq;
+              respond t ~port ~ready_at:(t.now + 1) ~key ~value:v;
+              t.stats.Pv_dataflow.Memif.forwarded <-
+                t.stats.Pv_dataflow.Memif.forwarded + 1;
+              t.stats.Pv_dataflow.Memif.loads <-
+                t.stats.Pv_dataflow.Memif.loads + 1;
+              Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
+              note_occupancy t;
+              true
             end
         | Arbiter.Clear ->
             if
@@ -584,7 +664,7 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
                 t.stats.Pv_dataflow.Memif.stall_full + 1;
               false
             end
-            else if not (take_budget t.reads (Portmap.port t.pm port).Portmap.array)
+            else if not (take_ref t.port_read.(port))
             then begin
               t.stats.Pv_dataflow.Memif.stall_bw <-
                 t.stats.Pv_dataflow.Memif.stall_bw + 1;
@@ -592,31 +672,35 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
             end
             else begin
               let v = read_mem t addr in
-              match
-                Premature_queue.push_opt inst.q ~seq ~pos ~port
-                  ~kind:Portmap.OLoad ~index:addr ~value:v
-              with
-              | None ->
-                  t.stats.Pv_dataflow.Memif.stall_full <-
-                    t.stats.Pv_dataflow.Memif.stall_full + 1;
-                  false
-              | Some _ ->
-                  incr (outstanding inst port);
-                  mark_arrival inst ~seq ~port;
-                  note_arrival seq;
-                  respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~seq
-                    ~value:v;
-                  t.stats.Pv_dataflow.Memif.loads <-
-                    t.stats.Pv_dataflow.Memif.loads + 1;
-                  Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
-                  note_occupancy t;
-                  true
+              if
+                not
+                  (Premature_queue.record inst.q ~seq ~pos ~port
+                     ~kind:Portmap.OLoad ~index:addr ~value:v)
+              then begin
+                t.stats.Pv_dataflow.Memif.stall_full <-
+                  t.stats.Pv_dataflow.Memif.stall_full + 1;
+                false
+              end
+              else begin
+                Arbiter.wm_note_load inst.wm ~seq ~saf:inst.saf;
+                inst.out_cnt.(port) <- inst.out_cnt.(port) + 1;
+                mark_arrival inst ~seq ~port;
+                note_arrival seq;
+                respond t ~port ~ready_at:(t.now + cfg.mem_latency) ~key
+                  ~value:v;
+                t.stats.Pv_dataflow.Memif.loads <-
+                  t.stats.Pv_dataflow.Memif.loads + 1;
+                Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
+                note_occupancy t;
+                true
+              end
             end)
   in
-  let store_req ~port ~seq ~addr ~value =
+  let store_req ~port ~key ~addr ~value =
+    let seq = Token.seq key in
     match inst_of_port port with
     | None ->
-        if take_budget t.writes (Portmap.port t.pm port).Portmap.array then begin
+        if take_ref t.port_write.(port) then begin
           t.stats.Pv_dataflow.Memif.stores <-
             t.stats.Pv_dataflow.Memif.stores + 1;
           Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
@@ -636,10 +720,11 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
         end
         else begin
           let pos = pos_of ~inst:inst.id ~seq ~port in
-          (* violation checking folds over every queue record *)
+          (* violation checking scans the load view only (Eq. 3 resolved
+             structurally): one unit per record actually compared *)
           if Pv_obs.Prof.enabled prof then
             Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_pq_validate
-              (Premature_queue.occupancy inst.q);
+              inst.q.Premature_queue.n_load;
           let violation =
             Arbiter.store_violation ~value_validation:t.cfg.value_validation
               ~stats:t.arb_stats inst.q ~seq ~pos ~index:addr ~value
@@ -656,29 +741,32 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
                   "violation"
             | None -> ()
           end;
-          match
-            Premature_queue.push_opt inst.q ~seq ~pos ~port ~kind:Portmap.OStore
-              ~index:addr ~value
-          with
-          | None ->
-              t.stats.Pv_dataflow.Memif.stall_full <-
-                t.stats.Pv_dataflow.Memif.stall_full + 1;
-              false
-          | Some _ ->
-              (match violation with
-              | Some seq_err -> raise_squash t seq_err
-              | None -> ());
-              incr (outstanding inst port);
-              mark_arrival inst ~seq ~port;
-              note_arrival seq;
-              t.stats.Pv_dataflow.Memif.stores <-
-                t.stats.Pv_dataflow.Memif.stores + 1;
-              Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
-              note_occupancy t;
-              true
+          if
+            not
+              (Premature_queue.record inst.q ~seq ~pos ~port
+                 ~kind:Portmap.OStore ~index:addr ~value)
+          then begin
+            t.stats.Pv_dataflow.Memif.stall_full <-
+              t.stats.Pv_dataflow.Memif.stall_full + 1;
+            false
+          end
+          else begin
+            (match violation with
+            | Some seq_err -> raise_squash t seq_err
+            | None -> ());
+            inst.out_cnt.(port) <- inst.out_cnt.(port) + 1;
+            mark_arrival inst ~seq ~port;
+            note_arrival seq;
+            t.stats.Pv_dataflow.Memif.stores <-
+              t.stats.Pv_dataflow.Memif.stores + 1;
+            Pv_obs.Prof.add prof ~phase:Pv_obs.Prof.phase_mem_service 1;
+            note_occupancy t;
+            true
+          end
         end
   in
-  let op_skip ~port ~seq =
+  let op_skip ~port ~key =
+    let seq = Token.seq key in
     match inst_of_port port with
     | None -> true
     | Some inst ->
@@ -723,13 +811,15 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
         t.strict_seq <- err;
         Array.iter
           (fun inst ->
-            let retired =
-              Premature_queue.retire_if inst.q
-                (fun (e : Premature_queue.entry) ->
-                  e.Premature_queue.e_seq >= err)
-            in
-            release t inst retired;
+            ignore
+              (Premature_queue.retire_ge inst.q ~seq:err
+                 ~on_port:inst.release_port
+                : int);
             if inst.saf > err then inst.saf <- err;
+            (* squash rewind: drag the validation watermark down with the
+               frontier, else loads admitted during the replay would never
+               be swept (the frontier's re-advance would look stale) *)
+            Arbiter.wm_rewind inst.wm ~saf:inst.saf;
             let stale =
               Hashtbl.fold
                 (fun s _ acc -> if s >= err then s :: acc else acc)
@@ -737,9 +827,14 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
             in
             List.iter (Hashtbl.remove inst.arrivals) stale)
           t.insts;
-        Hashtbl.iter
-          (fun _ q ->
-            ignore (Pv_dataflow.Ring.reject_ge q ~field:1 ~cutoff:err : int))
+        (* response rings carry packed keys in field 1: purge everything at
+           or beyond the erring iteration by key order *)
+        Array.iter
+          (fun q ->
+            ignore
+              (Pv_dataflow.Ring.reject_ge q ~field:1
+                 ~cutoff:(Token.first ~seq:err)
+                : int))
           t.resp;
         t.replay_until <- t.max_arrived;
         Some err
@@ -761,20 +856,19 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
     t.now <- t.now + 1
   in
   let load_poll ~port out =
-    match Hashtbl.find_opt t.resp port with
-    | Some q when not (Pv_dataflow.Ring.is_empty q) ->
-        Pv_dataflow.Ring.get q 0 0 <= t.now
-        && begin
-             out.Pv_dataflow.Memif.ls_seq <- Pv_dataflow.Ring.get q 0 1;
-             out.Pv_dataflow.Memif.ls_value <- Pv_dataflow.Ring.get q 0 2;
-             Pv_dataflow.Ring.pop q;
-             true
-           end
-    | _ -> false
+    let q = t.resp.(port) in
+    (not (Pv_dataflow.Ring.is_empty q))
+    && Pv_dataflow.Ring.get q 0 0 <= t.now
+    && begin
+         out.Pv_dataflow.Memif.ls_key <- Pv_dataflow.Ring.get q 0 1;
+         out.Pv_dataflow.Memif.ls_value <- Pv_dataflow.Ring.get q 0 2;
+         Pv_dataflow.Ring.pop q;
+         true
+       end
   in
   let quiesced () =
     Array.for_all (fun inst -> Premature_queue.is_empty inst.q) t.insts
-    && Hashtbl.fold (fun _ q acc -> acc && Pv_dataflow.Ring.is_empty q) t.resp true
+    && Array.for_all Pv_dataflow.Ring.is_empty t.resp
     && t.pending_squash = None
   in
   let inject (b : Pv_dataflow.Fault.backend_action) =
@@ -818,6 +912,9 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
                 | None -> ());
                 if i.saf > e.Premature_queue.e_seq then
                   i.saf <- e.Premature_queue.e_seq;
+                (* same watermark rewind as a squash: the frontier moved
+                   backwards, so its re-advance must trigger a sweep *)
+                Arbiter.wm_rewind i.wm ~saf:i.saf;
                 true
           end
     in
@@ -843,11 +940,11 @@ let create_full ?(trace = Pv_obs.Trace.null) ?(prof = Pv_obs.Prof.null)
   ( t,
     {
       Pv_dataflow.Memif.begin_instance;
-      alloc_group = (fun ~seq:_ ~group:_ -> true);
+      alloc_group = (fun ~key:_ ~group:_ -> true);
       load_req;
       load_poll;
       store_req;
-      store_addr = (fun ~port:_ ~seq:_ ~addr:_ -> ());
+      store_addr = (fun ~port:_ ~key:_ ~addr:_ -> ());
       op_skip;
       poll_squash;
       clock;

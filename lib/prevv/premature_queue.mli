@@ -7,10 +7,20 @@
     default the queue {e collapses} such interior gaps (a shift/valid-bit
     structure, as real load/store queues use) — without collapsing,
     fragmentation eventually wedges the oldest iteration out of the queue
-    and deadlocks the pipeline (kept available as an ablation). *)
+    and deadlocks the pipeline (kept available as an ablation).
+
+    Records live in four parallel int arrays rather than boxed cells, and
+    the queue maintains dense {e kind views} ([v_load]/[v_store]: the slot
+    numbers of all valid records of each kind) mirroring the CAM banks a
+    hardware arbiter searches — an arriving store only accuses loads
+    (Eq. 3) and the load gate only looks for stores, so each arbiter check
+    touches exactly the opposite-kind records instead of the whole
+    queue. *)
 
 (** One premature record — the four properties of Eq. 1 plus the ROM
-    position used for same-iteration ordering. *)
+    position used for same-iteration ordering.  A materialised (boxed)
+    view of a queue slot, built on demand for tests, dumps and fault
+    hooks; the flat arrays below are the state proper. *)
 type entry = {
   e_seq : int;  (** iteration (body-instance) number: [iter] of Eq. 1 *)
   e_pos : int;  (** ROM position within the group (same-iteration order) *)
@@ -21,10 +31,38 @@ type entry = {
   mutable e_valid : bool;
 }
 
+(** {1 Packed program-order keys}
+
+    [(seq, ROM position)] in one word, so Eq. 2's strictly-older test — a
+    lexicographic comparison — is a single integer compare.  Six position
+    bits cover the 62-port arrival-bitmask limit the backend enforces. *)
+
+val pos_bits : int
+val max_pos : int
+
+val okey : seq:int -> pos:int -> int
+val okey_seq : int -> int
+val okey_pos : int -> int
+
+(** Metadata-word accessors (bit 0 = valid, bit 1 = store?, rest = port). *)
+
+val m_valid : int -> bool
+
+val m_store : int -> bool
+val m_port : int -> int
+
 type t = private {
-  buf : entry option array;
   depth : int;
   collapse : bool;
+  key : int array;  (** slot -> packed (seq, pos); see {!okey} *)
+  meta : int array;  (** slot -> packed (port, kind, valid); 0 when free *)
+  index : int array;
+  value : int array;
+  vpos : int array;  (** slot -> position inside its kind view *)
+  v_load : int array;  (** slots of valid load records, unordered *)
+  v_store : int array;  (** slots of valid store records, unordered *)
+  mutable n_load : int;
+  mutable n_store : int;
   mutable head : int;
   mutable tail : int;
   mutable count : int;  (** occupied slots, including invalidated ones *)
@@ -46,9 +84,22 @@ val state : t -> [ `Empty | `Normal | `Wrapped | `Full ]
 
 exception Full
 
-(** Record a premature operation at the tail.  Production callers should
-    use {!push_opt}; the raising variant exists for tests and demos that
-    want the overflow to be loud.
+(** Allocation-free admission: [false] when the queue is full, so callers
+    turn a full queue into ordinary backpressure.  The production
+    (backend) entry point; the boxed variants below serve tests and demos.
+    @raise Invalid_argument when [pos] exceeds {!max_pos}. *)
+val record :
+  t ->
+  seq:int ->
+  pos:int ->
+  port:int ->
+  kind:Pv_memory.Portmap.op_kind ->
+  index:int ->
+  value:int ->
+  bool
+
+(** Record a premature operation at the tail and return its materialised
+    view.
     @raise Full when the queue has no free slot (backpressure). *)
 val push_exn :
   t ->
@@ -72,8 +123,9 @@ val push_opt :
   value:int ->
   entry option
 
-(** Iterate over valid entries from head to tail (arrival order) — exactly
-    the arbiter's search direction. *)
+(** Iterate over valid entries from head to tail (arrival order).  Each
+    visit materialises a boxed {!entry}: commit/dump/test paths only — the
+    arbiter reads the kind views and flat arrays directly. *)
 val iter : (entry -> unit) -> t -> unit
 
 val fold : ('a -> entry -> 'a) -> 'a -> t -> 'a
@@ -84,6 +136,22 @@ val to_list : t -> entry list
     their slots; returns the retired entries (so callers can release
     per-port credits). *)
 val retire_if : t -> (entry -> bool) -> entry list
+
+(** {1 Allocation-free retirement sweeps}
+
+    The backend's per-cycle paths: one pass over the occupied region,
+    [on_port] fired once per retiree (for per-port credit release), one
+    compaction, no materialised list.  Each returns the retiree count. *)
+
+(** Retire every valid {e load} with [e_seq < seq] — the store-arrival
+    frontier sweep. *)
+val retire_loads_below : t -> seq:int -> on_port:(int -> unit) -> int
+
+(** Retire all valid entries of exactly [seq] (commit of an instance). *)
+val retire_eq : t -> seq:int -> on_port:(int -> unit) -> int
+
+(** Retire all valid entries with [e_seq >= seq] (pipeline squash). *)
+val retire_ge : t -> seq:int -> on_port:(int -> unit) -> int
 
 (** Invalidate all valid entries with [e_seq >= seq] (pipeline squash). *)
 val invalidate_from : t -> seq:int -> unit

@@ -140,10 +140,18 @@ let prop_gate_youngest =
     QCheck.(pair (list_of_size Gen.(int_range 0 8) entry_gen)
               (pair (int_range 0 4) (int_range 0 3)))
     (fun (raw, (seq, pos)) ->
+      (* one record per (seq, pos): the backend never holds two records of
+         one ROM slot, and a duplicate key would make the youngest-store
+         tie-break depend on arrival order *)
+      let seen = Hashtbl.create 16 in
       let entries =
-        List.map
+        List.filter_map
           (fun (s, p, is_store, (idx, v)) ->
-            ((s, p, (if is_store then PM.OStore else PM.OLoad), idx, v)))
+            if Hashtbl.mem seen (s, p) then None
+            else begin
+              Hashtbl.add seen (s, p) ();
+              Some (s, p, (if is_store then PM.OStore else PM.OLoad), idx, v)
+            end)
           raw
       in
       let index = 1 in
@@ -191,6 +199,104 @@ let prop_violation_iff_conditions =
       in
       got = expect)
 
+(* property: the view-scanning fast paths agree with the whole-queue
+   reference folds on random queue contents, including interleaved
+   retirements (which exercise the kind views through swap-removal and
+   compaction).  Entries are deduplicated by (seq, pos): the backend never
+   holds two records of one ROM slot, and forwarding ties between
+   duplicate keys would otherwise be resolved by arrival order in one
+   implementation and view order in the other. *)
+let prop_fast_matches_ref =
+  let entry_gen =
+    QCheck.(
+      pair
+        (quad (int_range 0 4) (int_range 0 3) bool
+           (pair (int_range 0 2) (int_range 0 99)))
+        bool)
+  in
+  QCheck.Test.make ~count:1000 ~name:"view scans = whole-queue reference folds"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 12) entry_gen)
+        (tup4 (int_range 0 5) (int_range 0 3) (int_range 0 2) (int_range 0 99)))
+    (fun (raw, (seq, pos, index, value)) ->
+      let q = PQ.create 16 in
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun ((s, p, is_store, (idx, v)), retire) ->
+          if not (Hashtbl.mem seen (s, p)) then begin
+            Hashtbl.add seen (s, p) ();
+            ignore
+              (PQ.record q ~seq:s ~pos:p ~port:0
+                 ~kind:(if is_store then PM.OStore else PM.OLoad)
+                 ~index:idx ~value:v);
+            if retire then ignore (PQ.retire_eq q ~seq:s ~on_port:ignore)
+          end)
+        raw;
+      Arbiter.store_violation q ~seq ~pos ~index ~value
+      = Arbiter.store_violation_ref q ~seq ~pos ~index ~value
+      && Arbiter.load_gate q ~seq ~pos ~index
+         = Arbiter.load_gate_ref q ~seq ~pos ~index)
+
+(* property: watermark-gated retirement sweeps leave the queue in exactly
+   the state per-cycle full rescans produce, at every step of a random
+   schedule of load admissions, frontier advances and squash rewinds.
+   [qi] sweeps only when {!Arbiter.wm_pending} fires; [qr] rescans every
+   step.  Any missing wm_note_load/wm_rewind hook (a stale watermark)
+   shows up as a load left unretired in [qi]. *)
+let prop_watermark_equiv =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map2 (fun d i -> `Load (d, i)) (int_range 0 6) (int_range 0 3));
+          (3, map (fun d -> `Advance d) (int_range 0 2));
+          (1, map (fun d -> `Squash d) (int_range 0 3));
+        ])
+  in
+  QCheck.Test.make ~count:500
+    ~name:"incremental watermark sweeps = per-cycle rescans"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) op_gen))
+    (fun ops ->
+      let qi = PQ.create 64 and qr = PQ.create 64 in
+      let wm = Arbiter.fresh_watermark () in
+      let saf = ref 0 in
+      let contents q =
+        List.map
+          (fun (e : PQ.entry) -> (e.PQ.e_seq, e.PQ.e_pos, e.PQ.e_index, e.PQ.e_value))
+          (PQ.to_list q)
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Load (d, idx) ->
+              (* admissions land anywhere from behind the frontier (a late
+                 load, immediately retirable) to well ahead of it *)
+              let seq = max 0 (!saf - 2 + d) in
+              if
+                PQ.record qi ~seq ~pos:0 ~port:0 ~kind:PM.OLoad ~index:idx
+                  ~value:(idx * 7)
+              then begin
+                ignore
+                  (PQ.record qr ~seq ~pos:0 ~port:0 ~kind:PM.OLoad ~index:idx
+                     ~value:(idx * 7));
+                Arbiter.wm_note_load wm ~seq ~saf:!saf
+              end
+          | `Advance d -> saf := !saf + d
+          | `Squash d ->
+              let err = max 0 (!saf - d) in
+              ignore (PQ.retire_ge qi ~seq:err ~on_port:ignore);
+              ignore (PQ.retire_ge qr ~seq:err ~on_port:ignore);
+              if err < !saf then saf := err;
+              Arbiter.wm_rewind wm ~saf:!saf);
+          if Arbiter.wm_pending wm ~saf:!saf then begin
+            ignore (PQ.retire_loads_below qi ~seq:!saf ~on_port:ignore);
+            Arbiter.wm_mark wm ~saf:!saf
+          end;
+          ignore (PQ.retire_loads_below qr ~seq:!saf ~on_port:ignore);
+          contents qi = contents qr)
+        ops)
+
 let () =
   Alcotest.run "pv_arbiter"
     [
@@ -222,5 +328,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_violation_iff_conditions;
           QCheck_alcotest.to_alcotest prop_gate_youngest;
+          QCheck_alcotest.to_alcotest prop_fast_matches_ref;
+          QCheck_alcotest.to_alcotest prop_watermark_equiv;
         ] );
     ]

@@ -308,6 +308,85 @@ let prop_chain_total =
       && stats.Sim.node_fires.(sink) = n
       && stats.Sim.gen_instances = n)
 
+(* --- packed token representation ----------------------------------------- *)
+
+(* boundary round-trips: every corner of both bitfields *)
+let test_token_roundtrip_bounds () =
+  List.iter
+    (fun seq ->
+      List.iter
+        (fun epoch ->
+          let k = Types.Token.make ~seq ~epoch in
+          Alcotest.(check int)
+            (Printf.sprintf "seq of (%d,%d)" seq epoch)
+            seq (Types.Token.seq k);
+          Alcotest.(check int)
+            (Printf.sprintf "epoch of (%d,%d)" seq epoch)
+            epoch (Types.Token.epoch k);
+          Alcotest.(check bool) "present" true (k >= 0))
+        [ 0; 1; Types.Token.max_epoch - 1; Types.Token.max_epoch ])
+    [ 0; 1; Types.Token.max_seq - 1; Types.Token.max_seq ]
+
+let test_token_overflow_guard () =
+  let must_raise name f =
+    match f () with
+    | (_ : Types.Token.t) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  must_raise "seq -1" (fun () -> Types.Token.make ~seq:(-1) ~epoch:0);
+  must_raise "seq max+1" (fun () ->
+      Types.Token.make ~seq:(Types.Token.max_seq + 1) ~epoch:0);
+  must_raise "epoch -1" (fun () -> Types.Token.make ~seq:0 ~epoch:(-1));
+  must_raise "epoch max+1" (fun () ->
+      Types.Token.make ~seq:0 ~epoch:(Types.Token.max_epoch + 1));
+  (* the hot-path packer never raises: the epoch wraps modulo 2^20 *)
+  Alcotest.(check int)
+    "unsafe wraps epoch" 1
+    (Types.Token.epoch
+       (Types.Token.unsafe ~seq:3 ~epoch:(Types.Token.max_epoch + 2)));
+  Alcotest.(check int) "unsafe keeps seq" 3
+    (Types.Token.seq
+       (Types.Token.unsafe ~seq:3 ~epoch:(Types.Token.max_epoch + 2)))
+
+let test_token_order_and_cutoff () =
+  (* key order is lexicographic (seq, epoch), and [first] is the squash
+     cutoff: k >= first ~seq:s iff seq k >= s *)
+  let k_lo = Types.Token.make ~seq:4 ~epoch:9 in
+  let k_hi = Types.Token.make ~seq:5 ~epoch:0 in
+  Alcotest.(check bool) "seq dominates epoch" true (k_lo < k_hi);
+  Alcotest.(check bool) "cutoff below" true
+    (k_lo < Types.Token.first ~seq:5);
+  Alcotest.(check bool) "cutoff at" true (k_hi >= Types.Token.first ~seq:5);
+  Alcotest.(check int) "with_epoch restamps" 7
+    (Types.Token.epoch (Types.Token.with_epoch k_lo ~epoch:7));
+  Alcotest.(check int) "with_epoch keeps seq" 4
+    (Types.Token.seq (Types.Token.with_epoch k_lo ~epoch:7));
+  Alcotest.(check bool) "none is absent" true (Types.Token.none < 0)
+
+let test_token_pp () =
+  (* the packed pair still pretty-prints its decoded fields *)
+  let tk = Types.token ~epoch:2 ~seq:7 41 in
+  Alcotest.(check string)
+    "pp_token decodes the packed key" "{seq=7;ep=2;v=41}"
+    (Format.asprintf "%a" Types.pp_token tk);
+  Alcotest.(check int) "value accessor" 41 (Types.Token.value tk);
+  Alcotest.(check int) "with_value" 6
+    (Types.Token.value (Types.Token.with_value tk 6))
+
+let prop_token_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"token pack/unpack round-trips"
+    QCheck.(
+      pair (int_range 0 Pv_dataflow.Types.Token.max_seq)
+        (int_range 0 Pv_dataflow.Types.Token.max_epoch))
+    (fun (seq, epoch) ->
+      let k = Types.Token.make ~seq ~epoch in
+      Types.Token.seq k = seq
+      && Types.Token.epoch k = epoch
+      && k = Types.Token.unsafe ~seq ~epoch
+      && Types.Token.with_epoch k ~epoch = k
+      && k >= Types.Token.first ~seq
+      && (seq = Types.Token.max_seq || k < Types.Token.first ~seq:(seq + 1)))
+
 let () =
   Alcotest.run "pv_dataflow"
     [
@@ -328,9 +407,19 @@ let () =
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "merge" `Quick test_merge;
         ] );
+      ( "token",
+        [
+          Alcotest.test_case "round-trip at field bounds" `Quick
+            test_token_roundtrip_bounds;
+          Alcotest.test_case "overflow guard" `Quick test_token_overflow_guard;
+          Alcotest.test_case "key order and squash cutoff" `Quick
+            test_token_order_and_cutoff;
+          Alcotest.test_case "pretty-printing" `Quick test_token_pp;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_buffer_fifo;
           QCheck_alcotest.to_alcotest prop_chain_total;
+          QCheck_alcotest.to_alcotest prop_token_roundtrip;
         ] );
     ]

@@ -4,6 +4,8 @@
 open Pv_memory
 module MI = Pv_dataflow.Memif
 
+let tkey s = Pv_dataflow.Types.Token.make ~seq:s ~epoch:0
+
 (* one ambiguous array "x" with a load (port 0) and a store (port 1) in one
    group, plus a direct load port 2 on array "y" *)
 let portmap () =
@@ -41,7 +43,7 @@ let step (b : MI.t) = b.MI.clock ()
 
 let rec poll_until ?(limit = 20) (b : MI.t) ~port =
   match MI.poll b ~port with
-  | Some r -> r
+  | Some (key, v) -> (Pv_dataflow.Types.Token.seq key, v)
   | None ->
       if limit = 0 then Alcotest.fail "no response within limit";
       step b;
@@ -50,15 +52,15 @@ let rec poll_until ?(limit = 20) (b : MI.t) ~port =
 let test_load_needs_allocation () =
   let _, b = fresh () in
   Alcotest.(check bool) "unallocated load refused" false
-    (b.MI.load_req ~port:0 ~seq:0 ~addr:3);
+    (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:3);
   Alcotest.(check bool) "allocation" true (b.MI.begin_instance ~seq:0 ~group:0);
   Alcotest.(check bool) "allocated load accepted" true
-    (b.MI.load_req ~port:0 ~seq:0 ~addr:3)
+    (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:3)
 
 let test_load_reads_memory () =
   let _, b = fresh () in
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:5);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:5);
   (* the load cannot issue while the same-group older... the store of seq 0
      is ROM-later, so it does not block; response arrives after latency *)
   let seq, v = poll_until b ~port:0 in
@@ -69,15 +71,15 @@ let test_load_waits_for_store_address () =
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
   ignore (b.MI.begin_instance ~seq:1 ~group:0);
   (* seq 1's load arrives while seq 0's store address is unknown *)
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   step b;
   step b;
   step b;
   Alcotest.(check bool) "no response while ordering unknown" true
     (MI.poll b ~port:0 = None);
   (* resolve the older load and store of seq 0 at a different address *)
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:9);
-  b.MI.store_addr ~port:1 ~seq:0 ~addr:7;
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:9);
+  b.MI.store_addr ~port:1 ~key:(tkey 0) ~addr:7;
   step b;
   step b;
   (* responses come back in request order per port: seq 1 asked first *)
@@ -90,17 +92,17 @@ let test_store_to_load_forwarding () =
   let mem, b = fresh () in
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
   ignore (b.MI.begin_instance ~seq:1 ~group:0);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:2);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:2);
   (* seq 0 stores 999 to address 5; seq 1 loads address 5 before commit *)
   Alcotest.(check bool) "store accepted" true
-    (b.MI.store_req ~port:1 ~seq:0 ~addr:5 ~value:999);
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+    (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:5 ~value:999);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   ignore (poll_until b ~port:0);
   let _, v = poll_until b ~port:0 in
   Alcotest.(check int) "forwarded value" 999 v;
   (* and the commit eventually lands in memory; the unused store entry of
      instance 1 is cancelled so the queue can drain *)
-  Alcotest.(check bool) "cancel seq 1 store" true (b.MI.op_skip ~port:1 ~seq:1);
+  Alcotest.(check bool) "cancel seq 1 store" true (b.MI.op_skip ~port:1 ~key:(tkey 1));
   let rec drain n = if n > 0 then begin step b; drain (n - 1) end in
   drain 10;
   Alcotest.(check int) "committed" 999 mem.(5);
@@ -110,13 +112,13 @@ let test_commit_in_order () =
   let mem, b = fresh () in
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
   ignore (b.MI.begin_instance ~seq:1 ~group:0);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:0);
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:0);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:0);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:0);
   (* both stores hit the same address; the younger arrives first *)
-  ignore (b.MI.store_req ~port:1 ~seq:1 ~addr:6 ~value:222);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 1) ~addr:6 ~value:222);
   step b;
   Alcotest.(check int) "younger store not committed first" 106 mem.(6);
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:6 ~value:111);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:6 ~value:111);
   let rec drain n = if n > 0 then begin step b; drain (n - 1) end in
   drain 10;
   Alcotest.(check int) "final value is the younger's" 222 mem.(6)
@@ -145,7 +147,7 @@ let test_alloc_delay_gates_issue () =
   let cfg = { quick_cfg with Pv_lsq.Lsq.alloc_delay = 6 } in
   let _, b = fresh ~cfg () in
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:5);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:5);
   for _ = 1 to 4 do step b done;
   Alcotest.(check bool) "not usable yet" true (MI.poll b ~port:0 = None);
   let _, v = poll_until b ~port:0 in
@@ -154,8 +156,8 @@ let test_alloc_delay_gates_issue () =
 let test_op_skip_store () =
   let mem, b = fresh () in
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:1);
-  Alcotest.(check bool) "skip accepted" true (b.MI.op_skip ~port:1 ~seq:0);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:1);
+  Alcotest.(check bool) "skip accepted" true (b.MI.op_skip ~port:1 ~key:(tkey 0));
   let rec drain n = if n > 0 then begin step b; drain (n - 1) end in
   drain 8;
   ignore (poll_until b ~port:0);
@@ -165,14 +167,14 @@ let test_op_skip_store () =
 let test_direct_port_bandwidth () =
   let _, b = fresh () in
   Alcotest.(check bool) "first direct read" true
-    (b.MI.load_req ~port:2 ~seq:0 ~addr:1);
+    (b.MI.load_req ~port:2 ~key:(tkey 0) ~addr:1);
   Alcotest.(check bool) "second direct read same cycle" true
-    (b.MI.load_req ~port:2 ~seq:1 ~addr:2);
+    (b.MI.load_req ~port:2 ~key:(tkey 1) ~addr:2);
   Alcotest.(check bool) "third exceeds dual-port budget" false
-    (b.MI.load_req ~port:2 ~seq:2 ~addr:3);
+    (b.MI.load_req ~port:2 ~key:(tkey 2) ~addr:3);
   step b;
   Alcotest.(check bool) "budget refilled" true
-    (b.MI.load_req ~port:2 ~seq:2 ~addr:3)
+    (b.MI.load_req ~port:2 ~key:(tkey 2) ~addr:3)
 
 let test_responses_in_port_order () =
   (* responses must come back in request order even when issue reorders *)
@@ -180,15 +182,15 @@ let test_responses_in_port_order () =
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
   ignore (b.MI.begin_instance ~seq:1 ~group:0);
   (* older load blocked by unknown store address; younger load free *)
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:5);
-  b.MI.store_addr ~port:1 ~seq:0 ~addr:5;
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:5);
+  b.MI.store_addr ~port:1 ~key:(tkey 0) ~addr:5;
   (* seq 0's load now matches its own... no: same-seq store is ROM-later,
      so seq 0's load issues from memory; seq 1's load hits the pending
      store with no value -> must wait, yet was requested second *)
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   let s0, _ = poll_until b ~port:0 in
   Alcotest.(check int) "first response is seq 0" 0 s0;
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:5 ~value:31);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:5 ~value:31);
   let s1, v1 = poll_until b ~port:0 in
   Alcotest.(check (pair int int)) "second is seq 1, forwarded" (1, 31) (s1, v1)
 

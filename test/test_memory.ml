@@ -100,7 +100,10 @@ let test_conditional_flag () =
 let test_direct_backend_latency () =
   let mem = Array.make 4 7 in
   let b = Pv_dataflow.Memif.direct ~latency:3 mem in
-  Alcotest.(check bool) "accepts" true (b.Pv_dataflow.Memif.load_req ~port:0 ~seq:0 ~addr:2);
+  Alcotest.(check bool) "accepts" true
+    (b.Pv_dataflow.Memif.load_req ~port:0
+       ~key:(Pv_dataflow.Types.Token.make ~seq:0 ~epoch:0)
+       ~addr:2);
   Alcotest.(check bool) "no early response" true (Pv_dataflow.Memif.poll b ~port:0 = None);
   b.Pv_dataflow.Memif.clock ();
   b.Pv_dataflow.Memif.clock ();

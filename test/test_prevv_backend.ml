@@ -4,6 +4,8 @@
 
 open Pv_memory
 module MI = Pv_dataflow.Memif
+
+let tkey s = Pv_dataflow.Types.Token.make ~seq:s ~epoch:0
 module Fault = Pv_dataflow.Fault
 
 (* one ambiguous array "x": load port 0, store port 1 in one group *)
@@ -47,7 +49,7 @@ let step (b : MI.t) = b.MI.clock ()
 
 let rec poll_until ?(limit = 20) (b : MI.t) ~port =
   match MI.poll b ~port with
-  | Some r -> r
+  | Some (key, v) -> (Pv_dataflow.Types.Token.seq key, v)
   | None ->
       if limit = 0 then Alcotest.fail "no response within limit";
       step b;
@@ -62,7 +64,7 @@ let begin_seqs (b : MI.t) n =
 let test_premature_read () =
   let _, b = fresh () in
   begin_seqs b 1;
-  Alcotest.(check bool) "accepted" true (b.MI.load_req ~port:0 ~seq:0 ~addr:4);
+  Alcotest.(check bool) "accepted" true (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:4);
   let seq, v = poll_until b ~port:0 in
   Alcotest.(check (pair int int)) "memory value" (0, 104) (seq, v)
 
@@ -70,9 +72,9 @@ let test_premature_read () =
 let test_store_buffered_then_committed () =
   let mem, b = fresh () in
   begin_seqs b 1;
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:4);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:4);
   Alcotest.(check bool) "store accepted" true
-    (b.MI.store_req ~port:1 ~seq:0 ~addr:4 ~value:55);
+    (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:4 ~value:55);
   Alcotest.(check int) "not yet in memory" 104 mem.(4);
   step b;
   Alcotest.(check int) "committed at the frontier" 55 mem.(4);
@@ -84,15 +86,15 @@ let test_commit_in_program_order () =
   let mem, b = fresh () in
   begin_seqs b 3;
   (* instance 1 and 2 complete; instance 0's store is still missing *)
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:9);
-  ignore (b.MI.store_req ~port:1 ~seq:1 ~addr:6 ~value:11);
-  ignore (b.MI.load_req ~port:0 ~seq:2 ~addr:9);
-  ignore (b.MI.store_req ~port:1 ~seq:2 ~addr:6 ~value:22);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:9);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 1) ~addr:6 ~value:11);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 2) ~addr:9);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 2) ~addr:6 ~value:22);
   step b;
   step b;
   Alcotest.(check int) "blocked behind the frontier" 106 mem.(6);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:9);
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:6 ~value:0);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:9);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:6 ~value:0);
   (* one BRAM write port: three commits take three cycles *)
   step b;
   step b;
@@ -106,11 +108,11 @@ let test_violation_and_squash () =
   let mem, b = fresh () in
   begin_seqs b 2;
   (* the younger load reads address 5 prematurely (value 105) *)
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   ignore (poll_until b ~port:0);
   (* the older store to the same address arrives with a different value *)
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:2);
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:5 ~value:777);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:2);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:5 ~value:777);
   (match b.MI.poll_squash () with
   | Some 1 -> ()
   | Some s -> Alcotest.failf "squash at %d, expected 1" s
@@ -122,7 +124,7 @@ let test_violation_and_squash () =
   step b;
   Alcotest.(check int) "store committed during replay window" 777 mem.(5);
   Alcotest.(check bool) "replayed load accepted" true
-    (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+    (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   (* port responses are in request order: instance 0's survives the squash *)
   let s0, v0 = poll_until b ~port:0 in
   Alcotest.(check (pair int int)) "instance 0's response intact" (0, 102) (s0, v0);
@@ -133,11 +135,11 @@ let test_violation_and_squash () =
 let test_value_validation_passes () =
   let _, b = fresh () in
   begin_seqs b 2;
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   ignore (poll_until b ~port:0);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:2);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:2);
   (* the store writes the value the load already observed *)
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:5 ~value:105);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:5 ~value:105);
   Alcotest.(check bool) "no squash" true (b.MI.poll_squash () = None)
 
 (* the load gate: an older queued store to the same address stalls the load
@@ -145,14 +147,14 @@ let test_value_validation_passes () =
 let test_load_gate_wait () =
   let _, b = fresh () in
   begin_seqs b 2;
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:2);
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:5 ~value:777);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:2);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:5 ~value:777);
   (* before the commit lands, the younger load to address 5 must wait *)
-  Alcotest.(check bool) "gated" false (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+  Alcotest.(check bool) "gated" false (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   step b;
   (* after commit it reads the new value *)
   Alcotest.(check bool) "accepted after commit" true
-    (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+    (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   let s0, v0 = poll_until b ~port:0 in
   Alcotest.(check (pair int int)) "first response" (0, 102) (s0, v0);
   let _, v = poll_until b ~port:0 in
@@ -162,10 +164,10 @@ let test_load_gate_wait () =
 let test_fake_tokens () =
   let mem, b = fresh ~pm:(portmap_cond ()) () in
   begin_seqs b 2;
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:3);
-  Alcotest.(check bool) "fake token accepted" true (b.MI.op_skip ~port:1 ~seq:0);
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:3);
-  ignore (b.MI.store_req ~port:1 ~seq:1 ~addr:3 ~value:9);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:3);
+  Alcotest.(check bool) "fake token accepted" true (b.MI.op_skip ~port:1 ~key:(tkey 0));
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:3);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 1) ~addr:3 ~value:9);
   step b;
   step b;
   Alcotest.(check int) "both instances retired" 9 mem.(3);
@@ -183,10 +185,10 @@ let test_no_fake_tokens_wedges () =
   in
   ignore (b.MI.begin_instance ~seq:0 ~group:0);
   ignore (b.MI.begin_instance ~seq:1 ~group:0);
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:3);
-  ignore (b.MI.op_skip ~port:1 ~seq:0);
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:3);
-  ignore (b.MI.store_req ~port:1 ~seq:1 ~addr:3 ~value:9);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:3);
+  ignore (b.MI.op_skip ~port:1 ~key:(tkey 0));
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:3);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 1) ~addr:3 ~value:9);
   for _ = 1 to 10 do step b done;
   Alcotest.(check int) "store never commits" 0 mem.(3);
   Alcotest.(check bool) "never quiesces" false (b.MI.quiesced ())
@@ -199,19 +201,19 @@ let test_port_quota () =
   (* the frontier instance (seq 0) still misses 2 ops, so only
      depth - 2 = 2 slots are open to younger records (one BRAM read per
      cycle pair, so space the requests out with clock ticks) *)
-  Alcotest.(check bool) "1st" true (b.MI.load_req ~port:0 ~seq:1 ~addr:1);
-  Alcotest.(check bool) "2nd" true (b.MI.load_req ~port:0 ~seq:2 ~addr:1);
+  Alcotest.(check bool) "1st" true (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:1);
+  Alcotest.(check bool) "2nd" true (b.MI.load_req ~port:0 ~key:(tkey 2) ~addr:1);
   step b;
   Alcotest.(check bool) "3rd refused (frontier reserve)" false
-    (b.MI.load_req ~port:0 ~seq:3 ~addr:1);
+    (b.MI.load_req ~port:0 ~key:(tkey 3) ~addr:1);
   (* frontier-age operations always get in *)
   Alcotest.(check bool) "frontier load admitted" true
-    (b.MI.load_req ~port:0 ~seq:0 ~addr:1);
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:9 ~value:1);
+    (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:1);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:9 ~value:1);
   step b;
   (* instance 0 committed: its slots freed, the reserve moved to seq 1 *)
   Alcotest.(check bool) "3rd admitted after commit" true
-    (b.MI.load_req ~port:0 ~seq:3 ~addr:1)
+    (b.MI.load_req ~port:0 ~key:(tkey 3) ~addr:1)
 
 (* depth smaller than an instance's ports is rejected at construction *)
 let test_depth_guard () =
@@ -243,17 +245,17 @@ let test_saf_retirement () =
   begin_seqs b 8;
   (* the y-load of seq 0 never arrives: the commit frontier stays at 0 *)
   for s = 0 to 5 do
-    ignore (b.MI.load_req ~port:0 ~seq:s ~addr:(20 + s))
+    ignore (b.MI.load_req ~port:0 ~key:(tkey s) ~addr:(20 + s))
   done;
   for s = 0 to 5 do
-    ignore (b.MI.store_req ~port:1 ~seq:s ~addr:(10 + s) ~value:s)
+    ignore (b.MI.store_req ~port:1 ~key:(tkey s) ~addr:(10 + s) ~value:s)
   done;
   step b;
   (* stores of 0..5 arrived: x's store-arrival frontier passed seq 5, all
      x-load records validated and retired; the x-port has credits again *)
   Alcotest.(check bool) "load slot freed by validation" true
-    (b.MI.load_req ~port:0 ~seq:6 ~addr:26);
-  Alcotest.(check bool) "another" true (b.MI.load_req ~port:0 ~seq:7 ~addr:27)
+    (b.MI.load_req ~port:0 ~key:(tkey 6) ~addr:26);
+  Alcotest.(check bool) "another" true (b.MI.load_req ~port:0 ~key:(tkey 7) ~addr:27)
 
 (* an undetected SEU flipping a recorded load value is indistinguishable
    from a premature read of stale data — value validation (Eq. 5) catches
@@ -261,15 +263,15 @@ let test_saf_retirement () =
 let test_silent_pq_flip_caught () =
   let _, b = fresh () in
   begin_seqs b 2;
-  ignore (b.MI.load_req ~port:0 ~seq:1 ~addr:5);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 1) ~addr:5);
   ignore (poll_until b ~port:0);
   (* SEU: the queued record's value silently flips (no ECC flag) *)
   Alcotest.(check bool) "flip accepted" true
     (b.MI.inject (Fault.B_pq_flip { inst = 0; slot = 0; mask = 0xff; detect = false }));
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:2);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:2);
   (* the store writes exactly what the load originally observed: without
      the SEU this is the no-squash case of test_value_validation_passes *)
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:5 ~value:105);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:5 ~value:105);
   match b.MI.poll_squash () with
   | Some 1 -> ()
   | Some s -> Alcotest.failf "squash at %d, expected 1" s
@@ -280,8 +282,8 @@ let test_silent_pq_flip_caught () =
 let test_inject_stale_squash_refused () =
   let _, b = fresh () in
   begin_seqs b 2;
-  ignore (b.MI.load_req ~port:0 ~seq:0 ~addr:4);
-  ignore (b.MI.store_req ~port:1 ~seq:0 ~addr:4 ~value:1);
+  ignore (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:4);
+  ignore (b.MI.store_req ~port:1 ~key:(tkey 0) ~addr:4 ~value:1);
   step b;
   (* instance 0 committed; the frontier is past it *)
   Alcotest.(check bool) "stale squash refused" false
@@ -316,10 +318,10 @@ let test_livelock_guard_unit () =
   (* degraded admission: a load far beyond the store-arrival frontier could
      still be accused by an older store, so it must wait *)
   Alcotest.(check bool) "speculative load refused" false
-    (b.MI.load_req ~port:0 ~seq:4 ~addr:3);
+    (b.MI.load_req ~port:0 ~key:(tkey 4) ~addr:3);
   (* the frontier-age load has no possible accuser and still goes through *)
   Alcotest.(check bool) "frontier load admitted" true
-    (b.MI.load_req ~port:0 ~seq:0 ~addr:3)
+    (b.MI.load_req ~port:0 ~key:(tkey 0) ~addr:3)
 
 (* minimal legal depth (= one body instance): admission backpressures with
    [false] and the run still completes — a full queue must never surface as
@@ -341,9 +343,9 @@ let test_min_depth_backpressure () =
       | op :: rest ->
           let ok =
             match op with
-            | `L s -> b.MI.load_req ~port:0 ~seq:s ~addr:(8 + s)
+            | `L s -> b.MI.load_req ~port:0 ~key:(tkey s) ~addr:(8 + s)
             | `S s ->
-                b.MI.store_req ~port:1 ~seq:s ~addr:(8 + s) ~value:(50 + s)
+                b.MI.store_req ~port:1 ~key:(tkey s) ~addr:(8 + s) ~value:(50 + s)
           in
           if ok then issue rest
           else begin

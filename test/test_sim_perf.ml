@@ -168,6 +168,129 @@ let test_prof_non_perturbing () =
         [ ("prevv16", Pipeline.prevv 16); ("fast-lsq", Pipeline.fast_lsq) ])
     kernels
 
+(* (g) the packed premature-queue/arbiter unit paths allocate nothing:
+   record admission, both CAM-view scans (the gate and store-violation
+   checking on non-matching addresses, so neither returns a boxed
+   [Forward]/[Some]) and both retirement sweeps run purely on the flat
+   int arrays. *)
+let test_queue_paths_no_alloc () =
+  let module PQ = Pv_prevv.Premature_queue in
+  let module Arb = Pv_prevv.Arbiter in
+  let q = PQ.create 64 in
+  let nop (_ : int) = () in
+  (* loads live at addresses 0..7, stores at 8..15: the gate always comes
+     back [Clear] and violation checking always [None] — immediates *)
+  let cycle i =
+    ignore
+      (PQ.record q ~seq:i ~pos:0 ~port:0 ~kind:Pv_memory.Portmap.OLoad
+         ~index:(i land 7) ~value:0
+        : bool);
+    ignore
+      (Arb.load_gate q ~seq:i ~pos:1 ~index:(8 + (i land 7)) : Arb.load_gate);
+    ignore
+      (PQ.record q ~seq:i ~pos:1 ~port:1 ~kind:Pv_memory.Portmap.OStore
+         ~index:(8 + (i land 7)) ~value:i
+        : bool);
+    ignore
+      (Arb.store_violation q ~seq:i ~pos:1 ~index:(8 + (i land 7)) ~value:i
+        : int option);
+    ignore (PQ.retire_loads_below q ~seq:(i - 4) ~on_port:nop : int);
+    ignore (PQ.retire_eq q ~seq:(i - 4) ~on_port:nop : int)
+  in
+  let window lo n =
+    minor_delta (fun () ->
+        for i = lo to lo + n - 1 do
+          cycle i
+        done)
+  in
+  ignore (window 0 100 : float) (* warm-up: view arrays, compaction *);
+  let d_short = window 100 300 in
+  let d_long = window 400 1000 in
+  Alcotest.(check (float 0.0))
+    "minor words per queue cycle" 0.0
+    ((d_long -. d_short) /. 700.0)
+
+(* (h) Prof attribution counts records {e actually scanned}: under
+   incremental validation, each gated load charges [arbiter_scan] by
+   exactly the store-view population and each arriving store charges
+   [pq_validate] by exactly the load-view population, at the moment the
+   operation reaches the arbiter. *)
+let test_prof_records_scanned () =
+  let module B = Pv_prevv.Backend in
+  (* one ambiguous array: load port 0, store port 1, one group *)
+  let pm =
+    {
+      Pv_memory.Portmap.ports =
+        [|
+          { Pv_memory.Portmap.id = 0; kind = Pv_memory.Portmap.OLoad;
+            array = "x"; instance = Some 0; conditional = false };
+          { Pv_memory.Portmap.id = 1; kind = Pv_memory.Portmap.OStore;
+            array = "x"; instance = Some 0; conditional = false };
+        |];
+      n_groups = 1;
+      n_instances = 1;
+      rom = [| [| [| 0; 1 |] |] |];
+    }
+  in
+  let cfg =
+    {
+      B.depth_q = 16;
+      mem_latency = 1;
+      commits_per_cycle = 2;
+      fake_tokens = true;
+      value_validation = true;
+      collapse_queue = true;
+      squash_budget = 8;
+    }
+  in
+  let prof = Pv_obs.Prof.create () in
+  let mem = Array.make 32 0 in
+  let b = B.create ~prof cfg pm mem in
+  for s = 0 to 6 do
+    Alcotest.(check bool) "begin accepted" true
+      (b.Memif.begin_instance ~seq:s ~group:0)
+  done;
+  let key s = Pv_dataflow.Types.Token.make ~seq:s ~epoch:0 in
+  let phase p = (Pv_obs.Prof.phase_totals prof).(p) in
+  let arb () = phase Pv_obs.Prof.phase_arbiter_scan in
+  let pqv () = phase Pv_obs.Prof.phase_pq_validate in
+  (* three stores into an empty queue: zero load records to accuse *)
+  let pqv0 = pqv () in
+  for s = 0 to 2 do
+    Alcotest.(check bool) "store accepted" true
+      (b.Memif.store_req ~port:1 ~key:(key s) ~addr:(1 + s) ~value:(10 + s))
+  done;
+  Alcotest.(check int) "stores against an empty load view scan nothing" 0
+    (pqv () - pqv0);
+  (* three loads, each gated against the three queued stores (disjoint
+     addresses, so the verdict is Clear and the load is recorded); the
+     response is drained between loads to keep the port slot free —
+     clocking never touches [arbiter_scan], which is charged only at the
+     gate itself *)
+  for s = 3 to 5 do
+    let a0 = arb () in
+    Alcotest.(check bool) "load accepted" true
+      (b.Memif.load_req ~port:0 ~key:(key s) ~addr:(10 + s));
+    Alcotest.(check int)
+      (Printf.sprintf "gated load %d scans the full store view" s)
+      3 (arb () - a0);
+    let rec drain limit =
+      if limit = 0 then Alcotest.fail "load response never arrived";
+      match Memif.poll b ~port:0 with
+      | Some _ -> ()
+      | None ->
+          b.Memif.clock ();
+          drain (limit - 1)
+    in
+    drain 10
+  done;
+  (* one younger store: violation checking scans the three load records *)
+  let pqv1 = pqv () in
+  Alcotest.(check bool) "final store accepted" true
+    (b.Memif.store_req ~port:1 ~key:(key 6) ~addr:20 ~value:9);
+  Alcotest.(check int) "arriving store scans the full load view" 3
+    (pqv () - pqv1)
+
 (* (d) wheel ordering: equal-expiry entries fire in insertion order, and
    an entry a full lap ahead stays parked in the shared bucket. *)
 let test_wheel_fifo () =
@@ -202,11 +325,15 @@ let () =
             test_purge_no_alloc;
           Alcotest.test_case "profiled cycles allocate nothing" `Quick
             test_zero_alloc_profiled;
+          Alcotest.test_case "packed queue paths allocate nothing" `Quick
+            test_queue_paths_no_alloc;
         ] );
       ( "prof",
         [
           Alcotest.test_case "profiling does not perturb" `Quick
             test_prof_non_perturbing;
+          Alcotest.test_case "attribution counts records scanned" `Quick
+            test_prof_records_scanned;
         ] );
       ( "evals",
         [
